@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: on-chip buffer capacity.
+ *
+ * The OEI dataflow needs the Table I residency window on chip;
+ * shrinking the buffer below it triggers eviction of high row bands
+ * and reload traffic (the paper's memory ping-ponging).  This sweep
+ * shows the cliff per matrix class: banded matrices (ro/eu) barely
+ * care, the lower-skewed bu degrades smoothly thanks to
+ * reload-ahead, and the skewed wi ping-pongs.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Ablation: buffer capacity sweep (sssp)",
+                "cycles normalized to the largest buffer; reload MB "
+                "in parentheses");
+
+    const std::vector<Idx> sizes_kb = {64, 128, 256, 512, 1024,
+                                       2048, 4096};
+    const std::vector<std::string> sets = {"gy", "ca", "bu", "wi",
+                                           "eu"};
+
+    TextTable table;
+    std::vector<std::string> header = {"buffer KB"};
+    for (const std::string &d : sets)
+        header.push_back(d);
+    table.addRow(header);
+
+    // Baseline cycles at the biggest buffer.
+    std::vector<double> base(sets.size(), 0.0);
+    for (std::size_t d = 0; d < sets.size(); ++d) {
+        RunConfig cfg;
+        cfg.sp.buffer_bytes = sizes_kb.back() * 1024;
+        base[d] = static_cast<double>(
+            runCase("sssp", sets[d], cfg).sp.cycles);
+    }
+
+    for (Idx kb : sizes_kb) {
+        std::vector<std::string> row = {std::to_string(kb)};
+        for (std::size_t d = 0; d < sets.size(); ++d) {
+            RunConfig cfg;
+            cfg.sp.buffer_bytes = kb * 1024;
+            CaseResult r = runCase("sssp", sets[d], cfg);
+            row.push_back(
+                TextTable::num(static_cast<double>(r.sp.cycles) /
+                                   base[d], 2) +
+                " (" +
+                TextTable::num(
+                    static_cast<double>(r.sp.reload_bytes) / 1e6,
+                    1) +
+                ")");
+        }
+        table.addRow(row);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: the opportunistic (eager) CSR loader of Figure 9.
+ *
+ * With the eager loader off, evicted rows can only return as demand
+ * fetches that stall the IS core, and idle bandwidth in
+ * compute-bound steps goes unused.  The effect concentrates on
+ * matrices whose OEI window overflows the buffer (bu, wi, ca).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Ablation: eager CSR loader (Fig. 9 mechanism)",
+                "cells: cycles(off)/cycles(on) and the share of "
+                "matrix traffic the loader moves opportunistically");
+
+    // The eager loader matters when demand traffic leaves the pins
+    // idle (compute-heavy stages) while evicted rows wait for
+    // reload: run without the row reorder so the large-window
+    // matrices actually evict, and include the compute-heavy apps.
+    const std::vector<std::string> apps = {"kcore", "gcn", "sssp"};
+    const std::vector<std::string> sets = {"ca", "bu", "wi", "gy",
+                                           "eu"};
+
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const std::string &d : sets)
+        header.push_back(d);
+    table.addRow(header);
+
+    for (const std::string &app : apps) {
+        std::vector<std::string> row = {app};
+        for (const std::string &dataset : sets) {
+            RunConfig on, off;
+            on.reorder = ReorderKind::None;
+            off.reorder = ReorderKind::None;
+            off.sp.eager_csr = false;
+            CaseResult r_on = runCase(app, dataset, on);
+            CaseResult r_off = runCase(app, dataset, off);
+            double gain = static_cast<double>(r_off.sp.cycles) /
+                          static_cast<double>(r_on.sp.cycles);
+            double moved =
+                static_cast<double>(r_on.sp.prefetch_bytes) /
+                static_cast<double>(r_on.sp.matrix_demand_bytes +
+                                    r_on.sp.prefetch_bytes +
+                                    r_on.sp.reload_bytes + 1);
+            row.push_back(TextTable::num(gain, 3) + " / " +
+                          TextTable::num(100.0 * moved, 0) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf(
+        "\ncycles(off)/cycles(on) >1 means the eager loader helps "
+        "end-to-end.\nIn this DRAM model the bandwidth pipe has no "
+        "burst penalty, so moving\ntraffic from demand fetches to "
+        "opportunistic prefetch mostly smooths the\nFig. 15 "
+        "timelines rather than shortening runs; the moved-traffic "
+        "share\nshows the mechanism at work.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 14: end-to-end speedup of Sparsepipe (iso-GPU)
+ * over the idealized sparse accelerator, per application x matrix.
+ *
+ * Paper shapes to reproduce: up to 3.59x; per-app geomeans between
+ * 1.21x and 2.62x for OEI apps; cg/bgs (producer-consumer only)
+ * between 0.75x and 1.20x.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Figure 14: speedup over the idealized sparse "
+                "accelerator",
+                "paper: up to 3.59x; OEI-app geomeans 1.21-2.62x; "
+                "cg/bgs 0.75-1.20x");
+
+    RunConfig cfg;
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const std::string &d : allDatasets())
+        header.push_back(d);
+    header.push_back("geomean");
+    table.addRow(header);
+
+    std::vector<double> all, oei_geo;
+    double best = 0.0;
+    std::string best_case;
+    for (const std::string &app : allApps()) {
+        std::vector<std::string> row = {app};
+        std::vector<double> speedups;
+        for (const std::string &dataset : allDatasets()) {
+            CaseResult r = runCase(app, dataset, cfg);
+            double s = r.speedupVsIdeal();
+            speedups.push_back(s);
+            all.push_back(s);
+            if (s > best) {
+                best = s;
+                best_case = app + "-" + dataset;
+            }
+            row.push_back(TextTable::num(s, 2));
+        }
+        double geo = geomean(speedups);
+        row.push_back(TextTable::num(geo, 2));
+        table.addRow(row);
+        if (app != "cg" && app != "bgs")
+            oei_geo.push_back(geo);
+    }
+    table.print();
+
+    std::printf("\nbest case             : %s at %.2fx "
+                "(paper: up to 3.59x)\n",
+                best_case.c_str(), best);
+    std::printf("geomean, all cases    : %.2fx (paper headline: "
+                "1.77x)\n", geomean(all));
+    std::printf("OEI-app geomean range : %.2fx .. %.2fx (paper: "
+                "1.21x .. 2.62x)\n",
+                minOf(oei_geo), maxOf(oei_geo));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Figure 17: speedup of Sparsepipe (iso-GPU) over the
+ * GPU STA frameworks (GraphBLAST / Gunrock on an RTX 4070) for the
+ * four graph algorithms the paper selects: bfs, kcore, pr, sssp.
+ *
+ * Paper shape: geometric mean 4.65x across all matrices.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Figure 17: speedup over GPU frameworks "
+                "(bfs / kcore / pr / sssp)",
+                "paper: geomean 4.65x across all matrices");
+
+    const std::vector<std::string> apps = {"bfs", "kcore", "pr",
+                                           "sssp"};
+    RunConfig cfg;
+
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const std::string &d : allDatasets())
+        header.push_back(d);
+    header.push_back("geomean");
+    table.addRow(header);
+
+    std::vector<double> all;
+    for (const std::string &app : apps) {
+        std::vector<std::string> row = {app};
+        std::vector<double> speedups;
+        for (const std::string &dataset : allDatasets()) {
+            CaseResult r = runCase(app, dataset, cfg);
+            speedups.push_back(r.speedupVsGpu());
+            all.push_back(r.speedupVsGpu());
+            row.push_back(TextTable::num(r.speedupVsGpu(), 2));
+        }
+        row.push_back(TextTable::num(geomean(speedups), 2));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\noverall geomean: %.2fx (paper: 4.65x)\n",
+                geomean(all));
+    return 0;
+}

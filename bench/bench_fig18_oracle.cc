@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Figure 18: Sparsepipe's performance as a fraction of an
+ * oracle accelerator with perfect inter-operator reuse and an
+ * unbounded effective buffer (the matrix is streamed exactly once
+ * per run).
+ *
+ * Paper shape: Sparsepipe reaches 66.78% of the oracle on average
+ * while holding only a small fraction of the matrix on chip.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Figure 18: fraction of oracle-accelerator "
+                "performance",
+                "paper: 66.78% on average");
+
+    RunConfig cfg;
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const std::string &d : allDatasets())
+        header.push_back(d);
+    header.push_back("mean %");
+    table.addRow(header);
+
+    std::vector<double> all;
+    for (const std::string &app : allApps()) {
+        std::vector<std::string> row = {app};
+        std::vector<double> fractions;
+        for (const std::string &dataset : allDatasets()) {
+            CaseResult r = runCase(app, dataset, cfg);
+            double f = 100.0 * r.fractionOfOracle();
+            fractions.push_back(f);
+            all.push_back(f);
+            row.push_back(TextTable::num(f, 0));
+        }
+        row.push_back(TextTable::num(mean(fractions), 1));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\naverage across all cases: %.2f%% of oracle "
+                "(paper: 66.78%%)\n", mean(all));
+    return 0;
+}

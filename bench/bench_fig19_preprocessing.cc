@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Figure 19: sensitivity of Sparsepipe to the sparse
+ * tensor preprocessing (Section IV-E): no optimization, blocked
+ * format only, row reorder only, and both.
+ *
+ * Paper shapes: even unoptimized Sparsepipe beats the ideal
+ * accelerator by ~1.37x; blocking adds up to 1.12x; reorder alone
+ * 1.01-1.03x; both together 1.05-1.34x over the unoptimized build.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Figure 19: benefit of sparse tensor preprocessing",
+                "paper: no-opt 1.37x over ideal; +blocked <=1.12x; "
+                "+reorder 1.01-1.03x; both 1.05-1.34x");
+
+    struct Variant
+    {
+        const char *name;
+        bool blocked;
+        ReorderKind reorder;
+    };
+    const std::vector<Variant> variants = {
+        {"none", false, ReorderKind::None},
+        {"blocked", true, ReorderKind::None},
+        {"reorder", false, ReorderKind::Vanilla},
+        {"both", true, ReorderKind::Vanilla},
+    };
+    const std::vector<std::string> apps = {"pr", "sssp", "kcore",
+                                           "bfs"};
+
+    TextTable table;
+    table.addRow({"app", "none vs ideal", "+blocked", "+reorder",
+                  "both", "(x over no-opt)"});
+
+    std::vector<double> none_vs_ideal;
+    std::vector<std::vector<double>> gains(variants.size());
+    for (const std::string &app : apps) {
+        std::vector<double> geo(variants.size());
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            RunConfig cfg;
+            cfg.blocked = variants[v].blocked;
+            cfg.reorder = variants[v].reorder;
+            std::vector<double> secs, ideal_ratio;
+            for (const std::string &dataset : allDatasets()) {
+                CaseResult r = runCase(app, dataset, cfg);
+                secs.push_back(r.spSeconds());
+                ideal_ratio.push_back(r.speedupVsIdeal());
+            }
+            geo[v] = geomean(secs);
+            if (v == 0)
+                none_vs_ideal.push_back(geomean(ideal_ratio));
+        }
+        std::vector<std::string> row = {app,
+            TextTable::num(none_vs_ideal.back(), 2)};
+        for (std::size_t v = 1; v < variants.size(); ++v) {
+            double gain = geo[0] / geo[v];
+            gains[v].push_back(gain);
+            row.push_back(TextTable::num(gain, 3));
+        }
+        row.push_back("");
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nno-opt Sparsepipe vs ideal accel (geomean): "
+                "%.2fx (paper: 1.37x)\n",
+                geomean(none_vs_ideal));
+    std::printf("blocked-only gain  : %.3fx (paper: up to 1.12x)\n",
+                geomean(gains[1]));
+    std::printf("reorder-only gain  : %.3fx (paper: 1.01-1.03x)\n",
+                geomean(gains[2]));
+    std::printf("both gains         : %.3fx (paper: 1.05-1.34x)\n",
+                geomean(gains[3]));
+    return 0;
+}

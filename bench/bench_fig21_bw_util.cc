@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Figure 21: Sparsepipe's memory-bandwidth utilization,
+ * geometric mean across algorithms and matrices.
+ *
+ * Paper shapes: 82.93% overall; 92.94% when restricted to the
+ * naturally memory-bound applications (excluding gmres and gcn).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::bench;
+
+int
+main()
+{
+    printHeader("Figure 21: Sparsepipe bandwidth utilization",
+                "paper: 82.93% overall, 92.94% for memory-bound "
+                "apps (excl. gmres, gcn)");
+
+    RunConfig cfg;
+    TextTable table;
+    table.addRow({"app", "geomean util %", "min %", "max %"});
+
+    std::vector<double> all, memory_bound;
+    for (const std::string &app : allApps()) {
+        std::vector<double> utils;
+        for (const std::string &dataset : allDatasets()) {
+            CaseResult r = runCase(app, dataset, cfg);
+            utils.push_back(100.0 * r.sp.bw_utilization);
+        }
+        double geo = geomean(utils);
+        all.push_back(geo);
+        if (app != "gmres" && app != "gcn")
+            memory_bound.push_back(geo);
+        table.addRow({app, TextTable::num(geo, 1),
+                      TextTable::num(minOf(utils), 1),
+                      TextTable::num(maxOf(utils), 1)});
+    }
+    table.print();
+
+    std::printf("\noverall geomean        : %.2f%% (paper: "
+                "82.93%%)\n", geomean(all));
+    std::printf("memory-bound apps only : %.2f%% (paper: "
+                "92.94%%)\n", geomean(memory_bound));
+    return 0;
+}

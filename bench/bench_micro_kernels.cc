@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks for the hot substrate kernels:
+ * format construction / conversion, the functional vxm under each
+ * semiring, the fused-pair OEI engine, reorders, and the residency
+ * sweep.  These track the wall-clock health of the simulator itself
+ * (not modelled accelerator performance).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hh"
+#include "core/buckets.hh"
+#include "core/sparsepipe_sim.hh"
+#include "prep/blocked.hh"
+#include "prep/reorder.hh"
+#include "ref/executor.hh"
+#include "sparse/generate.hh"
+#include "util/random.hh"
+
+namespace sparsepipe {
+namespace {
+
+CooMatrix
+benchGraph(Idx n, Idx nnz)
+{
+    Rng rng(0xbe9c);
+    return generateUniform(n, nnz, rng);
+}
+
+void
+BM_CsrFromCoo(benchmark::State &state)
+{
+    CooMatrix coo = benchGraph(state.range(0), state.range(0) * 8);
+    for (auto _ : state) {
+        CsrMatrix csr = CsrMatrix::fromCoo(coo);
+        benchmark::DoNotOptimize(csr.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() * coo.nnz());
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void
+BM_CscFromCsr(benchmark::State &state)
+{
+    CsrMatrix csr =
+        CsrMatrix::fromCoo(benchGraph(state.range(0),
+                                      state.range(0) * 8));
+    for (auto _ : state) {
+        CscMatrix csc = CscMatrix::fromCsr(csr);
+        benchmark::DoNotOptimize(csc.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_CscFromCsr)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void
+BM_VxmSemiring(benchmark::State &state)
+{
+    const Idx n = 4096;
+    auto kind = static_cast<SemiringKind>(state.range(0));
+    ProgramBuilder b("vxm");
+    TensorId a = b.matrix("A", n, n);
+    TensorId x = b.vector("x", n);
+    TensorId y = b.vector("y", n);
+    b.vxm(y, x, a, Semiring(kind));
+    Program p = b.build();
+    Workspace ws(p);
+    ws.bindMatrix(a, CsrMatrix::fromCoo(benchGraph(n, n * 8)));
+    Rng rng(1);
+    for (auto &v : ws.vec(x))
+        v = rng.nextDouble();
+    for (auto _ : state) {
+        RefExecutor::execOp(ws, p.ops()[0]);
+        benchmark::DoNotOptimize(ws.vec(y).data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_VxmSemiring)
+    ->Arg(static_cast<int>(SemiringKind::MulAdd))
+    ->Arg(static_cast<int>(SemiringKind::AndOr))
+    ->Arg(static_cast<int>(SemiringKind::MinAdd));
+
+void
+BM_SparsepipePass(benchmark::State &state)
+{
+    const Idx n = state.range(0);
+    CooMatrix raw = benchGraph(n, n * 8);
+    AppInstance app = makePageRank(n);
+    SparsepipeSim sim(SparsepipeConfig::isoGpu());
+    for (auto _ : state) {
+        SimStats stats = sim.simulateApp(app, raw, 4);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * n * 8 * 4);
+}
+BENCHMARK(BM_SparsepipePass)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_LocalityReorder(benchmark::State &state)
+{
+    CsrMatrix csr =
+        CsrMatrix::fromCoo(benchGraph(state.range(0),
+                                      state.range(0) * 8));
+    for (auto _ : state) {
+        auto perm = localityReorder(csr);
+        benchmark::DoNotOptimize(perm.data());
+    }
+}
+BENCHMARK(BM_LocalityReorder)->Arg(4096)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_VanillaReorder(benchmark::State &state)
+{
+    CsrMatrix csr =
+        CsrMatrix::fromCoo(benchGraph(state.range(0),
+                                      state.range(0) * 8));
+    for (auto _ : state) {
+        auto perm = vanillaReorder(csr);
+        benchmark::DoNotOptimize(perm.data());
+    }
+}
+BENCHMARK(BM_VanillaReorder)->Arg(4096)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ResidencySweep(benchmark::State &state)
+{
+    CooMatrix raw = benchGraph(state.range(0), state.range(0) * 8);
+    CscMatrix csc = CscMatrix::fromCoo(raw);
+    StepBuckets buckets = StepBuckets::build(csc, 64);
+    for (auto _ : state) {
+        ResidencyStats stats = residencySweep(buckets, 2);
+        benchmark::DoNotOptimize(stats.max_resident);
+    }
+}
+BENCHMARK(BM_ResidencySweep)->Arg(8192)->Arg(65536);
+
+void
+BM_BlockedLayout(benchmark::State &state)
+{
+    CsrMatrix csr =
+        CsrMatrix::fromCoo(benchGraph(state.range(0),
+                                      state.range(0) * 8));
+    for (auto _ : state) {
+        BlockedLayout layout = buildBlockedLayout(csr);
+        benchmark::DoNotOptimize(layout.nonzero_blocks);
+    }
+}
+BENCHMARK(BM_BlockedLayout)->Arg(8192)->Arg(65536);
+
+} // namespace
+} // namespace sparsepipe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <map>
+
+#include "prep/blocked.hh"
+#include "util/stats.hh"
+
+namespace sparsepipe::bench {
+
+const CooMatrix &
+rawDataset(const std::string &name)
+{
+    static std::map<std::string, CooMatrix> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache.emplace(name,
+                           generateDataset(datasetSpec(name))).first;
+    }
+    return it->second;
+}
+
+const CooMatrix &
+preparedDataset(const std::string &name, ReorderKind reorder)
+{
+    static std::map<std::pair<std::string, ReorderKind>, CooMatrix>
+        cache;
+    auto key = std::make_pair(name, reorder);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const CooMatrix &raw = rawDataset(name);
+        if (reorder == ReorderKind::None) {
+            it = cache.emplace(key, raw).first;
+        } else {
+            CsrMatrix csr = CsrMatrix::fromCoo(raw);
+            auto perm = makeReorder(reorder, csr);
+            it = cache.emplace(key,
+                               applySymmetricPermutation(raw, perm))
+                     .first;
+        }
+    }
+    return it->second;
+}
+
+CaseResult
+runCase(const std::string &app_name, const std::string &dataset,
+        const RunConfig &config)
+{
+    CaseResult result;
+    result.app = app_name;
+    result.dataset = dataset;
+
+    const CooMatrix &raw = preparedDataset(dataset, config.reorder);
+    AppInstance app = makeApp(app_name, raw.rows());
+    CsrMatrix prepared = app.prepare(raw);
+    result.nnz = prepared.nnz();
+
+    SparsepipeConfig sp_cfg = config.sp;
+    if (config.blocked) {
+        BlockedLayout layout = buildBlockedLayout(prepared);
+        sp_cfg.bytes_per_nz = layout.bytesPerNonzero();
+    } else {
+        sp_cfg.bytes_per_nz = 12.0;
+    }
+
+    SparsepipeSim sim(sp_cfg);
+    result.sp = sim.simulateApp(app, raw, config.iters);
+
+    // Baselines are charged for the iterations the simulated run
+    // actually executed (apps with convergence conditions stop
+    // early on some matrices).
+    const Idx iters = result.sp.iterations;
+    Analysis an = analyzeProgram(app.program);
+    AccelConfig accel;
+    accel.bandwidth_gb_s = sp_cfg.dram.bandwidth_gb_s;
+    accel.pes = sp_cfg.pe_per_core;
+    result.ideal = idealAccelerator(an, result.nnz, iters, accel);
+    AccelConfig strict = accel;
+    strict.fused_ewise = false;
+    result.ideal_strict =
+        idealAccelerator(an, result.nnz, iters, strict);
+    result.oracle = oracleAccelerator(an, result.nnz, iters, accel);
+    result.cpu = cpuModel(an, result.nnz, iters);
+    result.gpu = gpuModel(an, result.nnz, iters);
+    return result;
+}
+
+std::vector<std::string>
+allDatasets()
+{
+    std::vector<std::string> names;
+    for (const DatasetSpec &spec : datasetSpecs())
+        names.push_back(spec.name);
+    return names;
+}
+
+std::vector<std::string>
+allApps()
+{
+    std::vector<std::string> names;
+    for (const AppInfo &info : appInfos())
+        names.push_back(info.name);
+    return names;
+}
+
+std::string
+sparkline(const std::vector<double> &series)
+{
+    static const char *levels[] = {" ", ".", ":", "-", "=", "+",
+                                   "*", "#"};
+    std::string out;
+    for (double v : series) {
+        int idx = static_cast<int>(v * 7.999);
+        idx = std::max(0, std::min(7, idx));
+        out += levels[idx];
+    }
+    return out;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper)
+{
+    std::printf("\n==============================================="
+                "=================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper reference: %s\n", paper.c_str());
+    std::printf("================================================"
+                "================\n");
+}
+
+} // namespace sparsepipe::bench

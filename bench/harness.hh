@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation (Section VI) on the scaled stand-in datasets.  The
+ * harness caches dataset generation and preprocessing, runs the
+ * Sparsepipe simulator plus the four comparison models, and provides
+ * the common printing helpers so all benches emit uniform,
+ * diff-friendly tables.
+ */
+
+#ifndef SPARSEPIPE_BENCH_HARNESS_HH
+#define SPARSEPIPE_BENCH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hh"
+#include "baseline/models.hh"
+#include "core/sparsepipe_sim.hh"
+#include "prep/reorder.hh"
+#include "sparse/datasets.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace sparsepipe::bench {
+
+/** Per-case run configuration. */
+struct RunConfig
+{
+    SparsepipeConfig sp = SparsepipeConfig::isoGpu();
+    /** 0 uses the app's default iteration count. */
+    Idx iters = 0;
+    ReorderKind reorder = ReorderKind::Vanilla;
+    bool blocked = true;
+    std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/** Everything measured for one (app, dataset) pair. */
+struct CaseResult
+{
+    std::string app;
+    std::string dataset;
+    Idx nnz = 0;
+
+    SimStats sp;
+    BaselineStats ideal;
+    /** Strict operator-at-a-time baseline (energy accounting). */
+    BaselineStats ideal_strict;
+    BaselineStats oracle;
+    BaselineStats cpu;
+    BaselineStats gpu;
+
+    double spSeconds() const { return sp.seconds(); }
+    double speedupVsIdeal() const { return ideal.seconds / spSeconds(); }
+    double speedupVsCpu() const { return cpu.seconds / spSeconds(); }
+    double speedupVsGpu() const { return gpu.seconds / spSeconds(); }
+    double fractionOfOracle() const
+    {
+        return oracle.seconds / spSeconds();
+    }
+};
+
+/** Raw stand-in dataset, cached per process. */
+const CooMatrix &rawDataset(const std::string &name);
+
+/**
+ * Dataset after symmetric row reordering (cached per
+ * (name, reorder)).
+ */
+const CooMatrix &preparedDataset(const std::string &name,
+                                 ReorderKind reorder);
+
+/** Run one (app, dataset) case under a configuration. */
+CaseResult runCase(const std::string &app, const std::string &dataset,
+                   const RunConfig &config);
+
+/** All dataset keys in Table I order. */
+std::vector<std::string> allDatasets();
+
+/** All application keys in Table III order. */
+std::vector<std::string> allApps();
+
+/** Geomean helper over a metric extracted from case results. */
+template <typename Fn>
+double
+geomeanOf(const std::vector<CaseResult> &cases, Fn metric)
+{
+    std::vector<double> values;
+    values.reserve(cases.size());
+    for (const CaseResult &c : cases)
+        values.push_back(metric(c));
+    return geomean(values);
+}
+
+/** Render a 25-sample utilization series as a sparkline row. */
+std::string sparkline(const std::vector<double> &series);
+
+/** Standard bench header. */
+void printHeader(const std::string &title, const std::string &paper);
+
+} // namespace sparsepipe::bench
+
+#endif // SPARSEPIPE_BENCH_HARNESS_HH

@@ -1,0 +1,72 @@
+#include "apps/apps.hh"
+
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+Idx
+resolveSource(const CsrMatrix &matrix, Idx source)
+{
+    if (source >= 0)
+        return source;
+    Idx best = 0, best_deg = -1;
+    for (Idx r = 0; r < matrix.rows(); ++r) {
+        if (matrix.rowNnz(r) > best_deg) {
+            best_deg = matrix.rowNnz(r);
+            best = r;
+        }
+    }
+    return best;
+}
+
+CsrMatrix
+prepareBoolean(CooMatrix m)
+{
+    for (Triplet &t : m.entries())
+        t.val = 1.0;
+    return CsrMatrix::fromCoo(std::move(m));
+}
+
+CsrMatrix
+prepareStochastic(CooMatrix m)
+{
+    return CsrMatrix::fromCoo(rowStochastic(std::move(m)));
+}
+
+CsrMatrix
+prepareWeighted(CooMatrix m)
+{
+    for (Triplet &t : m.entries()) {
+        if (t.val <= 0.0)
+            t.val = 0.1;
+    }
+    return CsrMatrix::fromCoo(std::move(m));
+}
+
+CsrMatrix
+prepareSpd(CooMatrix m)
+{
+    if (m.rows() != m.cols())
+        sp_fatal("prepareSpd: matrix must be square");
+    // Symmetrise: B = (A + A^T) / 2 on the stored pattern.
+    CooMatrix sym(m.rows(), m.cols());
+    for (const Triplet &t : m.entries()) {
+        if (t.row == t.col)
+            continue;
+        Value half = 0.5 * t.val;
+        sym.add(t.row, t.col, half);
+        sym.add(t.col, t.row, half);
+    }
+    sym.canonicalize();
+    // Diagonal dominance: a_ii = 1 + sum_j |a_ij|.
+    std::vector<Value> row_abs(static_cast<std::size_t>(m.rows()), 0.0);
+    for (const Triplet &t : sym.entries())
+        row_abs[static_cast<std::size_t>(t.row)] += std::abs(t.val);
+    for (Idx r = 0; r < m.rows(); ++r)
+        sym.add(r, r, 1.0 + row_abs[static_cast<std::size_t>(r)]);
+    sym.canonicalize();
+    return CsrMatrix::fromCoo(std::move(sym));
+}
+
+} // namespace sparsepipe

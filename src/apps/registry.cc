@@ -1,0 +1,44 @@
+#include "apps/apps.hh"
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+const std::vector<AppInfo> &
+appInfos()
+{
+    static const std::vector<AppInfo> infos = {
+        {"pr",    "mul-add",  "graph analytics",  true},
+        {"kcore", "mul-add",  "graph analytics",  true},
+        {"bfs",   "and-or",   "graph analytics",  true},
+        {"sssp",  "min-add",  "graph analytics",  true},
+        {"kpp",   "aril-add", "clustering",       true},
+        {"knn",   "and-or",   "clustering",       true},
+        {"label", "mul-add",  "clustering",       true},
+        {"gcn",   "mul-add",  "machine learning", true},
+        {"gmres", "mul-add",  "machine learning", true},
+        {"cg",    "mul-add",  "solver / HPC",     false},
+        {"bgs",   "mul-add",  "solver / HPC",     false},
+    };
+    return infos;
+}
+
+AppInstance
+makeApp(const std::string &name, Idx n)
+{
+    if (name == "pr")    return makePageRank(n);
+    if (name == "kcore") return makeKcore(n);
+    if (name == "bfs")   return makeBfs(n);
+    if (name == "sssp")  return makeSssp(n);
+    if (name == "kpp")   return makeKpp(n);
+    if (name == "knn")   return makeKnn(n);
+    if (name == "label") return makeLabelProp(n);
+    if (name == "gcn")   return makeGcn(n);
+    if (name == "gmres") return makeGmres(n);
+    if (name == "cg")    return makeCg(n);
+    if (name == "bgs")   return makeBgs(n);
+    sp_fatal("makeApp: unknown application '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,175 @@
+#include "buffer/dual_buffer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+DualBufferModel::DualBufferModel(Idx capacity_bytes, Idx bytes_per_elem,
+                                 Idx bands, double repack_threshold)
+    : capacity_elems_(capacity_bytes / std::max<Idx>(1, bytes_per_elem)),
+      bands_(bands),
+      repack_limit_(static_cast<Idx>(
+          repack_threshold * static_cast<double>(capacity_elems_))),
+      band_elems_(static_cast<std::size_t>(bands), 0),
+      band_evicted_(static_cast<std::size_t>(bands), 0)
+{
+    if (capacity_bytes <= 0 || bytes_per_elem <= 0 || bands <= 0)
+        sp_fatal("DualBufferModel: invalid configuration");
+}
+
+void
+DualBufferModel::maybeRepack(bool force)
+{
+    if (consumed_pending_ == 0)
+        return;
+    if (!force && consumed_pending_ < repack_limit_)
+        return;
+    // Compaction moves roughly as much live data as the space it
+    // reclaims (survivors slide down over the freed gaps).
+    stats_.sram_reads_elems += consumed_pending_;
+    stats_.sram_writes_elems += consumed_pending_;
+    occupancy_ -= consumed_pending_;
+    consumed_pending_ = 0;
+    ++stats_.repacks;
+}
+
+Idx
+DualBufferModel::evictForSpace(Idx needed, Idx protect_band)
+{
+    Idx freed = 0;
+    for (Idx band = bands_ - 1; band > protect_band && freed < needed;
+         --band) {
+        auto idx = static_cast<std::size_t>(band);
+        if (band_elems_[idx] == 0)
+            continue;
+        Idx take = std::min(band_elems_[idx], needed - freed);
+        band_elems_[idx] -= take;
+        band_evicted_[idx] += take;
+        occupancy_ -= take;
+        freed += take;
+        stats_.evicted_elems += take;
+    }
+    return freed;
+}
+
+Idx
+DualBufferModel::admit(Idx elems, Idx band_being_filled)
+{
+    Idx free_space = capacity_elems_ - occupancy_;
+    if (free_space < elems)
+        maybeRepack(true);
+    free_space = capacity_elems_ - occupancy_;
+    if (free_space < elems) {
+        evictForSpace(elems - free_space, band_being_filled);
+        free_space = capacity_elems_ - occupancy_;
+    }
+    return std::min(elems, std::max<Idx>(0, free_space));
+}
+
+Idx
+DualBufferModel::loadCscSlice(Idx elems)
+{
+    // The CSC slice lives below the current IS frontier, so nothing
+    // is protected from eviction on its behalf except in-flight
+    // bands; protect the band currently being consumed.
+    Idx admitted = admit(elems, next_consume_band_);
+    csc_elems_ += admitted;
+    occupancy_ += admitted;
+    stats_.peak_elems = std::max(stats_.peak_elems, occupancy_);
+    stats_.sram_writes_elems += admitted;
+    return admitted;
+}
+
+void
+DualBufferModel::releaseCscSlice(Idx elems)
+{
+    if (elems > csc_elems_)
+        sp_panic("DualBufferModel: releasing more CSC data than held");
+    csc_elems_ -= elems;
+    occupancy_ -= elems;
+    stats_.sram_reads_elems += elems;
+}
+
+Idx
+DualBufferModel::addRowElems(Idx band, Idx elems)
+{
+    if (band < 0 || band >= bands_)
+        sp_panic("DualBufferModel: band %lld out of range",
+                 static_cast<long long>(band));
+    if (band < next_consume_band_) {
+        // Rows already consumed by the IS core flow straight through
+        // (scatter-multiply on arrival); no retention needed.
+        return elems;
+    }
+    Idx admitted = admit(elems, band);
+    band_elems_[static_cast<std::size_t>(band)] += admitted;
+    occupancy_ += admitted;
+    stats_.peak_elems = std::max(stats_.peak_elems, occupancy_);
+    stats_.sram_writes_elems += admitted;
+    if (admitted < elems) {
+        // Whatever could not be retained is an implicit eviction.
+        band_evicted_[static_cast<std::size_t>(band)] +=
+            elems - admitted;
+        stats_.evicted_elems += elems - admitted;
+    }
+    return admitted;
+}
+
+Idx
+DualBufferModel::consumeBand(Idx band)
+{
+    if (band < 0 || band >= bands_)
+        sp_panic("DualBufferModel: band %lld out of range",
+                 static_cast<long long>(band));
+    auto idx = static_cast<std::size_t>(band);
+    Idx had = band_elems_[idx];
+    band_elems_[idx] = 0;
+    consumed_pending_ += had;
+    stats_.sram_reads_elems += had;
+    next_consume_band_ = std::max(next_consume_band_, band + 1);
+    maybeRepack(false);
+    return had;
+}
+
+Idx
+DualBufferModel::takeEvicted(Idx band)
+{
+    auto idx = static_cast<std::size_t>(band);
+    Idx evicted = band_evicted_[idx];
+    band_evicted_[idx] = 0;
+    return evicted;
+}
+
+void
+DualBufferModel::returnEvicted(Idx band, Idx elems)
+{
+    band_evicted_[static_cast<std::size_t>(band)] += elems;
+}
+
+Idx
+DualBufferModel::addPrefetch(Idx elems)
+{
+    maybeRepack(false);
+    Idx free_space = capacity_elems_ - occupancy_;
+    Idx admitted = std::min(elems, std::max<Idx>(0, free_space));
+    prefetch_elems_ += admitted;
+    occupancy_ += admitted;
+    stats_.peak_elems = std::max(stats_.peak_elems, occupancy_);
+    stats_.sram_writes_elems += admitted;
+    return admitted;
+}
+
+void
+DualBufferModel::releasePrefetch(Idx elems)
+{
+    if (elems > prefetch_elems_)
+        sp_panic("DualBufferModel: releasing more prefetch data "
+                 "than held");
+    prefetch_elems_ -= elems;
+    occupancy_ -= elems;
+    stats_.sram_reads_elems += elems;
+}
+
+} // namespace sparsepipe

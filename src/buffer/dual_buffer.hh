@@ -1,0 +1,153 @@
+/**
+ * @file
+ * On-chip dual sparse storage model (paper Section IV-B, IV-D3).
+ *
+ * The buffer holds two spaces over one capacity budget:
+ *  - CSC space: the column sub-tensor the OS core is consuming plus
+ *    the one the CSC loader is fetching.  Columns are evicted as a
+ *    whole immediately after the OS core processes them.
+ *  - CSR space: row data produced by the col->row converter (or
+ *    eagerly fetched by the CSR loader), organised in row *bands*
+ *    (sub-tensor-sized groups of consecutive rows).  The IS core
+ *    consumes a band once its e-wise inputs become available.
+ *
+ * Consumed elements free their space lazily: a repacking pass
+ * reclaims them once the consumed fraction passes a threshold,
+ * modelling the paper's buffer-repacking mechanism.  Under
+ * out-of-memory pressure the model evicts the highest row bands
+ * first (they are consumed last under the OEI schedule); evicted
+ * elements must be reloaded by the CSR loader when their band
+ * unlocks, which is the "memory ping-ponging" the paper observes on
+ * skewed matrices like wi.
+ */
+
+#ifndef SPARSEPIPE_BUFFER_DUAL_BUFFER_HH
+#define SPARSEPIPE_BUFFER_DUAL_BUFFER_HH
+
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/** Aggregate statistics of a buffer lifetime. */
+struct BufferStats
+{
+    Idx peak_elems = 0;
+    Idx evicted_elems = 0;
+    Idx repacks = 0;
+    Idx sram_reads_elems = 0;
+    Idx sram_writes_elems = 0;
+};
+
+/**
+ * Element-granular occupancy model of the dual sparse storage.
+ */
+class DualBufferModel
+{
+  public:
+    /**
+     * @param capacity_bytes total on-chip buffer size
+     * @param bytes_per_elem storage cost of one non-zero (smaller
+     *                       under the blocked format)
+     * @param bands          number of row bands (matrix rows / T)
+     * @param repack_threshold fraction of capacity that may sit
+     *                       consumed-but-unreclaimed before a repack
+     */
+    DualBufferModel(Idx capacity_bytes, Idx bytes_per_elem,
+                    Idx bands, double repack_threshold = 0.125);
+
+    /** Total element capacity. */
+    Idx capacityElems() const { return capacity_elems_; }
+
+    /**
+     * Bring a CSC column sub-tensor on chip (reserve + fill).
+     * Triggers repack/eviction as needed; elements that could not be
+     * made to fit are dropped (the OS core then consumes them
+     * directly from the stream without retention).
+     * @return elements actually retained
+     */
+    Idx loadCscSlice(Idx elems);
+
+    /** OS core finished the slice: CSC copy is evicted. */
+    void releaseCscSlice(Idx elems);
+
+    /**
+     * Converted row data enters the CSR space for `band`.
+     * @return elements retained (rest dropped under OOM; they will
+     *         need a CSR reload later)
+     */
+    Idx addRowElems(Idx band, Idx elems);
+
+    /**
+     * IS core consumed a whole band; space is reclaimed lazily via
+     * repacking.  @return elements that were resident.
+     */
+    Idx consumeBand(Idx band);
+
+    /** Elements currently resident for a band. */
+    Idx bandElems(Idx band) const
+    {
+        return band_elems_[static_cast<std::size_t>(band)];
+    }
+
+    /** Elements dropped/evicted from a band needing reload. */
+    Idx bandEvicted(Idx band) const
+    {
+        return band_evicted_[static_cast<std::size_t>(band)];
+    }
+
+    /** Claim a band's evicted count (reload accounted by caller). */
+    Idx takeEvicted(Idx band);
+
+    /** Return part of a claimed eviction (reload did not happen). */
+    void returnEvicted(Idx band, Idx elems);
+
+    /**
+     * Admit eagerly loaded CSR data (Fig. 9): row elements from
+     * future column steps whose bands already unlocked.  They are
+     * IS-consumed on arrival but retained until the OS core reaches
+     * their column step.  Never evicts resident data.
+     * @return elements admitted (caller caps demand by bandwidth)
+     */
+    Idx addPrefetch(Idx elems);
+
+    /** OS core consumed prefetched elements of its column step. */
+    void releasePrefetch(Idx elems);
+
+    /** Elements currently held for future OS reuse. */
+    Idx prefetchElems() const { return prefetch_elems_; }
+
+    Idx occupancyElems() const { return occupancy_; }
+
+    const BufferStats &stats() const { return stats_; }
+    BufferStats &stats() { return stats_; }
+
+  private:
+    /** Reclaim consumed space if past the threshold or forced. */
+    void maybeRepack(bool force);
+
+    /** Evict from the highest-index bands above `protect_band`. */
+    Idx evictForSpace(Idx needed, Idx protect_band);
+
+    /** Space check used by the load paths. */
+    Idx admit(Idx elems, Idx band_being_filled);
+
+    Idx capacity_elems_;
+    Idx bands_;
+    Idx repack_limit_;
+
+    Idx occupancy_ = 0;      ///< resident + consumed-unreclaimed
+    Idx consumed_pending_ = 0;
+    Idx csc_elems_ = 0;
+    Idx prefetch_elems_ = 0;
+    Idx next_consume_band_ = 0;
+    std::vector<Idx> band_elems_;
+    std::vector<Idx> band_evicted_;
+
+    BufferStats stats_;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_BUFFER_DUAL_BUFFER_HH

@@ -1,0 +1,47 @@
+#include "core/autotune.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+AutotuneResult
+autotuneSubTensor(const AppInstance &app, const CooMatrix &raw,
+                  SparsepipeConfig config,
+                  std::vector<Idx> candidates, Idx pilot_iters)
+{
+    if (pilot_iters < 2)
+        sp_fatal("autotuneSubTensor: pilot needs >= 2 iterations");
+
+    CsrMatrix prepared = app.prepare(raw);
+    if (candidates.empty()) {
+        // Power-of-two ladder spanning 1/8x .. 8x of the static
+        // heuristic.
+        const Idx pivot =
+            config.resolveSubTensor(prepared.cols(), prepared.nnz());
+        for (Idx t = std::max<Idx>(16, pivot / 8);
+             t <= pivot * 8 && t <= prepared.cols(); t *= 2) {
+            candidates.push_back(t);
+        }
+        if (candidates.empty())
+            candidates.push_back(pivot);
+    }
+
+    AutotuneResult result;
+    Tick best_cycles = 0;
+    for (Idx t : candidates) {
+        SparsepipeConfig probe = config;
+        probe.sub_tensor_cols = t;
+        SparsepipeSim sim(probe);
+        SimStats stats = sim.simulateApp(app, raw, pilot_iters);
+        result.probes.push_back({t, stats.cycles});
+        if (result.best == 0 || stats.cycles < best_cycles) {
+            result.best = t;
+            best_cycles = stats.cycles;
+        }
+    }
+    return result;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sub-tensor size exploration (paper Section IV-F: "Sparsepipe can
+ * either operate on a fixed sub-tensor size for an already optimized
+ * configuration or explore the optimal sub-tensor size in the
+ * initial steps of the OEI dataflow").
+ *
+ * The tuner probes a ladder of candidate sub-tensor widths with a
+ * short pilot run each and returns the fastest.  Probe cost is a few
+ * iterations per candidate, which is exactly the "initial steps"
+ * budget the paper describes.
+ */
+
+#ifndef SPARSEPIPE_CORE_AUTOTUNE_HH
+#define SPARSEPIPE_CORE_AUTOTUNE_HH
+
+#include <vector>
+
+#include "apps/apps.hh"
+#include "core/sparsepipe_sim.hh"
+
+namespace sparsepipe {
+
+/** One probed configuration. */
+struct TunePoint
+{
+    Idx sub_tensor_cols = 0;
+    Tick cycles = 0;
+};
+
+/** Outcome of a sub-tensor exploration. */
+struct AutotuneResult
+{
+    /** Winning sub-tensor width. */
+    Idx best = 0;
+    /** All probed points in probe order. */
+    std::vector<TunePoint> probes;
+};
+
+/**
+ * Probe candidate sub-tensor widths for (app, matrix) under `config`
+ * and return the fastest.
+ *
+ * @param candidates  explicit widths; empty derives a power-of-two
+ *                    ladder around the static heuristic
+ * @param pilot_iters iterations per probe (>= 2 so a full fused
+ *                    pass is exercised)
+ */
+AutotuneResult autotuneSubTensor(
+    const AppInstance &app, const CooMatrix &raw,
+    SparsepipeConfig config,
+    std::vector<Idx> candidates = {}, Idx pilot_iters = 4);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_AUTOTUNE_HH

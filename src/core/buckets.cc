@@ -1,0 +1,130 @@
+#include "core/buckets.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+StepBuckets
+StepBuckets::build(const CscMatrix &matrix, Idx t)
+{
+    if (t <= 0)
+        sp_fatal("StepBuckets: sub-tensor size must be positive");
+    StepBuckets b;
+    b.t_ = t;
+    b.steps_ = (matrix.cols() + t - 1) / t;
+    b.bands_ = (matrix.rows() + t - 1) / t;
+    b.nnz_ = matrix.nnz();
+    b.counts_.assign(static_cast<std::size_t>(b.steps_) *
+                     static_cast<std::size_t>(b.bands_), 0);
+    b.col_step_nnz_.assign(static_cast<std::size_t>(b.steps_), 0);
+    b.band_nnz_.assign(static_cast<std::size_t>(b.bands_), 0);
+
+    for (Idx c = 0; c < matrix.cols(); ++c) {
+        const Idx cs = c / t;
+        for (Idx r : matrix.colRows(c)) {
+            const Idx rs = r / t;
+            ++b.counts_[b.index(cs, rs)];
+            ++b.col_step_nnz_[static_cast<std::size_t>(cs)];
+            ++b.band_nnz_[static_cast<std::size_t>(rs)];
+        }
+    }
+
+    // Per-band prefix over column steps: band_prefix_[cs][rs] =
+    // sum_{cs' <= cs} counts[cs'][rs], laid out like counts_.
+    b.band_prefix_.assign(b.counts_.size(), 0);
+    for (Idx cs = 0; cs < b.steps_; ++cs) {
+        for (Idx rs = 0; rs < b.bands_; ++rs) {
+            Idx prev = cs > 0 ? b.band_prefix_[b.index(cs - 1, rs)] : 0;
+            b.band_prefix_[b.index(cs, rs)] =
+                prev + b.counts_[b.index(cs, rs)];
+        }
+    }
+    return b;
+}
+
+StepBuckets
+StepBuckets::buildTransposed(const CsrMatrix &matrix, Idx t)
+{
+    if (t <= 0)
+        sp_fatal("StepBuckets: sub-tensor size must be positive");
+    StepBuckets b;
+    b.t_ = t;
+    b.steps_ = (matrix.rows() + t - 1) / t;
+    b.bands_ = (matrix.cols() + t - 1) / t;
+    b.nnz_ = matrix.nnz();
+    b.counts_.assign(static_cast<std::size_t>(b.steps_) *
+                     static_cast<std::size_t>(b.bands_), 0);
+    b.col_step_nnz_.assign(static_cast<std::size_t>(b.steps_), 0);
+    b.band_nnz_.assign(static_cast<std::size_t>(b.bands_), 0);
+
+    for (Idx r = 0; r < matrix.rows(); ++r) {
+        const Idx cs = r / t;
+        for (Idx c : matrix.rowCols(r)) {
+            const Idx rs = c / t;
+            ++b.counts_[b.index(cs, rs)];
+            ++b.col_step_nnz_[static_cast<std::size_t>(cs)];
+            ++b.band_nnz_[static_cast<std::size_t>(rs)];
+        }
+    }
+    b.band_prefix_.assign(b.counts_.size(), 0);
+    for (Idx cs = 0; cs < b.steps_; ++cs) {
+        for (Idx rs = 0; rs < b.bands_; ++rs) {
+            Idx prev = cs > 0 ? b.band_prefix_[b.index(cs - 1, rs)] : 0;
+            b.band_prefix_[b.index(cs, rs)] =
+                prev + b.counts_[b.index(cs, rs)];
+        }
+    }
+    return b;
+}
+
+Idx
+StepBuckets::bandLoadedThrough(Idx cs, Idx rs) const
+{
+    if (cs < 0)
+        return 0;
+    cs = std::min(cs, steps_ - 1);
+    return band_prefix_[index(cs, rs)];
+}
+
+double
+ResidencyStats::maxPercent(Idx nnz) const
+{
+    if (nnz == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(max_resident) /
+           static_cast<double>(nnz);
+}
+
+double
+ResidencyStats::avgPercent(Idx nnz) const
+{
+    if (nnz == 0)
+        return 0.0;
+    return 100.0 * avg_resident / static_cast<double>(nnz);
+}
+
+ResidencyStats
+residencySweep(const StepBuckets &buckets, Idx lag)
+{
+    ResidencyStats stats;
+    double sum = 0.0;
+    const Idx steps = buckets.steps();
+    const Idx bands = buckets.bands();
+    for (Idx j = 0; j < steps; ++j) {
+        // Elements loaded through step j whose row band has not yet
+        // unlocked (rs > j - lag).
+        Idx resident = 0;
+        const Idx unlocked = j - lag;
+        for (Idx rs = std::max<Idx>(0, unlocked + 1); rs < bands; ++rs)
+            resident += buckets.bandLoadedThrough(j, rs);
+        stats.max_resident = std::max(stats.max_resident, resident);
+        sum += static_cast<double>(resident);
+    }
+    stats.avg_resident = steps > 0
+        ? sum / static_cast<double>(steps) : 0.0;
+    return stats;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sub-tensor bucket decomposition of a sparse operand.
+ *
+ * The OEI pipeline advances in steps of T columns.  A non-zero
+ * A(i, k) is loaded by the CSC loader at column-step k / T and
+ * becomes consumable by the IS core once row-band i / T unlocks
+ * (lag steps after the OS core produced that band's e-wise inputs).
+ * All per-step loader / compute / buffer quantities reduce to the
+ * counts b[col_step][row_band], which this structure precomputes in
+ * one pass over the matrix.
+ */
+
+#ifndef SPARSEPIPE_CORE_BUCKETS_HH
+#define SPARSEPIPE_CORE_BUCKETS_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace sparsepipe {
+
+/** Element counts bucketed by (column step, row band). */
+class StepBuckets
+{
+  public:
+    /**
+     * Bucket a CSC operand: column steps follow storage columns
+     * (the vxm OS traversal order).
+     */
+    static StepBuckets build(const CscMatrix &matrix, Idx t);
+
+    /**
+     * Bucket with roles swapped (SpMM: the OS core streams *rows*
+     * of A and the IS core consumes its columns).
+     */
+    static StepBuckets buildTransposed(const CsrMatrix &matrix, Idx t);
+
+    Idx t() const { return t_; }
+    Idx steps() const { return steps_; }
+    Idx bands() const { return bands_; }
+    Idx nnz() const { return nnz_; }
+
+    /** Elements the CSC loader fetches for column-step cs. */
+    Idx colStepNnz(Idx cs) const
+    {
+        return col_step_nnz_[static_cast<std::size_t>(cs)];
+    }
+
+    /** Elements in (column-step cs, row-band rs). */
+    Idx count(Idx cs, Idx rs) const
+    {
+        return counts_[index(cs, rs)];
+    }
+
+    /** Total elements in row-band rs across all column steps. */
+    Idx bandNnz(Idx rs) const
+    {
+        return band_nnz_[static_cast<std::size_t>(rs)];
+    }
+
+    /**
+     * Elements of band rs in column steps <= cs (what is on chip
+     * for that band once the OS frontier reaches cs, absent
+     * eviction).
+     */
+    Idx bandLoadedThrough(Idx cs, Idx rs) const;
+
+  private:
+    std::size_t index(Idx cs, Idx rs) const
+    {
+        return static_cast<std::size_t>(cs) *
+               static_cast<std::size_t>(bands_) +
+               static_cast<std::size_t>(rs);
+    }
+
+    Idx t_ = 0;
+    Idx steps_ = 0;
+    Idx bands_ = 0;
+    Idx nnz_ = 0;
+    std::vector<Idx> counts_;        ///< dense steps x bands grid
+    std::vector<Idx> col_step_nnz_;
+    std::vector<Idx> band_nnz_;
+    /** Per-band prefix over column steps (for residency queries). */
+    std::vector<Idx> band_prefix_;
+};
+
+/**
+ * Residency sweep (paper Table I): peak and average number of
+ * non-zeros that must sit on chip to run the OEI dataflow with the
+ * given sub-tensor size and pipeline lag, assuming no eviction.
+ */
+struct ResidencyStats
+{
+    Idx max_resident = 0;
+    double avg_resident = 0.0;
+    double maxPercent(Idx nnz) const;
+    double avgPercent(Idx nnz) const;
+};
+
+ResidencyStats residencySweep(const StepBuckets &buckets, Idx lag);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_BUCKETS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sparsepipe hardware configuration.
+ *
+ * Defaults follow Section V of the paper scaled to the synthetic
+ * stand-in datasets: the paper simulates 1024 PEs per compute core
+ * and a 64 MB buffer against matrices up to 1.3 GB; the stand-ins
+ * are ~100x smaller, so the default buffer is scaled to 1 MB to
+ * preserve the buffer-to-footprint ratios that drive the eviction
+ * behaviour (see DESIGN.md).
+ */
+
+#ifndef SPARSEPIPE_CORE_CONFIG_HH
+#define SPARSEPIPE_CORE_CONFIG_HH
+
+#include "mem/dram.hh"
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/** Top-level Sparsepipe configuration. */
+struct SparsepipeConfig
+{
+    /** PEs in each of the OS, E-Wise, and IS cores. */
+    Idx pe_per_core = 1024;
+
+    /** On-chip buffer capacity (dual sparse storage + staging). */
+    Idx buffer_bytes = 3 << 19; // 1.5 MB
+
+    /**
+     * Effective storage bytes per non-zero.  12 for the naive dual
+     * storage (8 B value + 4 B coordinate); the blocked UOP-CP-CP
+     * layout reduces this (set it from BlockedLayout).
+     */
+    double bytes_per_nz = 12.0;
+
+    /** Enable the eager / opportunistic CSR loader (Fig. 9). */
+    bool eager_csr = true;
+
+    /**
+     * Columns per sub-tensor step; 0 chooses automatically so a
+     * pass has roughly 512 steps.
+     */
+    Idx sub_tensor_cols = 0;
+
+    /**
+     * Pipeline depth between the OS stage and the IS stage in
+     * steps: e-wise outputs for step j unlock IS work at j + lag.
+     */
+    Idx lag = 2;
+
+    /** Adder-tree / scatter-network fixed latencies (cycles). */
+    Tick os_tree_latency = 10;
+    Tick is_scatter_latency = 6;
+
+    /** Memory system (Table II; iso-CPU uses ddr4()). */
+    DramConfig dram = DramConfig::gddr6x();
+
+    /** Fraction of free buffer space the prefetcher may claim. */
+    double prefetch_fraction = 0.5;
+
+    /** @return iso-GPU configuration (the paper's default). */
+    static SparsepipeConfig isoGpu()
+    {
+        return SparsepipeConfig{};
+    }
+
+    /** @return iso-CPU configuration (40 GB/s DDR4). */
+    static SparsepipeConfig isoCpu()
+    {
+        SparsepipeConfig cfg;
+        cfg.dram = DramConfig::ddr4();
+        return cfg;
+    }
+
+    /**
+     * Resolve the sub-tensor size for an operand with `cols`
+     * columns and (optionally) `nnz` stored elements.  Aims for
+     * enough steps to pipeline well but enough work per step to
+     * amortize per-step control overhead; nnz = 0 falls back to a
+     * column-count heuristic.
+     */
+    Idx resolveSubTensor(Idx cols, Idx nnz = 0) const;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_CONFIG_HH

@@ -1,0 +1,226 @@
+#include "core/oei_functional.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ref/executor.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+/** One op in the producer->consumer window. */
+struct WindowOp
+{
+    OpNode op;            ///< operands renamed into frame A
+    std::size_t body_idx; ///< loop-body index
+    bool frame_a;         ///< belongs to the producer's iteration
+};
+
+} // anonymous namespace
+
+FusedChain
+buildFusedChain(const Program &program, const VxmPairing &pairing)
+{
+    const auto &ops = program.ops();
+    const OpNode &consumer = ops[pairing.consumer_op];
+
+    // Collect the unrolled window between producer and consumer.
+    // Frame-B (next iteration) operands are renamed through the
+    // carry map so they refer to frame-A values.
+    std::vector<WindowOp> window;
+    std::unordered_map<TensorId, TensorId> rename;
+
+    auto resolve = [&](TensorId id) {
+        auto it = rename.find(id);
+        return it == rename.end() ? id : it->second;
+    };
+
+    if (!pairing.crosses_iteration) {
+        for (std::size_t i = pairing.producer_op + 1;
+             i < pairing.consumer_op; ++i)
+            window.push_back({ops[i], i, true});
+    } else {
+        for (std::size_t i = pairing.producer_op + 1; i < ops.size();
+             ++i)
+            window.push_back({ops[i], i, true});
+        for (const Carry &c : program.carries())
+            rename[c.dst] = c.src;
+        for (std::size_t i = 0; i < pairing.consumer_op; ++i) {
+            OpNode renamed = ops[i];
+            for (TensorId &in : renamed.inputs)
+                in = resolve(in);
+            // The op's own write shadows any carried value.
+            rename.erase(renamed.output);
+            window.push_back({renamed, i, false});
+        }
+    }
+
+    FusedChain chain;
+    chain.consumer_input = resolve(consumer.inputs[0]);
+
+    // Backward slice from the consumer's input over vector tensors.
+    std::unordered_set<TensorId> need = {chain.consumer_input};
+    std::vector<std::size_t> picked;
+    for (std::size_t w = window.size(); w-- > 0;) {
+        const WindowOp &entry = window[w];
+        if (!need.count(entry.op.output))
+            continue;
+        switch (entry.op.kind) {
+          case OpKind::EwiseBinary:
+          case OpKind::EwiseUnary:
+          case OpKind::Assign:
+            break;
+          default:
+            sp_panic("buildFusedChain: non-element-wise op '%s' on a "
+                     "fusable path (analysis bug)",
+                     opKindName(entry.op.kind));
+        }
+        picked.push_back(w);
+        need.erase(entry.op.output);
+        for (TensorId in : entry.op.inputs) {
+            if (program.tensor(in).kind == TensorKind::Vector)
+                need.insert(in);
+        }
+    }
+    std::reverse(picked.begin(), picked.end());
+    for (std::size_t w : picked) {
+        chain.ops.push_back(window[w].op);
+        chain.commit.push_back(window[w].frame_a ? 1 : 0);
+        if (window[w].frame_a)
+            chain.replaced_ops.push_back(window[w].body_idx);
+    }
+    return chain;
+}
+
+DenseVector
+runFusedPair(Workspace &ws, const Program &program,
+             const VxmPairing &pairing, const FusedChain &chain,
+             Idx t)
+{
+    const auto &ops = program.ops();
+    const OpNode &prod = ops[pairing.producer_op];
+    const OpNode &cons = ops[pairing.consumer_op];
+    if (prod.kind != OpKind::Vxm || cons.kind != OpKind::Vxm)
+        sp_panic("runFusedPair: only vxm pairs execute functionally");
+
+    const DenseVector &x = ws.vec(prod.inputs[0]);
+    const CscMatrix &csc = ws.csc(prod.inputs[1]);
+    const CsrMatrix &csr = ws.csr(cons.inputs[1]);
+    const Semiring &sr_os = prod.semiring;
+    const Semiring &sr_is = cons.semiring;
+
+    const Idx n = csc.cols();
+    DenseVector y(static_cast<std::size_t>(n), sr_os.addIdentity());
+    DenseVector out2(static_cast<std::size_t>(csr.cols()),
+                     sr_is.addIdentity());
+
+    // Full-length storage for chain outputs that must be committed.
+    std::unordered_map<TensorId, DenseVector> committed;
+    for (std::size_t k = 0; k < chain.ops.size(); ++k) {
+        if (chain.commit[k]) {
+            TensorId out = chain.ops[k].output;
+            committed.emplace(out, DenseVector(
+                static_cast<std::size_t>(program.tensor(out).dim0)));
+        }
+    }
+
+    std::unordered_map<TensorId, DenseVector> slices;
+    for (Idx c0 = 0; c0 < n; c0 += t) {
+        const Idx c1 = std::min(n, c0 + t);
+        const std::size_t width = static_cast<std::size_t>(c1 - c0);
+
+        // --- OS stage: one output element per column ---------------
+        for (Idx c = c0; c < c1; ++c) {
+            Value acc = sr_os.addIdentity();
+            auto rows = csc.colRows(c);
+            auto vals = csc.colVals(c);
+            for (std::size_t k = 0; k < rows.size(); ++k) {
+                Value xv = x[static_cast<std::size_t>(rows[k])];
+                if (sr_os.annihilates(xv))
+                    continue;
+                acc = sr_os.add(acc, sr_os.multiply(xv, vals[k]));
+            }
+            y[static_cast<std::size_t>(c)] = acc;
+        }
+
+        // --- fused e-wise chain on the slice -----------------------
+        slices.clear();
+        {
+            DenseVector seed(width);
+            for (std::size_t i = 0; i < width; ++i)
+                seed[i] = y[static_cast<std::size_t>(c0) + i];
+            slices.emplace(prod.output, std::move(seed));
+        }
+        auto read = [&](TensorId id, std::size_t i) -> Value {
+            auto it = slices.find(id);
+            if (it != slices.end())
+                return it->second[i];
+            const TensorInfo &info = program.tensor(id);
+            if (info.kind == TensorKind::Scalar)
+                return ws.scalar(id);
+            return ws.vec(id)[static_cast<std::size_t>(c0) + i];
+        };
+        for (std::size_t k = 0; k < chain.ops.size(); ++k) {
+            const OpNode &op = chain.ops[k];
+            DenseVector out(width);
+            for (std::size_t i = 0; i < width; ++i) {
+                switch (op.kind) {
+                  case OpKind::EwiseBinary:
+                    out[i] = applyBinary(op.bop,
+                                         read(op.inputs[0], i),
+                                         read(op.inputs[1], i));
+                    break;
+                  case OpKind::EwiseUnary:
+                    out[i] = applyUnary(op.uop, read(op.inputs[0], i));
+                    break;
+                  case OpKind::Assign:
+                    out[i] = read(op.inputs[0], i);
+                    break;
+                  default:
+                    sp_panic("runFusedPair: bad chain op");
+                }
+            }
+            if (chain.commit[k]) {
+                DenseVector &full = committed.at(op.output);
+                for (std::size_t i = 0; i < width; ++i)
+                    full[static_cast<std::size_t>(c0) + i] = out[i];
+            }
+            slices[op.output] = std::move(out);
+        }
+
+        // --- IS stage: scatter rows of the consumer input ----------
+        const DenseVector *z_slice = nullptr;
+        auto zit = slices.find(chain.consumer_input);
+        if (zit != slices.end())
+            z_slice = &zit->second;
+        const DenseVector *z_full =
+            z_slice ? nullptr : &ws.vec(chain.consumer_input);
+        for (std::size_t i = 0; i < width; ++i) {
+            const Idx row = c0 + static_cast<Idx>(i);
+            const Value zi = z_slice
+                ? (*z_slice)[i]
+                : (*z_full)[static_cast<std::size_t>(row)];
+            if (sr_is.annihilates(zi))
+                continue;
+            auto cols = csr.rowCols(row);
+            auto vals = csr.rowVals(row);
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                auto out_idx = static_cast<std::size_t>(cols[k]);
+                out2[out_idx] = sr_is.add(
+                    out2[out_idx], sr_is.multiply(zi, vals[k]));
+            }
+        }
+    }
+
+    // Commit the producer's iteration-frame results.
+    ws.vec(prod.output) = std::move(y);
+    for (auto &entry : committed)
+        ws.vec(entry.first) = std::move(entry.second);
+
+    return out2;
+}
+
+} // namespace sparsepipe

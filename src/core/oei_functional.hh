@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional execution of a fused vxm pair in OEI order.
+ *
+ * The OEI dataflow only *reorders* computation: the OS vxm produces
+ * output elements column by column, the fused e-wise chain follows
+ * one sub-tensor behind, and the IS vxm scatters partial products
+ * row by row.  This engine really performs that reordered schedule
+ * on live data, so tests can check that a Sparsepipe run computes
+ * exactly what the operator-at-a-time reference executor computes.
+ */
+
+#ifndef SPARSEPIPE_CORE_OEI_FUNCTIONAL_HH
+#define SPARSEPIPE_CORE_OEI_FUNCTIONAL_HH
+
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "lang/workspace.hh"
+
+namespace sparsepipe {
+
+/**
+ * The element-wise ops that carry the producer vxm's output to the
+ * consumer vxm's input, with cross-iteration tensors renamed through
+ * the carry map so everything reads in the producer iteration's
+ * frame.
+ */
+struct FusedChain
+{
+    /** Renamed chain ops in execution order. */
+    std::vector<OpNode> ops;
+    /**
+     * Loop-body indices of the iteration-frame ops this chain
+     * replaces (the driver must not re-execute them).
+     */
+    std::vector<std::size_t> replaced_ops;
+    /**
+     * For each chain op, true when its output is an official tensor
+     * of the producer's iteration and must be committed to the
+     * workspace (cross-iteration chain ops are scratch-only).
+     */
+    std::vector<char> commit;
+    /** Consumer input tensor id in the renamed frame. */
+    TensorId consumer_input = invalid_tensor;
+};
+
+/**
+ * Build the chain for a fusable pairing.  Panics if the pairing
+ * requires a non-element-wise op (the analysis should have rejected
+ * it as unfusable).
+ */
+FusedChain buildFusedChain(const Program &program,
+                           const VxmPairing &pairing);
+
+/**
+ * Execute producer (OS) -> chain (e-wise) -> consumer (IS) in
+ * column sub-tensors of size t.
+ *
+ * On return the producer's output and all committed chain outputs
+ * are stored in the workspace; the consumer's output vector (the
+ * next iteration's vxm result) is returned to the caller, which
+ * commits it when execution reaches the consumer op.
+ */
+DenseVector runFusedPair(Workspace &ws, const Program &program,
+                         const VxmPairing &pairing,
+                         const FusedChain &chain, Idx t);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_OEI_FUNCTIONAL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Sparsepipe simulator: cycle-level timing through the
+ * event-driven OEI pass engine plus functional execution that
+ * reproduces the reference executor's values bit-for-bit (modulo
+ * floating-point reassociation inherent to the reordered schedule).
+ *
+ * Scheduling policy (Section IV-D):
+ *  - a program whose analysis shows a fusable intra-iteration vxm
+ *    pair (KNN's vxm -> no-op -> vxm) runs one fused pass per
+ *    iteration covering both vxm;
+ *  - a program with a single vxm whose cross-iteration pairing is
+ *    fusable (PageRank, BFS, ...) runs one fused pass per *two*
+ *    iterations: the pass's OS vxm is iteration 2p and its IS vxm
+ *    is iteration 2p+1, halving the sparse operand's DRAM traffic;
+ *  - everything else (cg, bgs) falls back to stream passes that
+ *    still enjoy producer-consumer reuse (intermediates on chip).
+ */
+
+#ifndef SPARSEPIPE_CORE_SPARSEPIPE_SIM_HH
+#define SPARSEPIPE_CORE_SPARSEPIPE_SIM_HH
+
+#include <vector>
+
+#include "apps/apps.hh"
+#include "buffer/dual_buffer.hh"
+#include "core/config.hh"
+#include "graph/analysis.hh"
+#include "ref/executor.hh"
+
+namespace sparsepipe {
+
+/** Scheduling mode chosen for a program. */
+enum class ScheduleMode
+{
+    CrossIteration, ///< fused pass per two iterations (OEI)
+    IntraIteration, ///< fused pass per iteration (two vxm per body)
+    Stream,         ///< producer-consumer reuse only
+};
+
+/** @return short name for tables. */
+const char *scheduleModeName(ScheduleMode mode);
+
+/** Aggregate statistics of one simulated run. */
+struct SimStats
+{
+    Tick cycles = 0;
+    Idx iterations = 0;
+    bool converged = false;
+    ScheduleMode mode = ScheduleMode::Stream;
+    Idx passes = 0;
+
+    Idx dram_read_bytes = 0;
+    Idx dram_write_bytes = 0;
+    Idx matrix_demand_bytes = 0;
+    Idx reload_bytes = 0;
+    Idx prefetch_bytes = 0;
+    Idx vector_bytes = 0;
+
+    double bw_utilization = 0.0;
+    /** 25-sample utilization timeline (Fig. 15). */
+    std::vector<double> bw_timeline;
+
+    Idx os_elems = 0;
+    Idx is_elems = 0;
+    double ewise_ops = 0.0;
+
+    BufferStats buffer;
+
+    /** Wall-clock equivalent at the configured core clock. */
+    double seconds(double clock_ghz = 1.0) const
+    {
+        return static_cast<double>(cycles) / (clock_ghz * 1e9);
+    }
+};
+
+/**
+ * Cycle-level Sparsepipe simulator.
+ */
+class SparsepipeSim
+{
+  public:
+    explicit SparsepipeSim(SparsepipeConfig config)
+        : config_(std::move(config)) {}
+
+    /**
+     * Run a bound + initialised workspace for up to max_iters
+     * iterations (early-exit on the program's convergence
+     * condition).  The workspace ends in the same state a
+     * RefExecutor run would produce.
+     */
+    SimStats run(Workspace &ws, Idx max_iters);
+
+    /**
+     * Convenience wrapper: prepare the app's operand from `raw`,
+     * bind, initialise, and run.
+     * @param iters  0 uses the app's default iteration count
+     */
+    SimStats simulateApp(const AppInstance &app, const CooMatrix &raw,
+                         Idx iters = 0);
+
+    const SparsepipeConfig &config() const { return config_; }
+
+  private:
+    SparsepipeConfig config_;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_SPARSEPIPE_SIM_HH

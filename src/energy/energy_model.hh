@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Event-count energy model (paper Section V-A: Cacti + Accelergy +
+ * Aladdin methodology).  Simulated event counts are multiplied by
+ * published per-event energies for an N5-class process:
+ * DRAM (GDDR6X-class) pJ/byte, large-SRAM pJ/access, and 64-bit
+ * FMA-class pJ/op.  Figure 23 compares the resulting compute /
+ * memory / cache (on-chip buffer) split against the ideal
+ * accelerator baseline.
+ */
+
+#ifndef SPARSEPIPE_ENERGY_ENERGY_MODEL_HH
+#define SPARSEPIPE_ENERGY_ENERGY_MODEL_HH
+
+#include "baseline/models.hh"
+#include "core/sparsepipe_sim.hh"
+
+namespace sparsepipe {
+
+/** Per-event energy constants (picojoules). */
+struct EnergyConstants
+{
+    /** Off-chip DRAM transfer energy per byte (GDDR6X class). */
+    double dram_pj_per_byte = 18.0;
+    /** Large on-chip SRAM access per element (12 B line). */
+    double sram_pj_per_elem = 6.0;
+    /** One 64-bit semiring / e-wise operation. */
+    double alu_pj_per_op = 2.0;
+};
+
+/** Energy split (picojoules). */
+struct EnergyBreakdown
+{
+    double compute_pj = 0.0;
+    double memory_pj = 0.0;
+    double cache_pj = 0.0;
+
+    double total() const { return compute_pj + memory_pj + cache_pj; }
+};
+
+/** Energy of a simulated Sparsepipe run. */
+EnergyBreakdown sparsepipeEnergy(const SimStats &stats,
+                                 const EnergyConstants &k = {});
+
+/** Energy of an analytical baseline-accelerator run. */
+EnergyBreakdown baselineEnergy(const BaselineStats &stats,
+                               const EnergyConstants &k = {});
+
+/**
+ * Area model.  The Sparsepipe area is the paper's Design-Compiler
+ * figure scaled to TSMC N5 (253.95 mm2, 78% buffer); comparison
+ * areas follow Section VI-G.
+ */
+struct AreaModel
+{
+    double sparsepipe_mm2 = 253.95;
+    double buffer_fraction = 0.78;
+    double gpu_mm2 = 294.0; ///< RTX 4070 die
+    double cpu_mm2 = 126.0; ///< 5800X3D compute die + V-cache share
+
+    /**
+     * Relative performance-per-area (Fig. 20b): speedup over a
+     * system divided by the area ratio.
+     */
+    double
+    perfPerAreaVs(double speedup, double other_mm2) const
+    {
+        return speedup * other_mm2 / sparsepipe_mm2;
+    }
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,283 @@
+#include "graph/analysis.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+/** Element count of a tensor (scalars count 0). */
+Idx
+elems(const TensorInfo &t)
+{
+    switch (t.kind) {
+      case TensorKind::Vector:      return t.dim0;
+      case TensorKind::DenseMatrix: return t.dim0 * t.dim1;
+      case TensorKind::Scalar:      return 0;
+      case TensorKind::SparseMatrix:return 0; // charged via streams
+    }
+    return 0;
+}
+
+/**
+ * Taint propagation used to decide OEI fusability.  Two parallel
+ * flag sets are threaded through the op sequence between producer
+ * and consumer:
+ *  - taint:   derived from the producer's output through sub-tensor
+ *             (element-wise) ops only -> still fusable;
+ *  - blocked: derived through at least one full-reduction or another
+ *             leading-matrix op -> consuming it needs the whole
+ *             producer output and kills sub-tensor dependency.
+ */
+struct TaintState
+{
+    std::vector<char> taint;
+    std::vector<char> blocked;
+
+    explicit TaintState(std::size_t n) : taint(n, 0), blocked(n, 0) {}
+
+    void
+    step(const OpNode &op)
+    {
+        bool in_t = false, in_b = false;
+        for (TensorId id : op.inputs) {
+            in_t = in_t || taint[static_cast<std::size_t>(id)];
+            in_b = in_b || blocked[static_cast<std::size_t>(id)];
+        }
+        auto out = static_cast<std::size_t>(op.output);
+        if (isElementWise(op.kind)) {
+            blocked[out] = in_b;
+            taint[out] = in_t && !in_b;
+        } else {
+            // Fold / Dot / intervening Vxm / Spmm: any dependence on
+            // the producer output becomes a whole-tensor dependence.
+            blocked[out] = in_t || in_b;
+            taint[out] = 0;
+        }
+    }
+
+    /** Apply all carries simultaneously at the iteration boundary. */
+    void
+    applyCarries(const std::vector<Carry> &carries)
+    {
+        std::vector<char> t2 = taint, b2 = blocked;
+        for (const Carry &c : carries) {
+            t2[static_cast<std::size_t>(c.dst)] =
+                taint[static_cast<std::size_t>(c.src)];
+            b2[static_cast<std::size_t>(c.dst)] =
+                blocked[static_cast<std::size_t>(c.src)];
+        }
+        taint = std::move(t2);
+        blocked = std::move(b2);
+    }
+};
+
+/**
+ * Decide whether (producer, consumer) can execute in the OEI
+ * dataflow: walk the unrolled op sequence from just after the
+ * producer to just before the consumer, tracking taint.
+ */
+bool
+pairFusable(const Program &p, std::size_t producer,
+            std::size_t consumer, bool crosses)
+{
+    const auto &ops = p.ops();
+    TaintState state(p.tensors().size());
+    state.taint[static_cast<std::size_t>(ops[producer].output)] = 1;
+
+    if (!crosses) {
+        for (std::size_t i = producer + 1; i < consumer; ++i)
+            state.step(ops[i]);
+    } else {
+        for (std::size_t i = producer + 1; i < ops.size(); ++i)
+            state.step(ops[i]);
+        state.applyCarries(p.carries());
+        for (std::size_t i = 0; i < consumer; ++i)
+            state.step(ops[i]);
+    }
+
+    const OpNode &cons = ops[consumer];
+    // The streamed-against operand: the input vector for vxm, the
+    // dense feature matrix for spmm.
+    TensorId input = cons.kind == OpKind::Vxm ? cons.inputs[0]
+                                              : cons.inputs[1];
+    return !state.blocked[static_cast<std::size_t>(input)];
+}
+
+/**
+ * Greedy maximal matching of fusable adjacent pairs over a
+ * two-iteration unroll; @return matrix streams per iteration.
+ */
+double
+fusedStreams(const std::vector<VxmPairing> &pairings)
+{
+    const std::size_t v = pairings.size();
+    if (v == 0)
+        return 0.0;
+    const std::size_t occurrences = 2 * v;
+    std::size_t matched = 0;
+    std::size_t i = 0;
+    while (i + 1 < occurrences) {
+        if (pairings[i % v].fusable) {
+            ++matched;
+            i += 2;
+        } else {
+            ++i;
+        }
+    }
+    return (static_cast<double>(occurrences) -
+            static_cast<double>(matched)) / 2.0;
+}
+
+} // anonymous namespace
+
+Analysis
+analyzeProgram(const Program &p)
+{
+    p.validate();
+    Analysis a;
+    const auto &ops = p.ops();
+
+    // --- leading (matrix) ops and e-wise fusion groups -------------
+    EwiseGroup current;
+    auto flush_group = [&] {
+        if (!current.ops.empty()) {
+            a.ewise_groups.push_back(current);
+            current.ops.clear();
+        }
+    };
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const OpNode &op = ops[i];
+        if (op.kind == OpKind::Vxm || op.kind == OpKind::Spmm) {
+            a.leading_ops.push_back(i);
+            flush_group();
+        } else if (op.kind == OpKind::EwiseBinary ||
+                   op.kind == OpKind::EwiseUnary ||
+                   op.kind == OpKind::Assign) {
+            current.ops.push_back(i);
+        } else {
+            flush_group();
+        }
+    }
+    flush_group();
+
+    if (!a.leading_ops.empty())
+        a.semiring = ops[a.leading_ops.front()].semiring;
+
+    // --- adjacent-pair fusability (cyclic across the iteration) ----
+    const std::size_t v = a.leading_ops.size();
+    for (std::size_t k = 0; k < v; ++k) {
+        VxmPairing pairing;
+        pairing.producer_op = a.leading_ops[k];
+        pairing.consumer_op = a.leading_ops[(k + 1) % v];
+        pairing.crosses_iteration = (k + 1 == v);
+        pairing.fusable = pairFusable(p, pairing.producer_op,
+                                      pairing.consumer_op,
+                                      pairing.crosses_iteration);
+        a.pairings.push_back(pairing);
+    }
+    a.cross_iteration_reuse =
+        std::any_of(a.pairings.begin(), a.pairings.end(),
+                    [](const VxmPairing &pr) {
+                        return pr.fusable && pr.crosses_iteration;
+                    });
+
+    // --- traffic profile --------------------------------------------
+    TrafficProfile &t = a.traffic;
+    std::vector<char> written(p.tensors().size(), 0);
+    std::vector<char> live_in(p.tensors().size(), 0);
+    std::vector<std::size_t> last_read(p.tensors().size(), 0);
+    std::vector<std::size_t> write_idx(p.tensors().size(), 0);
+    std::vector<char> ever_written(p.tensors().size(), 0);
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const OpNode &op = ops[i];
+        Idx out_elems = elems(p.tensor(op.output));
+        Idx in_elems = 0;
+        for (TensorId id : op.inputs) {
+            in_elems += elems(p.tensor(id));
+            auto idx = static_cast<std::size_t>(id);
+            if (!written[idx] && elems(p.tensor(id)) > 0)
+                live_in[idx] = 1;
+            last_read[idx] = i + 1;
+        }
+        {
+            auto out = static_cast<std::size_t>(op.output);
+            written[out] = 1;
+            ever_written[out] = 1;
+            write_idx[out] = i + 1;
+        }
+
+        switch (op.kind) {
+          case OpKind::Vxm:
+            t.matrix_streams_unfused += 1.0;
+            t.vector_reads_unfused +=
+                elems(p.tensor(op.inputs[0]));
+            t.vector_writes_unfused += out_elems;
+            break;
+          case OpKind::Spmm:
+            t.matrix_streams_unfused += 1.0;
+            t.vector_reads_unfused +=
+                elems(p.tensor(op.inputs[1]));
+            t.vector_writes_unfused += out_elems;
+            t.spmm_cols = p.tensor(op.inputs[1]).dim1;
+            break;
+          case OpKind::Mm: {
+            const TensorInfo &lhs = p.tensor(op.inputs[0]);
+            t.vector_reads_unfused += in_elems;
+            t.vector_writes_unfused += out_elems;
+            t.mm_flops += out_elems * lhs.dim1;
+            break;
+          }
+          case OpKind::EwiseBinary:
+          case OpKind::EwiseUnary:
+            t.vector_reads_unfused += in_elems;
+            t.vector_writes_unfused += out_elems;
+            t.ewise_ops += out_elems;
+            break;
+          case OpKind::Assign:
+            t.vector_reads_unfused += in_elems;
+            t.vector_writes_unfused += out_elems;
+            break;
+          case OpKind::Fold:
+          case OpKind::Dot:
+            t.vector_reads_unfused += in_elems;
+            t.reduction_elems += elems(p.tensor(op.inputs[0]));
+            break;
+        }
+    }
+
+    // Fused vector traffic: live-in tensors are read once; tensors
+    // that survive the iteration (carry sources or never consumed
+    // after their final write) are written once.  Everything else is
+    // an intermediate that stays in the on-chip pipeline.
+    for (std::size_t id = 0; id < p.tensors().size(); ++id) {
+        const TensorInfo &info = p.tensors()[id];
+        if (live_in[id])
+            t.vector_reads_fused += elems(info);
+    }
+    std::vector<char> live_out(p.tensors().size(), 0);
+    for (const Carry &c : p.carries())
+        live_out[static_cast<std::size_t>(c.src)] = 1;
+    for (std::size_t id = 0; id < p.tensors().size(); ++id) {
+        if (ever_written[id] && last_read[id] < write_idx[id])
+            live_out[id] = 1; // written and never consumed afterwards
+    }
+    for (std::size_t id = 0; id < p.tensors().size(); ++id) {
+        if (ever_written[id] && live_out[id])
+            t.vector_writes_fused += elems(p.tensors()[id]);
+    }
+
+    t.matrix_streams_fused = fusedStreams(a.pairings);
+
+    a.producer_consumer_reuse =
+        t.vector_reads_fused + t.vector_writes_fused <
+            t.vector_reads_unfused + t.vector_writes_unfused ||
+        t.matrix_streams_fused < t.matrix_streams_unfused;
+
+    return a;
+}
+
+} // namespace sparsepipe

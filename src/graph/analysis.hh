@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Dataflow analysis over a Program: e-wise fusion grouping,
+ * sub-tensor-dependency tracing, OEI-fusability detection, and the
+ * per-iteration traffic profile that the performance models consume.
+ *
+ * This is the software half of the paper's Section III (exploiting
+ * cross-iteration data reuse) and Section IV-F (offline compilation):
+ * it decides, for every adjacent pair of leading-matrix operators in
+ * the unrolled schedule, whether the path from the producer's output
+ * to the consumer's input exposes only sub-tensor (element-wise)
+ * dependencies.  Full reductions (fold / dot) of values derived from
+ * the producer's output block the path — which is exactly why cg and
+ * bgs only enjoy producer-consumer reuse (Table III).
+ */
+
+#ifndef SPARSEPIPE_GRAPH_ANALYSIS_HH
+#define SPARSEPIPE_GRAPH_ANALYSIS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/ir.hh"
+
+namespace sparsepipe {
+
+/**
+ * One adjacent pair of leading-matrix ops in the unrolled schedule
+ * and the verdict on fusing them.
+ */
+struct VxmPairing
+{
+    /** Loop-body index of the producing vxm/spmm. */
+    std::size_t producer_op = 0;
+    /** Loop-body index of the consuming vxm/spmm. */
+    std::size_t consumer_op = 0;
+    /** True when the consumer sits in the following iteration. */
+    bool crosses_iteration = false;
+    /**
+     * True when every op on the producer-output -> consumer-input
+     * path has sub-tensor dependency: the pair can execute in the
+     * OEI dataflow and share one stream of the sparse matrix.
+     */
+    bool fusable = false;
+};
+
+/** A maximal run of fusable element-wise ops (compiler fusion). */
+struct EwiseGroup
+{
+    /** Loop-body op indices belonging to the group, in order. */
+    std::vector<std::size_t> ops;
+};
+
+/**
+ * Per-iteration data-movement and compute profile, in element (not
+ * byte) units.  "Unfused" charges every operator its full operand
+ * traffic (the ideal-accelerator baseline); "fused" charges only
+ * pipeline live-ins/live-outs (Sparsepipe's producer-consumer reuse)
+ * and the OEI-shared matrix streams.
+ */
+struct TrafficProfile
+{
+    /** Sparse-matrix non-zero streams per iteration, no reuse. */
+    double matrix_streams_unfused = 0.0;
+    /** Sparse-matrix non-zero streams per iteration under OEI. */
+    double matrix_streams_fused = 0.0;
+
+    /** Vector/dense elements read from DRAM per iteration. */
+    Idx vector_reads_unfused = 0;
+    Idx vector_writes_unfused = 0;
+    Idx vector_reads_fused = 0;
+    Idx vector_writes_fused = 0;
+
+    /** E-wise core operations per iteration (all vector lanes). */
+    Idx ewise_ops = 0;
+    /** Reduction (fold/dot) element touches per iteration. */
+    Idx reduction_elems = 0;
+    /** Dense-MM multiply-adds per iteration (GCN weight multiply). */
+    Idx mm_flops = 0;
+
+    /** Feature width f when the leading op is SpMM, else 0. */
+    Idx spmm_cols = 0;
+};
+
+/** Complete analysis result. */
+struct Analysis
+{
+    /** Loop-body indices of Vxm / Spmm ops in execution order. */
+    std::vector<std::size_t> leading_ops;
+    /** Adjacent-pair verdicts (size == leading_ops.size(), cyclic). */
+    std::vector<VxmPairing> pairings;
+    /** Compiler-fused e-wise groups. */
+    std::vector<EwiseGroup> ewise_groups;
+
+    /** True when any fusable pairing crosses the iteration bound. */
+    bool cross_iteration_reuse = false;
+    /**
+     * True when some intermediate tensor stays on-chip under fusion
+     * (i.e. fused traffic < unfused traffic).
+     */
+    bool producer_consumer_reuse = false;
+
+    TrafficProfile traffic;
+
+    /** Semiring of the first leading op (Table III column). */
+    Semiring semiring{SemiringKind::MulAdd};
+};
+
+/**
+ * Run the full analysis.  The program must validate().
+ */
+Analysis analyzeProgram(const Program &program);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_GRAPH_ANALYSIS_HH

@@ -1,0 +1,235 @@
+#include "graph/ir.hh"
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Vxm:         return "vxm";
+      case OpKind::Spmm:        return "spmm";
+      case OpKind::Mm:          return "mm";
+      case OpKind::EwiseBinary: return "ewise-binary";
+      case OpKind::EwiseUnary:  return "ewise-unary";
+      case OpKind::Fold:        return "fold";
+      case OpKind::Dot:         return "dot";
+      case OpKind::Assign:      return "assign";
+    }
+    return "?";
+}
+
+bool
+isElementWise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::EwiseBinary:
+      case OpKind::EwiseUnary:
+      case OpKind::Assign:
+        return true;
+      case OpKind::Mm:
+        // Dense MM mixes columns within a row but never mixes rows:
+        // at the sub-tensor (row) granularity the OEI dataflow works
+        // in, it behaves element-wise (paper Section III-A, GCN).
+        return true;
+      case OpKind::Vxm:
+      case OpKind::Spmm:
+      case OpKind::Fold:
+      case OpKind::Dot:
+        return false;
+    }
+    return false;
+}
+
+TensorId
+Program::addTensor(TensorInfo info)
+{
+    if (info.dim0 < 0 || info.dim1 < 0)
+        sp_fatal("Program::addTensor: negative dims for '%s'",
+                 info.name.c_str());
+    tensors_.push_back(std::move(info));
+    return static_cast<TensorId>(tensors_.size()) - 1;
+}
+
+TensorId
+Program::addScalarConst(const std::string &name, Value value)
+{
+    TensorInfo info;
+    info.name = name;
+    info.kind = TensorKind::Scalar;
+    info.constant = true;
+    info.init = value;
+    return addTensor(std::move(info));
+}
+
+std::size_t
+Program::addOp(OpNode node)
+{
+    ops_.push_back(std::move(node));
+    return ops_.size() - 1;
+}
+
+void
+Program::addCarry(TensorId dst, TensorId src)
+{
+    carries_.push_back({dst, src});
+}
+
+void
+Program::setConvergence(TensorId scalar, Value threshold)
+{
+    convergence_scalar_ = scalar;
+    convergence_threshold_ = threshold;
+}
+
+const TensorInfo &
+Program::tensor(TensorId id) const
+{
+    if (id < 0 || id >= static_cast<TensorId>(tensors_.size()))
+        sp_panic("Program::tensor: bad id %lld",
+                 static_cast<long long>(id));
+    return tensors_[static_cast<std::size_t>(id)];
+}
+
+void
+Program::validate() const
+{
+    auto check_id = [&](TensorId id, const OpNode &op) {
+        if (id < 0 || id >= static_cast<TensorId>(tensors_.size()))
+            sp_fatal("validate(%s): op '%s' references bad tensor",
+                     name_.c_str(), opKindName(op.kind));
+    };
+    auto kind_of = [&](TensorId id) { return tensor(id).kind; };
+
+    for (const OpNode &op : ops_) {
+        for (TensorId id : op.inputs)
+            check_id(id, op);
+        check_id(op.output, op);
+
+        switch (op.kind) {
+          case OpKind::Vxm: {
+            if (op.inputs.size() != 2)
+                sp_fatal("validate: vxm needs (vector, matrix)");
+            const TensorInfo &vec = tensor(op.inputs[0]);
+            const TensorInfo &mat = tensor(op.inputs[1]);
+            const TensorInfo &out = tensor(op.output);
+            if (vec.kind != TensorKind::Vector ||
+                mat.kind != TensorKind::SparseMatrix ||
+                out.kind != TensorKind::Vector)
+                sp_fatal("validate: vxm operand kinds wrong in '%s'",
+                         name_.c_str());
+            if (vec.dim0 != mat.dim0 || out.dim0 != mat.dim1)
+                sp_fatal("validate: vxm shape mismatch in '%s': "
+                         "v[%lld] x A[%lld,%lld] -> y[%lld]",
+                         name_.c_str(),
+                         static_cast<long long>(vec.dim0),
+                         static_cast<long long>(mat.dim0),
+                         static_cast<long long>(mat.dim1),
+                         static_cast<long long>(out.dim0));
+            break;
+          }
+          case OpKind::Spmm: {
+            if (op.inputs.size() != 2)
+                sp_fatal("validate: spmm needs (matrix, dense)");
+            const TensorInfo &mat = tensor(op.inputs[0]);
+            const TensorInfo &dense = tensor(op.inputs[1]);
+            const TensorInfo &out = tensor(op.output);
+            if (mat.kind != TensorKind::SparseMatrix ||
+                dense.kind != TensorKind::DenseMatrix ||
+                out.kind != TensorKind::DenseMatrix)
+                sp_fatal("validate: spmm operand kinds wrong");
+            if (mat.dim1 != dense.dim0 || out.dim0 != mat.dim0 ||
+                out.dim1 != dense.dim1)
+                sp_fatal("validate: spmm shape mismatch in '%s'",
+                         name_.c_str());
+            break;
+          }
+          case OpKind::Mm: {
+            if (op.inputs.size() != 2)
+                sp_fatal("validate: mm needs (dense, dense)");
+            const TensorInfo &a = tensor(op.inputs[0]);
+            const TensorInfo &b = tensor(op.inputs[1]);
+            const TensorInfo &out = tensor(op.output);
+            if (a.kind != TensorKind::DenseMatrix ||
+                b.kind != TensorKind::DenseMatrix ||
+                out.kind != TensorKind::DenseMatrix)
+                sp_fatal("validate: mm operand kinds wrong");
+            if (a.dim1 != b.dim0 || out.dim0 != a.dim0 ||
+                out.dim1 != b.dim1)
+                sp_fatal("validate: mm shape mismatch in '%s'",
+                         name_.c_str());
+            break;
+          }
+          case OpKind::EwiseBinary: {
+            if (op.inputs.size() != 2)
+                sp_fatal("validate: ewise-binary needs two inputs");
+            // Scalars broadcast; vectors must match the output.
+            const TensorInfo &out = tensor(op.output);
+            for (TensorId in : op.inputs) {
+                const TensorInfo &t = tensor(in);
+                if (t.kind == TensorKind::Scalar)
+                    continue;
+                if (t.kind != out.kind || t.dim0 != out.dim0 ||
+                    t.dim1 != out.dim1)
+                    sp_fatal("validate: ewise shape mismatch in '%s'",
+                             name_.c_str());
+            }
+            break;
+          }
+          case OpKind::EwiseUnary:
+          case OpKind::Assign: {
+            if (op.inputs.size() != 1)
+                sp_fatal("validate: %s needs one input",
+                         opKindName(op.kind));
+            const TensorInfo &in = tensor(op.inputs[0]);
+            const TensorInfo &out = tensor(op.output);
+            if (in.kind == TensorKind::Scalar &&
+                out.kind == TensorKind::Scalar)
+                break;
+            if (in.kind != out.kind || in.dim0 != out.dim0 ||
+                in.dim1 != out.dim1)
+                sp_fatal("validate: %s shape mismatch in '%s'",
+                         opKindName(op.kind), name_.c_str());
+            break;
+          }
+          case OpKind::Fold: {
+            if (op.inputs.size() != 1 ||
+                kind_of(op.inputs[0]) != TensorKind::Vector ||
+                kind_of(op.output) != TensorKind::Scalar)
+                sp_fatal("validate: fold needs vector -> scalar");
+            break;
+          }
+          case OpKind::Dot: {
+            if (op.inputs.size() != 2 ||
+                kind_of(op.inputs[0]) != TensorKind::Vector ||
+                kind_of(op.inputs[1]) != TensorKind::Vector ||
+                kind_of(op.output) != TensorKind::Scalar)
+                sp_fatal("validate: dot needs (vector, vector) -> "
+                         "scalar");
+            if (tensor(op.inputs[0]).dim0 != tensor(op.inputs[1]).dim0)
+                sp_fatal("validate: dot length mismatch in '%s'",
+                         name_.c_str());
+            break;
+          }
+        }
+    }
+
+    for (const Carry &carry : carries_) {
+        if (carry.dst < 0 || carry.src < 0 ||
+            carry.dst >= static_cast<TensorId>(tensors_.size()) ||
+            carry.src >= static_cast<TensorId>(tensors_.size()))
+            sp_fatal("validate: carry references bad tensor");
+        const TensorInfo &dst = tensor(carry.dst);
+        const TensorInfo &src = tensor(carry.src);
+        if (dst.kind != src.kind || dst.dim0 != src.dim0 ||
+            dst.dim1 != src.dim1)
+            sp_fatal("validate: carry shape mismatch (%s <- %s)",
+                     dst.name.c_str(), src.name.c_str());
+        if (dst.constant)
+            sp_fatal("validate: carry writes constant tensor '%s'",
+                     dst.name.c_str());
+    }
+}
+
+} // namespace sparsepipe

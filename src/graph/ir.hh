@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tensor dataflow-graph intermediate representation.
+ *
+ * An STA application is expressed as a Program: a set of named
+ * tensors plus an ordered loop body of operator nodes, mirroring the
+ * GraphBLAS-style abstraction of Figure 1/2 in the paper.  The loop
+ * body executes for a fixed number of iterations or until a
+ * convergence scalar drops below a threshold.  Loop-carried state is
+ * expressed with explicit carries (dst <- src at iteration end),
+ * which is how `swap` in GraphBLAS programs is represented.
+ *
+ * The IR is deliberately small: one leading-matrix operator family
+ * (vxm / spmm), dense MM for GCN, element-wise unary/binary ops,
+ * full reductions (fold / dot), and assignment.  This is the operator
+ * set of Table III.
+ */
+
+#ifndef SPARSEPIPE_GRAPH_IR_HH
+#define SPARSEPIPE_GRAPH_IR_HH
+
+#include <string>
+#include <vector>
+
+#include "semiring/ewise.hh"
+#include "semiring/semiring.hh"
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/** Handle to a tensor declared in a Program. */
+using TensorId = Idx;
+
+/** Sentinel for "no tensor". */
+inline constexpr TensorId invalid_tensor = -1;
+
+/** Kind of a declared tensor. */
+enum class TensorKind
+{
+    Vector,      ///< dense vector of length dim0
+    SparseMatrix,///< the (typically constant) sparse operand
+    DenseMatrix, ///< dense matrix (GCN features / weights)
+    Scalar,      ///< a single value (reduction results, constants)
+};
+
+/** Declaration record of one tensor. */
+struct TensorInfo
+{
+    std::string name;
+    TensorKind kind = TensorKind::Vector;
+    Idx dim0 = 0; ///< vector length / matrix rows
+    Idx dim1 = 0; ///< matrix cols (unused for vectors/scalars)
+    /**
+     * Constant tensors (e.g. the input graph) never change across
+     * iterations; the sparse constant is the cross-iteration reuse
+     * target.
+     */
+    bool constant = false;
+    /** Initial value for Scalar tensors (constants / accumulators). */
+    Value init = 0.0;
+};
+
+/** Operator opcode. */
+enum class OpKind
+{
+    Vxm,         ///< out[j] = reduce_i ( in[i] (x) A[i][j] )
+    Spmm,        ///< OUT[i,f] = reduce_j ( A[i][j] (x) H[j,f] )
+    Mm,          ///< OUT = H x W (dense), row-wise sub-tensor dep
+    EwiseBinary, ///< out[i] = bop(a[i], b[i]); scalars broadcast
+    EwiseUnary,  ///< out[i] = uop(a[i])
+    Fold,        ///< scalar = reduce_i(vec[i]) with a monoid
+    Dot,         ///< scalar = reduce_i(a[i] * b[i])
+    Assign,      ///< out = a (vector copy)
+};
+
+/** @return short lowercase opcode name. */
+const char *opKindName(OpKind kind);
+
+/** @return true for ops with element-wise (sub-tensor) dependency. */
+bool isElementWise(OpKind kind);
+
+/** One operator node in the loop body. */
+struct OpNode
+{
+    OpKind kind = OpKind::Assign;
+    /** Operand tensors in positional order (see OpKind docs). */
+    std::vector<TensorId> inputs;
+    TensorId output = invalid_tensor;
+
+    /** Semiring for Vxm / Spmm. */
+    Semiring semiring{SemiringKind::MulAdd};
+    /** Opcode for EwiseBinary / Fold (the reduction monoid). */
+    BinaryOp bop = BinaryOp::Add;
+    /** Opcode for EwiseUnary. */
+    UnaryOp uop = UnaryOp::Identity;
+
+    /** Optional trace label. */
+    std::string label;
+};
+
+/** Loop-carried dependency: dst receives src at iteration end. */
+struct Carry
+{
+    TensorId dst = invalid_tensor;
+    TensorId src = invalid_tensor;
+};
+
+/**
+ * A complete STA application: tensor declarations, loop body, carry
+ * set, and termination condition.
+ */
+class Program
+{
+  public:
+    /** Declare a tensor; @return its handle. */
+    TensorId addTensor(TensorInfo info);
+
+    /** Convenience scalar-constant declaration. */
+    TensorId addScalarConst(const std::string &name, Value value);
+
+    /** Append an op to the loop body; @return its index. */
+    std::size_t addOp(OpNode node);
+
+    /** Register a loop-carried dependency. */
+    void addCarry(TensorId dst, TensorId src);
+
+    /**
+     * Terminate early once `scalar` < `threshold` at iteration end.
+     */
+    void setConvergence(TensorId scalar, Value threshold);
+
+    const std::vector<TensorInfo> &tensors() const { return tensors_; }
+    const TensorInfo &tensor(TensorId id) const;
+    const std::vector<OpNode> &ops() const { return ops_; }
+    const std::vector<Carry> &carries() const { return carries_; }
+
+    bool hasConvergence() const
+    {
+        return convergence_scalar_ != invalid_tensor;
+    }
+    TensorId convergenceScalar() const { return convergence_scalar_; }
+    Value convergenceThreshold() const { return convergence_threshold_; }
+
+    /** Name of the application (for tracing / tables). */
+    void setName(std::string name) { name_ = std::move(name); }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Structural validation: operand kinds and shapes match each
+     * opcode's contract; carries connect equal-shaped tensors.
+     * Violations are user errors (fatal).
+     */
+    void validate() const;
+
+  private:
+    std::string name_;
+    std::vector<TensorInfo> tensors_;
+    std::vector<OpNode> ops_;
+    std::vector<Carry> carries_;
+    TensorId convergence_scalar_ = invalid_tensor;
+    Value convergence_threshold_ = 0.0;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_GRAPH_IR_HH

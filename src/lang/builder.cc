@@ -1,0 +1,189 @@
+#include "lang/builder.hh"
+
+namespace sparsepipe {
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    program_.setName(std::move(name));
+}
+
+TensorId
+ProgramBuilder::vector(const std::string &name, Idx n)
+{
+    TensorInfo info;
+    info.name = name;
+    info.kind = TensorKind::Vector;
+    info.dim0 = n;
+    return program_.addTensor(std::move(info));
+}
+
+TensorId
+ProgramBuilder::matrix(const std::string &name, Idx rows, Idx cols)
+{
+    TensorInfo info;
+    info.name = name;
+    info.kind = TensorKind::SparseMatrix;
+    info.dim0 = rows;
+    info.dim1 = cols;
+    info.constant = true;
+    return program_.addTensor(std::move(info));
+}
+
+TensorId
+ProgramBuilder::dense(const std::string &name, Idx rows, Idx cols,
+                      bool constant)
+{
+    TensorInfo info;
+    info.name = name;
+    info.kind = TensorKind::DenseMatrix;
+    info.dim0 = rows;
+    info.dim1 = cols;
+    info.constant = constant;
+    return program_.addTensor(std::move(info));
+}
+
+TensorId
+ProgramBuilder::scalar(const std::string &name, Value init)
+{
+    TensorInfo info;
+    info.name = name;
+    info.kind = TensorKind::Scalar;
+    info.init = init;
+    return program_.addTensor(std::move(info));
+}
+
+TensorId
+ProgramBuilder::constant(const std::string &name, Value value)
+{
+    return program_.addScalarConst(name, value);
+}
+
+TensorId
+ProgramBuilder::vxm(TensorId out, TensorId in, TensorId a,
+                    Semiring semiring, const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::Vxm;
+    node.inputs = {in, a};
+    node.output = out;
+    node.semiring = semiring;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::spmm(TensorId out, TensorId a, TensorId h,
+                     Semiring semiring, const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::Spmm;
+    node.inputs = {a, h};
+    node.output = out;
+    node.semiring = semiring;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::mm(TensorId out, TensorId h, TensorId w,
+                   const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::Mm;
+    node.inputs = {h, w};
+    node.output = out;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::eWise(TensorId out, BinaryOp op, TensorId a,
+                      TensorId b, const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::EwiseBinary;
+    node.inputs = {a, b};
+    node.output = out;
+    node.bop = op;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::apply(TensorId out, UnaryOp op, TensorId a,
+                      const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::EwiseUnary;
+    node.inputs = {a};
+    node.output = out;
+    node.uop = op;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::fold(TensorId out, BinaryOp monoid, TensorId vec,
+                     const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::Fold;
+    node.inputs = {vec};
+    node.output = out;
+    node.bop = monoid;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::dotOp(TensorId out, TensorId a, TensorId b,
+                      const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::Dot;
+    node.inputs = {a, b};
+    node.output = out;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+TensorId
+ProgramBuilder::assign(TensorId out, TensorId src,
+                       const std::string &label)
+{
+    OpNode node;
+    node.kind = OpKind::Assign;
+    node.inputs = {src};
+    node.output = out;
+    node.label = label;
+    program_.addOp(std::move(node));
+    return out;
+}
+
+void
+ProgramBuilder::carry(TensorId dst, TensorId src)
+{
+    program_.addCarry(dst, src);
+}
+
+void
+ProgramBuilder::converge(TensorId scalar, Value eps)
+{
+    program_.setConvergence(scalar, eps);
+}
+
+Program
+ProgramBuilder::build()
+{
+    program_.validate();
+    return std::move(program_);
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * GraphBLAS-style program builder.
+ *
+ * Applications declare tensors up front and then emit the loop body
+ * with vxm / eWise / fold / dot calls, mirroring the ALP/GraphBLAS
+ * style of Figure 1 in the paper.  The builder is a thin, checked
+ * sugar layer over graph/ir.hh.
+ */
+
+#ifndef SPARSEPIPE_LANG_BUILDER_HH
+#define SPARSEPIPE_LANG_BUILDER_HH
+
+#include <string>
+
+#include "graph/ir.hh"
+
+namespace sparsepipe {
+
+/**
+ * Fluent builder for Program objects.  All op emitters return the
+ * output tensor id so chains read naturally.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Declare a dense vector of length n. */
+    TensorId vector(const std::string &name, Idx n);
+
+    /** Declare the (constant) sparse matrix operand. */
+    TensorId matrix(const std::string &name, Idx rows, Idx cols);
+
+    /** Declare a dense matrix (GCN features / weights). */
+    TensorId dense(const std::string &name, Idx rows, Idx cols,
+                   bool constant = false);
+
+    /** Declare a mutable scalar with an initial value. */
+    TensorId scalar(const std::string &name, Value init = 0.0);
+
+    /** Declare an immutable scalar constant. */
+    TensorId constant(const std::string &name, Value value);
+
+    /** out = in (x) A under the semiring; @return out. */
+    TensorId vxm(TensorId out, TensorId in, TensorId a,
+                 Semiring semiring, const std::string &label = "");
+
+    /** OUT = A (x) H under the semiring (sparse x dense). */
+    TensorId spmm(TensorId out, TensorId a, TensorId h,
+                  Semiring semiring, const std::string &label = "");
+
+    /** OUT = H x W (dense x dense). */
+    TensorId mm(TensorId out, TensorId h, TensorId w,
+                const std::string &label = "");
+
+    /** out[i] = op(a[i], b[i]); scalar operands broadcast. */
+    TensorId eWise(TensorId out, BinaryOp op, TensorId a, TensorId b,
+                   const std::string &label = "");
+
+    /** out[i] = op(a[i]). */
+    TensorId apply(TensorId out, UnaryOp op, TensorId a,
+                   const std::string &label = "");
+
+    /** out = reduce(vec) with the monoid op (Add / Min / Max). */
+    TensorId fold(TensorId out, BinaryOp monoid, TensorId vec,
+                  const std::string &label = "");
+
+    /** out = sum_i a[i] * b[i]. */
+    TensorId dotOp(TensorId out, TensorId a, TensorId b,
+                   const std::string &label = "");
+
+    /** out = src (copy). */
+    TensorId assign(TensorId out, TensorId src,
+                    const std::string &label = "");
+
+    /** Register a loop-carried move: dst <- src at iteration end. */
+    void carry(TensorId dst, TensorId src);
+
+    /** Stop once `scalar` < eps at an iteration end. */
+    void converge(TensorId scalar, Value eps);
+
+    /** Validate and hand out the finished program. */
+    Program build();
+
+    /** Access the program under construction (tests). */
+    const Program &peek() const { return program_; }
+
+  private:
+    Program program_;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_LANG_BUILDER_HH

@@ -1,0 +1,74 @@
+#include "prep/blocked.hh"
+
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+Idx
+BlockedLayout::sharedBytes() const
+{
+    // 8-byte value + two 1-byte in-block coordinates per non-zero,
+    // shared between both orientations.
+    return nnz * (value_bytes + 2);
+}
+
+Idx
+BlockedLayout::indexBytes() const
+{
+    // Per non-empty block and per orientation: a 4-byte block
+    // coordinate and a 4-byte pointer into the shared payload;
+    // plus the two block-grid pointer arrays.
+    Idx per_block = nonzero_blocks * (4 + 4) * 2;
+    Idx grids = (grid_rows + 1 + grid_cols + 1) * 4;
+    return per_block + grids;
+}
+
+double
+BlockedLayout::bytesPerNonzero() const
+{
+    if (nnz == 0)
+        return 0.0;
+    return static_cast<double>(totalBytes()) /
+           static_cast<double>(nnz);
+}
+
+Idx
+dualStorageBytes(Idx nnz, Idx rows, Idx cols)
+{
+    // CSC and CSR each store value + 4-byte coordinate per non-zero
+    // plus their pointer array.
+    Idx per_format_payload = nnz * (value_bytes + coord_bytes);
+    Idx ptrs = (rows + 1 + cols + 1) * 4;
+    return 2 * per_format_payload + ptrs;
+}
+
+BlockedLayout
+buildBlockedLayout(const CsrMatrix &matrix, Idx block_size)
+{
+    if (block_size <= 0 || block_size > 256)
+        sp_fatal("buildBlockedLayout: block size must be in (0, 256] "
+                 "for 1-byte in-block coordinates");
+
+    BlockedLayout layout;
+    layout.block_size = block_size;
+    layout.nnz = matrix.nnz();
+    layout.grid_rows = (matrix.rows() + block_size - 1) / block_size;
+    layout.grid_cols = (matrix.cols() + block_size - 1) / block_size;
+
+    std::unordered_set<std::uint64_t> blocks;
+    for (Idx r = 0; r < matrix.rows(); ++r) {
+        const std::uint64_t br =
+            static_cast<std::uint64_t>(r / block_size);
+        for (Idx c : matrix.rowCols(r)) {
+            const std::uint64_t bc =
+                static_cast<std::uint64_t>(c / block_size);
+            blocks.insert(br << 32 | bc);
+        }
+    }
+    layout.nonzero_blocks = static_cast<Idx>(blocks.size());
+    return layout;
+}
+
+} // namespace sparsepipe

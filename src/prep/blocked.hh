@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Blocked dual sparse storage (paper Section IV-E2).
+ *
+ * The plain dual storage keeps the matrix twice (CSC + CSR) with
+ * 4-byte coordinates per non-zero.  The blocked UOP-CP-CP layout
+ * (FiberTree notation, after Sparseloop) decomposes the matrix into
+ * square blocks of up to 256x256 so:
+ *  - in-block coordinates fit one byte each,
+ *  - value and in-block coordinate arrays are shared between the
+ *    CSR-of-blocks and CSC-of-blocks index structures, removing the
+ *    duplication of the naive dual storage.
+ */
+
+#ifndef SPARSEPIPE_PREP_BLOCKED_HH
+#define SPARSEPIPE_PREP_BLOCKED_HH
+
+#include "sparse/csr.hh"
+
+namespace sparsepipe {
+
+/** Size accounting of a blocked dual layout. */
+struct BlockedLayout
+{
+    Idx block_size = 256;
+    Idx nnz = 0;
+    Idx nonzero_blocks = 0;
+    Idx grid_rows = 0;
+    Idx grid_cols = 0;
+
+    /** Shared payload: values + two 1-byte in-block coordinates. */
+    Idx sharedBytes() const;
+    /** Block-level CSR + CSC index structures. */
+    Idx indexBytes() const;
+    /** Total blocked dual-storage footprint. */
+    Idx totalBytes() const { return sharedBytes() + indexBytes(); }
+
+    /** Average storage cost of one non-zero in this layout. */
+    double bytesPerNonzero() const;
+};
+
+/** Footprint of the naive (unblocked) dual storage. */
+Idx dualStorageBytes(Idx nnz, Idx rows, Idx cols);
+
+/**
+ * Decompose a matrix into `block_size` square tiles and count the
+ * non-empty ones.
+ */
+BlockedLayout buildBlockedLayout(const CsrMatrix &matrix,
+                                 Idx block_size = 256);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_PREP_BLOCKED_HH

@@ -1,0 +1,166 @@
+#include "prep/reorder.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+const char *
+reorderKindName(ReorderKind kind)
+{
+    switch (kind) {
+      case ReorderKind::None:     return "none";
+      case ReorderKind::Vanilla:  return "vanilla";
+      case ReorderKind::Locality: return "locality";
+    }
+    return "?";
+}
+
+std::vector<Idx>
+identityOrder(Idx n)
+{
+    std::vector<Idx> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    return perm;
+}
+
+std::vector<Idx>
+vanillaReorder(const CsrMatrix &matrix)
+{
+    const Idx n = matrix.rows();
+    // In-degree per column: count of stored entries in that column.
+    std::vector<Idx> indeg(static_cast<std::size_t>(n), 0);
+    for (Idx r = 0; r < n; ++r)
+        for (Idx c : matrix.rowCols(r))
+            ++indeg[static_cast<std::size_t>(c)];
+
+    // Bucket queue keyed by remaining in-degree; emitting a vertex
+    // decrements the in-degree of its out-neighbours (Kahn's
+    // algorithm generalised to cyclic graphs by always taking the
+    // current minimum).
+    using Entry = std::pair<Idx, Idx>; // (indegree, vertex)
+    std::priority_queue<Entry, std::vector<Entry>,
+                        std::greater<Entry>> heap;
+    for (Idx v = 0; v < n; ++v)
+        heap.push({indeg[static_cast<std::size_t>(v)], v});
+
+    std::vector<char> placed(static_cast<std::size_t>(n), 0);
+    std::vector<Idx> perm(static_cast<std::size_t>(n), -1);
+    Idx next_label = 0;
+    while (!heap.empty()) {
+        auto [deg, v] = heap.top();
+        heap.pop();
+        auto vi = static_cast<std::size_t>(v);
+        if (placed[vi] || deg != indeg[vi])
+            continue; // stale entry
+        placed[vi] = 1;
+        perm[vi] = next_label++;
+        for (Idx c : matrix.rowCols(v)) {
+            auto ci = static_cast<std::size_t>(c);
+            if (!placed[ci]) {
+                --indeg[ci];
+                heap.push({indeg[ci], c});
+            }
+        }
+    }
+    return perm;
+}
+
+std::vector<Idx>
+localityReorder(const CsrMatrix &matrix)
+{
+    const Idx n = matrix.rows();
+    std::vector<Idx> degree(static_cast<std::size_t>(n), 0);
+    for (Idx r = 0; r < n; ++r)
+        degree[static_cast<std::size_t>(r)] = matrix.rowNnz(r);
+
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::vector<Idx> perm(static_cast<std::size_t>(n), -1);
+    Idx next_label = 0;
+
+    // BFS from successive minimum-degree seeds; within a frontier,
+    // visit neighbours in ascending degree (Cuthill-McKee).
+    std::vector<Idx> seeds = identityOrder(n);
+    std::sort(seeds.begin(), seeds.end(), [&](Idx a, Idx b) {
+        return degree[static_cast<std::size_t>(a)] <
+               degree[static_cast<std::size_t>(b)];
+    });
+
+    std::queue<Idx> frontier;
+    std::vector<Idx> nbrs;
+    for (Idx seed : seeds) {
+        if (visited[static_cast<std::size_t>(seed)])
+            continue;
+        visited[static_cast<std::size_t>(seed)] = 1;
+        frontier.push(seed);
+        while (!frontier.empty()) {
+            Idx v = frontier.front();
+            frontier.pop();
+            perm[static_cast<std::size_t>(v)] = next_label++;
+            nbrs.clear();
+            for (Idx c : matrix.rowCols(v)) {
+                if (!visited[static_cast<std::size_t>(c)]) {
+                    visited[static_cast<std::size_t>(c)] = 1;
+                    nbrs.push_back(c);
+                }
+            }
+            std::sort(nbrs.begin(), nbrs.end(), [&](Idx a, Idx b) {
+                return degree[static_cast<std::size_t>(a)] <
+                       degree[static_cast<std::size_t>(b)];
+            });
+            for (Idx c : nbrs)
+                frontier.push(c);
+        }
+    }
+    return perm;
+}
+
+std::vector<Idx>
+makeReorder(ReorderKind kind, const CsrMatrix &matrix)
+{
+    switch (kind) {
+      case ReorderKind::None:     return identityOrder(matrix.rows());
+      case ReorderKind::Vanilla:  return vanillaReorder(matrix);
+      case ReorderKind::Locality: return localityReorder(matrix);
+    }
+    sp_panic("makeReorder: bad kind");
+    __builtin_unreachable();
+}
+
+CooMatrix
+applySymmetricPermutation(const CooMatrix &matrix,
+                          const std::vector<Idx> &perm)
+{
+    if (matrix.rows() != matrix.cols())
+        sp_fatal("applySymmetricPermutation: matrix must be square");
+    if (static_cast<Idx>(perm.size()) != matrix.rows())
+        sp_fatal("applySymmetricPermutation: permutation length "
+                 "mismatch");
+    CooMatrix out(matrix.rows(), matrix.cols());
+    for (const Triplet &t : matrix.entries()) {
+        out.add(perm[static_cast<std::size_t>(t.row)],
+                perm[static_cast<std::size_t>(t.col)], t.val);
+    }
+    out.canonicalize();
+    return out;
+}
+
+bool
+isPermutation(const std::vector<Idx> &perm)
+{
+    std::vector<char> seen(perm.size(), 0);
+    for (Idx p : perm) {
+        if (p < 0 || p >= static_cast<Idx>(perm.size()))
+            return false;
+        auto i = static_cast<std::size_t>(p);
+        if (seen[i])
+            return false;
+        seen[i] = 1;
+    }
+    return true;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Offline row reordering (paper Section IV-E1).
+ *
+ * Under the OEI dataflow a non-zero A(i,k) stays on chip from the
+ * step that loads column k until the step that unlocks row i, so
+ * elements far below the diagonal (i >> k) are what bloats the
+ * buffer.  Two reorderings shrink that window:
+ *
+ *  - vanillaReorder: a greedy approximate topological order that
+ *    pushes non-zeros toward the upper triangle (the paper's
+ *    "straightforward vanilla reorder ... towards an upper
+ *    triangular matrix with simple heuristics");
+ *  - localityReorder: a Cuthill-McKee-style breadth-first labelling
+ *    that clusters connected vertices, our stand-in for the
+ *    GraphOrder algorithm the paper borrows (locality-maximising
+ *    graph ordering).
+ *
+ * Both return a permutation `perm` with perm[old] = new, applied
+ * symmetrically (rows and columns) so the renumbered graph is
+ * isomorphic to the original.
+ */
+
+#ifndef SPARSEPIPE_PREP_REORDER_HH
+#define SPARSEPIPE_PREP_REORDER_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace sparsepipe {
+
+/** Available reorder algorithms. */
+enum class ReorderKind { None, Vanilla, Locality };
+
+/** @return short lowercase name. */
+const char *reorderKindName(ReorderKind kind);
+
+/**
+ * Greedy approximate topological order: repeatedly emit the vertex
+ * with the fewest unplaced in-neighbours.  Edges then run mostly
+ * from low to high label, i.e. above the diagonal.
+ */
+std::vector<Idx> vanillaReorder(const CsrMatrix &matrix);
+
+/**
+ * Cuthill-McKee-style BFS labelling from a minimum-degree seed,
+ * clustering each vertex next to its neighbours (GraphOrder-class
+ * locality ordering).
+ */
+std::vector<Idx> localityReorder(const CsrMatrix &matrix);
+
+/** Identity permutation of length n. */
+std::vector<Idx> identityOrder(Idx n);
+
+/** Dispatch on ReorderKind. */
+std::vector<Idx> makeReorder(ReorderKind kind, const CsrMatrix &matrix);
+
+/**
+ * Apply a symmetric renumbering: entry (r, c) moves to
+ * (perm[r], perm[c]).  @return the renumbered matrix.
+ */
+CooMatrix applySymmetricPermutation(const CooMatrix &matrix,
+                                    const std::vector<Idx> &perm);
+
+/** @return true when perm is a bijection on [0, n). */
+bool isPermutation(const std::vector<Idx> &perm);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_PREP_REORDER_HH

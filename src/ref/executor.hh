@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference executor: a straightforward, operator-at-a-time
+ * functional interpreter for Programs.
+ *
+ * This is the golden model of the repository.  Every performance
+ * model (SparsepipeSim included) must produce values that match this
+ * executor, because the OEI dataflow only *reorders* computation.
+ * It also doubles as the operational model of the CPU baseline: the
+ * CPU cost model charges exactly the operator-at-a-time traffic this
+ * executor generates.
+ */
+
+#ifndef SPARSEPIPE_REF_EXECUTOR_HH
+#define SPARSEPIPE_REF_EXECUTOR_HH
+
+#include "lang/workspace.hh"
+
+namespace sparsepipe {
+
+/** Outcome of a multi-iteration run. */
+struct RunResult
+{
+    /** Number of loop iterations actually executed. */
+    Idx iterations = 0;
+    /** True when the convergence condition stopped the loop. */
+    bool converged = false;
+};
+
+/**
+ * Operator-at-a-time interpreter.
+ */
+class RefExecutor
+{
+  public:
+    /**
+     * Execute up to max_iters loop iterations (stopping early if the
+     * program's convergence condition fires).  Carries are applied
+     * simultaneously at each iteration end.
+     */
+    RunResult run(Workspace &ws, Idx max_iters) const;
+
+    /** Execute one loop-body pass (no carries). */
+    void runBody(Workspace &ws) const;
+
+    /** Apply all carries simultaneously (dst <- src). */
+    void applyCarries(Workspace &ws) const;
+
+    /** Execute a single op (exposed for unit tests). */
+    static void execOp(Workspace &ws, const OpNode &op);
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_REF_EXECUTOR_HH

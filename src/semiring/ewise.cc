@@ -1,0 +1,83 @@
+#include "semiring/ewise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+Value
+applyBinary(BinaryOp op, Value a, Value b)
+{
+    switch (op) {
+      case BinaryOp::Add:     return a + b;
+      case BinaryOp::Sub:     return a - b;
+      case BinaryOp::Mul:     return a * b;
+      case BinaryOp::Div:     return b != 0.0 ? a / b : 0.0;
+      case BinaryOp::Min:     return std::min(a, b);
+      case BinaryOp::Max:     return std::max(a, b);
+      case BinaryOp::AbsDiff: return std::abs(a - b);
+      case BinaryOp::Select:  return a != 0.0 ? a : b;
+      case BinaryOp::First:   return a;
+      case BinaryOp::Second:  return b;
+      case BinaryOp::NotEqual:return a != b ? 1.0 : 0.0;
+    }
+    sp_panic("applyBinary: bad op");
+    __builtin_unreachable();
+}
+
+Value
+applyUnary(UnaryOp op, Value x)
+{
+    switch (op) {
+      case UnaryOp::Identity:   return x;
+      case UnaryOp::Abs:        return std::abs(x);
+      case UnaryOp::Negate:     return -x;
+      case UnaryOp::Reciprocal: return x != 0.0 ? 1.0 / x : 0.0;
+      case UnaryOp::Signum:
+        return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
+      case UnaryOp::IsNonZero:  return x != 0.0 ? 1.0 : 0.0;
+      case UnaryOp::Relu:       return std::max(x, 0.0);
+      case UnaryOp::Sqrt:       return std::sqrt(std::max(x, 0.0));
+    }
+    sp_panic("applyUnary: bad op");
+    __builtin_unreachable();
+}
+
+const char *
+binaryOpName(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add:     return "add";
+      case BinaryOp::Sub:     return "sub";
+      case BinaryOp::Mul:     return "mul";
+      case BinaryOp::Div:     return "div";
+      case BinaryOp::Min:     return "min";
+      case BinaryOp::Max:     return "max";
+      case BinaryOp::AbsDiff: return "absdiff";
+      case BinaryOp::Select:  return "select";
+      case BinaryOp::First:   return "first";
+      case BinaryOp::Second:  return "second";
+      case BinaryOp::NotEqual:return "notequal";
+    }
+    return "?";
+}
+
+const char *
+unaryOpName(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Identity:   return "identity";
+      case UnaryOp::Abs:        return "abs";
+      case UnaryOp::Negate:     return "negate";
+      case UnaryOp::Reciprocal: return "reciprocal";
+      case UnaryOp::Signum:     return "signum";
+      case UnaryOp::IsNonZero:  return "isnonzero";
+      case UnaryOp::Relu:       return "relu";
+      case UnaryOp::Sqrt:       return "sqrt";
+    }
+    return "?";
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Element-wise operator vocabulary for the E-Wise core.
+ *
+ * STA applications interleave their vxm/mxm operators with chains of
+ * element-wise operations (set, fold, eWiseApply, swap in GraphBLAS
+ * terms).  The compiler fuses consecutive element-wise ops into one
+ * instruction sequence executed by the SIMD E-Wise core; this header
+ * defines the opcodes of that sequence.
+ */
+
+#ifndef SPARSEPIPE_SEMIRING_EWISE_HH
+#define SPARSEPIPE_SEMIRING_EWISE_HH
+
+#include <string>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/** Binary element-wise opcodes. */
+enum class BinaryOp
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    AbsDiff,   ///< |a - b|, PageRank residual style
+    Select,    ///< a if a != 0 else b (masked merge)
+    First,     ///< a  (copy left, ignores right)
+    Second,    ///< b  (copy right, ignores left)
+    NotEqual,  ///< 1.0 when a != b else 0.0 (change detection)
+};
+
+/** Unary element-wise opcodes. */
+enum class UnaryOp
+{
+    Identity,
+    Abs,
+    Negate,
+    Reciprocal, ///< 1/x; 0 maps to 0 (GraphBLAS-style guarded)
+    Signum,     ///< -1/0/+1
+    IsNonZero,  ///< 1.0 when x != 0 else 0.0
+    Relu,       ///< max(x, 0), used by GCN
+    Sqrt,       ///< sqrt(max(x, 0)), norm computations
+};
+
+/** Apply a binary opcode. */
+Value applyBinary(BinaryOp op, Value a, Value b);
+
+/** Apply a unary opcode. */
+Value applyUnary(UnaryOp op, Value x);
+
+/** Short lowercase opcode names for tracing. */
+const char *binaryOpName(BinaryOp op);
+const char *unaryOpName(UnaryOp op);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SEMIRING_EWISE_HH

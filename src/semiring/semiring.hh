@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Configurable semiring support.
+ *
+ * GraphBLAS-style STA applications parameterize their vxm/mxm
+ * operators with a semiring (multiply + additive-reduction monoid).
+ * The paper's Table III uses Mul-Add, And-Or, Min-Add, and Aril-Add;
+ * Max-Mul is included as the natural extension used by some label
+ * propagation variants.  Sparsepipe's OS and IS cores are configured
+ * with one of these opcodes before execution (Section IV-C).
+ */
+
+#ifndef SPARSEPIPE_SEMIRING_SEMIRING_HH
+#define SPARSEPIPE_SEMIRING_SEMIRING_HH
+
+#include <string>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/** Opcode of a semiring, as preloaded into the OS / IS cores. */
+enum class SemiringKind
+{
+    MulAdd,  ///< classic arithmetic: reduce(+), map(*)
+    AndOr,   ///< boolean reachability: reduce(or), map(and)
+    MinAdd,  ///< tropical / shortest path: reduce(min), map(+)
+    ArilAdd, ///< reduce(+), map(a, b) = b if a is truthy else 0
+    MaxMul,  ///< widest path style: reduce(max), map(*)
+};
+
+/**
+ * A semiring: multiply operator plus additive monoid with identity.
+ * Dispatch is by opcode (switch) rather than std::function so the
+ * functional simulator's inner loops stay branch-predictable, which
+ * mirrors the preloaded-opcode hardware design.
+ */
+class Semiring
+{
+  public:
+    explicit constexpr Semiring(SemiringKind kind) : kind_(kind) {}
+
+    constexpr SemiringKind kind() const { return kind_; }
+
+    /** Identity of the additive monoid (0, false, +inf, ...). */
+    Value addIdentity() const;
+
+    /** The additive (reduction) monoid. */
+    Value add(Value a, Value b) const;
+
+    /** The multiplicative map. */
+    Value multiply(Value a, Value b) const;
+
+    /**
+     * True when x contributes nothing through this semiring's
+     * multiply (e.g. 0 for MulAdd).  Lets executors skip work the
+     * way the hardware gates inactive lanes.
+     */
+    bool annihilates(Value x) const;
+
+    /** Short lowercase name (mul-add, and-or, ...). */
+    const char *name() const;
+
+    bool operator==(const Semiring &other) const = default;
+
+  private:
+    SemiringKind kind_;
+};
+
+/** Parse a semiring name produced by Semiring::name(). */
+Semiring semiringFromName(const std::string &name);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SEMIRING_SEMIRING_HH

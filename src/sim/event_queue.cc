@@ -1,0 +1,41 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+void
+EventQueue::schedule(Tick when, Callback callback)
+{
+    if (when < now_)
+        sp_panic("EventQueue: scheduling in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
+    heap_.push({when, next_seq_++, std::move(callback)});
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top is const; moving the callback out needs a
+    // const_cast, which is safe because we pop immediately after.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.callback();
+    return true;
+}
+
+void
+EventQueue::runToCompletion()
+{
+    while (runNext()) {
+    }
+}
+
+} // namespace sparsepipe

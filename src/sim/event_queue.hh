@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Event-driven simulation kernel.
+ *
+ * The simulator advances a global tick (one accelerator clock cycle)
+ * through a priority queue of scheduled events.  Ordering is fully
+ * deterministic: ties on the tick are broken by insertion sequence,
+ * so a given program + configuration always produces the same
+ * schedule and statistics.
+ */
+
+#ifndef SPARSEPIPE_SIM_EVENT_QUEUE_HH
+#define SPARSEPIPE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/**
+ * Deterministic event queue.  Events are arbitrary callbacks tagged
+ * with their firing tick.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** @return the current simulated tick. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick (>= now, internal
+     * violation otherwise).
+     */
+    void schedule(Tick when, Callback callback);
+
+    /** Schedule a callback `delta` ticks from now. */
+    void scheduleAfter(Tick delta, Callback callback)
+    {
+        schedule(now_ + delta, std::move(callback));
+    }
+
+    /**
+     * Pop and execute the earliest event.
+     * @return false when the queue is empty.
+     */
+    bool runNext();
+
+    /** Drain the queue. */
+    void runToCompletion();
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Total events executed (statistic). */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback callback;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,89 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+CooMatrix::CooMatrix(Idx rows, Idx cols)
+    : rows_(rows), cols_(cols)
+{
+    if (rows < 0 || cols < 0)
+        sp_fatal("CooMatrix: negative shape %lld x %lld",
+                 static_cast<long long>(rows),
+                 static_cast<long long>(cols));
+}
+
+void
+CooMatrix::add(Idx row, Idx col, Value val)
+{
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+        sp_fatal("CooMatrix::add: (%lld, %lld) outside %lld x %lld",
+                 static_cast<long long>(row),
+                 static_cast<long long>(col),
+                 static_cast<long long>(rows_),
+                 static_cast<long long>(cols_));
+    entries_.push_back({row, col, val});
+}
+
+void
+CooMatrix::sortRowMajor()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+}
+
+void
+CooMatrix::sortColMajor()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.col != b.col ? a.col < b.col : a.row < b.row;
+              });
+}
+
+void
+CooMatrix::canonicalize()
+{
+    sortRowMajor();
+    std::vector<Triplet> merged;
+    merged.reserve(entries_.size());
+    for (const Triplet &t : entries_) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().val += t.val;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    // Drop explicit zeros produced by cancellation.
+    std::erase_if(merged, [](const Triplet &t) { return t.val == 0.0; });
+    entries_ = std::move(merged);
+}
+
+CooMatrix
+CooMatrix::transposed() const
+{
+    CooMatrix out(cols_, rows_);
+    out.entries_.reserve(entries_.size());
+    for (const Triplet &t : entries_)
+        out.entries_.push_back({t.col, t.row, t.val});
+    return out;
+}
+
+bool
+CooMatrix::isCanonical() const
+{
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const Triplet &a = entries_[i - 1];
+        const Triplet &b = entries_[i];
+        if (a.row > b.row || (a.row == b.row && a.col >= b.col))
+            return false;
+    }
+    return true;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,157 @@
+#include "sparse/csr.hh"
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+/**
+ * Build compressed pointers/indices from sorted triplets.
+ * @param major    extent of the compressed dimension
+ * @param entries  canonical triplets sorted by (major, minor)
+ * @param majorOf  functor extracting the compressed coordinate
+ * @param minorOf  functor extracting the in-run coordinate
+ */
+template <typename MajorFn, typename MinorFn>
+void
+compress(Idx major, const std::vector<Triplet> &entries,
+         MajorFn majorOf, MinorFn minorOf,
+         std::vector<Idx> &ptr, std::vector<Idx> &idx,
+         std::vector<Value> &vals)
+{
+    ptr.assign(static_cast<std::size_t>(major) + 1, 0);
+    idx.clear();
+    vals.clear();
+    idx.reserve(entries.size());
+    vals.reserve(entries.size());
+
+    for (const Triplet &t : entries)
+        ++ptr[static_cast<std::size_t>(majorOf(t)) + 1];
+    for (std::size_t i = 1; i < ptr.size(); ++i)
+        ptr[i] += ptr[i - 1];
+    for (const Triplet &t : entries) {
+        idx.push_back(minorOf(t));
+        vals.push_back(t.val);
+    }
+}
+
+} // anonymous namespace
+
+CsrMatrix
+CsrMatrix::fromCoo(CooMatrix coo)
+{
+    coo.canonicalize();
+    CsrMatrix out;
+    out.rows_ = coo.rows();
+    out.cols_ = coo.cols();
+    compress(coo.rows(), coo.entries(),
+             [](const Triplet &t) { return t.row; },
+             [](const Triplet &t) { return t.col; },
+             out.rowPtr_, out.colIdx_, out.vals_);
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::fromCsc(const CscMatrix &csc)
+{
+    return fromCoo(csc.toCoo());
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix out(rows_, cols_);
+    for (Idx r = 0; r < rows_; ++r) {
+        auto cols = rowCols(r);
+        auto vals = rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k)
+            out.add(r, cols[k], vals[k]);
+    }
+    return out;
+}
+
+bool
+CsrMatrix::validate() const
+{
+    if (static_cast<Idx>(rowPtr_.size()) != rows_ + 1)
+        return false;
+    if (rowPtr_.front() != 0 ||
+        rowPtr_.back() != static_cast<Idx>(vals_.size()))
+        return false;
+    if (colIdx_.size() != vals_.size())
+        return false;
+    for (Idx r = 0; r < rows_; ++r) {
+        if (rowPtr_[r] > rowPtr_[r + 1])
+            return false;
+        Idx prev = -1;
+        for (Idx k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+            Idx c = colIdx_[k];
+            if (c < 0 || c >= cols_ || c <= prev)
+                return false;
+            prev = c;
+        }
+    }
+    return true;
+}
+
+CscMatrix
+CscMatrix::fromCoo(CooMatrix coo)
+{
+    coo.canonicalize();
+    coo.sortColMajor();
+    CscMatrix out;
+    out.rows_ = coo.rows();
+    out.cols_ = coo.cols();
+    compress(coo.cols(), coo.entries(),
+             [](const Triplet &t) { return t.col; },
+             [](const Triplet &t) { return t.row; },
+             out.colPtr_, out.rowIdx_, out.vals_);
+    return out;
+}
+
+CscMatrix
+CscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    return fromCoo(csr.toCoo());
+}
+
+CooMatrix
+CscMatrix::toCoo() const
+{
+    CooMatrix out(rows_, cols_);
+    for (Idx c = 0; c < cols_; ++c) {
+        auto rows = colRows(c);
+        auto vals = colVals(c);
+        for (std::size_t k = 0; k < rows.size(); ++k)
+            out.add(rows[k], c, vals[k]);
+    }
+    out.sortRowMajor();
+    return out;
+}
+
+bool
+CscMatrix::validate() const
+{
+    if (static_cast<Idx>(colPtr_.size()) != cols_ + 1)
+        return false;
+    if (colPtr_.front() != 0 ||
+        colPtr_.back() != static_cast<Idx>(vals_.size()))
+        return false;
+    if (rowIdx_.size() != vals_.size())
+        return false;
+    for (Idx c = 0; c < cols_; ++c) {
+        if (colPtr_[c] > colPtr_[c + 1])
+            return false;
+        Idx prev = -1;
+        for (Idx k = colPtr_[c]; k < colPtr_[c + 1]; ++k) {
+            Idx r = rowIdx_[k];
+            if (r < 0 || r >= rows_ || r <= prev)
+                return false;
+            prev = r;
+        }
+    }
+    return true;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,88 @@
+#include "sparse/datasets.hh"
+
+#include "sparse/generate.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+const char *
+matrixKindName(MatrixKind kind)
+{
+    switch (kind) {
+      case MatrixKind::Clustered: return "clustered";
+      case MatrixKind::Banded:    return "banded";
+      case MatrixKind::Uniform:   return "uniform";
+      case MatrixKind::Rmat:      return "rmat";
+      case MatrixKind::LowerSkew: return "lower-skew";
+    }
+    return "?";
+}
+
+const std::vector<DatasetSpec> &
+datasetSpecs()
+{
+    // Stand-in scales preserve nnz/row and the distribution class
+    // that governs the OEI residency window, so the Table I ordering
+    // (bu > ca > wi > co > ad > gy ~ eu > g2 > ro) reproduces; see
+    // DESIGN.md substitution table.  `param` is the band half-width
+    // for Banded, the cluster count for Clustered, and the
+    // lower-triangle skew (x100) for LowerSkew.
+    static const std::vector<DatasetSpec> specs = {
+        // name  paper_rows paper_nnz   rows    nnz     kind                   param
+        {"ca",   18772,     198110,     18772,  198110, MatrixKind::LowerSkew, 30},
+        {"gy",   17361,     178896,     17361,  178896, MatrixKind::Banded,    1700},
+        {"g2",   150102,    438388,     50034,  146130, MatrixKind::Banded,    3500},
+        {"co",   434102,    16036720,   13000,  480000, MatrixKind::Clustered, 8},
+        {"bu",   513351,    10360701,   25000,  500000, MatrixKind::LowerSkew, 100},
+        {"wi",   3566907,   45030389,   90000,  1140000, MatrixKind::Rmat,      0},
+        {"ad",   6815744,   13624320,   60000,  120000, MatrixKind::Banded,    12000},
+        {"ro",   23947347,  28854312,   100000, 120000, MatrixKind::Banded,    3000},
+        {"eu",   50912018,  54054660,   120000, 127000, MatrixKind::Banded,    9000},
+    };
+    return specs;
+}
+
+const DatasetSpec &
+datasetSpec(const std::string &name)
+{
+    for (const DatasetSpec &spec : datasetSpecs()) {
+        if (spec.name == name)
+            return spec;
+    }
+    sp_fatal("datasetSpec: unknown dataset '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
+CooMatrix
+generateDataset(const DatasetSpec &spec, std::uint64_t seed)
+{
+    // Mix the dataset name into the seed so each stand-in is distinct
+    // even with the same base seed.
+    std::uint64_t mixed = seed;
+    for (char ch : spec.name)
+        mixed = mixed * 1099511628211ULL + static_cast<unsigned char>(ch);
+    Rng rng(mixed);
+
+    switch (spec.kind) {
+      case MatrixKind::Clustered:
+        return generateClustered(spec.rows, spec.nnz, spec.param,
+                                 0.65, rng);
+      case MatrixKind::Banded: {
+        double per_row = static_cast<double>(spec.nnz) /
+                         static_cast<double>(spec.rows);
+        return generateBanded(spec.rows, spec.param, per_row, rng);
+      }
+      case MatrixKind::Uniform:
+        return generateUniform(spec.rows, spec.nnz, rng);
+      case MatrixKind::Rmat:
+        return generateRmat(spec.rows, spec.nnz, rng);
+      case MatrixKind::LowerSkew:
+        return generateLowerSkew(spec.rows, spec.nnz,
+                                 static_cast<double>(spec.param) /
+                                     100.0, rng);
+    }
+    sp_panic("generateDataset: bad kind");
+    __builtin_unreachable();
+}
+
+} // namespace sparsepipe

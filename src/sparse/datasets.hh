@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Registry of the nine evaluation matrices from the paper (Table I)
+ * and their scaled synthetic stand-ins.
+ *
+ * The real matrices (SuiteSparse: ca-*, gyro, G2, com-*, bundle, wiki,
+ * adaptive, road, europe-osm) are not redistributable with this
+ * repository and range up to 54 M non-zeros.  Each stand-in keeps the
+ * defining distribution of its class (clustered, banded, uniform,
+ * power-law) and the nnz/row ratio, at a scale that a laptop-class
+ * cycle simulation sweeps in seconds.  DESIGN.md documents the
+ * substitution argument.
+ */
+
+#ifndef SPARSEPIPE_SPARSE_DATASETS_HH
+#define SPARSEPIPE_SPARSE_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hh"
+
+namespace sparsepipe {
+
+/** Distribution class of a dataset stand-in. */
+enum class MatrixKind { Clustered, Banded, Uniform, Rmat, LowerSkew };
+
+/** @return human-readable name of a MatrixKind. */
+const char *matrixKindName(MatrixKind kind);
+
+/** One row of the dataset registry. */
+struct DatasetSpec
+{
+    /** Two-letter key used throughout the paper (ca, gy, ...). */
+    std::string name;
+    /** Shape of the original SuiteSparse matrix. */
+    Idx paper_rows;
+    Idx paper_nnz;
+    /** Shape of the scaled stand-in generated here. */
+    Idx rows;
+    Idx nnz;
+    /** Distribution class driving the generator. */
+    MatrixKind kind;
+    /** Extra generator knob (band width, cluster count, ...). */
+    Idx param;
+};
+
+/** @return the full registry in the paper's Table I order. */
+const std::vector<DatasetSpec> &datasetSpecs();
+
+/** @return the spec for `name`; fatal if the name is unknown. */
+const DatasetSpec &datasetSpec(const std::string &name);
+
+/**
+ * Generate the stand-in matrix for a spec.  Deterministic for a given
+ * (spec, seed) pair.
+ */
+CooMatrix generateDataset(const DatasetSpec &spec,
+                          std::uint64_t seed = 0x5eed5eedULL);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SPARSE_DATASETS_HH

@@ -1,0 +1,58 @@
+#include "sparse/dense.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+DenseMatrix::DenseMatrix(Idx rows, Idx cols, Value fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), fill)
+{
+    if (rows < 0 || cols < 0)
+        sp_fatal("DenseMatrix: negative shape");
+}
+
+Value
+norm1(const DenseVector &v)
+{
+    Value sum = 0.0;
+    for (Value x : v)
+        sum += std::abs(x);
+    return sum;
+}
+
+Value
+norm2(const DenseVector &v)
+{
+    Value sum = 0.0;
+    for (Value x : v)
+        sum += x * x;
+    return std::sqrt(sum);
+}
+
+Value
+dot(const DenseVector &a, const DenseVector &b)
+{
+    if (a.size() != b.size())
+        sp_fatal("dot: length mismatch %zu vs %zu", a.size(), b.size());
+    Value sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+Value
+maxAbsDiff(const DenseVector &a, const DenseVector &b)
+{
+    if (a.size() != b.size())
+        sp_fatal("maxAbsDiff: length mismatch %zu vs %zu",
+                 a.size(), b.size());
+    Value best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        best = std::max(best, std::abs(a[i] - b[i]));
+    return best;
+}
+
+} // namespace sparsepipe

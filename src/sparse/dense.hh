@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Thin dense vector / matrix helpers.  STA applications in this code
+ * base mix one sparse operand (the graph / system matrix) with dense
+ * vectors and, for GCN, a dense feature matrix.
+ */
+
+#ifndef SPARSEPIPE_SPARSE_DENSE_HH
+#define SPARSEPIPE_SPARSE_DENSE_HH
+
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe {
+
+/** Dense vector of Values. */
+using DenseVector = std::vector<Value>;
+
+/**
+ * Row-major dense matrix, used for GCN feature/weight matrices.
+ */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+
+    /** Construct a rows x cols matrix filled with fill. */
+    DenseMatrix(Idx rows, Idx cols, Value fill = 0.0);
+
+    Idx rows() const { return rows_; }
+    Idx cols() const { return cols_; }
+
+    Value &at(Idx r, Idx c) { return data_[index(r, c)]; }
+    Value at(Idx r, Idx c) const { return data_[index(r, c)]; }
+
+    /** Pointer to the start of row r. */
+    Value *row(Idx r) { return data_.data() + r * cols_; }
+    const Value *row(Idx r) const { return data_.data() + r * cols_; }
+
+    const std::vector<Value> &data() const { return data_; }
+    std::vector<Value> &data() { return data_; }
+
+    bool operator==(const DenseMatrix &other) const = default;
+
+  private:
+    std::size_t index(Idx r, Idx c) const
+    {
+        return static_cast<std::size_t>(r * cols_ + c);
+    }
+
+    Idx rows_ = 0;
+    Idx cols_ = 0;
+    std::vector<Value> data_;
+};
+
+/** @return the L1 norm of v. */
+Value norm1(const DenseVector &v);
+
+/** @return the L2 norm of v. */
+Value norm2(const DenseVector &v);
+
+/** @return the dot product of a and b (dims must match). */
+Value dot(const DenseVector &a, const DenseVector &b);
+
+/** @return max |a_i - b_i|; vectors must have equal length. */
+Value maxAbsDiff(const DenseVector &a, const DenseVector &b);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SPARSE_DENSE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * The paper evaluates nine SuiteSparse matrices whose behaviour under
+ * the OEI dataflow is governed by their non-zero *distribution*
+ * (uniform, power-law, banded, clustered).  These generators produce
+ * matrices of each distribution class at configurable scale so the
+ * benchmark harness can reproduce the paper's experiments on a
+ * laptop (see DESIGN.md, substitution table).
+ */
+
+#ifndef SPARSEPIPE_SPARSE_GENERATE_HH
+#define SPARSEPIPE_SPARSE_GENERATE_HH
+
+#include "sparse/coo.hh"
+#include "util/random.hh"
+
+namespace sparsepipe {
+
+/**
+ * Erdos-Renyi-style uniform random matrix.
+ * @param n    rows == cols
+ * @param nnz  target non-zero count (post-dedup count may be lower)
+ */
+CooMatrix generateUniform(Idx n, Idx nnz, Rng &rng);
+
+/**
+ * RMAT recursive power-law generator (Graph500 style).  Produces the
+ * skewed degree distributions typical of web / social graphs such as
+ * the paper's 'wi' (wikipedia) matrix.
+ * @param a,b,c  quadrant probabilities (d = 1-a-b-c)
+ */
+CooMatrix generateRmat(Idx n, Idx nnz, Rng &rng,
+                       double a = 0.57, double b = 0.19,
+                       double c = 0.19);
+
+/**
+ * Banded matrix with non-zeros within +-band of the diagonal, the
+ * distribution class of road networks and meshes ('ro', 'gy').
+ * @param band     half bandwidth
+ * @param per_row  average non-zeros per row
+ */
+CooMatrix generateBanded(Idx n, Idx band, double per_row, Rng &rng);
+
+/**
+ * Clustered / community matrix: most edges fall inside one of
+ * `clusters` diagonal blocks, the rest are uniform background.
+ * Models citation-style matrices ('ca', 'co').
+ * @param within  fraction of nnz placed inside a community block
+ */
+CooMatrix generateClustered(Idx n, Idx nnz, Idx clusters,
+                            double within, Rng &rng);
+
+/**
+ * Uniform random matrix skewed toward the lower triangle: a given
+ * fraction of entries get row > col.  Lower-triangle elements are
+ * exactly the long-residency case of the OEI dataflow, making this
+ * the stand-in for matrices with very large reuse windows (the
+ * paper's 'bu', 90% peak residency in Table I).
+ * @param low_frac  fraction of entries forced below the diagonal
+ */
+CooMatrix generateLowerSkew(Idx n, Idx nnz, double low_frac, Rng &rng);
+
+/**
+ * 5-point 2D Poisson stencil on a grid x grid mesh: the classic SPD
+ * system for CG / GMRES / BiCGSTAB solver benchmarks.
+ * @return (grid*grid) x (grid*grid) SPD matrix
+ */
+CooMatrix generatePoisson2D(Idx grid);
+
+/**
+ * Make a matrix usable as a PageRank-style transition structure:
+ * every value becomes 1/outdegree(row) so columns of the transposed
+ * matrix sum to one.  Rows with no entries are left empty (dangling
+ * nodes, handled by the application).
+ */
+CooMatrix rowStochastic(CooMatrix m);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SPARSE_GENERATE_HH

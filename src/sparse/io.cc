@@ -1,0 +1,95 @@
+#include "sparse/io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+CooMatrix
+readMatrixMarket(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sp_fatal("readMatrixMarket: cannot open '%s'", path.c_str());
+    return readMatrixMarket(in, path);
+}
+
+CooMatrix
+readMatrixMarket(std::istream &in, const std::string &name)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        sp_fatal("readMatrixMarket: '%s' is empty", name.c_str());
+
+    std::istringstream header(line);
+    std::string banner, object, format, field, symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket" || object != "matrix" ||
+        format != "coordinate") {
+        sp_fatal("readMatrixMarket: '%s' has unsupported header '%s'",
+                 name.c_str(), line.c_str());
+    }
+    const bool pattern = field == "pattern";
+    const bool symmetric = symmetry == "symmetric";
+    if (field != "real" && field != "integer" && !pattern)
+        sp_fatal("readMatrixMarket: unsupported field '%s' in '%s'",
+                 field.c_str(), name.c_str());
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+
+    long long rows = 0, cols = 0, nnz = 0;
+    {
+        std::istringstream size_line(line);
+        if (!(size_line >> rows >> cols >> nnz))
+            sp_fatal("readMatrixMarket: bad size line in '%s'",
+                     name.c_str());
+    }
+
+    CooMatrix out(rows, cols);
+    for (long long i = 0; i < nnz; ++i) {
+        if (!std::getline(in, line))
+            sp_fatal("readMatrixMarket: '%s' truncated at entry %lld",
+                     name.c_str(), i);
+        std::istringstream entry(line);
+        long long r = 0, c = 0;
+        double v = 1.0;
+        if (!(entry >> r >> c))
+            sp_fatal("readMatrixMarket: bad entry %lld in '%s'",
+                     i, name.c_str());
+        if (!pattern && !(entry >> v))
+            sp_fatal("readMatrixMarket: entry %lld in '%s' lacks value",
+                     i, name.c_str());
+        // MatrixMarket is 1-based.
+        out.add(r - 1, c - 1, v);
+        if (symmetric && r != c)
+            out.add(c - 1, r - 1, v);
+    }
+    out.canonicalize();
+    return out;
+}
+
+void
+writeMatrixMarket(const CooMatrix &m, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        sp_fatal("writeMatrixMarket: cannot open '%s'", path.c_str());
+    writeMatrixMarket(m, out);
+}
+
+void
+writeMatrixMarket(const CooMatrix &m, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+    for (const Triplet &t : m.entries())
+        out << t.row + 1 << ' ' << t.col + 1 << ' ' << t.val << '\n';
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * MatrixMarket-style coordinate file I/O.  The paper's datasets are
+ * SuiteSparse matrices distributed in this format; the reproduction
+ * supports the same container so externally obtained matrices can be
+ * dropped in, while the benchmark harness generates synthetic
+ * stand-ins (see sparse/generate.hh).
+ */
+
+#ifndef SPARSEPIPE_SPARSE_IO_HH
+#define SPARSEPIPE_SPARSE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace sparsepipe {
+
+/**
+ * Read a MatrixMarket coordinate file ("%%MatrixMarket matrix
+ * coordinate real|integer|pattern general|symmetric").
+ * Pattern entries get value 1.0; symmetric matrices are expanded.
+ * User errors (missing file, malformed header) are fatal.
+ */
+CooMatrix readMatrixMarket(const std::string &path);
+
+/** Parse MatrixMarket content from a stream (same rules as above). */
+CooMatrix readMatrixMarket(std::istream &in, const std::string &name);
+
+/** Write a COO matrix as a MatrixMarket coordinate-real file. */
+void writeMatrixMarket(const CooMatrix &m, const std::string &path);
+
+/** Serialize to a stream (used by round-trip tests). */
+void writeMatrixMarket(const CooMatrix &m, std::ostream &out);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SPARSE_IO_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar and index types shared across the Sparsepipe
+ * code base.
+ */
+
+#ifndef SPARSEPIPE_SPARSE_TYPES_HH
+#define SPARSEPIPE_SPARSE_TYPES_HH
+
+#include <cstdint>
+
+namespace sparsepipe {
+
+/**
+ * Index type for rows, columns, and non-zero counts.  Signed 64-bit
+ * so size arithmetic (e.g. reuse-distance deltas) never wraps.
+ */
+using Idx = std::int64_t;
+
+/** Scalar value type.  The paper evaluates 64-bit datatypes. */
+using Value = double;
+
+/** Simulated time in accelerator clock cycles. */
+using Tick = std::uint64_t;
+
+/** Bytes of a coordinate in the uncompressed dual storage format. */
+inline constexpr Idx coord_bytes = 4;
+
+/** Bytes of one value in memory (64-bit datatype, per the paper). */
+inline constexpr Idx value_bytes = 8;
+
+/** Bytes of one non-zero (value + coordinate) in CSR/CSC streams. */
+inline constexpr Idx nonzero_bytes = value_bytes + coord_bytes;
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_SPARSE_TYPES_HH

@@ -1,0 +1,65 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sparsepipe {
+
+namespace {
+
+bool quiet_flag = false;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quiet_flag;
+}
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const char *fmt, ...)
+{
+    bool severe = level == LogLevel::Fatal || level == LogLevel::Panic;
+    if (!severe && quiet_flag)
+        return;
+
+    std::FILE *out = severe ? stderr : stdout;
+    std::fprintf(out, "[%s] ", levelTag(level));
+
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+
+    if (severe)
+        std::fprintf(out, " (%s:%d)", file, line);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the Sparsepipe code base.
+ *
+ * The conventions follow the gem5 split between user-facing failures
+ * and internal invariant violations:
+ *  - fatal():  the simulation cannot continue because of a condition
+ *              that is the user's fault (bad configuration, malformed
+ *              input matrix, mismatched dimensions).  Exits cleanly
+ *              with a non-zero status.
+ *  - panic():  something happened that should never happen regardless
+ *              of user input, i.e. a bug in Sparsepipe itself.  Aborts
+ *              so a debugger or core dump can capture the state.
+ *  - warn():   functionality behaved unexpectedly but the run can
+ *              continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef SPARSEPIPE_UTIL_LOGGING_HH
+#define SPARSEPIPE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace sparsepipe {
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Format a printf-style message and dispatch it to the logging
+ * backend.  Fatal exits with status 1; Panic calls std::abort().
+ *
+ * @param level   severity of the message
+ * @param file    source file emitting the message (use __FILE__)
+ * @param line    source line emitting the message (use __LINE__)
+ * @param fmt     printf-style format string
+ */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+/**
+ * Quiet mode suppresses Inform/Warn output (used by tests that
+ * deliberately exercise warning paths).  Fatal/Panic always print.
+ */
+void setLogQuiet(bool quiet);
+
+/** @return true when quiet mode is active. */
+bool logQuiet();
+
+} // namespace sparsepipe
+
+/** User-error: print message and exit(1). */
+#define sp_fatal(...) \
+    ::sparsepipe::logMessage(::sparsepipe::LogLevel::Fatal, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+/** Internal bug: print message and abort(). */
+#define sp_panic(...) \
+    ::sparsepipe::logMessage(::sparsepipe::LogLevel::Panic, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+/** Recoverable oddity: print a warning and continue. */
+#define sp_warn(...) \
+    ::sparsepipe::logMessage(::sparsepipe::LogLevel::Warn, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+/** Plain status message. */
+#define sp_inform(...) \
+    ::sparsepipe::logMessage(::sparsepipe::LogLevel::Inform, \
+                             __FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; panics with the condition text. */
+#define sp_assert(cond) \
+    do { \
+        if (!(cond)) { \
+            sp_panic("assertion failed: %s", #cond); \
+        } \
+    } while (0)
+
+#endif // SPARSEPIPE_UTIL_LOGGING_HH

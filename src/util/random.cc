@@ -1,0 +1,69 @@
+#include "util/random.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * (UINT64_MAX / bound);
+    std::uint64_t x;
+    do {
+        x = next64();
+    } while (x >= limit);
+    return x % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for Sparsepipe.
+ *
+ * All stochastic pieces of the code base (matrix generators, workload
+ * sampling) draw from this generator so that runs are reproducible
+ * from a single seed.  The implementation is xoshiro256** which is
+ * fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef SPARSEPIPE_UTIL_RANDOM_HH
+#define SPARSEPIPE_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace sparsepipe {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**) seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialise the state from a seed. */
+    void reseed(std::uint64_t seed);
+
+    /** @return the next raw 64-bit output. */
+    std::uint64_t next64();
+
+    /** @return a uniformly distributed integer in [0, bound). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return a uniformly distributed double in [0, 1). */
+    double nextDouble();
+
+    /** @return a double in [lo, hi). */
+    double nextRange(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** @return true with probability p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_UTIL_RANDOM_HH

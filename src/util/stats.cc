@@ -1,0 +1,103 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    std::size_t counted = 0;
+    for (double v : values) {
+        if (v <= 0.0) {
+            sp_warn("geomean: skipping non-positive value %g", v);
+            continue;
+        }
+        log_sum += std::log(v);
+        ++counted;
+    }
+    if (counted == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(counted));
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+void
+WeightedStat::sample(double value, double weight)
+{
+    sum_ += value * weight;
+    weight_ += weight;
+    if (samples_ == 0) {
+        peak_ = value;
+        trough_ = value;
+    } else {
+        peak_ = std::max(peak_, value);
+        trough_ = std::min(trough_, value);
+    }
+    ++samples_;
+}
+
+double
+WeightedStat::weightedMean() const
+{
+    if (weight_ == 0.0)
+        return 0.0;
+    return sum_ / weight_;
+}
+
+std::vector<double>
+downsample(const std::vector<double> &series, std::size_t buckets)
+{
+    std::vector<double> out(buckets, 0.0);
+    if (series.empty() || buckets == 0)
+        return out;
+
+    const double stride =
+        static_cast<double>(series.size()) / static_cast<double>(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+        std::size_t lo = static_cast<std::size_t>(b * stride);
+        std::size_t hi = static_cast<std::size_t>((b + 1) * stride);
+        hi = std::min(hi, series.size());
+        if (hi <= lo)
+            hi = std::min(lo + 1, series.size());
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            sum += series[i];
+        out[b] = hi > lo ? sum / static_cast<double>(hi - lo) : 0.0;
+    }
+    return out;
+}
+
+} // namespace sparsepipe

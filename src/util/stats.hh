@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small statistics helpers shared by the simulator and the benchmark
+ * harness: scalar aggregates (mean / geomean / max), running counters,
+ * and fixed-bucket histograms used for bandwidth-utilization
+ * timelines.
+ */
+
+#ifndef SPARSEPIPE_UTIL_STATS_HH
+#define SPARSEPIPE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparsepipe {
+
+/** @return arithmetic mean of the values; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/**
+ * @return geometric mean of the values; 0 for an empty vector.
+ * Values must be positive; non-positive entries are skipped with a
+ * warning since a single zero would zero the whole aggregate.
+ */
+double geomean(const std::vector<double> &values);
+
+/** @return largest element, or 0 for an empty vector. */
+double maxOf(const std::vector<double> &values);
+
+/** @return smallest element, or 0 for an empty vector. */
+double minOf(const std::vector<double> &values);
+
+/**
+ * A named monotonically increasing counter.  Counters are the raw
+ * material of the energy model: every simulated event increments one.
+ */
+class Counter
+{
+  public:
+    explicit Counter(std::string name = "") : name_(std::move(name)) {}
+
+    void add(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Accumulates (value, weight) samples and reports weighted mean plus
+ * extrema.  Used for occupancy and utilization statistics.
+ */
+class WeightedStat
+{
+  public:
+    void sample(double value, double weight = 1.0);
+
+    double weightedMean() const;
+    double peak() const { return peak_; }
+    double trough() const { return trough_; }
+    std::uint64_t samples() const { return samples_; }
+
+  private:
+    double sum_ = 0.0;
+    double weight_ = 0.0;
+    double peak_ = 0.0;
+    double trough_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * Downsamples a long series into a fixed number of buckets by
+ * averaging, e.g. the 25 four-percent samples of Figure 15.
+ */
+std::vector<double> downsample(const std::vector<double> &series,
+                               std::size_t buckets);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_UTIL_STATS_HH

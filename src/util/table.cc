@@ -1,0 +1,64 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sparsepipe {
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    if (rows_.empty())
+        return "";
+
+    std::size_t cols = 0;
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            out << cell;
+            if (c + 1 < cols)
+                out << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < cols; ++c)
+                total += widths[c] + (c + 1 < cols ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace sparsepipe

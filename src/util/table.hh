@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal fixed-width text-table printer used by the benchmark
+ * harness so every reproduced table/figure prints in a uniform,
+ * diff-friendly layout.
+ */
+
+#ifndef SPARSEPIPE_UTIL_TABLE_HH
+#define SPARSEPIPE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sparsepipe {
+
+/**
+ * Collects rows of string cells and prints them with per-column
+ * widths.  The first row added is treated as the header.
+ */
+class TextTable
+{
+  public:
+    /** Append a row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table to a string (header + separator + rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_UTIL_TABLE_HH

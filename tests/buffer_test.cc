@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the dual sparse storage model: capacity invariants,
+ * CSC slice lifecycle, CSR band fill/consume, lazy repacking,
+ * eviction of the highest bands under pressure, and the prefetch
+ * pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "buffer/dual_buffer.hh"
+
+namespace sparsepipe {
+namespace {
+
+/** 1200 bytes at 12 B/element = 100 elements, 10 bands. */
+DualBufferModel
+smallBuffer(double repack_threshold = 0.125)
+{
+    return DualBufferModel(1200, 12, 10, repack_threshold);
+}
+
+TEST(DualBuffer, CapacityFromBytes)
+{
+    DualBufferModel buf = smallBuffer();
+    EXPECT_EQ(buf.capacityElems(), 100);
+    EXPECT_EQ(buf.occupancyElems(), 0);
+}
+
+TEST(DualBuffer, CscSliceLifecycle)
+{
+    DualBufferModel buf = smallBuffer();
+    EXPECT_EQ(buf.loadCscSlice(40), 40);
+    EXPECT_EQ(buf.occupancyElems(), 40);
+    buf.releaseCscSlice(40);
+    EXPECT_EQ(buf.occupancyElems(), 0);
+    EXPECT_EQ(buf.stats().peak_elems, 40);
+}
+
+TEST(DualBuffer, ReleasingTooMuchCscPanics)
+{
+    DualBufferModel buf = smallBuffer();
+    buf.loadCscSlice(10);
+    EXPECT_DEATH(buf.releaseCscSlice(11), "more CSC data");
+}
+
+TEST(DualBuffer, RowBandsFillAndConsume)
+{
+    DualBufferModel buf = smallBuffer();
+    EXPECT_EQ(buf.addRowElems(3, 25), 25);
+    EXPECT_EQ(buf.addRowElems(3, 5), 5);
+    EXPECT_EQ(buf.bandElems(3), 30);
+    EXPECT_EQ(buf.consumeBand(3), 30);
+    EXPECT_EQ(buf.bandElems(3), 0);
+}
+
+TEST(DualBuffer, ConsumedSpaceReclaimedLazily)
+{
+    // Threshold 0.5: 50 elements may sit consumed before a repack.
+    DualBufferModel buf(1200, 12, 10, 0.5);
+    buf.addRowElems(1, 30);
+    buf.consumeBand(1);
+    // Below threshold: space still occupied.
+    EXPECT_EQ(buf.occupancyElems(), 30);
+    EXPECT_EQ(buf.stats().repacks, 0);
+    buf.addRowElems(2, 30);
+    buf.consumeBand(2);
+    // 60 consumed >= 50: repack reclaims.
+    EXPECT_EQ(buf.occupancyElems(), 0);
+    EXPECT_EQ(buf.stats().repacks, 1);
+}
+
+TEST(DualBuffer, ArrivalsToConsumedBandsFlowThrough)
+{
+    DualBufferModel buf = smallBuffer();
+    buf.consumeBand(4); // unlocks bands <= 4
+    EXPECT_EQ(buf.addRowElems(2, 10), 10); // flows through
+    EXPECT_EQ(buf.occupancyElems(), 0);    // not retained
+}
+
+TEST(DualBuffer, OverflowEvictsHighestBandsFirst)
+{
+    DualBufferModel buf = smallBuffer(0.01);
+    buf.addRowElems(5, 40);
+    buf.addRowElems(9, 40);
+    // 20 free; asking for 40 into band 6 must evict from band 9.
+    EXPECT_EQ(buf.addRowElems(6, 40), 40);
+    EXPECT_EQ(buf.bandEvicted(9), 20);
+    EXPECT_EQ(buf.bandElems(9), 20);
+    EXPECT_EQ(buf.bandElems(5), 40);
+    EXPECT_EQ(buf.stats().evicted_elems, 20);
+    EXPECT_LE(buf.occupancyElems(), buf.capacityElems());
+}
+
+TEST(DualBuffer, TakeEvictedClaimsReloadDebt)
+{
+    DualBufferModel buf = smallBuffer(0.01);
+    buf.addRowElems(9, 60);
+    buf.addRowElems(8, 60); // evicts 20 from band 9
+    EXPECT_EQ(buf.takeEvicted(9), 20);
+    EXPECT_EQ(buf.takeEvicted(9), 0); // claimed once
+}
+
+TEST(DualBuffer, OccupancyNeverExceedsCapacity)
+{
+    DualBufferModel buf = smallBuffer(0.05);
+    for (Idx round = 0; round < 50; ++round) {
+        buf.addRowElems(round % 10, 17);
+        if (round % 3 == 0)
+            buf.consumeBand(round % 10);
+        EXPECT_LE(buf.occupancyElems(), buf.capacityElems());
+    }
+}
+
+TEST(DualBuffer, PrefetchPoolSharesCapacity)
+{
+    DualBufferModel buf = smallBuffer();
+    EXPECT_EQ(buf.addPrefetch(30), 30);
+    EXPECT_EQ(buf.prefetchElems(), 30);
+    // Only 70 free now; prefetch never evicts resident data.
+    EXPECT_EQ(buf.addPrefetch(100), 70);
+    EXPECT_EQ(buf.addPrefetch(10), 0);
+    buf.releasePrefetch(100);
+    EXPECT_EQ(buf.occupancyElems(), 0);
+    EXPECT_DEATH(buf.releasePrefetch(1), "more prefetch data");
+}
+
+TEST(DualBuffer, InvalidConstructionIsFatal)
+{
+    EXPECT_DEATH(DualBufferModel(0, 12, 10), "invalid configuration");
+    EXPECT_DEATH(DualBufferModel(100, 12, 0), "invalid configuration");
+}
+
+TEST(DualBuffer, BandOutOfRangePanics)
+{
+    DualBufferModel buf = smallBuffer();
+    EXPECT_DEATH(buf.addRowElems(10, 1), "out of range");
+    EXPECT_DEATH(buf.consumeBand(-1), "out of range");
+}
+
+} // namespace
+} // namespace sparsepipe

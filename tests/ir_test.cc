@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests of the dataflow IR and the GraphBLAS-style builder:
+ * construction, validation contracts, and shape checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/builder.hh"
+#include "lang/workspace.hh"
+#include "sparse/generate.hh"
+#include "test_helpers.hh"
+
+namespace sparsepipe {
+namespace {
+
+TEST(ProgramBuilder, BuildsValidVxmProgram)
+{
+    ProgramBuilder b("toy");
+    TensorId a = b.matrix("A", 8, 8);
+    TensorId x = b.vector("x", 8);
+    TensorId y = b.vector("y", 8);
+    b.vxm(y, x, a, Semiring(SemiringKind::MulAdd), "spmv");
+    b.carry(x, y);
+    Program p = b.build();
+
+    EXPECT_EQ(p.name(), "toy");
+    EXPECT_EQ(p.ops().size(), 1u);
+    EXPECT_EQ(p.ops()[0].kind, OpKind::Vxm);
+    EXPECT_EQ(p.carries().size(), 1u);
+    EXPECT_FALSE(p.hasConvergence());
+}
+
+TEST(ProgramBuilder, ConvergenceRecorded)
+{
+    ProgramBuilder b("conv");
+    TensorId s = b.scalar("res", 0.0);
+    b.converge(s, 1e-3);
+    Program p = b.build();
+    EXPECT_TRUE(p.hasConvergence());
+    EXPECT_EQ(p.convergenceScalar(), s);
+    EXPECT_DOUBLE_EQ(p.convergenceThreshold(), 1e-3);
+}
+
+TEST(ProgramValidate, VxmShapeMismatchIsFatal)
+{
+    ProgramBuilder b("bad");
+    TensorId a = b.matrix("A", 8, 8);
+    TensorId x = b.vector("x", 4); // wrong length
+    TensorId y = b.vector("y", 8);
+    b.vxm(y, x, a, Semiring(SemiringKind::MulAdd));
+    EXPECT_DEATH(b.build(), "shape mismatch");
+}
+
+TEST(ProgramValidate, VxmOperandKindsChecked)
+{
+    ProgramBuilder b("bad2");
+    TensorId x = b.vector("x", 8);
+    TensorId y = b.vector("y", 8);
+    TensorId z = b.vector("z", 8);
+    b.vxm(y, x, z, Semiring(SemiringKind::MulAdd)); // z not a matrix
+    EXPECT_DEATH(b.build(), "operand kinds");
+}
+
+TEST(ProgramValidate, EwiseShapeMismatchIsFatal)
+{
+    ProgramBuilder b("bad3");
+    TensorId x = b.vector("x", 8);
+    TensorId y = b.vector("y", 9);
+    TensorId z = b.vector("z", 8);
+    b.eWise(z, BinaryOp::Add, x, y);
+    EXPECT_DEATH(b.build(), "ewise shape mismatch");
+}
+
+TEST(ProgramValidate, ScalarBroadcastAllowed)
+{
+    ProgramBuilder b("bcast");
+    TensorId x = b.vector("x", 8);
+    TensorId z = b.vector("z", 8);
+    TensorId c = b.constant("c", 2.0);
+    b.eWise(z, BinaryOp::Mul, x, c);
+    Program p = b.build();
+    EXPECT_EQ(p.ops().size(), 1u);
+}
+
+TEST(ProgramValidate, CarryShapeMismatchIsFatal)
+{
+    ProgramBuilder b("bad4");
+    TensorId x = b.vector("x", 8);
+    TensorId y = b.vector("y", 16);
+    b.carry(x, y);
+    EXPECT_DEATH(b.build(), "carry shape mismatch");
+}
+
+TEST(ProgramValidate, CarryIntoConstantIsFatal)
+{
+    ProgramBuilder b("bad5");
+    TensorId c = b.constant("c", 1.0);
+    TensorId s = b.scalar("s", 0.0);
+    b.carry(c, s);
+    EXPECT_DEATH(b.build(), "constant");
+}
+
+TEST(ProgramValidate, FoldNeedsVectorToScalar)
+{
+    ProgramBuilder b("bad6");
+    TensorId s = b.scalar("s", 0.0);
+    TensorId t = b.scalar("t", 0.0);
+    b.fold(t, BinaryOp::Add, s);
+    EXPECT_DEATH(b.build(), "fold needs vector");
+}
+
+TEST(ProgramValidate, MmShapesChecked)
+{
+    ProgramBuilder b("bad7");
+    TensorId h = b.dense("H", 4, 8);
+    TensorId w = b.dense("W", 4, 4); // inner dim mismatch
+    TensorId o = b.dense("O", 4, 4);
+    b.mm(o, h, w);
+    EXPECT_DEATH(b.build(), "mm shape mismatch");
+}
+
+TEST(OpKindNames, Stable)
+{
+    EXPECT_STREQ(opKindName(OpKind::Vxm), "vxm");
+    EXPECT_STREQ(opKindName(OpKind::Spmm), "spmm");
+    EXPECT_STREQ(opKindName(OpKind::EwiseBinary), "ewise-binary");
+    EXPECT_TRUE(isElementWise(OpKind::EwiseUnary));
+    EXPECT_TRUE(isElementWise(OpKind::Mm)); // row-granular
+    EXPECT_FALSE(isElementWise(OpKind::Fold));
+    EXPECT_FALSE(isElementWise(OpKind::Vxm));
+}
+
+TEST(Workspace, AllocatesAndInitialises)
+{
+    ProgramBuilder b("ws");
+    TensorId a = b.matrix("A", 4, 4);
+    TensorId x = b.vector("x", 4);
+    TensorId d = b.dense("D", 2, 3);
+    TensorId s = b.scalar("s", 2.5);
+    TensorId c = b.constant("pi", 3.14);
+    b.eWise(x, BinaryOp::Mul, x, c);
+    Program p = b.build();
+
+    Workspace ws(p);
+    EXPECT_EQ(ws.vec(x).size(), 4u);
+    EXPECT_EQ(ws.den(d).rows(), 2);
+    EXPECT_DOUBLE_EQ(ws.scalar(s), 2.5);
+    EXPECT_DOUBLE_EQ(ws.scalar(c), 3.14);
+    EXPECT_FALSE(ws.matrixBound(a));
+
+    CooMatrix m(4, 4);
+    m.add(1, 2, 1.0);
+    ws.bindMatrix(a, CsrMatrix::fromCoo(m));
+    EXPECT_TRUE(ws.matrixBound(a));
+    EXPECT_EQ(ws.csr(a).nnz(), 1);
+    EXPECT_EQ(ws.csc(a).nnz(), 1);
+}
+
+TEST(Workspace, BindingWrongShapeIsFatal)
+{
+    ProgramBuilder b("ws2");
+    TensorId a = b.matrix("A", 4, 4);
+    Program p = b.build();
+    Workspace ws(p);
+    CooMatrix m(3, 3);
+    EXPECT_DEATH(ws.bindMatrix(a, CsrMatrix::fromCoo(m)), "expects");
+}
+
+TEST(Workspace, UnboundMatrixAccessIsFatal)
+{
+    ProgramBuilder b("ws3");
+    TensorId a = b.matrix("A", 4, 4);
+    Program p = b.build();
+    Workspace ws(p);
+    EXPECT_DEATH(ws.csr(a), "unbound");
+}
+
+} // namespace
+} // namespace sparsepipe

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the offline preprocessing: row reorders (permutation
+ * validity and their effect on the OEI residency window) and the
+ * blocked dual sparse storage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/buckets.hh"
+#include "prep/blocked.hh"
+#include "prep/reorder.hh"
+#include "test_helpers.hh"
+
+namespace sparsepipe {
+namespace {
+
+TEST(Reorder, IdentityIsPermutation)
+{
+    auto perm = identityOrder(10);
+    EXPECT_TRUE(isPermutation(perm));
+    EXPECT_EQ(perm[7], 7);
+}
+
+TEST(Reorder, VanillaAndLocalityArePermutations)
+{
+    CooMatrix raw = testing::smallRmat(120, 1000, 4);
+    CsrMatrix csr = CsrMatrix::fromCoo(raw);
+    EXPECT_TRUE(isPermutation(vanillaReorder(csr)));
+    EXPECT_TRUE(isPermutation(localityReorder(csr)));
+    EXPECT_TRUE(isPermutation(makeReorder(ReorderKind::None, csr)));
+}
+
+TEST(Reorder, IsPermutationRejectsBadVectors)
+{
+    EXPECT_FALSE(isPermutation({0, 0, 1}));
+    EXPECT_FALSE(isPermutation({0, 3, 1}));
+    EXPECT_TRUE(isPermutation({2, 0, 1}));
+}
+
+TEST(Reorder, SymmetricPermutationPreservesStructure)
+{
+    CooMatrix raw = testing::smallGraph(50, 300, 6);
+    raw.canonicalize();
+    CsrMatrix csr = CsrMatrix::fromCoo(raw);
+    auto perm = localityReorder(csr);
+    CooMatrix renum = applySymmetricPermutation(raw, perm);
+
+    EXPECT_EQ(renum.nnz(), raw.nnz());
+    // Degree multiset is preserved.
+    auto degrees = [](const CooMatrix &m) {
+        std::vector<Idx> d(static_cast<std::size_t>(m.rows()), 0);
+        for (const Triplet &t : m.entries())
+            ++d[static_cast<std::size_t>(t.row)];
+        std::sort(d.begin(), d.end());
+        return d;
+    };
+    EXPECT_EQ(degrees(renum), degrees(raw));
+    // Applying the inverse restores the matrix.
+    std::vector<Idx> inv(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        inv[static_cast<std::size_t>(perm[i])] = static_cast<Idx>(i);
+    CooMatrix back = applySymmetricPermutation(renum, inv);
+    CooMatrix canon = raw;
+    canon.canonicalize();
+    EXPECT_EQ(back.entries(), canon.entries());
+}
+
+TEST(Reorder, VanillaPushesMassAboveDiagonal)
+{
+    Rng rng(10);
+    CooMatrix raw = generateLowerSkew(300, 3000, 0.9, rng);
+    raw.canonicalize();
+    CsrMatrix csr = CsrMatrix::fromCoo(raw);
+    auto below = [](const CooMatrix &m) {
+        Idx count = 0;
+        for (const Triplet &t : m.entries())
+            if (t.row > t.col)
+                ++count;
+        return count;
+    };
+    CooMatrix reord =
+        applySymmetricPermutation(raw, vanillaReorder(csr));
+    EXPECT_LT(below(reord), below(raw));
+}
+
+TEST(Reorder, LocalityShrinksResidencyOnSkewedGraphs)
+{
+    Rng rng(20);
+    CooMatrix raw = generateClustered(400, 4000, 16, 0.85, rng);
+    // Scramble vertex ids so the generator's block locality is lost.
+    Rng rng2(21);
+    std::vector<Idx> scramble = identityOrder(400);
+    for (std::size_t i = scramble.size(); i > 1; --i)
+        std::swap(scramble[i - 1],
+                  scramble[rng2.nextBelow(i)]);
+    CooMatrix scrambled = applySymmetricPermutation(raw, scramble);
+
+    auto avg_resident = [](const CooMatrix &m) {
+        StepBuckets b =
+            StepBuckets::build(CscMatrix::fromCoo(m), 16);
+        return residencySweep(b, 2).avg_resident;
+    };
+    CsrMatrix csr = CsrMatrix::fromCoo(scrambled);
+    CooMatrix reord =
+        applySymmetricPermutation(scrambled, localityReorder(csr));
+    EXPECT_LT(avg_resident(reord), avg_resident(scrambled));
+}
+
+TEST(Reorder, NonSquareIsFatal)
+{
+    CooMatrix m(2, 3);
+    EXPECT_DEATH(applySymmetricPermutation(m, {0, 1}),
+                 "must be square");
+    CooMatrix sq(3, 3);
+    EXPECT_DEATH(applySymmetricPermutation(sq, {0, 1}),
+                 "length mismatch");
+}
+
+TEST(Blocked, DualStorageBytesFormula)
+{
+    // 2 formats x nnz x 12B + pointer arrays.
+    EXPECT_EQ(dualStorageBytes(100, 10, 10),
+              2 * 100 * 12 + (11 + 11) * 4);
+}
+
+TEST(Blocked, LayoutCountsNonzeroBlocks)
+{
+    CooMatrix m(512, 512);
+    m.add(0, 0, 1.0);     // block (0,0)
+    m.add(255, 255, 1.0); // block (0,0)
+    m.add(256, 0, 1.0);   // block (1,0)
+    m.add(511, 511, 1.0); // block (1,1)
+    BlockedLayout layout =
+        buildBlockedLayout(CsrMatrix::fromCoo(m), 256);
+    EXPECT_EQ(layout.nonzero_blocks, 3);
+    EXPECT_EQ(layout.nnz, 4);
+    EXPECT_EQ(layout.grid_rows, 2);
+}
+
+TEST(Blocked, CompressesDualStorageSubstantially)
+{
+    CooMatrix raw = testing::smallGraph(2048, 40000, 12);
+    CsrMatrix csr = CsrMatrix::fromCoo(raw);
+    BlockedLayout layout = buildBlockedLayout(csr);
+    Idx dual = dualStorageBytes(csr.nnz(), csr.rows(), csr.cols());
+    double ratio = static_cast<double>(layout.totalBytes()) /
+                   static_cast<double>(dual);
+    // Paper Fig. 20a: blocked dual storage ~39.2% of unblocked.
+    EXPECT_LT(ratio, 0.6);
+    EXPECT_GT(ratio, 0.3);
+    EXPECT_LT(layout.bytesPerNonzero(), 12.0);
+    EXPECT_GT(layout.bytesPerNonzero(), 9.0);
+}
+
+TEST(Blocked, OversizedBlockIsFatal)
+{
+    CooMatrix raw = testing::smallGraph(64, 100);
+    CsrMatrix csr = CsrMatrix::fromCoo(raw);
+    EXPECT_DEATH(buildBlockedLayout(csr, 512), "1-byte");
+    EXPECT_DEATH(buildBlockedLayout(csr, 0), "1-byte");
+}
+
+TEST(Reorder, KindNamesStable)
+{
+    EXPECT_STREQ(reorderKindName(ReorderKind::None), "none");
+    EXPECT_STREQ(reorderKindName(ReorderKind::Vanilla), "vanilla");
+    EXPECT_STREQ(reorderKindName(ReorderKind::Locality), "locality");
+}
+
+} // namespace
+} // namespace sparsepipe

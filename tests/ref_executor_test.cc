@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests of the reference executor: every opcode against hand
+ * computations or dense oracles, carry semantics, convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/builder.hh"
+#include "ref/executor.hh"
+#include "test_helpers.hh"
+
+namespace sparsepipe {
+namespace {
+
+const Semiring mul_add{SemiringKind::MulAdd};
+
+/** Dense oracle for y = x A over a semiring. */
+DenseVector
+denseVxm(const DenseVector &x, const CooMatrix &a, Semiring sr)
+{
+    DenseVector y(static_cast<std::size_t>(a.cols()),
+                  sr.addIdentity());
+    for (const Triplet &t : a.entries()) {
+        Value xv = x[static_cast<std::size_t>(t.row)];
+        if (sr.annihilates(xv))
+            continue;
+        auto c = static_cast<std::size_t>(t.col);
+        y[c] = sr.add(y[c], sr.multiply(xv, t.val));
+    }
+    return y;
+}
+
+class VxmSemiring : public ::testing::TestWithParam<SemiringKind>
+{
+};
+
+TEST_P(VxmSemiring, MatchesDenseOracle)
+{
+    Semiring sr(GetParam());
+    CooMatrix raw = testing::smallGraph(32, 200);
+
+    ProgramBuilder b("vxm");
+    TensorId a = b.matrix("A", 32, 32);
+    TensorId x = b.vector("x", 32);
+    TensorId y = b.vector("y", 32);
+    b.vxm(y, x, a, sr);
+    Program p = b.build();
+
+    Workspace ws(p);
+    ws.bindMatrix(a, CsrMatrix::fromCoo(raw));
+    Rng rng(3);
+    for (auto &v : ws.vec(x))
+        v = rng.nextBool(0.7) ? rng.nextRange(0.0, 2.0) : 0.0;
+    DenseVector x_copy = ws.vec(x);
+
+    RefExecutor().runBody(ws);
+    DenseVector expect = denseVxm(x_copy, raw, sr);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(ws.vec(y)[i], expect[i], 1e-12) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, VxmSemiring,
+    ::testing::Values(SemiringKind::MulAdd, SemiringKind::AndOr,
+                      SemiringKind::MinAdd, SemiringKind::ArilAdd));
+
+TEST(RefExecutor, SpmmMatchesPerColumnVxm)
+{
+    CooMatrix raw = testing::smallGraph(24, 150);
+    const Idx f = 5;
+
+    ProgramBuilder b("spmm");
+    TensorId a = b.matrix("A", 24, 24);
+    TensorId h = b.dense("H", 24, f);
+    TensorId o = b.dense("O", 24, f);
+    b.spmm(o, a, h, mul_add);
+    Program p = b.build();
+
+    Workspace ws(p);
+    ws.bindMatrix(a, CsrMatrix::fromCoo(raw));
+    Rng rng(4);
+    for (auto &v : ws.den(h).data())
+        v = rng.nextRange(-1.0, 1.0);
+    RefExecutor().runBody(ws);
+
+    // Oracle: per output row i, sum_j A(i,j) * H(j, :).
+    for (Idx i = 0; i < 24; ++i) {
+        DenseVector expect(static_cast<std::size_t>(f), 0.0);
+        for (const Triplet &t : raw.entries()) {
+            if (t.row != i)
+                continue;
+            for (Idx k = 0; k < f; ++k)
+                expect[static_cast<std::size_t>(k)] +=
+                    t.val * ws.den(h).at(t.col, k);
+        }
+        for (Idx k = 0; k < f; ++k)
+            EXPECT_NEAR(ws.den(o).at(i, k),
+                        expect[static_cast<std::size_t>(k)], 1e-12);
+    }
+}
+
+TEST(RefExecutor, MmMatchesTripleLoop)
+{
+    ProgramBuilder b("mm");
+    TensorId h = b.dense("H", 3, 4);
+    TensorId w = b.dense("W", 4, 2);
+    TensorId o = b.dense("O", 3, 2);
+    b.mm(o, h, w);
+    Program p = b.build();
+
+    Workspace ws(p);
+    Rng rng(5);
+    for (auto &v : ws.den(h).data())
+        v = rng.nextRange(-1.0, 1.0);
+    for (auto &v : ws.den(w).data())
+        v = rng.nextRange(-1.0, 1.0);
+    RefExecutor().runBody(ws);
+
+    for (Idx i = 0; i < 3; ++i) {
+        for (Idx j = 0; j < 2; ++j) {
+            Value acc = 0.0;
+            for (Idx k = 0; k < 4; ++k)
+                acc += ws.den(h).at(i, k) * ws.den(w).at(k, j);
+            EXPECT_NEAR(ws.den(o).at(i, j), acc, 1e-12);
+        }
+    }
+}
+
+TEST(RefExecutor, FoldMonoids)
+{
+    ProgramBuilder b("fold");
+    TensorId v = b.vector("v", 4);
+    TensorId s_add = b.scalar("sa");
+    TensorId s_min = b.scalar("sm");
+    TensorId s_max = b.scalar("sx");
+    b.fold(s_add, BinaryOp::Add, v);
+    b.fold(s_min, BinaryOp::Min, v);
+    b.fold(s_max, BinaryOp::Max, v);
+    Program p = b.build();
+    Workspace ws(p);
+    ws.vec(v) = {3.0, -1.0, 7.0, 2.0};
+    RefExecutor().runBody(ws);
+    EXPECT_DOUBLE_EQ(ws.scalar(s_add), 11.0);
+    EXPECT_DOUBLE_EQ(ws.scalar(s_min), -1.0);
+    EXPECT_DOUBLE_EQ(ws.scalar(s_max), 7.0);
+}
+
+TEST(RefExecutor, FoldNonMonoidIsFatal)
+{
+    ProgramBuilder b("foldbad");
+    TensorId v = b.vector("v", 4);
+    TensorId s = b.scalar("s");
+    b.fold(s, BinaryOp::Sub, v);
+    Program p = b.build();
+    Workspace ws(p);
+    EXPECT_DEATH(RefExecutor().runBody(ws), "not a reduction monoid");
+}
+
+TEST(RefExecutor, DotAndScalarEwise)
+{
+    ProgramBuilder b("dot");
+    TensorId x = b.vector("x", 3);
+    TensorId y = b.vector("y", 3);
+    TensorId s = b.scalar("s");
+    TensorId t = b.scalar("t");
+    TensorId q = b.scalar("q");
+    b.dotOp(s, x, y);
+    b.eWise(t, BinaryOp::Div, s, s);
+    b.apply(q, UnaryOp::Sqrt, s);
+    Program p = b.build();
+    Workspace ws(p);
+    ws.vec(x) = {1.0, 2.0, 3.0};
+    ws.vec(y) = {4.0, 5.0, 6.0};
+    RefExecutor().runBody(ws);
+    EXPECT_DOUBLE_EQ(ws.scalar(s), 32.0);
+    EXPECT_DOUBLE_EQ(ws.scalar(t), 1.0);
+    EXPECT_NEAR(ws.scalar(q), std::sqrt(32.0), 1e-12);
+}
+
+TEST(RefExecutor, CarriesAreSimultaneous)
+{
+    // Swap semantics: a <-> b must not lose a value.
+    ProgramBuilder b("swap");
+    TensorId x = b.vector("x", 2);
+    TensorId y = b.vector("y", 2);
+    b.carry(x, y);
+    b.carry(y, x);
+    Program p = b.build();
+    Workspace ws(p);
+    ws.vec(x) = {1.0, 1.0};
+    ws.vec(y) = {2.0, 2.0};
+    RefExecutor ref;
+    ref.applyCarries(ws);
+    EXPECT_EQ(ws.vec(x)[0], 2.0);
+    EXPECT_EQ(ws.vec(y)[0], 1.0);
+}
+
+TEST(RefExecutor, ConvergenceStopsEarly)
+{
+    // res halves every iteration starting at 1: stops when < 0.1.
+    ProgramBuilder b("converge");
+    TensorId res = b.scalar("res", 1.0);
+    TensorId half = b.constant("half", 0.5);
+    TensorId next = b.scalar("next");
+    b.eWise(next, BinaryOp::Mul, res, half);
+    b.carry(res, next);
+    b.converge(res, 0.1);
+    Program p = b.build();
+    Workspace ws(p);
+    RunResult r = RefExecutor().run(ws, 100);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, 4); // 0.5 0.25 0.125 0.0625
+}
+
+TEST(RefExecutor, AssignCopiesVectors)
+{
+    ProgramBuilder b("assign");
+    TensorId x = b.vector("x", 3);
+    TensorId y = b.vector("y", 3);
+    b.assign(y, x);
+    Program p = b.build();
+    Workspace ws(p);
+    ws.vec(x) = {7.0, 8.0, 9.0};
+    RefExecutor().runBody(ws);
+    EXPECT_EQ(ws.vec(y), ws.vec(x));
+}
+
+} // namespace
+} // namespace sparsepipe

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Semiring and element-wise operator tests, including property-style
+ * checks of the monoid/semiring axioms over sampled values.
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "semiring/ewise.hh"
+#include "semiring/semiring.hh"
+#include "util/random.hh"
+
+namespace sparsepipe {
+namespace {
+
+constexpr Value inf = std::numeric_limits<Value>::infinity();
+
+TEST(Semiring, MulAdd)
+{
+    Semiring sr(SemiringKind::MulAdd);
+    EXPECT_EQ(sr.addIdentity(), 0.0);
+    EXPECT_EQ(sr.add(2.0, 3.0), 5.0);
+    EXPECT_EQ(sr.multiply(2.0, 3.0), 6.0);
+    EXPECT_TRUE(sr.annihilates(0.0));
+    EXPECT_FALSE(sr.annihilates(1.0));
+    EXPECT_STREQ(sr.name(), "mul-add");
+}
+
+TEST(Semiring, AndOr)
+{
+    Semiring sr(SemiringKind::AndOr);
+    EXPECT_EQ(sr.add(0.0, 0.0), 0.0);
+    EXPECT_EQ(sr.add(1.0, 0.0), 1.0);
+    EXPECT_EQ(sr.multiply(1.0, 1.0), 1.0);
+    EXPECT_EQ(sr.multiply(1.0, 0.0), 0.0);
+    EXPECT_TRUE(sr.annihilates(0.0));
+}
+
+TEST(Semiring, MinAdd)
+{
+    Semiring sr(SemiringKind::MinAdd);
+    EXPECT_EQ(sr.addIdentity(), inf);
+    EXPECT_EQ(sr.add(3.0, 5.0), 3.0);
+    EXPECT_EQ(sr.multiply(3.0, 5.0), 8.0);
+    EXPECT_TRUE(sr.annihilates(inf));
+    // inf is absorbing through multiply.
+    EXPECT_EQ(sr.multiply(inf, 5.0), inf);
+}
+
+TEST(Semiring, ArilAdd)
+{
+    Semiring sr(SemiringKind::ArilAdd);
+    // "Assigns the right-hand input if the left evaluates true."
+    EXPECT_EQ(sr.multiply(1.0, 7.0), 7.0);
+    EXPECT_EQ(sr.multiply(0.0, 7.0), 0.0);
+    EXPECT_EQ(sr.add(2.0, 3.0), 5.0);
+}
+
+TEST(Semiring, MaxMul)
+{
+    Semiring sr(SemiringKind::MaxMul);
+    EXPECT_EQ(sr.addIdentity(), -inf);
+    EXPECT_EQ(sr.add(2.0, 5.0), 5.0);
+    EXPECT_EQ(sr.multiply(2.0, 5.0), 10.0);
+}
+
+TEST(Semiring, NameRoundTrip)
+{
+    for (SemiringKind kind :
+         {SemiringKind::MulAdd, SemiringKind::AndOr,
+          SemiringKind::MinAdd, SemiringKind::ArilAdd,
+          SemiringKind::MaxMul}) {
+        Semiring sr(kind);
+        EXPECT_EQ(semiringFromName(sr.name()), sr);
+    }
+    EXPECT_DEATH(semiringFromName("bogus"), "unknown semiring");
+}
+
+/** Axioms checked over sampled operands. */
+class SemiringAxioms
+    : public ::testing::TestWithParam<SemiringKind>
+{
+  protected:
+    std::vector<Value>
+    samples() const
+    {
+        // AndOr only behaves as a semiring over {0, 1}.
+        if (GetParam() == SemiringKind::AndOr)
+            return {0.0, 1.0};
+        std::vector<Value> out = {0.0, 1.0, -2.5, 7.0};
+        Rng rng(5);
+        for (int i = 0; i < 8; ++i)
+            out.push_back(rng.nextRange(-10.0, 10.0));
+        return out;
+    }
+};
+
+TEST_P(SemiringAxioms, AdditionIsCommutativeMonoid)
+{
+    Semiring sr(GetParam());
+    const Value id = sr.addIdentity();
+    for (Value a : samples()) {
+        EXPECT_EQ(sr.add(a, id), a);
+        EXPECT_EQ(sr.add(id, a), a);
+        for (Value b : samples()) {
+            EXPECT_EQ(sr.add(a, b), sr.add(b, a));
+            for (Value c : samples()) {
+                EXPECT_DOUBLE_EQ(sr.add(sr.add(a, b), c),
+                                 sr.add(a, sr.add(b, c)));
+            }
+        }
+    }
+}
+
+TEST_P(SemiringAxioms, AnnihilatorKillsMultiply)
+{
+    Semiring sr(GetParam());
+    for (Value a : samples()) {
+        if (!sr.annihilates(a))
+            continue;
+        for (Value b : samples()) {
+            // multiply(a, b) must contribute the additive identity
+            // when reduced.
+            Value product = sr.multiply(a, b);
+            EXPECT_EQ(sr.add(sr.addIdentity(), product), product);
+            EXPECT_EQ(sr.add(product, sr.multiply(a, b)),
+                      sr.add(product, product));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SemiringAxioms,
+    ::testing::Values(SemiringKind::MulAdd, SemiringKind::AndOr,
+                      SemiringKind::MinAdd, SemiringKind::MaxMul),
+    [](const ::testing::TestParamInfo<SemiringKind> &info) {
+        std::string name = Semiring(info.param).name();
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(EwiseOps, BinaryTable)
+{
+    EXPECT_EQ(applyBinary(BinaryOp::Add, 2, 3), 5.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Sub, 2, 3), -1.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Mul, 2, 3), 6.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Div, 6, 3), 2.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Div, 6, 0), 0.0); // guarded
+    EXPECT_EQ(applyBinary(BinaryOp::Min, 2, 3), 2.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Max, 2, 3), 3.0);
+    EXPECT_EQ(applyBinary(BinaryOp::AbsDiff, 2, 5), 3.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Select, 0, 9), 9.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Select, 4, 9), 4.0);
+    EXPECT_EQ(applyBinary(BinaryOp::First, 4, 9), 4.0);
+    EXPECT_EQ(applyBinary(BinaryOp::Second, 4, 9), 9.0);
+    EXPECT_EQ(applyBinary(BinaryOp::NotEqual, 4, 9), 1.0);
+    EXPECT_EQ(applyBinary(BinaryOp::NotEqual, 4, 4), 0.0);
+    EXPECT_EQ(applyBinary(BinaryOp::NotEqual, inf, inf), 0.0);
+}
+
+TEST(EwiseOps, UnaryTable)
+{
+    EXPECT_EQ(applyUnary(UnaryOp::Identity, -3), -3.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Abs, -3), 3.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Negate, -3), 3.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Reciprocal, 4), 0.25);
+    EXPECT_EQ(applyUnary(UnaryOp::Reciprocal, 0), 0.0); // guarded
+    EXPECT_EQ(applyUnary(UnaryOp::Signum, -3), -1.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Signum, 0), 0.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Signum, 9), 1.0);
+    EXPECT_EQ(applyUnary(UnaryOp::IsNonZero, 0.5), 1.0);
+    EXPECT_EQ(applyUnary(UnaryOp::IsNonZero, 0.0), 0.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Relu, -2), 0.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Relu, 2), 2.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Sqrt, 9), 3.0);
+    EXPECT_EQ(applyUnary(UnaryOp::Sqrt, -9), 0.0); // guarded
+}
+
+TEST(EwiseOps, NamesAreStable)
+{
+    EXPECT_STREQ(binaryOpName(BinaryOp::AbsDiff), "absdiff");
+    EXPECT_STREQ(unaryOpName(UnaryOp::Relu), "relu");
+}
+
+} // namespace
+} // namespace sparsepipe

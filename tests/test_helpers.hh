@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the Sparsepipe test suite.
+ */
+
+#ifndef SPARSEPIPE_TESTS_TEST_HELPERS_HH
+#define SPARSEPIPE_TESTS_TEST_HELPERS_HH
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sparse/generate.hh"
+#include "util/random.hh"
+
+namespace sparsepipe::testing {
+
+/** Small deterministic test graph (uniform random). */
+inline CooMatrix
+smallGraph(Idx n = 64, Idx nnz = 512, std::uint64_t seed = 42)
+{
+    Rng rng(seed);
+    return generateUniform(n, nnz, rng);
+}
+
+/** Small deterministic skewed graph. */
+inline CooMatrix
+smallRmat(Idx n = 64, Idx nnz = 512, std::uint64_t seed = 43)
+{
+    Rng rng(seed);
+    return generateRmat(n, nnz, rng);
+}
+
+/** Max |a-b| over two equal-length vectors, inf-aware. */
+inline double
+vecError(const std::vector<double> &a, const std::vector<double> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double err = 0.0;
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        if (std::isinf(a[i]) && std::isinf(b[i]) &&
+            std::signbit(a[i]) == std::signbit(b[i]))
+            continue;
+        err = std::max(err, std::abs(a[i] - b[i]));
+    }
+    return err;
+}
+
+} // namespace sparsepipe::testing
+
+#endif // SPARSEPIPE_TESTS_TEST_HELPERS_HH

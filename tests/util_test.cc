@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the util substrate: logging severity behaviour, the
+ * deterministic RNG, statistics helpers, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace sparsepipe {
+namespace {
+
+TEST(Logging, FatalExitsPanicAborts)
+{
+    EXPECT_EXIT(sp_fatal("user error %d", 7),
+                ::testing::ExitedWithCode(1), "user error 7");
+    EXPECT_DEATH(sp_panic("bug %s", "here"), "bug here");
+    EXPECT_DEATH(sp_assert(1 == 2), "assertion failed");
+}
+
+TEST(Logging, QuietSuppressesInformNotFatal)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    sp_inform("should not crash");
+    sp_warn("nor this");
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs = differs || (a2.next64() != c.next64());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        double r = rng.nextRange(-2.0, 3.0);
+        EXPECT_GE(r, -2.0);
+        EXPECT_LT(r, 3.0);
+    }
+    EXPECT_EQ(rng.nextBelow(0), 0u);
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng rng(9);
+    std::vector<int> buckets(10, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++buckets[static_cast<std::size_t>(rng.nextBelow(10))];
+    for (int b : buckets) {
+        EXPECT_GT(b, draws / 10 - draws / 50);
+        EXPECT_LT(b, draws / 10 + draws / 50);
+    }
+}
+
+TEST(Stats, ScalarAggregates)
+{
+    std::vector<double> v = {1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 7.0 / 3.0);
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 4.0);
+    EXPECT_DOUBLE_EQ(minOf(v), 1.0);
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanSkipsNonPositive)
+{
+    setLogQuiet(true);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 4.0, 0.0}), 2.0);
+    setLogQuiet(false);
+}
+
+TEST(Stats, WeightedStat)
+{
+    WeightedStat w;
+    w.sample(1.0, 1.0);
+    w.sample(3.0, 3.0);
+    EXPECT_DOUBLE_EQ(w.weightedMean(), 2.5);
+    EXPECT_DOUBLE_EQ(w.peak(), 3.0);
+    EXPECT_DOUBLE_EQ(w.trough(), 1.0);
+    EXPECT_EQ(w.samples(), 2u);
+}
+
+TEST(Stats, Downsample)
+{
+    std::vector<double> series(100);
+    for (std::size_t i = 0; i < 100; ++i)
+        series[i] = static_cast<double>(i);
+    auto ds = downsample(series, 4);
+    ASSERT_EQ(ds.size(), 4u);
+    EXPECT_NEAR(ds[0], 12.0, 0.5);
+    EXPECT_NEAR(ds[3], 87.0, 0.5);
+    // Degenerate shapes.
+    EXPECT_EQ(downsample({}, 4).size(), 4u);
+    auto tiny = downsample({5.0}, 3);
+    EXPECT_EQ(tiny[0], 5.0);
+}
+
+TEST(Counter, Accumulates)
+{
+    Counter c("events");
+    c.add();
+    c.add(10);
+    EXPECT_EQ(c.value(), 11u);
+    EXPECT_EQ(c.name(), "events");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.addRow({"name", "value"});
+    t.addRow({"alpha", "1.00"});
+    t.addRow({"b", "200.00"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Columns align: every line has "value" column at same offset.
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace sparsepipe

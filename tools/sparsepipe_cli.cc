@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Command-line driver for the Sparsepipe simulator.
+ *
+ * Run any application from the suite on a built-in dataset stand-in,
+ * a MatrixMarket file, or a synthetic matrix, with the full hardware
+ * configuration exposed as flags.  Prints a run report with cycles,
+ * traffic breakdown, buffer behaviour, baseline comparisons, energy,
+ * and (optionally) the bandwidth timeline.
+ *
+ * Examples:
+ *   sparsepipe_cli --app pr --dataset wi
+ *   sparsepipe_cli --app sssp --mtx road.mtx --iters 32
+ *   sparsepipe_cli --app bfs --synthetic rmat:65536:8 \
+ *       --buffer-kb 512 --no-eager --timeline
+ *   sparsepipe_cli --app gcn --dataset co --autotune
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hh"
+#include "baseline/models.hh"
+#include "core/autotune.hh"
+#include "core/sparsepipe_sim.hh"
+#include "energy/energy_model.hh"
+#include "prep/blocked.hh"
+#include "prep/reorder.hh"
+#include "sparse/datasets.hh"
+#include "sparse/generate.hh"
+#include "sparse/io.hh"
+#include "util/logging.hh"
+
+using namespace sparsepipe;
+
+namespace {
+
+struct Options
+{
+    std::string app = "pr";
+    std::string dataset;
+    std::string mtx;
+    std::string synthetic; // kind:n:nnz_per_row
+    Idx iters = 0;
+    Idx buffer_kb = 0;
+    Idx sub_tensor = 0;
+    double bandwidth = 0.0;
+    bool iso_cpu = false;
+    bool eager = true;
+    bool blocked = true;
+    std::string reorder = "vanilla";
+    bool timeline = false;
+    bool autotune = false;
+    std::uint64_t seed = 0x5eed5eedULL;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: sparsepipe_cli [options]\n"
+        "  --app NAME          application (Table III key, "
+        "default pr)\n"
+        "  --dataset KEY       built-in stand-in (ca gy g2 co bu wi "
+        "ad ro eu)\n"
+        "  --mtx FILE          MatrixMarket input\n"
+        "  --synthetic SPEC    kind:n:nnz_per_row, kind in "
+        "{uniform,rmat,banded,poisson}\n"
+        "  --iters N           loop iterations (default: app "
+        "default)\n"
+        "  --buffer-kb N       on-chip buffer size\n"
+        "  --sub-tensor N      fixed sub-tensor width (default "
+        "auto)\n"
+        "  --bandwidth GBS     DRAM bandwidth override\n"
+        "  --iso-cpu           use the DDR4 iso-CPU configuration\n"
+        "  --no-eager          disable the opportunistic CSR "
+        "loader\n"
+        "  --no-blocked        use the unblocked dual storage\n"
+        "  --reorder KIND      none | vanilla | locality\n"
+        "  --autotune          explore sub-tensor sizes first\n"
+        "  --timeline          print the 25-sample BW timeline\n"
+        "  --seed N            generator seed\n"
+        "  --list              list applications and datasets\n");
+}
+
+void
+listInventory()
+{
+    std::printf("applications:");
+    for (const AppInfo &info : appInfos())
+        std::printf(" %s", info.name.c_str());
+    std::printf("\ndatasets:");
+    for (const DatasetSpec &spec : datasetSpecs())
+        std::printf(" %s(%s)", spec.name.c_str(),
+                    matrixKindName(spec.kind));
+    std::printf("\n");
+}
+
+CooMatrix
+makeSynthetic(const std::string &spec, std::uint64_t seed)
+{
+    // kind:n:nnz_per_row
+    auto p1 = spec.find(':');
+    auto p2 = spec.find(':', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos)
+        sp_fatal("--synthetic wants kind:n:nnz_per_row");
+    std::string kind = spec.substr(0, p1);
+    Idx n = std::atoll(spec.substr(p1 + 1, p2 - p1 - 1).c_str());
+    Idx per_row = std::atoll(spec.substr(p2 + 1).c_str());
+    Rng rng(seed);
+    if (kind == "uniform")
+        return generateUniform(n, n * per_row, rng);
+    if (kind == "rmat")
+        return generateRmat(n, n * per_row, rng);
+    if (kind == "banded")
+        return generateBanded(n, std::max<Idx>(4, n / 64),
+                              static_cast<double>(per_row), rng);
+    if (kind == "poisson")
+        return generatePoisson2D(n);
+    sp_fatal("unknown synthetic kind '%s'", kind.c_str());
+    __builtin_unreachable();
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                sp_fatal("flag %s wants a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--app") opt.app = next();
+        else if (arg == "--dataset") opt.dataset = next();
+        else if (arg == "--mtx") opt.mtx = next();
+        else if (arg == "--synthetic") opt.synthetic = next();
+        else if (arg == "--iters") opt.iters = std::atoll(next());
+        else if (arg == "--buffer-kb")
+            opt.buffer_kb = std::atoll(next());
+        else if (arg == "--sub-tensor")
+            opt.sub_tensor = std::atoll(next());
+        else if (arg == "--bandwidth")
+            opt.bandwidth = std::atof(next());
+        else if (arg == "--iso-cpu") opt.iso_cpu = true;
+        else if (arg == "--no-eager") opt.eager = false;
+        else if (arg == "--no-blocked") opt.blocked = false;
+        else if (arg == "--reorder") opt.reorder = next();
+        else if (arg == "--autotune") opt.autotune = true;
+        else if (arg == "--timeline") opt.timeline = true;
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--list") {
+            listInventory();
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            sp_fatal("unknown flag '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+
+    // ---- input matrix ----------------------------------------------
+    CooMatrix raw;
+    std::string source;
+    if (!opt.mtx.empty()) {
+        raw = readMatrixMarket(opt.mtx);
+        source = opt.mtx;
+    } else if (!opt.synthetic.empty()) {
+        raw = makeSynthetic(opt.synthetic, opt.seed);
+        source = "synthetic " + opt.synthetic;
+    } else {
+        std::string key = opt.dataset.empty() ? "ca" : opt.dataset;
+        raw = generateDataset(datasetSpec(key), opt.seed);
+        source = "dataset " + key;
+    }
+    if (raw.rows() != raw.cols())
+        sp_fatal("sparsepipe_cli: need a square operand");
+
+    // ---- preprocessing ---------------------------------------------
+    ReorderKind reorder = ReorderKind::Vanilla;
+    if (opt.reorder == "none") reorder = ReorderKind::None;
+    else if (opt.reorder == "vanilla") reorder = ReorderKind::Vanilla;
+    else if (opt.reorder == "locality")
+        reorder = ReorderKind::Locality;
+    else
+        sp_fatal("unknown reorder '%s'", opt.reorder.c_str());
+    if (reorder != ReorderKind::None) {
+        CsrMatrix csr = CsrMatrix::fromCoo(raw);
+        raw = applySymmetricPermutation(raw,
+                                        makeReorder(reorder, csr));
+    }
+
+    AppInstance app = makeApp(opt.app, raw.rows());
+    CsrMatrix prepared = app.prepare(raw);
+
+    // ---- hardware configuration ------------------------------------
+    SparsepipeConfig cfg = opt.iso_cpu ? SparsepipeConfig::isoCpu()
+                                       : SparsepipeConfig::isoGpu();
+    if (opt.buffer_kb > 0)
+        cfg.buffer_bytes = opt.buffer_kb * 1024;
+    if (opt.bandwidth > 0.0)
+        cfg.dram.bandwidth_gb_s = opt.bandwidth;
+    cfg.eager_csr = opt.eager;
+    cfg.sub_tensor_cols = opt.sub_tensor;
+    if (opt.blocked) {
+        cfg.bytes_per_nz =
+            buildBlockedLayout(prepared).bytesPerNonzero();
+    }
+
+    if (opt.autotune) {
+        AutotuneResult tuned = autotuneSubTensor(app, raw, cfg);
+        std::printf("autotune probes:");
+        for (const TunePoint &p : tuned.probes)
+            std::printf(" T=%lld:%llucyc",
+                        static_cast<long long>(p.sub_tensor_cols),
+                        static_cast<unsigned long long>(p.cycles));
+        std::printf("\nautotune winner: T=%lld\n\n",
+                    static_cast<long long>(tuned.best));
+        cfg.sub_tensor_cols = tuned.best;
+    }
+
+    // ---- run ---------------------------------------------------------
+    SparsepipeSim sim(cfg);
+    SimStats stats = sim.simulateApp(app, raw, opt.iters);
+
+    Analysis an = analyzeProgram(app.program);
+    AccelConfig accel;
+    accel.bandwidth_gb_s = cfg.dram.bandwidth_gb_s;
+    accel.pes = cfg.pe_per_core;
+    BaselineStats ideal =
+        idealAccelerator(an, prepared.nnz(), stats.iterations, accel);
+    BaselineStats oracle = oracleAccelerator(an, prepared.nnz(),
+                                             stats.iterations, accel);
+    BaselineStats cpu =
+        cpuModel(an, prepared.nnz(), stats.iterations);
+    BaselineStats gpu =
+        gpuModel(an, prepared.nnz(), stats.iterations);
+    EnergyBreakdown energy = sparsepipeEnergy(stats);
+
+    // ---- report ------------------------------------------------------
+    std::printf("== sparsepipe run report ==\n");
+    std::printf("app            : %s (%s semiring)\n",
+                opt.app.c_str(), an.semiring.name());
+    std::printf("operand        : %s, %lld x %lld, %lld nnz "
+                "(prepared)\n",
+                source.c_str(), static_cast<long long>(raw.rows()),
+                static_cast<long long>(raw.cols()),
+                static_cast<long long>(prepared.nnz()));
+    std::printf("schedule       : %s%s\n",
+                scheduleModeName(stats.mode),
+                stats.mode != ScheduleMode::Stream
+                    ? " (OEI dataflow active)" : "");
+    std::printf("iterations     : %lld%s\n",
+                static_cast<long long>(stats.iterations),
+                stats.converged ? " (converged)" : "");
+    std::printf("cycles         : %llu (%.3f ms at %.1f GHz)\n",
+                static_cast<unsigned long long>(stats.cycles),
+                1e3 * stats.seconds(cfg.dram.clock_ghz),
+                cfg.dram.clock_ghz);
+    std::printf("bandwidth      : %.1f%% of %.0f GB/s\n",
+                100.0 * stats.bw_utilization,
+                cfg.dram.bandwidth_gb_s);
+    std::printf("DRAM traffic   : %.2f MB (matrix %.2f, reload "
+                "%.2f, prefetch %.2f, vector %.2f)\n",
+                static_cast<double>(stats.dram_read_bytes +
+                                    stats.dram_write_bytes) / 1e6,
+                static_cast<double>(stats.matrix_demand_bytes) / 1e6,
+                static_cast<double>(stats.reload_bytes) / 1e6,
+                static_cast<double>(stats.prefetch_bytes) / 1e6,
+                static_cast<double>(stats.vector_bytes) / 1e6);
+    std::printf("buffer         : peak %lld elems, %lld evicted, "
+                "%lld repacks\n",
+                static_cast<long long>(stats.buffer.peak_elems),
+                static_cast<long long>(stats.buffer.evicted_elems),
+                static_cast<long long>(stats.buffer.repacks));
+    std::printf("energy         : %.2f uJ (compute %.0f%%, memory "
+                "%.0f%%, cache %.0f%%)\n",
+                energy.total() / 1e6,
+                100.0 * energy.compute_pj / energy.total(),
+                100.0 * energy.memory_pj / energy.total(),
+                100.0 * energy.cache_pj / energy.total());
+    std::printf("vs ideal accel : %.2fx\n",
+                ideal.seconds / stats.seconds());
+    std::printf("vs oracle      : %.0f%% of its performance\n",
+                100.0 * oracle.seconds / stats.seconds());
+    std::printf("vs CPU model   : %.1fx\n",
+                cpu.seconds / stats.seconds());
+    std::printf("vs GPU model   : %.2fx\n",
+                gpu.seconds / stats.seconds());
+
+    if (opt.timeline) {
+        std::printf("timeline (%%)  :");
+        for (double u : stats.bw_timeline)
+            std::printf(" %2.0f", 100.0 * u);
+        std::printf("\n");
+    }
+    return 0;
+}
