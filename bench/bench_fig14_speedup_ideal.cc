@@ -17,14 +17,18 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Figure 14: speedup over the idealized sparse "
                 "accelerator",
                 "paper: up to 3.59x; OEI-app geomeans 1.21-2.62x; "
                 "cg/bgs 0.75-1.20x");
 
     RunConfig cfg;
+    std::vector<CaseResult> results =
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+
     TextTable table;
     std::vector<std::string> header = {"app"};
     for (const std::string &d : allDatasets())
@@ -35,11 +39,12 @@ main()
     std::vector<double> all, oei_geo;
     double best = 0.0;
     std::string best_case;
+    std::size_t idx = 0;
     for (const std::string &app : allApps()) {
         std::vector<std::string> row = {app};
         std::vector<double> speedups;
         for (const std::string &dataset : allDatasets()) {
-            CaseResult r = runCase(app, dataset, cfg);
+            const CaseResult &r = results[idx++];
             double s = r.speedupVsIdeal();
             speedups.push_back(s);
             all.push_back(s);

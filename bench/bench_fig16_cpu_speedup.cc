@@ -18,8 +18,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Figure 16: speedup over the CPU STA framework",
                 "paper: per-app geomeans 12.20-35.14x (iso-GPU), "
                 "1.31-3.57x (iso-CPU)");
@@ -27,6 +28,15 @@ main()
     RunConfig gpu_cfg;
     RunConfig cpu_cfg;
     cpu_cfg.sp = SparsepipeConfig::isoCpu();
+
+    // Both grids through one pool so the slow iso-CPU cases overlap
+    // the iso-GPU ones.
+    std::vector<CaseSpec> specs =
+        sweepGrid(allApps(), allDatasets(), gpu_cfg);
+    const std::size_t gpu_count = specs.size();
+    for (CaseSpec &spec : sweepGrid(allApps(), allDatasets(), cpu_cfg))
+        specs.push_back(std::move(spec));
+    std::vector<CaseResult> results = runSweep(specs, jobs);
 
     TextTable table;
     std::vector<std::string> header = {"app"};
@@ -37,17 +47,19 @@ main()
     table.addRow(header);
 
     std::vector<double> iso_gpu_geo, iso_cpu_geo, all;
+    std::size_t idx = 0;
     for (const std::string &app : allApps()) {
         std::vector<std::string> row = {app};
         std::vector<double> s_gpu, s_cpu;
-        for (const std::string &dataset : allDatasets()) {
-            CaseResult r = runCase(app, dataset, gpu_cfg);
+        for ([[maybe_unused]] const std::string &d : allDatasets()) {
+            const CaseResult &r = results[idx];
             s_gpu.push_back(r.speedupVsCpu());
             all.push_back(r.speedupVsCpu());
             row.push_back(TextTable::num(r.speedupVsCpu(), 1));
 
-            CaseResult r2 = runCase(app, dataset, cpu_cfg);
+            const CaseResult &r2 = results[gpu_count + idx];
             s_cpu.push_back(r2.speedupVsCpu());
+            ++idx;
         }
         double g_gpu = geomean(s_gpu);
         double g_cpu = geomean(s_cpu);

@@ -16,8 +16,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Figure 17: speedup over GPU frameworks "
                 "(bfs / kcore / pr / sssp)",
                 "paper: geomean 4.65x across all matrices");
@@ -25,6 +26,8 @@ main()
     const std::vector<std::string> apps = {"bfs", "kcore", "pr",
                                            "sssp"};
     RunConfig cfg;
+    std::vector<CaseResult> results =
+        runSweep(sweepGrid(apps, allDatasets(), cfg), jobs);
 
     TextTable table;
     std::vector<std::string> header = {"app"};
@@ -34,11 +37,12 @@ main()
     table.addRow(header);
 
     std::vector<double> all;
+    std::size_t idx = 0;
     for (const std::string &app : apps) {
         std::vector<std::string> row = {app};
         std::vector<double> speedups;
-        for (const std::string &dataset : allDatasets()) {
-            CaseResult r = runCase(app, dataset, cfg);
+        for ([[maybe_unused]] const std::string &d : allDatasets()) {
+            const CaseResult &r = results[idx++];
             speedups.push_back(r.speedupVsGpu());
             all.push_back(r.speedupVsGpu());
             row.push_back(TextTable::num(r.speedupVsGpu(), 2));

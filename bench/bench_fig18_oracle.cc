@@ -18,13 +18,17 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Figure 18: fraction of oracle-accelerator "
                 "performance",
                 "paper: 66.78% on average");
 
     RunConfig cfg;
+    std::vector<CaseResult> results =
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+
     TextTable table;
     std::vector<std::string> header = {"app"};
     for (const std::string &d : allDatasets())
@@ -33,11 +37,12 @@ main()
     table.addRow(header);
 
     std::vector<double> all;
+    std::size_t idx = 0;
     for (const std::string &app : allApps()) {
         std::vector<std::string> row = {app};
         std::vector<double> fractions;
-        for (const std::string &dataset : allDatasets()) {
-            CaseResult r = runCase(app, dataset, cfg);
+        for ([[maybe_unused]] const std::string &d : allDatasets()) {
+            const CaseResult &r = results[idx++];
             double f = 100.0 * r.fractionOfOracle();
             fractions.push_back(f);
             all.push_back(f);

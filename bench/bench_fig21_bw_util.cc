@@ -16,21 +16,26 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Figure 21: Sparsepipe bandwidth utilization",
                 "paper: 82.93% overall, 92.94% for memory-bound "
                 "apps (excl. gmres, gcn)");
 
     RunConfig cfg;
+    std::vector<CaseResult> results =
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+
     TextTable table;
     table.addRow({"app", "geomean util %", "min %", "max %"});
 
     std::vector<double> all, memory_bound;
+    std::size_t idx = 0;
     for (const std::string &app : allApps()) {
         std::vector<double> utils;
-        for (const std::string &dataset : allDatasets()) {
-            CaseResult r = runCase(app, dataset, cfg);
+        for ([[maybe_unused]] const std::string &d : allDatasets()) {
+            const CaseResult &r = results[idx++];
             utils.push_back(100.0 * r.sp.bw_utilization);
         }
         double geo = geomean(utils);

@@ -18,8 +18,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Figure 23: relative energy vs the baseline "
                 "accelerator (compute / memory / cache)",
                 "paper: -54.98% total, -50.32% memory, -39.45% "
@@ -30,15 +31,19 @@ main()
     // intermediates round-trip DRAM), which is what the paper's
     // Cacti/Accelergy accounting charges.
     RunConfig cfg;
+    std::vector<CaseResult> results =
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+
     TextTable table;
     table.addRow({"app", "compute %", "memory %", "cache %",
                   "total %"});
 
     std::vector<double> total_save, mem_save, cache_save;
+    std::size_t idx = 0;
     for (const std::string &app : allApps()) {
         std::vector<double> tot, mem, cache, cmp;
-        for (const std::string &dataset : allDatasets()) {
-            CaseResult r = runCase(app, dataset, cfg);
+        for ([[maybe_unused]] const std::string &d : allDatasets()) {
+            const CaseResult &r = results[idx++];
             EnergyBreakdown sp = sparsepipeEnergy(r.sp);
             EnergyBreakdown base = baselineEnergy(r.ideal_strict);
             tot.push_back(100.0 * sp.total() / base.total());

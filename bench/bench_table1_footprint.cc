@@ -17,13 +17,16 @@
 #include "core/buckets.hh"
 #include "core/config.hh"
 #include "harness.hh"
+#include "runner/scheduler.hh"
+#include "runner/thread_pool.hh"
 
 using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchJobs(argc, argv);
     printHeader("Table I: on-chip fraction of the sparse matrix "
                 "required by the OEI dataflow",
                 "smaller % is better; paper max% / avg% shown "
@@ -40,23 +43,41 @@ main()
         {"eu", {4.3, 2.6}},
     };
 
+    // The residency sweep of each matrix is independent; run one
+    // job per dataset through the pool and print in Table I order.
+    const std::vector<std::string> names = allDatasets();
+    struct Row
+    {
+        Idx rows = 0;
+        Idx nnz = 0;
+        ResidencyStats stats;
+    };
+    runner::ThreadPool pool(jobs);
+    std::vector<Row> rows = runner::parallelIndexed(
+        pool, names.size(),
+        [&](std::size_t i) {
+            const CooMatrix &raw = rawDataset(names[i]);
+            CscMatrix csc = CscMatrix::fromCoo(raw);
+            Idx t = cfg.resolveSubTensor(csc.cols(), csc.nnz());
+            StepBuckets buckets = StepBuckets::build(csc, t);
+            return Row{raw.rows(), raw.nnz(),
+                       residencySweep(buckets, cfg.lag)};
+        },
+        [&](std::size_t i) { return "table1-" + names[i]; });
+
     TextTable table;
     table.addRow({"matrix", "row/col", "nnz", "max resident",
                   "max (%)", "avg (%)", "paper max(%)",
                   "paper avg(%)"});
-    for (const std::string &name : allDatasets()) {
-        const CooMatrix &raw = rawDataset(name);
-        CscMatrix csc = CscMatrix::fromCoo(raw);
-        Idx t = cfg.resolveSubTensor(csc.cols(), csc.nnz());
-        StepBuckets buckets = StepBuckets::build(csc, t);
-        ResidencyStats stats = residencySweep(buckets, cfg.lag);
-
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const Row &row = rows[i];
         const PaperRow &ref = paper.at(name);
-        table.addRow({name, std::to_string(raw.rows()),
-                      std::to_string(raw.nnz()),
-                      std::to_string(stats.max_resident),
-                      TextTable::num(stats.maxPercent(raw.nnz()), 1),
-                      TextTable::num(stats.avgPercent(raw.nnz()), 1),
+        table.addRow({name, std::to_string(row.rows),
+                      std::to_string(row.nnz),
+                      std::to_string(row.stats.max_resident),
+                      TextTable::num(row.stats.maxPercent(row.nnz), 1),
+                      TextTable::num(row.stats.avgPercent(row.nnz), 1),
                       TextTable::num(ref.max_pct, 1),
                       TextTable::num(ref.avg_pct, 1)});
     }

@@ -1,45 +1,47 @@
 #include "harness.hh"
 
 #include <cstdio>
-#include <map>
+#include <tuple>
+#include <utility>
 
 #include "prep/blocked.hh"
+#include "runner/keyed_cache.hh"
+#include "runner/scheduler.hh"
+#include "runner/thread_pool.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/stats.hh"
 
 namespace sparsepipe::bench {
 
 const CooMatrix &
-rawDataset(const std::string &name)
+rawDataset(const std::string &name, std::uint64_t seed)
 {
-    static std::map<std::string, CooMatrix> cache;
-    auto it = cache.find(name);
-    if (it == cache.end()) {
-        it = cache.emplace(name,
-                           generateDataset(datasetSpec(name))).first;
-    }
-    return it->second;
+    static runner::KeyedCache<std::pair<std::string, std::uint64_t>,
+                              CooMatrix>
+        cache;
+    return cache.get(std::make_pair(name, seed), [&] {
+        return generateDataset(datasetSpec(name), seed);
+    });
 }
 
 const CooMatrix &
-preparedDataset(const std::string &name, ReorderKind reorder)
+preparedDataset(const std::string &name, ReorderKind reorder,
+                std::uint64_t seed)
 {
-    static std::map<std::pair<std::string, ReorderKind>, CooMatrix>
+    if (reorder == ReorderKind::None)
+        return rawDataset(name, seed);
+
+    static runner::KeyedCache<
+        std::tuple<std::string, ReorderKind, std::uint64_t>,
+        CooMatrix>
         cache;
-    auto key = std::make_pair(name, reorder);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        const CooMatrix &raw = rawDataset(name);
-        if (reorder == ReorderKind::None) {
-            it = cache.emplace(key, raw).first;
-        } else {
-            CsrMatrix csr = CsrMatrix::fromCoo(raw);
-            auto perm = makeReorder(reorder, csr);
-            it = cache.emplace(key,
-                               applySymmetricPermutation(raw, perm))
-                     .first;
-        }
-    }
-    return it->second;
+    return cache.get(std::make_tuple(name, reorder, seed), [&] {
+        const CooMatrix &raw = rawDataset(name, seed);
+        CsrMatrix csr = CsrMatrix::fromCoo(raw);
+        auto perm = makeReorder(reorder, csr);
+        return applySymmetricPermutation(raw, perm);
+    });
 }
 
 CaseResult
@@ -50,7 +52,8 @@ runCase(const std::string &app_name, const std::string &dataset,
     result.app = app_name;
     result.dataset = dataset;
 
-    const CooMatrix &raw = preparedDataset(dataset, config.reorder);
+    const CooMatrix &raw =
+        preparedDataset(dataset, config.reorder, config.seed);
     AppInstance app = makeApp(app_name, raw.rows());
     CsrMatrix prepared = app.prepare(raw);
     result.nnz = prepared.nnz();
@@ -83,6 +86,67 @@ runCase(const std::string &app_name, const std::string &dataset,
     result.cpu = cpuModel(an, result.nnz, iters);
     result.gpu = gpuModel(an, result.nnz, iters);
     return result;
+}
+
+std::vector<CaseSpec>
+sweepGrid(const std::vector<std::string> &apps,
+          const std::vector<std::string> &datasets,
+          const RunConfig &config)
+{
+    std::vector<CaseSpec> specs;
+    specs.reserve(apps.size() * datasets.size());
+    for (const std::string &app : apps)
+        for (const std::string &dataset : datasets)
+            specs.push_back({app, dataset, config, ""});
+    return specs;
+}
+
+std::vector<CaseResult>
+runSweep(const std::vector<CaseSpec> &specs, int jobs)
+{
+    runner::ThreadPool pool(jobs);
+    return runner::parallelIndexed(
+        pool, specs.size(),
+        [&specs](std::size_t i) {
+            const CaseSpec &spec = specs[i];
+            return runCase(spec.app, spec.dataset, spec.config);
+        },
+        [&specs](std::size_t i) {
+            const CaseSpec &spec = specs[i];
+            return spec.label.empty()
+                       ? spec.app + "-" + spec.dataset
+                       : spec.label;
+        });
+}
+
+int
+benchJobs(int argc, char **argv)
+{
+    int jobs = runner::ThreadPool::defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc)
+                sp_fatal("flag %s wants a value", arg.c_str());
+            jobs = static_cast<int>(
+                parseI64Flag("--jobs", argv[++i]));
+            if (jobs < 1)
+                sp_fatal("--jobs wants a positive count, got %d",
+                         jobs);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--jobs N]\n"
+                        "  --jobs N   worker threads for the sweep "
+                        "(default: SPARSEPIPE_JOBS env,\n"
+                        "             else hardware concurrency); "
+                        "output is identical for any N\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            sp_fatal("unknown bench flag '%s' (try --help)",
+                     arg.c_str());
+        }
+    }
+    return jobs;
 }
 
 std::vector<std::string>

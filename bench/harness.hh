@@ -4,10 +4,16 @@
  *
  * Each bench binary regenerates one table or figure of the paper's
  * evaluation (Section VI) on the scaled stand-in datasets.  The
- * harness caches dataset generation and preprocessing, runs the
- * Sparsepipe simulator plus the four comparison models, and provides
- * the common printing helpers so all benches emit uniform,
- * diff-friendly tables.
+ * harness caches dataset generation and preprocessing (thread-safe,
+ * once per key), runs the Sparsepipe simulator plus the four
+ * comparison models, and provides the common printing helpers so all
+ * benches emit uniform, diff-friendly tables.
+ *
+ * The all-pairs sweeps go through src/runner: build the grid with
+ * sweepGrid(), run it with runSweep(specs, jobs), and read the
+ * results back in grid order — byte-identical to a serial walk for
+ * any job count, because every case is a pure function of its spec
+ * (per-job deterministic seeding) and the sink reorders completions.
  */
 
 #ifndef SPARSEPIPE_BENCH_HARNESS_HH
@@ -26,6 +32,9 @@
 
 namespace sparsepipe::bench {
 
+/** Seed every case uses unless its RunConfig overrides it. */
+inline constexpr std::uint64_t kDefaultSeed = 0x5eed5eedULL;
+
 /** Per-case run configuration. */
 struct RunConfig
 {
@@ -34,7 +43,7 @@ struct RunConfig
     Idx iters = 0;
     ReorderKind reorder = ReorderKind::Vanilla;
     bool blocked = true;
-    std::uint64_t seed = 0x5eed5eedULL;
+    std::uint64_t seed = kDefaultSeed;
 };
 
 /** Everything measured for one (app, dataset) pair. */
@@ -62,19 +71,56 @@ struct CaseResult
     }
 };
 
-/** Raw stand-in dataset, cached per process. */
-const CooMatrix &rawDataset(const std::string &name);
+/**
+ * Raw stand-in dataset, cached per (name, seed) for the process.
+ * Thread-safe: concurrent calls for the same key build the matrix
+ * exactly once; the reference stays valid for the process lifetime.
+ */
+const CooMatrix &rawDataset(const std::string &name,
+                            std::uint64_t seed = kDefaultSeed);
 
 /**
  * Dataset after symmetric row reordering (cached per
- * (name, reorder)).
+ * (name, reorder, seed); thread-safe like rawDataset()).
  */
 const CooMatrix &preparedDataset(const std::string &name,
-                                 ReorderKind reorder);
+                                 ReorderKind reorder,
+                                 std::uint64_t seed = kDefaultSeed);
 
 /** Run one (app, dataset) case under a configuration. */
 CaseResult runCase(const std::string &app, const std::string &dataset,
                    const RunConfig &config);
+
+/** One cell of an experiment grid. */
+struct CaseSpec
+{
+    std::string app;
+    std::string dataset;
+    RunConfig config;
+    /** Job name for logs/tables; empty derives "app-dataset". */
+    std::string label;
+};
+
+/** Expand apps x datasets under one config, app-major order. */
+std::vector<CaseSpec> sweepGrid(const std::vector<std::string> &apps,
+                                const std::vector<std::string> &datasets,
+                                const RunConfig &config);
+
+/**
+ * Run every spec on a pool of `jobs` workers (<= 0 picks
+ * ThreadPool::defaultJobs()) and return results in spec order,
+ * byte-identical to calling runCase() serially.
+ */
+std::vector<CaseResult> runSweep(const std::vector<CaseSpec> &specs,
+                                 int jobs);
+
+/**
+ * Parse bench-binary arguments: `--jobs N` / `-j N` (default: the
+ * SPARSEPIPE_JOBS env override, else hardware concurrency).
+ * Unknown flags are fatal; --help prints usage and exits.
+ * @return worker count to pass to runSweep().
+ */
+int benchJobs(int argc, char **argv);
 
 /** All dataset keys in Table I order. */
 std::vector<std::string> allDatasets();

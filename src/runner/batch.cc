@@ -1,0 +1,129 @@
+#include "runner/batch.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/parse.hh"
+
+namespace sparsepipe::runner {
+
+namespace {
+
+/** Parse 0/1/true/false. @return false and set error otherwise. */
+bool
+parseBool(const std::string &key, const std::string &value,
+          bool &out, std::string &error)
+{
+    if (value == "1" || value == "true") {
+        out = true;
+        return true;
+    }
+    if (value == "0" || value == "false") {
+        out = false;
+        return true;
+    }
+    error = "key '" + key + "' wants 0|1|true|false, got '" + value +
+            "'";
+    return false;
+}
+
+} // anonymous namespace
+
+std::optional<BatchJob>
+parseBatchLine(const std::string &line, std::string &error)
+{
+    error.clear();
+
+    std::istringstream tokens(line);
+    std::string token;
+    BatchJob job;
+    bool any = false;
+    while (tokens >> token) {
+        if (token[0] == '#')
+            break; // rest of the line is a comment
+        auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = "expected key=value, got '" + token + "'";
+            return std::nullopt;
+        }
+        any = true;
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+        if (key == "app") {
+            job.app = value;
+        } else if (key == "dataset") {
+            job.dataset = value;
+        } else if (key == "iters") {
+            long long iters = 0;
+            if (!tryParseI64(value, iters) || iters < 0) {
+                error = "key 'iters' wants a non-negative integer, "
+                        "got '" + value + "'";
+                return std::nullopt;
+            }
+            job.iters = static_cast<Idx>(iters);
+        } else if (key == "reorder") {
+            if (value != "none" && value != "vanilla" &&
+                value != "locality") {
+                error = "key 'reorder' wants none|vanilla|locality, "
+                        "got '" + value + "'";
+                return std::nullopt;
+            }
+            job.reorder = value;
+        } else if (key == "blocked") {
+            if (!parseBool(key, value, job.blocked, error))
+                return std::nullopt;
+        } else if (key == "iso-cpu" || key == "iso_cpu") {
+            if (!parseBool(key, value, job.iso_cpu, error))
+                return std::nullopt;
+        } else if (key == "seed") {
+            unsigned long long seed = 0;
+            if (!tryParseU64(value, seed)) {
+                error = "key 'seed' wants a non-negative integer, "
+                        "got '" + value + "'";
+                return std::nullopt;
+            }
+            job.seed = seed;
+        } else if (key == "label") {
+            job.label = value;
+        } else {
+            error = "unknown key '" + key + "'";
+            return std::nullopt;
+        }
+    }
+
+    if (!any)
+        return std::nullopt; // blank or comment-only line
+    if (job.app.empty() || job.dataset.empty()) {
+        error = "a job needs at least app= and dataset=";
+        return std::nullopt;
+    }
+    if (job.label.empty())
+        job.label = job.app + "-" + job.dataset;
+    return job;
+}
+
+std::vector<BatchJob>
+readBatchFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sp_fatal("cannot open batch file '%s'", path.c_str());
+
+    std::vector<BatchJob> jobs;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string error;
+        std::optional<BatchJob> job = parseBatchLine(line, error);
+        if (!error.empty())
+            sp_fatal("batch file %s line %d: %s", path.c_str(),
+                     lineno, error.c_str());
+        if (job)
+            jobs.push_back(std::move(*job));
+    }
+    return jobs;
+}
+
+} // namespace sparsepipe::runner

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Batch job-spec files for `sparsepipe_cli --batch FILE`.
+ *
+ * One job per line, whitespace-separated `key=value` tokens:
+ *
+ *   app=pr dataset=wi
+ *   app=sssp dataset=ro iters=32 reorder=locality
+ *   app=gcn dataset=co iso-cpu=1 blocked=0 seed=0xfeed label=g1
+ *   # comment lines and blank lines are skipped
+ *
+ * Keys: app (required), dataset (required), iters, reorder
+ * (none|vanilla|locality), blocked (0|1|true|false), iso-cpu
+ * (0|1|true|false), seed, label.  The label defaults to
+ * "app-dataset" and names the job in log prefixes and the result
+ * table.
+ */
+
+#ifndef SPARSEPIPE_RUNNER_BATCH_HH
+#define SPARSEPIPE_RUNNER_BATCH_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe::runner {
+
+/** One parsed batch line.  String fields are validated downstream. */
+struct BatchJob
+{
+    std::string app;
+    std::string dataset;
+    Idx iters = 0;
+    std::string reorder = "vanilla";
+    bool blocked = true;
+    bool iso_cpu = false;
+    std::uint64_t seed = 0x5eed5eedULL;
+    std::string label;
+};
+
+/**
+ * Parse one line of a batch file.
+ * @return the job; std::nullopt with `error` empty for blank or
+ * comment lines, std::nullopt with `error` set for malformed lines.
+ */
+std::optional<BatchJob> parseBatchLine(const std::string &line,
+                                       std::string &error);
+
+/**
+ * Read a whole batch file; fatal() (with the offending line number)
+ * on any malformed line or if the file cannot be opened.
+ */
+std::vector<BatchJob> readBatchFile(const std::string &path);
+
+} // namespace sparsepipe::runner
+
+#endif // SPARSEPIPE_RUNNER_BATCH_HH

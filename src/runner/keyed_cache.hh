@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Thread-safe once-per-key memoizing cache.
+ *
+ * The sweep jobs share expensive artifacts: every case on dataset
+ * `wi` needs the same generated matrix, every case with the same
+ * reorder needs the same permuted copy.  KeyedCache guarantees each
+ * artifact is constructed exactly once — concurrent requests for the
+ * same key block on a per-entry std::once_flag while requests for
+ * different keys construct in parallel under a shared lock.
+ *
+ * Entries live in a std::map, whose node stability means the
+ * returned references stay valid for the cache's lifetime even as
+ * other keys are inserted (the property the old unsynchronized bench
+ * caches relied on, now made safe).
+ */
+
+#ifndef SPARSEPIPE_RUNNER_KEYED_CACHE_HH
+#define SPARSEPIPE_RUNNER_KEYED_CACHE_HH
+
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+namespace sparsepipe::runner {
+
+/**
+ * Memoizing map from Key to Value.  Value must be default
+ * constructible and move assignable; the make callback produces the
+ * real value on first access.
+ */
+template <typename Key, typename Value>
+class KeyedCache
+{
+  public:
+    /**
+     * @return reference to the cached value for `key`, constructing
+     * it via `make()` exactly once across all threads.  If make()
+     * throws, the exception propagates and the next get() for the
+     * key retries (std::call_once semantics).
+     */
+    template <typename Make>
+    const Value &
+    get(const Key &key, Make make)
+    {
+        Entry &entry = lookup(key);
+        std::call_once(entry.once, [&] { entry.value = make(); });
+        return entry.value;
+    }
+
+    /** @return number of entries (constructed or in flight). */
+    std::size_t
+    size() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return map_.size();
+    }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        Value value;
+    };
+
+    Entry &
+    lookup(const Key &key)
+    {
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            auto it = map_.find(key);
+            if (it != map_.end())
+                return it->second;
+        }
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        return map_[key]; // try_emplace semantics: reuse if raced
+    }
+
+    mutable std::shared_mutex mutex_;
+    std::map<Key, Entry> map_;
+};
+
+} // namespace sparsepipe::runner
+
+#endif // SPARSEPIPE_RUNNER_KEYED_CACHE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic result collection for parallel sweeps.
+ *
+ * Jobs complete in whatever order the scheduler and the machine
+ * decide, but the bench tables must be byte-identical to a serial
+ * run.  ResultSink decouples the two: every job writes into the slot
+ * of its grid index, and take() hands back the slots in index order
+ * once all of them have been filled.
+ */
+
+#ifndef SPARSEPIPE_RUNNER_RESULT_SINK_HH
+#define SPARSEPIPE_RUNNER_RESULT_SINK_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace sparsepipe::runner {
+
+/**
+ * Thread-safe, index-addressed collector.  T must be default
+ * constructible and movable.
+ */
+template <typename T>
+class ResultSink
+{
+  public:
+    /** @param count number of slots (grid size). */
+    explicit ResultSink(std::size_t count)
+        : slots_(count), filled_(count, false)
+    {}
+
+    /** Store the result for slot `index`; each slot exactly once. */
+    void
+    put(std::size_t index, T value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sp_assert(index < slots_.size());
+        sp_assert(!filled_[index]);
+        slots_[index] = std::move(value);
+        filled_[index] = true;
+        finishSlotLocked();
+    }
+
+    /**
+     * Mark slot `index` finished without a value (its job failed).
+     * waitAll() still returns; take() will reject the sink.
+     */
+    void
+    abandon(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sp_assert(index < slots_.size());
+        finishSlotLocked();
+    }
+
+    /** @return true once every slot was put() or abandon()ed. */
+    bool
+    complete() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return done_ == slots_.size();
+    }
+
+    /** Block until every slot was put() or abandon()ed. */
+    void
+    waitAll()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock,
+                      [this] { return done_ == slots_.size(); });
+    }
+
+    /**
+     * Move the results out in index order.  Panics if any slot was
+     * abandoned or never finished — callers must surface job
+     * failures before collecting.
+     */
+    std::vector<T>
+    take()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sp_assert(done_ == slots_.size());
+        for (bool f : filled_)
+            sp_assert(f);
+        filled_.assign(filled_.size(), false);
+        done_ = 0;
+        return std::move(slots_);
+    }
+
+  private:
+    void
+    finishSlotLocked()
+    {
+        ++done_;
+        if (done_ == slots_.size())
+            done_cv_.notify_all();
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable done_cv_;
+    std::vector<T> slots_;
+    std::vector<bool> filled_;
+    std::size_t done_ = 0;
+};
+
+} // namespace sparsepipe::runner
+
+#endif // SPARSEPIPE_RUNNER_RESULT_SINK_HH

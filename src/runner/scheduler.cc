@@ -1,0 +1,44 @@
+#include "runner/scheduler.hh"
+
+#include <stdexcept>
+
+namespace sparsepipe::runner {
+
+void
+SweepScheduler::add(std::string label, std::function<void()> work)
+{
+    sp_assert(work);
+    jobs_.push_back({std::move(label), std::move(work)});
+}
+
+std::vector<JobOutcome>
+SweepScheduler::run()
+{
+    const std::size_t count = jobs_.size();
+    ResultSink<JobOutcome> sink(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // jobs_ stays untouched until every worker finished, so the
+        // reference captured here remains valid.
+        const Pending &job = jobs_[i];
+        pool_.submit([&sink, &job, i] {
+            ScopedLogLabel scope(job.label);
+            JobOutcome outcome;
+            outcome.label = job.label;
+            try {
+                job.work();
+            } catch (const std::exception &e) {
+                outcome.ok = false;
+                outcome.error = e.what();
+            } catch (...) {
+                outcome.ok = false;
+                outcome.error = "unknown exception";
+            }
+            sink.put(i, std::move(outcome));
+        });
+    }
+    sink.waitAll();
+    jobs_.clear();
+    return sink.take();
+}
+
+} // namespace sparsepipe::runner

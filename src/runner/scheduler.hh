@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Job scheduling on top of ThreadPool.
+ *
+ * Two layers:
+ *
+ *  - SweepScheduler: label + closure jobs, submitted in order,
+ *    exceptions captured per job and reported as JobOutcomes in
+ *    submission order (a crashed job never takes down the sweep or
+ *    gets silently lost).
+ *
+ *  - parallelIndexed(): run fn(i) for every index of a grid and
+ *    return the results in index order regardless of completion
+ *    order; the first exception is rethrown after all jobs drain.
+ *
+ * Shared-artifact stages (generate dataset -> reorder -> blocked
+ * layout -> simulate) are handled by construction rather than by an
+ * explicit dependency graph: stage products live in KeyedCache
+ * (keyed_cache.hh), so the first job that needs an artifact builds
+ * it exactly once while later jobs for the same key block on the
+ * cache entry instead of recomputing it.  Jobs therefore stay
+ * independent and the scheduler needs no edges.
+ */
+
+#ifndef SPARSEPIPE_RUNNER_SCHEDULER_HH
+#define SPARSEPIPE_RUNNER_SCHEDULER_HH
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "runner/result_sink.hh"
+#include "runner/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe::runner {
+
+/** What happened to one scheduled job. */
+struct JobOutcome
+{
+    std::string label;
+    bool ok = true;
+    /** what() of the captured exception when !ok. */
+    std::string error;
+};
+
+/**
+ * Collects labelled jobs and runs them through a pool.  Worker-side
+ * log messages are prefixed with the job label while it runs.
+ */
+class SweepScheduler
+{
+  public:
+    explicit SweepScheduler(ThreadPool &pool) : pool_(pool) {}
+
+    /** Queue a job; jobs start in add() order. */
+    void add(std::string label, std::function<void()> work);
+
+    /** @return number of jobs queued so far. */
+    std::size_t pending() const { return jobs_.size(); }
+
+    /**
+     * Submit every queued job, wait for all of them, and return
+     * their outcomes in add() order.  Clears the queue, so the
+     * scheduler can be reused for another wave.
+     */
+    std::vector<JobOutcome> run();
+
+  private:
+    struct Pending
+    {
+        std::string label;
+        std::function<void()> work;
+    };
+
+    ThreadPool &pool_;
+    std::vector<Pending> jobs_;
+};
+
+/**
+ * Run fn(i) for i in [0, count) on the pool and return the results
+ * in index order.  `label(i)`, when given, names the job for log
+ * prefixes.  If any job throws, the first exception (in completion
+ * order) is rethrown after the whole grid has drained.
+ */
+template <typename Fn>
+auto
+parallelIndexed(ThreadPool &pool, std::size_t count, Fn fn,
+                std::function<std::string(std::size_t)> label = {})
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>>
+{
+    using Result = std::invoke_result_t<Fn, std::size_t>;
+    ResultSink<Result> sink(count);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&, i] {
+            ScopedLogLabel scope(label ? label(i) : std::string());
+            try {
+                sink.put(i, fn(i));
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                sink.abandon(i);
+            }
+        });
+    }
+    sink.waitAll();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return sink.take();
+}
+
+} // namespace sparsepipe::runner
+
+#endif // SPARSEPIPE_RUNNER_SCHEDULER_HH

@@ -1,0 +1,86 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/parse.hh"
+
+namespace sparsepipe::runner {
+
+ThreadPool::ThreadPool(int threads)
+{
+    int count = threads > 0 ? threads : defaultJobs();
+    workers_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    sp_assert(task);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sp_assert(!stop_);
+        queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stop requested and nothing left to do
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+int
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("SPARSEPIPE_JOBS")) {
+        long long n = 0;
+        if (tryParseI64(env, n) && n >= 1)
+            return static_cast<int>(std::min<long long>(n, 1024));
+        sp_warn("ignoring invalid SPARSEPIPE_JOBS='%s' "
+                "(want a positive integer)", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace sparsepipe::runner

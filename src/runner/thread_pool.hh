@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the experiment runner.
+ *
+ * The evaluation workload is a batch sweep: hundreds of independent
+ * (app, dataset, config) simulations whose results must come back in
+ * a deterministic order.  The pool is deliberately simple — one
+ * shared FIFO queue, N workers, a drain barrier — because individual
+ * jobs are long (milliseconds to seconds of simulation) and queue
+ * contention is negligible at that granularity.
+ *
+ * Tasks submitted directly to the pool must not throw; use
+ * SweepScheduler or parallelIndexed() (scheduler.hh) for jobs whose
+ * exceptions need to be captured and reported.
+ */
+
+#ifndef SPARSEPIPE_RUNNER_THREAD_POOL_HH
+#define SPARSEPIPE_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparsepipe::runner {
+
+/** Queue-based worker pool; the destructor drains and joins. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the workers.
+     * @param threads worker count; <= 0 picks defaultJobs()
+     */
+    explicit ThreadPool(int threads = 0);
+
+    /** Waits for queued tasks to finish, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task.  Tasks run in FIFO submission order across the
+     * workers; a task must not throw (see file comment).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait();
+
+    /** @return number of worker threads. */
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Default parallelism: the SPARSEPIPE_JOBS environment variable
+     * when set to a positive integer (invalid values warn and are
+     * ignored), otherwise std::thread::hardware_concurrency(), and
+     * at least 1.
+     */
+    static int defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    int active_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace sparsepipe::runner
+
+#endif // SPARSEPIPE_RUNNER_THREAD_POOL_HH

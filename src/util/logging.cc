@@ -1,13 +1,25 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace sparsepipe {
 
 namespace {
 
-bool quiet_flag = false;
+std::atomic<bool> quiet_flag{false};
+
+/**
+ * Serializes whole messages: the runner's workers log concurrently,
+ * and interleaved fragments would corrupt the diff-friendly bench
+ * output (and are a data race on the FILE stream).
+ */
+std::mutex log_mutex;
+
+thread_local std::string thread_label;
 
 const char *
 levelTag(LogLevel level)
@@ -26,13 +38,36 @@ levelTag(LogLevel level)
 void
 setLogQuiet(bool quiet)
 {
-    quiet_flag = quiet;
+    quiet_flag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 logQuiet()
 {
-    return quiet_flag;
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+void
+setThreadLogLabel(std::string label)
+{
+    thread_label = std::move(label);
+}
+
+const std::string &
+threadLogLabel()
+{
+    return thread_label;
+}
+
+ScopedLogLabel::ScopedLogLabel(std::string label)
+    : saved_(threadLogLabel())
+{
+    setThreadLogLabel(std::move(label));
+}
+
+ScopedLogLabel::~ScopedLogLabel()
+{
+    setThreadLogLabel(std::move(saved_));
 }
 
 void
@@ -40,21 +75,26 @@ logMessage(LogLevel level, const char *file, int line,
            const char *fmt, ...)
 {
     bool severe = level == LogLevel::Fatal || level == LogLevel::Panic;
-    if (!severe && quiet_flag)
+    if (!severe && logQuiet())
         return;
 
     std::FILE *out = severe ? stderr : stdout;
-    std::fprintf(out, "[%s] ", levelTag(level));
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(out, "[%s] ", levelTag(level));
+        if (!thread_label.empty())
+            std::fprintf(out, "[%s] ", thread_label.c_str());
 
-    std::va_list args;
-    va_start(args, fmt);
-    std::vfprintf(out, fmt, args);
-    va_end(args);
+        std::va_list args;
+        va_start(args, fmt);
+        std::vfprintf(out, fmt, args);
+        va_end(args);
 
-    if (severe)
-        std::fprintf(out, " (%s:%d)", file, line);
-    std::fprintf(out, "\n");
-    std::fflush(out);
+        if (severe)
+            std::fprintf(out, " (%s:%d)", file, line);
+        std::fprintf(out, "\n");
+        std::fflush(out);
+    }
 
     if (level == LogLevel::Fatal)
         std::exit(1);

@@ -49,6 +49,33 @@ void setLogQuiet(bool quiet);
 /** @return true when quiet mode is active. */
 bool logQuiet();
 
+/**
+ * Label prepended to every message emitted by the *calling thread*
+ * (thread-local).  The runner sets it to the job label so parallel
+ * sweep output stays attributable; empty disables the prefix.
+ */
+void setThreadLogLabel(std::string label);
+
+/** @return the calling thread's log label (empty when unset). */
+const std::string &threadLogLabel();
+
+/**
+ * RAII guard installing a thread log label for one job and
+ * restoring the previous label on exit.
+ */
+class ScopedLogLabel
+{
+  public:
+    explicit ScopedLogLabel(std::string label);
+    ~ScopedLogLabel();
+
+    ScopedLogLabel(const ScopedLogLabel &) = delete;
+    ScopedLogLabel &operator=(const ScopedLogLabel &) = delete;
+
+  private:
+    std::string saved_;
+};
+
 } // namespace sparsepipe
 
 /** User-error: print message and exit(1). */

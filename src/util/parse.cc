@@ -1,0 +1,100 @@
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+/** @return true when text has a leading minus (after whitespace). */
+bool
+startsNegative(const std::string &text)
+{
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    return i < text.size() && text[i] == '-';
+}
+
+} // anonymous namespace
+
+bool
+tryParseI64(const std::string &text, long long &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(text.c_str(), &end, 0);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+tryParseU64(const std::string &text, unsigned long long &out)
+{
+    if (text.empty() || startsNegative(text))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+tryParseF64(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        !std::isfinite(value))
+        return false;
+    out = value;
+    return true;
+}
+
+long long
+parseI64Flag(const char *flag, const std::string &text)
+{
+    long long value = 0;
+    if (!tryParseI64(text, value))
+        sp_fatal("flag %s wants an integer, got '%s'", flag,
+                 text.c_str());
+    return value;
+}
+
+unsigned long long
+parseU64Flag(const char *flag, const std::string &text)
+{
+    unsigned long long value = 0;
+    if (!tryParseU64(text, value))
+        sp_fatal("flag %s wants a non-negative integer, got '%s'",
+                 flag, text.c_str());
+    return value;
+}
+
+double
+parseF64Flag(const char *flag, const std::string &text)
+{
+    double value = 0.0;
+    if (!tryParseF64(text, value))
+        sp_fatal("flag %s wants a number, got '%s'", flag,
+                 text.c_str());
+    return value;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flags and job specs.
+ *
+ * std::atoll-style parsing silently turns `--iters abc` into 0; the
+ * helpers here accept a token only when the *entire* string is a
+ * well-formed number in range.  Integers use strtoll/strtoull with
+ * base 0, so plain decimal and 0x-prefixed hex both work (seeds are
+ * conventionally hex).
+ */
+
+#ifndef SPARSEPIPE_UTIL_PARSE_HH
+#define SPARSEPIPE_UTIL_PARSE_HH
+
+#include <string>
+
+namespace sparsepipe {
+
+/**
+ * Parse a signed 64-bit integer (base 10 or 0x hex).
+ * @return false if `text` is empty, has trailing garbage, or
+ * overflows; `out` is untouched on failure.
+ */
+bool tryParseI64(const std::string &text, long long &out);
+
+/**
+ * Parse an unsigned 64-bit integer (base 10 or 0x hex).  Rejects
+ * negative inputs (strtoull would silently wrap them).
+ */
+bool tryParseU64(const std::string &text, unsigned long long &out);
+
+/** Parse a finite double; same whole-string strictness. */
+bool tryParseF64(const std::string &text, double &out);
+
+/**
+ * Flag-parsing wrappers: return the value or fatal() with a message
+ * naming the flag, e.g. parseI64Flag("--iters", "abc") exits with
+ * "flag --iters wants an integer, got 'abc'".
+ */
+long long parseI64Flag(const char *flag, const std::string &text);
+unsigned long long parseU64Flag(const char *flag,
+                                const std::string &text);
+double parseF64Flag(const char *flag, const std::string &text);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_UTIL_PARSE_HH

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the parallel experiment-runner subsystem (src/runner)
+ * and its integration with the bench harness: pool semantics,
+ * per-job exception capture, deterministic result ordering,
+ * once-per-key cache construction, batch-spec parsing, and
+ * serial-vs-parallel sweep equivalence.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "runner/batch.hh"
+#include "runner/keyed_cache.hh"
+#include "runner/result_sink.hh"
+#include "runner/scheduler.hh"
+#include "runner/thread_pool.hh"
+#include "util/logging.hh"
+
+using namespace sparsepipe;
+using namespace sparsepipe::runner;
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce)
+{
+    constexpr int kTasks = 200;
+    std::vector<std::atomic<int>> counts(kTasks);
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < kTasks; ++i)
+            pool.submit([&counts, i] { counts[i].fetch_add(1); });
+        pool.wait();
+        for (int i = 0; i < kTasks; ++i)
+            EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPool, WaitDrainsRecursiveSubmissions)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        ran.fetch_add(1);
+        pool.submit([&] { ran.fetch_add(1); });
+    });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, DefaultJobsRespectsEnvOverride)
+{
+    ASSERT_EQ(setenv("SPARSEPIPE_JOBS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3);
+
+    setLogQuiet(true); // the invalid value warns
+    ASSERT_EQ(setenv("SPARSEPIPE_JOBS", "abc", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1);
+    ASSERT_EQ(setenv("SPARSEPIPE_JOBS", "-2", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1);
+    setLogQuiet(false);
+
+    ASSERT_EQ(unsetenv("SPARSEPIPE_JOBS"), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1);
+}
+
+TEST(ResultSink, TakeReturnsIndexOrderRegardlessOfPutOrder)
+{
+    ResultSink<int> sink(4);
+    sink.put(2, 20);
+    sink.put(0, 0);
+    sink.put(3, 30);
+    EXPECT_FALSE(sink.complete());
+    sink.put(1, 10);
+    EXPECT_TRUE(sink.complete());
+    sink.waitAll();
+    EXPECT_EQ(sink.take(), (std::vector<int>{0, 10, 20, 30}));
+}
+
+TEST(Scheduler, CapturesExceptionsPerJob)
+{
+    ThreadPool pool(3);
+    SweepScheduler scheduler(pool);
+    std::atomic<int> ran{0};
+    scheduler.add("ok-1", [&] { ran.fetch_add(1); });
+    scheduler.add("boom", [] {
+        throw std::runtime_error("deliberate failure");
+    });
+    scheduler.add("ok-2", [&] { ran.fetch_add(1); });
+
+    std::vector<JobOutcome> outcomes = scheduler.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].label, "ok-1");
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].label, "boom");
+    EXPECT_NE(outcomes[1].error.find("deliberate failure"),
+              std::string::npos);
+    EXPECT_TRUE(outcomes[2].ok);
+    // The failing job neither killed the pool nor its neighbours.
+    EXPECT_EQ(ran.load(), 2);
+    // The scheduler is reusable after run().
+    EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(Scheduler, ParallelIndexedPreservesOrderAndRethrows)
+{
+    ThreadPool pool(4);
+    std::vector<int> squares = parallelIndexed(
+        pool, 50, [](std::size_t i) {
+            if (i % 7 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            return static_cast<int>(i * i);
+        });
+    ASSERT_EQ(squares.size(), 50u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], static_cast<int>(i * i));
+
+    EXPECT_THROW(parallelIndexed(pool, 8,
+                                 [](std::size_t i) -> int {
+                                     if (i == 5)
+                                         throw std::runtime_error(
+                                             "job 5 failed");
+                                     return 0;
+                                 }),
+                 std::runtime_error);
+    pool.wait(); // pool stays usable after a throwing grid
+}
+
+TEST(KeyedCache, ConstructsEachKeyExactlyOnceUnderContention)
+{
+    KeyedCache<int, int> cache;
+    std::atomic<int> constructions{0};
+    ThreadPool pool(8);
+    constexpr int kLookupsPerKey = 64;
+    for (int key = 0; key < 3; ++key) {
+        for (int i = 0; i < kLookupsPerKey; ++i) {
+            pool.submit([&cache, &constructions, key] {
+                const int &value = cache.get(key, [&] {
+                    constructions.fetch_add(1);
+                    return key * 10;
+                });
+                EXPECT_EQ(value, key * 10);
+            });
+        }
+    }
+    pool.wait();
+    EXPECT_EQ(constructions.load(), 3);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(KeyedCache, ReferencesStayStableAcrossInsertions)
+{
+    KeyedCache<int, int> cache;
+    const int *first = &cache.get(0, [] { return 42; });
+    for (int key = 1; key < 100; ++key)
+        cache.get(key, [key] { return key; });
+    EXPECT_EQ(first, &cache.get(0, [] { return -1; }));
+    EXPECT_EQ(*first, 42);
+}
+
+TEST(Batch, ParsesFullJobSpecLine)
+{
+    std::string error;
+    auto job = parseBatchLine(
+        "app=sssp dataset=ro iters=12 reorder=locality blocked=0 "
+        "iso-cpu=true seed=0x10 label=hello # trailing comment",
+        error);
+    ASSERT_TRUE(job.has_value()) << error;
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(job->app, "sssp");
+    EXPECT_EQ(job->dataset, "ro");
+    EXPECT_EQ(job->iters, 12);
+    EXPECT_EQ(job->reorder, "locality");
+    EXPECT_FALSE(job->blocked);
+    EXPECT_TRUE(job->iso_cpu);
+    EXPECT_EQ(job->seed, 0x10u);
+    EXPECT_EQ(job->label, "hello");
+}
+
+TEST(Batch, DefaultsAndCommentLines)
+{
+    std::string error;
+    auto job = parseBatchLine("app=pr dataset=wi", error);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->label, "pr-wi");
+    EXPECT_EQ(job->reorder, "vanilla");
+    EXPECT_TRUE(job->blocked);
+    EXPECT_FALSE(job->iso_cpu);
+    EXPECT_EQ(job->iters, 0);
+
+    EXPECT_FALSE(parseBatchLine("", error).has_value());
+    EXPECT_TRUE(error.empty());
+    EXPECT_FALSE(parseBatchLine("   # just a comment", error)
+                     .has_value());
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(Batch, RejectsMalformedLines)
+{
+    std::string error;
+    EXPECT_FALSE(parseBatchLine("app=pr", error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseBatchLine("pr wi", error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(
+        parseBatchLine("app=pr dataset=wi iters=abc", error)
+            .has_value());
+    EXPECT_NE(error.find("iters"), std::string::npos);
+    EXPECT_FALSE(
+        parseBatchLine("app=pr dataset=wi reorder=zigzag", error)
+            .has_value());
+    EXPECT_FALSE(
+        parseBatchLine("app=pr dataset=wi blocked=maybe", error)
+            .has_value());
+    EXPECT_FALSE(
+        parseBatchLine("app=pr dataset=wi colour=red", error)
+            .has_value());
+    EXPECT_NE(error.find("colour"), std::string::npos);
+}
+
+namespace {
+
+/** Field-by-field equality; the parallel sweep must be bit-equal. */
+void
+expectCaseEqual(const sparsepipe::bench::CaseResult &a,
+                const sparsepipe::bench::CaseResult &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.dataset, b.dataset);
+    EXPECT_EQ(a.nnz, b.nnz);
+    EXPECT_EQ(a.sp.cycles, b.sp.cycles);
+    EXPECT_EQ(a.sp.iterations, b.sp.iterations);
+    EXPECT_EQ(a.sp.dram_read_bytes, b.sp.dram_read_bytes);
+    EXPECT_EQ(a.spSeconds(), b.spSeconds());
+    EXPECT_EQ(a.ideal.seconds, b.ideal.seconds);
+    EXPECT_EQ(a.oracle.seconds, b.oracle.seconds);
+    EXPECT_EQ(a.cpu.seconds, b.cpu.seconds);
+    EXPECT_EQ(a.gpu.seconds, b.gpu.seconds);
+    EXPECT_EQ(a.speedupVsIdeal(), b.speedupVsIdeal());
+}
+
+} // anonymous namespace
+
+TEST(Sweep, ParallelMatchesSerialByteForByte)
+{
+    using namespace sparsepipe::bench;
+
+    // A bench_fig14-shaped sweep: 3 apps x 3 datasets, jobs=4.
+    std::vector<std::string> apps = allApps();
+    apps.resize(3);
+    std::vector<std::string> datasets = allDatasets();
+    datasets.resize(3);
+    RunConfig cfg;
+
+    std::vector<CaseResult> serial;
+    for (const std::string &app : apps)
+        for (const std::string &dataset : datasets)
+            serial.push_back(runCase(app, dataset, cfg));
+
+    std::vector<CaseResult> parallel =
+        runSweep(sweepGrid(apps, datasets, cfg), 4);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].app + "-" + serial[i].dataset);
+        expectCaseEqual(serial[i], parallel[i]);
+    }
+}
+
+TEST(Sweep, GridOrderIsAppMajor)
+{
+    using namespace sparsepipe::bench;
+    RunConfig cfg;
+    auto specs = sweepGrid({"a", "b"}, {"x", "y", "z"}, cfg);
+    ASSERT_EQ(specs.size(), 6u);
+    EXPECT_EQ(specs[0].app, "a");
+    EXPECT_EQ(specs[0].dataset, "x");
+    EXPECT_EQ(specs[2].dataset, "z");
+    EXPECT_EQ(specs[3].app, "b");
+    EXPECT_EQ(specs[5].dataset, "z");
+}

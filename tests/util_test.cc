@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -30,6 +31,62 @@ TEST(Logging, QuietSuppressesInformNotFatal)
     sp_warn("nor this");
     setLogQuiet(false);
     EXPECT_FALSE(logQuiet());
+}
+
+TEST(Logging, ThreadLabelPrefixScopes)
+{
+    EXPECT_TRUE(threadLogLabel().empty());
+    {
+        ScopedLogLabel outer("job-a");
+        EXPECT_EQ(threadLogLabel(), "job-a");
+        {
+            ScopedLogLabel inner("job-b");
+            EXPECT_EQ(threadLogLabel(), "job-b");
+        }
+        EXPECT_EQ(threadLogLabel(), "job-a");
+    }
+    EXPECT_TRUE(threadLogLabel().empty());
+}
+
+TEST(Parse, AcceptsWholeWellFormedNumbersOnly)
+{
+    long long i = -1;
+    EXPECT_TRUE(tryParseI64("123", i));
+    EXPECT_EQ(i, 123);
+    EXPECT_TRUE(tryParseI64("-45", i));
+    EXPECT_EQ(i, -45);
+    EXPECT_TRUE(tryParseI64("0x1f", i));
+    EXPECT_EQ(i, 31);
+    EXPECT_FALSE(tryParseI64("", i));
+    EXPECT_FALSE(tryParseI64("abc", i));
+    EXPECT_FALSE(tryParseI64("12x", i));
+    EXPECT_FALSE(tryParseI64("12 ", i));
+    EXPECT_FALSE(tryParseI64("99999999999999999999999", i));
+    EXPECT_EQ(i, 31); // untouched since the last success
+
+    unsigned long long u = 0;
+    EXPECT_TRUE(tryParseU64("0x5eed5eed", u));
+    EXPECT_EQ(u, 0x5eed5eedULL);
+    EXPECT_FALSE(tryParseU64("-3", u)); // no silent wraparound
+    EXPECT_FALSE(tryParseU64("3.5", u));
+
+    double d = 0.0;
+    EXPECT_TRUE(tryParseF64("2.5e2", d));
+    EXPECT_DOUBLE_EQ(d, 250.0);
+    EXPECT_FALSE(tryParseF64("fast", d));
+    EXPECT_FALSE(tryParseF64("1.0x", d));
+    EXPECT_FALSE(tryParseF64("inf", d)); // flags want finite values
+}
+
+TEST(Parse, FlagWrappersAreFatalOnGarbage)
+{
+    EXPECT_EQ(parseI64Flag("--iters", "12"), 12);
+    EXPECT_EXIT(parseI64Flag("--iters", "abc"),
+                ::testing::ExitedWithCode(1), "--iters");
+    EXPECT_EXIT(parseU64Flag("--seed", "-1"),
+                ::testing::ExitedWithCode(1), "--seed");
+    EXPECT_EXIT(parseF64Flag("--bandwidth", "much"),
+                ::testing::ExitedWithCode(1), "--bandwidth");
 }
 
 TEST(Rng, DeterministicForSeed)

@@ -14,8 +14,10 @@
  *   sparsepipe_cli --app bfs --synthetic rmat:65536:8 \
  *       --buffer-kb 512 --no-eager --timeline
  *   sparsepipe_cli --app gcn --dataset co --autotune
+ *   sparsepipe_cli --batch jobs.txt --jobs 8
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,12 +29,17 @@
 #include "core/autotune.hh"
 #include "core/sparsepipe_sim.hh"
 #include "energy/energy_model.hh"
+#include "harness.hh"
 #include "prep/blocked.hh"
 #include "prep/reorder.hh"
+#include "runner/batch.hh"
+#include "runner/thread_pool.hh"
 #include "sparse/datasets.hh"
 #include "sparse/generate.hh"
 #include "sparse/io.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/table.hh"
 
 using namespace sparsepipe;
 
@@ -55,6 +62,9 @@ struct Options
     bool timeline = false;
     bool autotune = false;
     std::uint64_t seed = 0x5eed5eedULL;
+    /** Batch file; when set, all other run flags are ignored. */
+    std::string batch;
+    int jobs = 0; // 0 = ThreadPool::defaultJobs()
 };
 
 void
@@ -83,6 +93,17 @@ usage()
         "  --autotune          explore sub-tensor sizes first\n"
         "  --timeline          print the 25-sample BW timeline\n"
         "  --seed N            generator seed\n"
+        "  --batch FILE        run one job per line (key=value "
+        "specs: app= dataset=\n"
+        "                      [iters= reorder= blocked= iso-cpu= "
+        "seed= label=]),\n"
+        "                      served through the worker pool; "
+        "results print in file\n"
+        "                      order regardless of completion "
+        "order\n"
+        "  --jobs N            worker threads for --batch (default: "
+        "SPARSEPIPE_JOBS\n"
+        "                      env, else hardware concurrency)\n"
         "  --list              list applications and datasets\n");
 }
 
@@ -108,8 +129,12 @@ makeSynthetic(const std::string &spec, std::uint64_t seed)
     if (p1 == std::string::npos || p2 == std::string::npos)
         sp_fatal("--synthetic wants kind:n:nnz_per_row");
     std::string kind = spec.substr(0, p1);
-    Idx n = std::atoll(spec.substr(p1 + 1, p2 - p1 - 1).c_str());
-    Idx per_row = std::atoll(spec.substr(p2 + 1).c_str());
+    Idx n = parseI64Flag("--synthetic (n)",
+                         spec.substr(p1 + 1, p2 - p1 - 1));
+    Idx per_row =
+        parseI64Flag("--synthetic (nnz_per_row)", spec.substr(p2 + 1));
+    if (n <= 0 || per_row <= 0)
+        sp_fatal("--synthetic wants positive n and nnz_per_row");
     Rng rng(seed);
     if (kind == "uniform")
         return generateUniform(n, n * per_row, rng);
@@ -139,13 +164,14 @@ parse(int argc, char **argv)
         else if (arg == "--dataset") opt.dataset = next();
         else if (arg == "--mtx") opt.mtx = next();
         else if (arg == "--synthetic") opt.synthetic = next();
-        else if (arg == "--iters") opt.iters = std::atoll(next());
+        else if (arg == "--iters")
+            opt.iters = parseI64Flag("--iters", next());
         else if (arg == "--buffer-kb")
-            opt.buffer_kb = std::atoll(next());
+            opt.buffer_kb = parseI64Flag("--buffer-kb", next());
         else if (arg == "--sub-tensor")
-            opt.sub_tensor = std::atoll(next());
+            opt.sub_tensor = parseI64Flag("--sub-tensor", next());
         else if (arg == "--bandwidth")
-            opt.bandwidth = std::atof(next());
+            opt.bandwidth = parseF64Flag("--bandwidth", next());
         else if (arg == "--iso-cpu") opt.iso_cpu = true;
         else if (arg == "--no-eager") opt.eager = false;
         else if (arg == "--no-blocked") opt.blocked = false;
@@ -153,8 +179,14 @@ parse(int argc, char **argv)
         else if (arg == "--autotune") opt.autotune = true;
         else if (arg == "--timeline") opt.timeline = true;
         else if (arg == "--seed")
-            opt.seed = std::strtoull(next(), nullptr, 0);
-        else if (arg == "--list") {
+            opt.seed = parseU64Flag("--seed", next());
+        else if (arg == "--batch") opt.batch = next();
+        else if (arg == "--jobs") {
+            opt.jobs =
+                static_cast<int>(parseI64Flag("--jobs", next()));
+            if (opt.jobs < 1)
+                sp_fatal("--jobs wants a positive count");
+        } else if (arg == "--list") {
             listInventory();
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
@@ -168,12 +200,87 @@ parse(int argc, char **argv)
     return opt;
 }
 
+/** Map a batch reorder string (already validated) to the enum. */
+ReorderKind
+reorderKindOf(const std::string &name)
+{
+    if (name == "none") return ReorderKind::None;
+    if (name == "locality") return ReorderKind::Locality;
+    return ReorderKind::Vanilla;
+}
+
+/**
+ * --batch mode: read one job spec per line, serve the whole batch
+ * through the worker pool, and print a per-job summary table in
+ * file order (deterministic regardless of completion order).
+ */
+int
+runBatch(const Options &opt)
+{
+    using namespace sparsepipe::bench;
+
+    std::vector<runner::BatchJob> batch =
+        runner::readBatchFile(opt.batch);
+    if (batch.empty())
+        sp_fatal("batch file '%s' contains no jobs",
+                 opt.batch.c_str());
+
+    std::vector<CaseSpec> specs;
+    specs.reserve(batch.size());
+    for (const runner::BatchJob &job : batch) {
+        // Validate names up front so a typo on line 40 fails before
+        // any simulation starts.
+        bool known_app = std::any_of(
+            appInfos().begin(), appInfos().end(),
+            [&](const AppInfo &info) { return info.name == job.app; });
+        if (!known_app)
+            sp_fatal("batch job '%s': unknown app '%s'",
+                     job.label.c_str(), job.app.c_str());
+        datasetSpec(job.dataset); // fatal on unknown dataset
+
+        RunConfig config;
+        config.sp = job.iso_cpu ? SparsepipeConfig::isoCpu()
+                                : SparsepipeConfig::isoGpu();
+        config.iters = job.iters;
+        config.reorder = reorderKindOf(job.reorder);
+        config.blocked = job.blocked;
+        config.seed = job.seed;
+        specs.push_back({job.app, job.dataset, config, job.label});
+    }
+
+    int jobs = opt.jobs > 0 ? opt.jobs
+                            : runner::ThreadPool::defaultJobs();
+    std::vector<CaseResult> results = runSweep(specs, jobs);
+
+    TextTable table;
+    table.addRow({"job", "app", "dataset", "nnz", "iters", "cycles",
+                  "ms", "vs ideal", "vs cpu", "vs gpu"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        table.addRow({specs[i].label, r.app, r.dataset,
+                      std::to_string(r.nnz),
+                      std::to_string(r.sp.iterations),
+                      std::to_string(r.sp.cycles),
+                      TextTable::num(1e3 * r.spSeconds(), 3),
+                      TextTable::num(r.speedupVsIdeal(), 2),
+                      TextTable::num(r.speedupVsCpu(), 2),
+                      TextTable::num(r.speedupVsGpu(), 2)});
+    }
+    table.print();
+    std::printf("\n%zu jobs served by %d worker thread%s\n",
+                results.size(), jobs, jobs == 1 ? "" : "s");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt = parse(argc, argv);
+
+    if (!opt.batch.empty())
+        return runBatch(opt);
 
     // ---- input matrix ----------------------------------------------
     CooMatrix raw;
