@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eager_csr.dir/bench_ablation_eager_csr.cc.o"
+  "CMakeFiles/bench_ablation_eager_csr.dir/bench_ablation_eager_csr.cc.o.d"
+  "bench_ablation_eager_csr"
+  "bench_ablation_eager_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eager_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

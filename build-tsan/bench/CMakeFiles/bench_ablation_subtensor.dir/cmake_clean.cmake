@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subtensor.dir/bench_ablation_subtensor.cc.o"
+  "CMakeFiles/bench_ablation_subtensor.dir/bench_ablation_subtensor.cc.o.d"
+  "bench_ablation_subtensor"
+  "bench_ablation_subtensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subtensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_oracle.dir/bench_fig18_oracle.cc.o"
+  "CMakeFiles/bench_fig18_oracle.dir/bench_fig18_oracle.cc.o.d"
+  "bench_fig18_oracle"
+  "bench_fig18_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

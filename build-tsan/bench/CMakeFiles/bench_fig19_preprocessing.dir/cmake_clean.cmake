@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_preprocessing.dir/bench_fig19_preprocessing.cc.o"
+  "CMakeFiles/bench_fig19_preprocessing.dir/bench_fig19_preprocessing.cc.o.d"
+  "bench_fig19_preprocessing"
+  "bench_fig19_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_cpu_gpu_bw.dir/bench_fig22_cpu_gpu_bw.cc.o"
+  "CMakeFiles/bench_fig22_cpu_gpu_bw.dir/bench_fig22_cpu_gpu_bw.cc.o.d"
+  "bench_fig22_cpu_gpu_bw"
+  "bench_fig22_cpu_gpu_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_cpu_gpu_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

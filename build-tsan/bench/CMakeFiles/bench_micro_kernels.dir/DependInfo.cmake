@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o" "gcc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/sp_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/energy/CMakeFiles/sp_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/sp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/sp_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prep/CMakeFiles/sp_prep.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ref/CMakeFiles/sp_ref.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lang/CMakeFiles/sp_lang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/buffer/CMakeFiles/sp_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/sp_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/semiring/CMakeFiles/sp_semiring.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/sp_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runner/CMakeFiles/sp_runner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_footprint.dir/bench_table1_footprint.cc.o"
+  "CMakeFiles/bench_table1_footprint.dir/bench_table1_footprint.cc.o.d"
+  "bench_table1_footprint"
+  "bench_table1_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/sp_bench_harness.dir/harness.cc.o.d"
+  "libsp_bench_harness.a"
+  "libsp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

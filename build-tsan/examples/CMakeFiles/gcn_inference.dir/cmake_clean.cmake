@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_inference.dir/gcn_inference.cpp.o"
+  "CMakeFiles/gcn_inference.dir/gcn_inference.cpp.o.d"
+  "gcn_inference"
+  "gcn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_cg.dir/solver_cg.cpp.o"
+  "CMakeFiles/solver_cg.dir/solver_cg.cpp.o.d"
+  "solver_cg"
+  "solver_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

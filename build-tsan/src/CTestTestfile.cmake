@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sparse")
+subdirs("semiring")
+subdirs("graph")
+subdirs("lang")
+subdirs("ref")
+subdirs("apps")
+subdirs("prep")
+subdirs("sim")
+subdirs("mem")
+subdirs("buffer")
+subdirs("core")
+subdirs("baseline")
+subdirs("energy")
+subdirs("runner")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/graph_apps.cc" "src/apps/CMakeFiles/sp_apps.dir/graph_apps.cc.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/graph_apps.cc.o.d"
+  "/root/repo/src/apps/ml_apps.cc" "src/apps/CMakeFiles/sp_apps.dir/ml_apps.cc.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/ml_apps.cc.o.d"
+  "/root/repo/src/apps/prepare.cc" "src/apps/CMakeFiles/sp_apps.dir/prepare.cc.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/prepare.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/sp_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/solver_apps.cc" "src/apps/CMakeFiles/sp_apps.dir/solver_apps.cc.o" "gcc" "src/apps/CMakeFiles/sp_apps.dir/solver_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/lang/CMakeFiles/sp_lang.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/sp_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/semiring/CMakeFiles/sp_semiring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

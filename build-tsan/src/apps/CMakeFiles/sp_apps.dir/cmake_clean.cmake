@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_apps.dir/graph_apps.cc.o"
+  "CMakeFiles/sp_apps.dir/graph_apps.cc.o.d"
+  "CMakeFiles/sp_apps.dir/ml_apps.cc.o"
+  "CMakeFiles/sp_apps.dir/ml_apps.cc.o.d"
+  "CMakeFiles/sp_apps.dir/prepare.cc.o"
+  "CMakeFiles/sp_apps.dir/prepare.cc.o.d"
+  "CMakeFiles/sp_apps.dir/registry.cc.o"
+  "CMakeFiles/sp_apps.dir/registry.cc.o.d"
+  "CMakeFiles/sp_apps.dir/solver_apps.cc.o"
+  "CMakeFiles/sp_apps.dir/solver_apps.cc.o.d"
+  "libsp_apps.a"
+  "libsp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

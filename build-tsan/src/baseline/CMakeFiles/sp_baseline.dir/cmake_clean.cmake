@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_baseline.dir/models.cc.o"
+  "CMakeFiles/sp_baseline.dir/models.cc.o.d"
+  "libsp_baseline.a"
+  "libsp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

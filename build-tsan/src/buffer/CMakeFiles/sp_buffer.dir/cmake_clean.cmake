@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_buffer.dir/dual_buffer.cc.o"
+  "CMakeFiles/sp_buffer.dir/dual_buffer.cc.o.d"
+  "libsp_buffer.a"
+  "libsp_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_core.dir/autotune.cc.o"
+  "CMakeFiles/sp_core.dir/autotune.cc.o.d"
+  "CMakeFiles/sp_core.dir/buckets.cc.o"
+  "CMakeFiles/sp_core.dir/buckets.cc.o.d"
+  "CMakeFiles/sp_core.dir/config.cc.o"
+  "CMakeFiles/sp_core.dir/config.cc.o.d"
+  "CMakeFiles/sp_core.dir/oei_functional.cc.o"
+  "CMakeFiles/sp_core.dir/oei_functional.cc.o.d"
+  "CMakeFiles/sp_core.dir/pass_engine.cc.o"
+  "CMakeFiles/sp_core.dir/pass_engine.cc.o.d"
+  "CMakeFiles/sp_core.dir/sparsepipe_sim.cc.o"
+  "CMakeFiles/sp_core.dir/sparsepipe_sim.cc.o.d"
+  "libsp_core.a"
+  "libsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_energy.dir/energy_model.cc.o"
+  "CMakeFiles/sp_energy.dir/energy_model.cc.o.d"
+  "libsp_energy.a"
+  "libsp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cc" "src/graph/CMakeFiles/sp_graph.dir/analysis.cc.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/analysis.cc.o.d"
+  "/root/repo/src/graph/ir.cc" "src/graph/CMakeFiles/sp_graph.dir/ir.cc.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/semiring/CMakeFiles/sp_semiring.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/sp_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_graph.dir/analysis.cc.o"
+  "CMakeFiles/sp_graph.dir/analysis.cc.o.d"
+  "CMakeFiles/sp_graph.dir/ir.cc.o"
+  "CMakeFiles/sp_graph.dir/ir.cc.o.d"
+  "libsp_graph.a"
+  "libsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

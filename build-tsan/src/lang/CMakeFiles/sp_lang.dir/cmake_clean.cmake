@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_lang.dir/builder.cc.o"
+  "CMakeFiles/sp_lang.dir/builder.cc.o.d"
+  "CMakeFiles/sp_lang.dir/workspace.cc.o"
+  "CMakeFiles/sp_lang.dir/workspace.cc.o.d"
+  "libsp_lang.a"
+  "libsp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_mem.dir/dram.cc.o"
+  "CMakeFiles/sp_mem.dir/dram.cc.o.d"
+  "libsp_mem.a"
+  "libsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

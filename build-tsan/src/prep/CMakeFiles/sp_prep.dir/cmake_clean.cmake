@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_prep.dir/blocked.cc.o"
+  "CMakeFiles/sp_prep.dir/blocked.cc.o.d"
+  "CMakeFiles/sp_prep.dir/reorder.cc.o"
+  "CMakeFiles/sp_prep.dir/reorder.cc.o.d"
+  "libsp_prep.a"
+  "libsp_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

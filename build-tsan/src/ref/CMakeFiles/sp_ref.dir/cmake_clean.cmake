@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_ref.dir/executor.cc.o"
+  "CMakeFiles/sp_ref.dir/executor.cc.o.d"
+  "libsp_ref.a"
+  "libsp_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/batch.cc" "src/runner/CMakeFiles/sp_runner.dir/batch.cc.o" "gcc" "src/runner/CMakeFiles/sp_runner.dir/batch.cc.o.d"
+  "/root/repo/src/runner/scheduler.cc" "src/runner/CMakeFiles/sp_runner.dir/scheduler.cc.o" "gcc" "src/runner/CMakeFiles/sp_runner.dir/scheduler.cc.o.d"
+  "/root/repo/src/runner/thread_pool.cc" "src/runner/CMakeFiles/sp_runner.dir/thread_pool.cc.o" "gcc" "src/runner/CMakeFiles/sp_runner.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

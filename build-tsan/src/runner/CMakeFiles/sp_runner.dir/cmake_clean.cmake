@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_runner.dir/batch.cc.o"
+  "CMakeFiles/sp_runner.dir/batch.cc.o.d"
+  "CMakeFiles/sp_runner.dir/scheduler.cc.o"
+  "CMakeFiles/sp_runner.dir/scheduler.cc.o.d"
+  "CMakeFiles/sp_runner.dir/thread_pool.cc.o"
+  "CMakeFiles/sp_runner.dir/thread_pool.cc.o.d"
+  "libsp_runner.a"
+  "libsp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

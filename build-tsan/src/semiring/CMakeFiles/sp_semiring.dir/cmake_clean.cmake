@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_semiring.dir/ewise.cc.o"
+  "CMakeFiles/sp_semiring.dir/ewise.cc.o.d"
+  "CMakeFiles/sp_semiring.dir/semiring.cc.o"
+  "CMakeFiles/sp_semiring.dir/semiring.cc.o.d"
+  "libsp_semiring.a"
+  "libsp_semiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_semiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/sp_sim.dir/event_queue.cc.o.d"
+  "libsp_sim.a"
+  "libsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

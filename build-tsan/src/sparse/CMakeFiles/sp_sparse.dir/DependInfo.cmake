@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cc" "src/sparse/CMakeFiles/sp_sparse.dir/coo.cc.o" "gcc" "src/sparse/CMakeFiles/sp_sparse.dir/coo.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/sp_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/sp_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/datasets.cc" "src/sparse/CMakeFiles/sp_sparse.dir/datasets.cc.o" "gcc" "src/sparse/CMakeFiles/sp_sparse.dir/datasets.cc.o.d"
+  "/root/repo/src/sparse/dense.cc" "src/sparse/CMakeFiles/sp_sparse.dir/dense.cc.o" "gcc" "src/sparse/CMakeFiles/sp_sparse.dir/dense.cc.o.d"
+  "/root/repo/src/sparse/generate.cc" "src/sparse/CMakeFiles/sp_sparse.dir/generate.cc.o" "gcc" "src/sparse/CMakeFiles/sp_sparse.dir/generate.cc.o.d"
+  "/root/repo/src/sparse/io.cc" "src/sparse/CMakeFiles/sp_sparse.dir/io.cc.o" "gcc" "src/sparse/CMakeFiles/sp_sparse.dir/io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_sparse.dir/coo.cc.o"
+  "CMakeFiles/sp_sparse.dir/coo.cc.o.d"
+  "CMakeFiles/sp_sparse.dir/csr.cc.o"
+  "CMakeFiles/sp_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/sp_sparse.dir/datasets.cc.o"
+  "CMakeFiles/sp_sparse.dir/datasets.cc.o.d"
+  "CMakeFiles/sp_sparse.dir/dense.cc.o"
+  "CMakeFiles/sp_sparse.dir/dense.cc.o.d"
+  "CMakeFiles/sp_sparse.dir/generate.cc.o"
+  "CMakeFiles/sp_sparse.dir/generate.cc.o.d"
+  "CMakeFiles/sp_sparse.dir/io.cc.o"
+  "CMakeFiles/sp_sparse.dir/io.cc.o.d"
+  "libsp_sparse.a"
+  "libsp_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

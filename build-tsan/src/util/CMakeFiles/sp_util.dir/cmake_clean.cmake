@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_util.dir/logging.cc.o"
+  "CMakeFiles/sp_util.dir/logging.cc.o.d"
+  "CMakeFiles/sp_util.dir/parse.cc.o"
+  "CMakeFiles/sp_util.dir/parse.cc.o.d"
+  "CMakeFiles/sp_util.dir/random.cc.o"
+  "CMakeFiles/sp_util.dir/random.cc.o.d"
+  "CMakeFiles/sp_util.dir/stats.cc.o"
+  "CMakeFiles/sp_util.dir/stats.cc.o.d"
+  "CMakeFiles/sp_util.dir/table.cc.o"
+  "CMakeFiles/sp_util.dir/table.cc.o.d"
+  "libsp_util.a"
+  "libsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_energy_test.dir/baseline_energy_test.cc.o"
+  "CMakeFiles/baseline_energy_test.dir/baseline_energy_test.cc.o.d"
+  "baseline_energy_test"
+  "baseline_energy_test.pdb"
+  "baseline_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

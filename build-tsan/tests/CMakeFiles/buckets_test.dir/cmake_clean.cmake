@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckets_test.dir/buckets_test.cc.o"
+  "CMakeFiles/buckets_test.dir/buckets_test.cc.o.d"
+  "buckets_test"
+  "buckets_test.pdb"
+  "buckets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

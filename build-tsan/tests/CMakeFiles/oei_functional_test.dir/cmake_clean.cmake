@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oei_functional_test.dir/oei_functional_test.cc.o"
+  "CMakeFiles/oei_functional_test.dir/oei_functional_test.cc.o.d"
+  "oei_functional_test"
+  "oei_functional_test.pdb"
+  "oei_functional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oei_functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oei_functional_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_engine_test.dir/pass_engine_test.cc.o"
+  "CMakeFiles/pass_engine_test.dir/pass_engine_test.cc.o.d"
+  "pass_engine_test"
+  "pass_engine_test.pdb"
+  "pass_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_executor_test.dir/ref_executor_test.cc.o"
+  "CMakeFiles/ref_executor_test.dir/ref_executor_test.cc.o.d"
+  "ref_executor_test"
+  "ref_executor_test.pdb"
+  "ref_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsepipe_sim_test.dir/sparsepipe_sim_test.cc.o"
+  "CMakeFiles/sparsepipe_sim_test.dir/sparsepipe_sim_test.cc.o.d"
+  "sparsepipe_sim_test"
+  "sparsepipe_sim_test.pdb"
+  "sparsepipe_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsepipe_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

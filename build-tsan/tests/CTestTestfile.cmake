@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/generate_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/semiring_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ir_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ref_executor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_mem_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/buckets_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/prep_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baseline_energy_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/pass_engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/oei_functional_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sparsepipe_sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/runner_test[1]_include.cmake")

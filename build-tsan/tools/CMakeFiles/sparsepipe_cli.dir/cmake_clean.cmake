@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsepipe_cli.dir/sparsepipe_cli.cc.o"
+  "CMakeFiles/sparsepipe_cli.dir/sparsepipe_cli.cc.o.d"
+  "sparsepipe_cli"
+  "sparsepipe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsepipe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
