@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Seeded property-based generator of differential-test cases.
+ *
+ * Each case samples a random STA program (through lang/builder) over
+ * a random synthetic matrix (through sparse/generate, all shape
+ * classes of the dataset registry) plus a random simulator
+ * configuration.  Program shapes span every scheduling mode of the
+ * simulator: cross-iteration fusion (PageRank-like single vxm),
+ * intra-iteration fusion (KNN-like vxm pair), stream fallback (a
+ * reduction on the producer-consumer path), pure element-wise
+ * bodies, and SpMM/GCN-style dense pipelines.
+ *
+ * Generation is fully deterministic from the seed: the same seed
+ * yields the same case on every platform and job count.
+ */
+
+#ifndef SPARSEPIPE_CHECK_CASE_GEN_HH
+#define SPARSEPIPE_CHECK_CASE_GEN_HH
+
+#include "check/fuzz_case.hh"
+
+namespace sparsepipe {
+
+/** Knobs bounding the generated cases. */
+struct GenOptions
+{
+    Idx min_n = 8;
+    Idx max_n = 96;
+    Idx max_iters = 6;
+    /** Allow the SpMM/GCN archetype (dense feature pipeline). */
+    bool allow_spmm = true;
+};
+
+/** Generate the case for `seed`. */
+FuzzCase generateCase(std::uint64_t seed, const GenOptions &opts = {});
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_CASE_GEN_HH

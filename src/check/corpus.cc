@@ -1,0 +1,223 @@
+#include "check/corpus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lang/serialize.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+std::string
+formatValue(Value v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+Value
+parseValue(const std::string &tok)
+{
+    try {
+        return std::stod(tok);
+    } catch (const std::exception &) {
+        sp_fatal("readCase: bad value '%s'", tok.c_str());
+    }
+    __builtin_unreachable();
+}
+
+long long
+parseInt(const std::string &tok)
+{
+    try {
+        return std::stoll(tok);
+    } catch (const std::exception &) {
+        sp_fatal("readCase: bad integer '%s'", tok.c_str());
+    }
+    __builtin_unreachable();
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream ss(line);
+    std::vector<std::string> toks;
+    std::string tok;
+    while (ss >> tok)
+        toks.push_back(tok);
+    return toks;
+}
+
+} // anonymous namespace
+
+void
+writeCase(std::ostream &os, const FuzzCase &fuzz)
+{
+    os << "sparsepipe-fuzz-case v1\n";
+    os << "name " << (fuzz.name.empty() ? "case" : fuzz.name) << "\n";
+    os << "seed " << fuzz.seed << "\n";
+    os << "iters " << fuzz.iters << "\n";
+    os << "oei-sub-tensor " << fuzz.oei_sub_tensor << "\n";
+    os << "config " << fuzz.config.buffer_bytes << " "
+       << formatValue(fuzz.config.bytes_per_nz) << " "
+       << (fuzz.config.eager_csr ? 1 : 0) << " "
+       << fuzz.config.sub_tensor_cols << " " << fuzz.config.lag << " "
+       << (fuzz.config.dram.tech == "DDR4" ? "ddr4" : "gddr6x")
+       << "\n";
+    os << "matrix " << fuzz.matrix << "\n";
+    os << "operand " << fuzz.operand.rows() << " "
+       << fuzz.operand.cols() << " " << fuzz.operand.nnz() << "\n";
+    for (const Triplet &t : fuzz.operand.entries())
+        os << t.row << " " << t.col << " " << formatValue(t.val)
+           << "\n";
+    for (const auto &[id, values] : fuzz.vec_init) {
+        os << "vec-init " << id << " " << values.size();
+        for (Value v : values)
+            os << " " << formatValue(v);
+        os << "\n";
+    }
+    for (const auto &[id, values] : fuzz.den_init) {
+        os << "den-init " << id << " " << values.size();
+        for (Value v : values)
+            os << " " << formatValue(v);
+        os << "\n";
+    }
+    os << "program\n";
+    writeProgramText(os, fuzz.program);
+}
+
+FuzzCase
+readCase(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || tokenize(line) !=
+        std::vector<std::string>{"sparsepipe-fuzz-case", "v1"})
+        sp_fatal("readCase: missing 'sparsepipe-fuzz-case v1' header");
+
+    FuzzCase fuzz;
+    bool saw_program = false;
+    while (std::getline(is, line)) {
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+        const std::string &key = toks[0];
+        if (key == "program") {
+            saw_program = true;
+            break;
+        } else if (key == "name" && toks.size() == 2) {
+            fuzz.name = toks[1];
+        } else if (key == "seed" && toks.size() == 2) {
+            fuzz.seed = static_cast<std::uint64_t>(
+                std::stoull(toks[1]));
+        } else if (key == "iters" && toks.size() == 2) {
+            fuzz.iters = parseInt(toks[1]);
+        } else if (key == "oei-sub-tensor" && toks.size() == 2) {
+            fuzz.oei_sub_tensor = parseInt(toks[1]);
+        } else if (key == "config" && toks.size() == 7) {
+            fuzz.config.buffer_bytes = parseInt(toks[1]);
+            fuzz.config.bytes_per_nz = parseValue(toks[2]);
+            fuzz.config.eager_csr = parseInt(toks[3]) != 0;
+            fuzz.config.sub_tensor_cols = parseInt(toks[4]);
+            fuzz.config.lag = parseInt(toks[5]);
+            if (toks[6] == "ddr4")
+                fuzz.config.dram = DramConfig::ddr4();
+            else if (toks[6] == "gddr6x")
+                fuzz.config.dram = DramConfig::gddr6x();
+            else
+                sp_fatal("readCase: unknown dram '%s'",
+                         toks[6].c_str());
+        } else if (key == "matrix" && toks.size() == 2) {
+            fuzz.matrix = parseInt(toks[1]);
+        } else if (key == "operand" && toks.size() == 4) {
+            const Idx rows = parseInt(toks[1]);
+            const Idx cols = parseInt(toks[2]);
+            const Idx nnz = parseInt(toks[3]);
+            fuzz.operand = CooMatrix(rows, cols);
+            for (Idx i = 0; i < nnz; ++i) {
+                if (!std::getline(is, line))
+                    sp_fatal("readCase: truncated operand (%lld of "
+                             "%lld entries)", static_cast<long long>(i),
+                             static_cast<long long>(nnz));
+                const std::vector<std::string> entry = tokenize(line);
+                if (entry.size() != 3)
+                    sp_fatal("readCase: bad operand entry '%s'",
+                             line.c_str());
+                fuzz.operand.add(parseInt(entry[0]),
+                                 parseInt(entry[1]),
+                                 parseValue(entry[2]));
+            }
+        } else if (key == "vec-init" && toks.size() >= 3) {
+            const TensorId id = parseInt(toks[1]);
+            const std::size_t count =
+                static_cast<std::size_t>(parseInt(toks[2]));
+            if (toks.size() != 3 + count)
+                sp_fatal("readCase: vec-init expects %zu values, got "
+                         "%zu", count, toks.size() - 3);
+            DenseVector values(count);
+            for (std::size_t i = 0; i < count; ++i)
+                values[i] = parseValue(toks[3 + i]);
+            fuzz.vec_init.emplace_back(id, std::move(values));
+        } else if (key == "den-init" && toks.size() >= 3) {
+            const TensorId id = parseInt(toks[1]);
+            const std::size_t count =
+                static_cast<std::size_t>(parseInt(toks[2]));
+            if (toks.size() != 3 + count)
+                sp_fatal("readCase: den-init expects %zu values, got "
+                         "%zu", count, toks.size() - 3);
+            std::vector<Value> values(count);
+            for (std::size_t i = 0; i < count; ++i)
+                values[i] = parseValue(toks[3 + i]);
+            fuzz.den_init.emplace_back(id, std::move(values));
+        } else {
+            sp_fatal("readCase: bad directive '%s'", line.c_str());
+        }
+    }
+    if (!saw_program)
+        sp_fatal("readCase: missing 'program' section");
+    fuzz.program = readProgramText(is);
+    return fuzz;
+}
+
+void
+writeCaseFile(const std::string &path, const FuzzCase &fuzz)
+{
+    std::ofstream os(path);
+    if (!os)
+        sp_fatal("writeCaseFile: cannot open '%s'", path.c_str());
+    writeCase(os, fuzz);
+    if (!os)
+        sp_fatal("writeCaseFile: write to '%s' failed", path.c_str());
+}
+
+FuzzCase
+readCaseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        sp_fatal("readCaseFile: cannot open '%s'", path.c_str());
+    ScopedLogLabel label(path);
+    return readCase(is);
+}
+
+std::vector<std::string>
+listCorpus(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".fuzzcase")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Corpus persistence: a FuzzCase round-trips through a stable
+ * line-oriented text file so shrunk reproducers survive in
+ * `corpus/` directories and replay under ctest (fuzz_regression_test)
+ * long after the seed that found them stopped reproducing.
+ */
+
+#ifndef SPARSEPIPE_CHECK_CORPUS_HH
+#define SPARSEPIPE_CHECK_CORPUS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/fuzz_case.hh"
+
+namespace sparsepipe {
+
+/** Write one case in the sparsepipe-fuzz-case v1 format. */
+void writeCase(std::ostream &os, const FuzzCase &fuzz);
+
+/** Parse a case; malformed input is a user error (fatal). */
+FuzzCase readCase(std::istream &is);
+
+/** File wrappers; I/O failures are user errors (fatal). */
+void writeCaseFile(const std::string &path, const FuzzCase &fuzz);
+FuzzCase readCaseFile(const std::string &path);
+
+/**
+ * @return paths of every `*.fuzzcase` file directly inside `dir`,
+ * sorted by name; empty when the directory does not exist.
+ */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_CORPUS_HH

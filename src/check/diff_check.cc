@@ -1,0 +1,217 @@
+#include "check/diff_check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "check/invariants.hh"
+#include "check/oei_driver.hh"
+#include "graph/analysis.hh"
+#include "ref/executor.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+const char *
+injectedBugName(InjectedBug bug)
+{
+    switch (bug) {
+      case InjectedBug::None:           return "none";
+      case InjectedBug::ResultEpsilon:  return "result-epsilon";
+      case InjectedBug::BufferOverflow: return "buffer-overflow";
+    }
+    return "?";
+}
+
+InjectedBug
+injectedBugFromName(const std::string &name)
+{
+    static const InjectedBug all[] = {
+        InjectedBug::None, InjectedBug::ResultEpsilon,
+        InjectedBug::BufferOverflow,
+    };
+    for (InjectedBug bug : all)
+        if (name == injectedBugName(bug))
+            return bug;
+    sp_fatal("unknown injected bug '%s' (none, result-epsilon, "
+             "buffer-overflow)", name.c_str());
+    __builtin_unreachable();
+}
+
+bool
+valuesClose(Value a, Value b, double rtol, double atol)
+{
+    if (a == b)
+        return true; // also covers equal infinities
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    if (std::isinf(a) || std::isinf(b))
+        return false; // opposite infinities, or inf vs finite
+    return std::abs(a - b) <=
+           atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+namespace {
+
+/** True when any leading op's reduction reassociates float adds. */
+bool
+needsTolerance(const Program &p)
+{
+    for (const OpNode &op : p.ops()) {
+        if (op.kind != OpKind::Vxm && op.kind != OpKind::Spmm)
+            continue;
+        const SemiringKind kind = op.semiring.kind();
+        if (kind == SemiringKind::MulAdd ||
+            kind == SemiringKind::ArilAdd)
+            return true;
+    }
+    return false;
+}
+
+std::string
+compareSpans(const std::string &tensor, const std::string &path,
+             const Value *ref, const Value *got, std::size_t count,
+             double rtol, double atol)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!valuesClose(ref[i], got[i], rtol, atol)) {
+            std::ostringstream ss;
+            ss.precision(17);
+            ss << path << " diverges from ref on tensor '" << tensor
+               << "' at element " << i << ": ref " << ref[i]
+               << " vs " << got[i];
+            return ss.str();
+        }
+    }
+    return "";
+}
+
+void
+compareWorkspaces(std::vector<std::string> &failures,
+                  const std::string &path, const Program &p,
+                  const Workspace &ws_ref, const Workspace &ws_got,
+                  double rtol, double atol)
+{
+    for (TensorId id = 0;
+         id < static_cast<TensorId>(p.tensors().size()); ++id) {
+        const TensorInfo &info = p.tensor(id);
+        std::string msg;
+        switch (info.kind) {
+          case TensorKind::Vector:
+            msg = compareSpans(info.name, path, ws_ref.vec(id).data(),
+                               ws_got.vec(id).data(),
+                               ws_ref.vec(id).size(), rtol, atol);
+            break;
+          case TensorKind::DenseMatrix:
+            msg = compareSpans(info.name, path,
+                               ws_ref.den(id).data().data(),
+                               ws_got.den(id).data().data(),
+                               ws_ref.den(id).data().size(), rtol,
+                               atol);
+            break;
+          case TensorKind::Scalar: {
+            const Value a = ws_ref.scalar(id);
+            const Value b = ws_got.scalar(id);
+            msg = compareSpans(info.name, path, &a, &b, 1, rtol, atol);
+            break;
+          }
+          case TensorKind::SparseMatrix:
+            break; // constant operand
+        }
+        if (!msg.empty())
+            failures.push_back(std::move(msg));
+    }
+}
+
+void
+compareRuns(std::vector<std::string> &failures, const std::string &path,
+            const RunResult &ref, Idx iterations, bool converged)
+{
+    if (ref.iterations != iterations) {
+        std::ostringstream ss;
+        ss << path << " ran " << iterations << " iterations, ref ran "
+           << ref.iterations;
+        failures.push_back(ss.str());
+    }
+    if (ref.converged != converged) {
+        std::ostringstream ss;
+        ss << path << (converged ? " converged" : " did not converge")
+           << " but ref "
+           << (ref.converged ? "converged" : "did not converge");
+        failures.push_back(ss.str());
+    }
+}
+
+} // anonymous namespace
+
+CaseReport
+checkCase(const FuzzCase &fuzz, InjectedBug bug)
+{
+    CaseReport report;
+
+    Workspace ws_ref = makeWorkspace(fuzz);
+    const RunResult ref_run = RefExecutor{}.run(ws_ref, fuzz.iters);
+
+    Workspace ws_oei = makeWorkspace(fuzz);
+    const OeiResult oei =
+        runOeiFunctional(ws_oei, fuzz.iters, fuzz.oei_sub_tensor);
+
+    Workspace ws_sim = makeWorkspace(fuzz);
+    SparsepipeSim sim(fuzz.config);
+    SimStats stats = sim.run(ws_sim, fuzz.iters);
+
+    // ---- deliberate defect injection (harness self-test) ------------
+    if (bug == InjectedBug::ResultEpsilon) {
+        for (TensorId id = 0;
+             id < static_cast<TensorId>(fuzz.program.tensors().size());
+             ++id) {
+            const TensorInfo &info = fuzz.program.tensor(id);
+            if (info.kind == TensorKind::Vector && !info.constant &&
+                !ws_sim.vec(id).empty()) {
+                ws_sim.vec(id)[0] += 1e-3;
+                break;
+            }
+        }
+    } else if (bug == InjectedBug::BufferOverflow) {
+        stats.buffer.peak_elems =
+            fuzz.config.bufferCapacityElems() + 1;
+        stats.passes = std::max<Idx>(stats.passes, 1);
+    }
+
+    // ---- output equivalence -----------------------------------------
+    const bool tolerant = needsTolerance(fuzz.program);
+    const double rtol = tolerant ? 1e-8 : 0.0;
+    const double atol = tolerant ? 1e-10 : 0.0;
+
+    compareRuns(report.failures, "oei", ref_run, oei.run.iterations,
+                oei.run.converged);
+    compareRuns(report.failures, "sim", ref_run, stats.iterations,
+                stats.converged);
+    if (oei.mode != stats.mode) {
+        std::ostringstream ss;
+        ss << "schedule mode disagrees: oei driver chose "
+           << scheduleModeName(oei.mode) << ", simulator chose "
+           << scheduleModeName(stats.mode);
+        report.failures.push_back(ss.str());
+    }
+    compareWorkspaces(report.failures, "oei", fuzz.program, ws_ref,
+                      ws_oei, rtol, atol);
+    compareWorkspaces(report.failures, "sim", fuzz.program, ws_ref,
+                      ws_sim, rtol, atol);
+
+    // ---- simulator invariants ---------------------------------------
+    const Analysis analysis = analyzeProgram(fuzz.program);
+    const InvariantContext ctx{fuzz, analysis, stats, ws_sim};
+    for (const Invariant &inv : defaultInvariants()) {
+        const std::string msg = inv.check(ctx);
+        if (!msg.empty())
+            report.failures.push_back("invariant " + inv.name + ": " +
+                                      msg);
+    }
+
+    report.sim = std::move(stats);
+    report.ok = report.failures.empty();
+    return report;
+}
+
+} // namespace sparsepipe

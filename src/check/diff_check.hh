@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The differential check: run one case through the reference
+ * executor, the independent OEI functional driver, and the
+ * cycle-level simulator; compare every tensor element-wise under the
+ * semiring's tolerance rule; then run the simulator invariants.
+ *
+ * Tolerance rule: a program whose leading vxm/spmm ops all use
+ * reassociation-exact reductions (min / max / or) must match
+ * bitwise; any MulAdd / ArilAdd leading op reassociates float
+ * additions, so those programs compare with a scale-aware relative
+ * tolerance.
+ */
+
+#ifndef SPARSEPIPE_CHECK_DIFF_CHECK_HH
+#define SPARSEPIPE_CHECK_DIFF_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "check/fuzz_case.hh"
+#include "core/sparsepipe_sim.hh"
+
+namespace sparsepipe {
+
+/**
+ * Deliberate defects injected AFTER the simulator runs, to prove the
+ * catch -> shrink -> serialize pipeline end-to-end without touching
+ * production code:
+ *  - ResultEpsilon: perturb one simulator output element by 1e-3
+ *    (models an off-by-one in the fused dataflow);
+ *  - BufferOverflow: report a peak buffer occupancy one element
+ *    past capacity (models an off-by-one in buffer eviction).
+ */
+enum class InjectedBug { None, ResultEpsilon, BufferOverflow };
+
+/** @return short name ("none", "result-epsilon", ...). */
+const char *injectedBugName(InjectedBug bug);
+
+/** Parse a bug name; fatal on unknown names. */
+InjectedBug injectedBugFromName(const std::string &name);
+
+/** Outcome of checking one case. */
+struct CaseReport
+{
+    bool ok = true;
+    /** Human-readable failure descriptions (empty when ok). */
+    std::vector<std::string> failures;
+    /** Simulator stats of the run (valid even on failure). */
+    SimStats sim;
+};
+
+/**
+ * Run the full differential + invariant check on one case.
+ */
+CaseReport checkCase(const FuzzCase &fuzz,
+                     InjectedBug bug = InjectedBug::None);
+
+/**
+ * Scale-aware comparison: exact equality (covers equal infinities),
+ * NaN == NaN, else |a - b| <= atol + rtol * max(|a|, |b|).
+ */
+bool valuesClose(Value a, Value b, double rtol, double atol);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_DIFF_CHECK_HH

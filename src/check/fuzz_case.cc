@@ -1,0 +1,36 @@
+#include "check/fuzz_case.hh"
+
+#include "sparse/csr.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+Workspace
+makeWorkspace(const FuzzCase &fuzz)
+{
+    Workspace ws(fuzz.program);
+    if (fuzz.matrix != invalid_tensor)
+        ws.bindMatrix(fuzz.matrix, CsrMatrix::fromCoo(fuzz.operand));
+
+    for (const auto &[id, values] : fuzz.vec_init) {
+        DenseVector &dst = ws.vec(id);
+        if (dst.size() != values.size())
+            sp_fatal("makeWorkspace: vec-init for tensor %lld has %zu "
+                     "values, tensor holds %zu",
+                     static_cast<long long>(id), values.size(),
+                     dst.size());
+        dst = values;
+    }
+    for (const auto &[id, values] : fuzz.den_init) {
+        DenseMatrix &dst = ws.den(id);
+        if (dst.data().size() != values.size())
+            sp_fatal("makeWorkspace: den-init for tensor %lld has %zu "
+                     "values, tensor holds %zu",
+                     static_cast<long long>(id), values.size(),
+                     dst.data().size());
+        dst.data() = values;
+    }
+    return ws;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A self-contained differential-test case: one STA program, one
+ * sparse operand, explicit initial values, and the simulator
+ * configuration to run it under.  Everything needed to reproduce a
+ * run lives in this struct so failing cases can be shrunk and
+ * serialized to the regression corpus.
+ */
+
+#ifndef SPARSEPIPE_CHECK_FUZZ_CASE_HH
+#define SPARSEPIPE_CHECK_FUZZ_CASE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hh"
+#include "graph/ir.hh"
+#include "lang/workspace.hh"
+#include "sparse/coo.hh"
+
+namespace sparsepipe {
+
+/** One differential-fuzzing case. */
+struct FuzzCase
+{
+    /** Stable case name ("case-<seed>"), used for corpus files. */
+    std::string name;
+    /** Seed the generator derived this case from (0 for corpus). */
+    std::uint64_t seed = 0;
+
+    Program program;
+    /** Tensor id of the sparse operand inside `program`. */
+    TensorId matrix = invalid_tensor;
+    /** The sparse operand itself (canonical COO). */
+    CooMatrix operand;
+
+    /** Explicit initial values for Vector tensors. */
+    std::vector<std::pair<TensorId, DenseVector>> vec_init;
+    /** Explicit row-major initial data for DenseMatrix tensors. */
+    std::vector<std::pair<TensorId, std::vector<Value>>> den_init;
+
+    /** Iteration budget for every execution path. */
+    Idx iters = 4;
+    /**
+     * Sub-tensor width for the independent OEI functional driver.
+     * Deliberately decoupled from config.sub_tensor_cols: any width
+     * must compute the same values, so running the two OEI paths at
+     * different widths strengthens the check.  <= 0 lets the driver
+     * pick.
+     */
+    Idx oei_sub_tensor = 0;
+
+    SparsepipeConfig config;
+};
+
+/**
+ * Allocate a workspace for the case: bind the operand and apply the
+ * explicit vector / dense initial values.  The case must outlive the
+ * returned workspace (it references case.program).
+ */
+Workspace makeWorkspace(const FuzzCase &fuzz);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_FUZZ_CASE_HH

@@ -1,0 +1,180 @@
+#include "check/invariants.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "prep/blocked.hh"
+#include "prep/reorder.hh"
+#include "sparse/csr.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+std::string
+checkBufferCapacity(const InvariantContext &ctx)
+{
+    if (ctx.stats.passes == 0)
+        return ""; // no fused pass ran, the buffer was never used
+    const Idx capacity = ctx.fuzz.config.bufferCapacityElems();
+    if (ctx.stats.buffer.peak_elems > capacity) {
+        std::ostringstream ss;
+        ss << "peak buffer occupancy " << ctx.stats.buffer.peak_elems
+           << " elems exceeds capacity " << capacity << " elems ("
+           << ctx.fuzz.config.buffer_bytes << " B / "
+           << ctx.fuzz.config.bytes_per_nz << " B per nz)";
+        return ss.str();
+    }
+    return "";
+}
+
+std::string
+checkDramConservation(const InvariantContext &ctx)
+{
+    if (ctx.analysis.leading_ops.empty())
+        return ""; // element-wise branch records no component split
+    const Idx moved =
+        ctx.stats.dram_read_bytes + ctx.stats.dram_write_bytes;
+    const Idx accounted =
+        ctx.stats.matrix_demand_bytes + ctx.stats.reload_bytes +
+        ctx.stats.prefetch_bytes + ctx.stats.vector_bytes;
+    if (moved != accounted) {
+        std::ostringstream ss;
+        ss << "DRAM bytes not conserved: moved " << moved
+           << " (read " << ctx.stats.dram_read_bytes << " + write "
+           << ctx.stats.dram_write_bytes << ") but components sum to "
+           << accounted << " (matrix " << ctx.stats.matrix_demand_bytes
+           << " + reload " << ctx.stats.reload_bytes << " + prefetch "
+           << ctx.stats.prefetch_bytes << " + vector "
+           << ctx.stats.vector_bytes << ")";
+        return ss.str();
+    }
+    return "";
+}
+
+std::string
+checkPrepPermutation(const InvariantContext &ctx)
+{
+    const CooMatrix &coo = ctx.fuzz.operand;
+    if (coo.rows() != coo.cols() || coo.nnz() == 0)
+        return ""; // reorders are defined on square graphs
+    const CsrMatrix csr = CsrMatrix::fromCoo(coo);
+
+    for (ReorderKind kind :
+         {ReorderKind::Vanilla, ReorderKind::Locality}) {
+        const std::vector<Idx> perm = makeReorder(kind, csr);
+        if (!isPermutation(perm))
+            return std::string(reorderKindName(kind)) +
+                   " reorder is not a permutation";
+        CooMatrix renum = applySymmetricPermutation(coo, perm);
+        renum.canonicalize();
+        if (renum.nnz() != csr.nnz())
+            return std::string(reorderKindName(kind)) +
+                   " reorder changed nnz";
+        std::vector<Value> before, after;
+        const CooMatrix canon = csr.toCoo();
+        for (const Triplet &t : canon.entries())
+            before.push_back(t.val);
+        for (const Triplet &t : renum.entries())
+            after.push_back(t.val);
+        std::sort(before.begin(), before.end());
+        std::sort(after.begin(), after.end());
+        if (before != after)
+            return std::string(reorderKindName(kind)) +
+                   " reorder changed the value multiset";
+    }
+
+    const BlockedLayout layout = buildBlockedLayout(csr);
+    if (layout.nnz != csr.nnz()) {
+        std::ostringstream ss;
+        ss << "blocked layout holds " << layout.nnz
+           << " nnz, operand has " << csr.nnz();
+        return ss.str();
+    }
+    return "";
+}
+
+std::string
+checkCyclesNnzMonotone(const InvariantContext &ctx)
+{
+    // Thinning the operand must not increase cycles — but only for
+    // runs whose iteration count cannot shift (no convergence) and
+    // whose sub-tensor width is pinned to the same value the full
+    // run resolved.
+    if (ctx.fuzz.program.hasConvergence() ||
+        ctx.analysis.leading_ops.empty() || ctx.fuzz.operand.nnz() < 2)
+        return "";
+
+    FuzzCase thin = ctx.fuzz;
+    if (thin.config.sub_tensor_cols == 0)
+        thin.config.sub_tensor_cols = ctx.fuzz.config.resolveSubTensor(
+            ctx.fuzz.operand.cols(), ctx.fuzz.operand.nnz());
+    std::vector<Triplet> kept;
+    const auto &entries = ctx.fuzz.operand.entries();
+    for (std::size_t i = 0; i < entries.size(); i += 2)
+        kept.push_back(entries[i]);
+    thin.operand.entries() = std::move(kept);
+
+    FuzzCase full = ctx.fuzz;
+    full.config.sub_tensor_cols = thin.config.sub_tensor_cols;
+
+    Workspace ws_full = makeWorkspace(full);
+    Workspace ws_thin = makeWorkspace(thin);
+    SparsepipeSim sim_full(full.config);
+    SparsepipeSim sim_thin(thin.config);
+    const SimStats full_stats = sim_full.run(ws_full, full.iters);
+    const SimStats thin_stats = sim_thin.run(ws_thin, thin.iters);
+
+    if (thin_stats.cycles > full_stats.cycles) {
+        std::ostringstream ss;
+        ss << "cycles not monotone in nnz: " << thin.operand.nnz()
+           << " nnz costs " << thin_stats.cycles << " cycles but "
+           << ctx.fuzz.operand.nnz() << " nnz costs "
+           << full_stats.cycles;
+        return ss.str();
+    }
+    return "";
+}
+
+std::string
+checkStatsSanity(const InvariantContext &ctx)
+{
+    const SimStats &s = ctx.stats;
+    if (s.iterations < 1 || s.iterations > ctx.fuzz.iters) {
+        std::ostringstream ss;
+        ss << "iteration count " << s.iterations
+           << " outside [1, " << ctx.fuzz.iters << "]";
+        return ss.str();
+    }
+    const double eps = 1e-9;
+    if (s.bw_utilization < -eps || s.bw_utilization > 1.0 + eps) {
+        std::ostringstream ss;
+        ss << "bandwidth utilization " << s.bw_utilization
+           << " outside [0, 1]";
+        return ss.str();
+    }
+    for (double u : s.bw_timeline)
+        if (u < -eps || u > 1.0 + eps) {
+            std::ostringstream ss;
+            ss << "timeline sample " << u << " outside [0, 1]";
+            return ss.str();
+        }
+    return "";
+}
+
+} // anonymous namespace
+
+const std::vector<Invariant> &
+defaultInvariants()
+{
+    static const std::vector<Invariant> registry = {
+        {"buffer-capacity", checkBufferCapacity},
+        {"dram-conservation", checkDramConservation},
+        {"prep-permutation", checkPrepPermutation},
+        {"cycles-nnz-monotone", checkCyclesNnzMonotone},
+        {"stats-sanity", checkStatsSanity},
+    };
+    return registry;
+}
+
+} // namespace sparsepipe

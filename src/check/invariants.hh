@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulator invariants checked on every fuzz case, beyond output
+ * equivalence.  Each invariant inspects the finished run (case,
+ * analysis, stats, final workspace) and returns an empty string on
+ * success or a human-readable violation.
+ *
+ * The registry is intentionally open: new invariants are added by
+ * appending to defaultInvariants() (see TESTING.md).
+ */
+
+#ifndef SPARSEPIPE_CHECK_INVARIANTS_HH
+#define SPARSEPIPE_CHECK_INVARIANTS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/fuzz_case.hh"
+#include "core/sparsepipe_sim.hh"
+#include "graph/analysis.hh"
+
+namespace sparsepipe {
+
+/** Everything an invariant may inspect. */
+struct InvariantContext
+{
+    const FuzzCase &fuzz;
+    const Analysis &analysis;
+    const SimStats &stats;
+    const Workspace &sim_ws;
+};
+
+/** One named invariant; check() returns "" on success. */
+struct Invariant
+{
+    std::string name;
+    std::function<std::string(const InvariantContext &)> check;
+};
+
+/**
+ * The built-in registry:
+ *  - buffer-capacity:  peak buffer occupancy never exceeds the
+ *    dual-buffer capacity the configuration implies;
+ *  - dram-conservation:  every DRAM byte the simulator moved is
+ *    accounted to exactly one traffic component (matrix demand,
+ *    reload, prefetch, vector);
+ *  - prep-permutation:  both reorder algorithms produce bijections
+ *    and preserve the operand's non-zeros (count and value
+ *    multiset); the blocked layout loses no non-zeros;
+ *  - cycles-nnz-monotone:  for a fixed configuration, thinning the
+ *    operand's non-zeros never increases simulated cycles;
+ *  - stats-sanity:  utilization and timeline samples stay in [0, 1],
+ *    iteration counts inside the budget.
+ */
+const std::vector<Invariant> &defaultInvariants();
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_INVARIANTS_HH

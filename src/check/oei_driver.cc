@@ -1,0 +1,160 @@
+#include "check/oei_driver.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/oei_functional.hh"
+#include "graph/analysis.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+/** Scheduling decision, functional fields only. */
+struct FunctionalPlan
+{
+    ScheduleMode mode = ScheduleMode::Stream;
+    VxmPairing pairing;
+    FusedChain chain;
+    bool functional_pass = false;
+    std::vector<std::size_t> scalar_preamble;
+};
+
+/**
+ * Clean scalar ops after the producer (inputs untainted by its
+ * output) are hoisted to pass start, exactly as the offline compiler
+ * does.
+ */
+std::vector<std::size_t>
+findScalarPreamble(const Program &p, std::size_t producer)
+{
+    const auto &ops = p.ops();
+    std::vector<char> tainted(p.tensors().size(), 0);
+    tainted[static_cast<std::size_t>(ops[producer].output)] = 1;
+    std::vector<std::size_t> preamble;
+    for (std::size_t i = producer + 1; i < ops.size(); ++i) {
+        const OpNode &op = ops[i];
+        bool in_taint = false;
+        for (TensorId id : op.inputs)
+            in_taint = in_taint ||
+                       tainted[static_cast<std::size_t>(id)];
+        tainted[static_cast<std::size_t>(op.output)] = in_taint;
+        if (!in_taint &&
+            p.tensor(op.output).kind == TensorKind::Scalar) {
+            preamble.push_back(i);
+        }
+    }
+    return preamble;
+}
+
+/**
+ * Scheduling policy (paper Section IV-D): prefer an intra-iteration
+ * fusable vxm pair; otherwise a single vxm whose cross-iteration
+ * pairing fuses; SpMM leading ops and everything else stream.
+ */
+FunctionalPlan
+makeFunctionalPlan(const Program &p, const Analysis &an)
+{
+    FunctionalPlan plan;
+    if (an.leading_ops.empty())
+        return plan;
+
+    const bool spmm =
+        p.ops()[an.leading_ops.front()].kind == OpKind::Spmm;
+
+    for (const VxmPairing &pairing : an.pairings) {
+        if (pairing.fusable && !pairing.crosses_iteration) {
+            plan.mode = ScheduleMode::IntraIteration;
+            plan.pairing = pairing;
+            break;
+        }
+    }
+    if (plan.mode == ScheduleMode::Stream &&
+        an.leading_ops.size() == 1 && an.pairings.front().fusable) {
+        plan.mode = ScheduleMode::CrossIteration;
+        plan.pairing = an.pairings.front();
+    }
+
+    if (plan.mode != ScheduleMode::Stream && !spmm) {
+        plan.chain = buildFusedChain(p, plan.pairing);
+        plan.functional_pass = true;
+        plan.scalar_preamble =
+            findScalarPreamble(p, plan.pairing.producer_op);
+    }
+    return plan;
+}
+
+} // anonymous namespace
+
+OeiResult
+runOeiFunctional(Workspace &ws, Idx max_iters, Idx sub_tensor_cols)
+{
+    const Program &p = ws.program();
+    const Analysis an = analyzeProgram(p);
+    const FunctionalPlan plan = makeFunctionalPlan(p, an);
+    const Idx t_cols = sub_tensor_cols > 0 ? sub_tensor_cols : 16;
+
+    OeiResult result;
+    result.mode = plan.mode;
+
+    RefExecutor ref;
+    std::optional<DenseVector> pending;
+    bool pass_covered = false; // this iteration was paired by a pass
+
+    Idx it = 0;
+    while (it < max_iters) {
+        bool pass_this_iter = false;
+        if (plan.mode == ScheduleMode::CrossIteration &&
+            !pass_covered && it + 1 < max_iters) {
+            pass_this_iter = true;
+        } else if (plan.mode == ScheduleMode::IntraIteration) {
+            pass_this_iter = true;
+        }
+        if (!pass_this_iter && pass_covered)
+            pass_covered = false;
+
+        const auto &ops = p.ops();
+        const bool run_pass =
+            plan.functional_pass && pass_this_iter;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (run_pass && i == plan.pairing.producer_op) {
+                for (std::size_t s : plan.scalar_preamble)
+                    RefExecutor::execOp(ws, ops[s]);
+                pending = runFusedPair(ws, p, plan.pairing,
+                                       plan.chain, t_cols);
+                if (plan.pairing.crosses_iteration)
+                    pass_covered = true;
+                continue;
+            }
+            if (run_pass &&
+                (std::find(plan.chain.replaced_ops.begin(),
+                           plan.chain.replaced_ops.end(), i) !=
+                     plan.chain.replaced_ops.end() ||
+                 std::find(plan.scalar_preamble.begin(),
+                           plan.scalar_preamble.end(), i) !=
+                     plan.scalar_preamble.end())) {
+                continue; // executed inside / ahead of the pass
+            }
+            if (pending && i == plan.pairing.consumer_op &&
+                !(run_pass && plan.pairing.crosses_iteration)) {
+                ws.vec(ops[i].output) = std::move(*pending);
+                pending.reset();
+                continue;
+            }
+            RefExecutor::execOp(ws, ops[i]);
+        }
+        ref.applyCarries(ws);
+
+        ++it;
+        result.run.iterations = it;
+        if (p.hasConvergence() &&
+            ws.scalar(p.convergenceScalar()) <
+                p.convergenceThreshold()) {
+            result.run.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,188 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+
+namespace sparsepipe {
+
+namespace {
+
+/** Per-candidate rebuild description. */
+struct Rebuild
+{
+    /** Map every tensor dimension equal to from_dim to to_dim. */
+    Idx from_dim = -1;
+    Idx to_dim = -1;
+    /** Loop-body op index to drop (-1 keeps all). */
+    std::ptrdiff_t drop_op = -1;
+    /** Carry index to drop (-1 keeps all). */
+    std::ptrdiff_t drop_carry = -1;
+    bool drop_convergence = false;
+};
+
+Idx
+mapDim(Idx dim, const Rebuild &r)
+{
+    return dim == r.from_dim ? r.to_dim : dim;
+}
+
+Program
+rebuildProgram(const Program &p, const Rebuild &r)
+{
+    Program out;
+    out.setName(p.name());
+    for (const TensorInfo &t : p.tensors()) {
+        TensorInfo info = t;
+        info.dim0 = mapDim(info.dim0, r);
+        info.dim1 = mapDim(info.dim1, r);
+        out.addTensor(std::move(info));
+    }
+    for (std::size_t i = 0; i < p.ops().size(); ++i) {
+        if (static_cast<std::ptrdiff_t>(i) == r.drop_op)
+            continue;
+        out.addOp(p.ops()[i]);
+    }
+    for (std::size_t i = 0; i < p.carries().size(); ++i) {
+        if (static_cast<std::ptrdiff_t>(i) == r.drop_carry)
+            continue;
+        out.addCarry(p.carries()[i].dst, p.carries()[i].src);
+    }
+    if (p.hasConvergence() && !r.drop_convergence)
+        out.setConvergence(p.convergenceScalar(),
+                           p.convergenceThreshold());
+    return out;
+}
+
+/**
+ * Apply a rebuild to the whole case: program, operand, and the
+ * explicit initial values (truncated to the mapped shapes).
+ * @return nullopt when the initial data cannot be mapped (a dense
+ *         tensor's column count changed, which would shuffle its
+ *         row-major layout).
+ */
+std::optional<FuzzCase>
+applyRebuild(const FuzzCase &fuzz, const Rebuild &r)
+{
+    FuzzCase out = fuzz;
+    out.program = rebuildProgram(fuzz.program, r);
+
+    if (r.from_dim >= 0) {
+        out.operand = fuzz.operand.topLeft(
+            mapDim(fuzz.operand.rows(), r),
+            mapDim(fuzz.operand.cols(), r));
+        for (auto &[id, values] : out.vec_init) {
+            const std::size_t dim = static_cast<std::size_t>(
+                out.program.tensor(id).dim0);
+            if (values.size() > dim)
+                values.resize(dim);
+        }
+        for (auto &[id, values] : out.den_init) {
+            const TensorInfo &now = out.program.tensor(id);
+            const TensorInfo &was = fuzz.program.tensor(id);
+            if (now.dim1 != was.dim1)
+                return std::nullopt;
+            const std::size_t count =
+                static_cast<std::size_t>(now.dim0 * now.dim1);
+            if (values.size() > count)
+                values.resize(count);
+        }
+    }
+    return out;
+}
+
+/** Keep every other non-zero of the operand. */
+FuzzCase
+thinNnz(const FuzzCase &fuzz)
+{
+    FuzzCase out = fuzz;
+    std::vector<Triplet> kept;
+    const auto &entries = fuzz.operand.entries();
+    for (std::size_t i = 0; i < entries.size(); i += 2)
+        kept.push_back(entries[i]);
+    out.operand.entries() = std::move(kept);
+    return out;
+}
+
+} // anonymous namespace
+
+FuzzCase
+shrinkCase(const FuzzCase &failing, const FailPredicate &still_fails,
+           ShrinkStats *stats)
+{
+    FuzzCase cur = failing;
+    ShrinkStats local;
+    ShrinkStats &st = stats ? *stats : local;
+
+    auto attempt = [&](std::optional<FuzzCase> candidate) {
+        if (!candidate)
+            return false;
+        ++st.attempts;
+        if (!still_fails(*candidate))
+            return false;
+        cur = std::move(*candidate);
+        ++st.accepted;
+        return true;
+    };
+
+    const int max_rounds = 8;
+    for (int round = 0; round < max_rounds; ++round) {
+        ++st.rounds;
+        bool improved = false;
+
+        // Halve the matrix dimension (floor 4).
+        const Idx n = cur.operand.rows();
+        const Idx m = std::max<Idx>(4, (n + 1) / 2);
+        if (m < n && cur.operand.rows() == cur.operand.cols()) {
+            Rebuild r;
+            r.from_dim = n;
+            r.to_dim = m;
+            improved |= attempt(applyRebuild(cur, r));
+        }
+
+        // Thin the non-zeros.
+        if (cur.operand.nnz() >= 2)
+            improved |= attempt(thinNnz(cur));
+
+        // Drop each loop-body op.
+        for (std::size_t i = 0; i < cur.program.ops().size(); ++i) {
+            Rebuild r;
+            r.drop_op = static_cast<std::ptrdiff_t>(i);
+            if (attempt(applyRebuild(cur, r))) {
+                improved = true;
+                break; // indices shifted; re-enumerate next round
+            }
+        }
+
+        // Drop the convergence condition.
+        if (cur.program.hasConvergence()) {
+            Rebuild r;
+            r.drop_convergence = true;
+            improved |= attempt(applyRebuild(cur, r));
+        }
+
+        // Drop each carry.
+        for (std::size_t i = 0; i < cur.program.carries().size();
+             ++i) {
+            Rebuild r;
+            r.drop_carry = static_cast<std::ptrdiff_t>(i);
+            if (attempt(applyRebuild(cur, r))) {
+                improved = true;
+                break;
+            }
+        }
+
+        // Halve the iteration budget.
+        if (cur.iters > 1) {
+            FuzzCase candidate = cur;
+            candidate.iters = std::max<Idx>(1, cur.iters / 2);
+            improved |= attempt(candidate);
+        }
+
+        if (!improved)
+            break;
+    }
+    return cur;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Greedy test-case shrinking.
+ *
+ * Given a failing case and a predicate that re-runs the check, the
+ * shrinker repeatedly tries structure-preserving reductions — halve
+ * the matrix dimension, thin the non-zeros, drop loop-body ops, drop
+ * carries and the convergence condition, halve the iteration budget
+ * — keeping each reduction only if the case still fails.  The loop
+ * runs to a bounded fixed point, yielding a minimal reproducer for
+ * the corpus.
+ */
+
+#ifndef SPARSEPIPE_CHECK_SHRINK_HH
+#define SPARSEPIPE_CHECK_SHRINK_HH
+
+#include <functional>
+
+#include "check/fuzz_case.hh"
+
+namespace sparsepipe {
+
+/** Re-runs the check; true while the case still fails. */
+using FailPredicate = std::function<bool(const FuzzCase &)>;
+
+/** Shrink statistics for reporting. */
+struct ShrinkStats
+{
+    int rounds = 0;
+    int attempts = 0;
+    int accepted = 0;
+};
+
+/**
+ * Shrink `failing` as far as the predicate allows.
+ * @param still_fails  must be true for the input case
+ * @param stats        optional counters
+ */
+FuzzCase shrinkCase(const FuzzCase &failing,
+                    const FailPredicate &still_fails,
+                    ShrinkStats *stats = nullptr);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_SHRINK_HH

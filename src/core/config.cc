@@ -1,6 +1,7 @@
 #include "core/config.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sparsepipe {
 
@@ -17,6 +18,14 @@ SparsepipeConfig::resolveSubTensor(Idx cols, Idx nnz) const
         steps = std::clamp<Idx>(nnz / 2048, 32, 512);
     Idx t = (cols + steps - 1) / steps;
     return std::clamp<Idx>(t, 16, 16384);
+}
+
+Idx
+SparsepipeConfig::bufferCapacityElems() const
+{
+    const Idx per_elem =
+        std::max<Idx>(1, static_cast<Idx>(std::ceil(bytes_per_nz)));
+    return buffer_bytes / per_elem;
 }
 
 } // namespace sparsepipe

@@ -81,6 +81,12 @@ struct SparsepipeConfig
      * column-count heuristic.
      */
     Idx resolveSubTensor(Idx cols, Idx nnz = 0) const;
+
+    /**
+     * Buffer capacity in non-zero elements, matching how the
+     * simulator sizes its DualBufferModel (bytes_per_nz rounded up).
+     */
+    Idx bufferCapacityElems() const;
 };
 
 } // namespace sparsepipe

@@ -182,6 +182,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
                 break;
             }
         }
+        t = std::max(t, dram.nextFree()); // drain posted writes
         stats.cycles = t;
         stats.dram_read_bytes = dram.bytesRead();
         stats.dram_write_bytes = dram.bytesWritten();
@@ -289,6 +290,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
         }
     }
 
+    t = std::max(t, dram.nextFree()); // drain posted writes
     stats.cycles = t;
     stats.dram_read_bytes = dram.bytesRead();
     stats.dram_write_bytes = dram.bytesWritten();

@@ -1,0 +1,228 @@
+#include "lang/serialize.hh"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+const char *
+tensorKindName(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::Vector:       return "vector";
+      case TensorKind::SparseMatrix: return "sparse";
+      case TensorKind::DenseMatrix:  return "dense";
+      case TensorKind::Scalar:       return "scalar";
+    }
+    return "?";
+}
+
+TensorKind
+tensorKindFromName(const std::string &name)
+{
+    static const TensorKind all[] = {
+        TensorKind::Vector, TensorKind::SparseMatrix,
+        TensorKind::DenseMatrix, TensorKind::Scalar,
+    };
+    for (TensorKind kind : all)
+        if (name == tensorKindName(kind))
+            return kind;
+    sp_fatal("readProgramText: unknown tensor kind '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
+OpKind
+opKindFromName(const std::string &name)
+{
+    static const OpKind all[] = {
+        OpKind::Vxm, OpKind::Spmm, OpKind::Mm, OpKind::EwiseBinary,
+        OpKind::EwiseUnary, OpKind::Fold, OpKind::Dot, OpKind::Assign,
+    };
+    for (OpKind kind : all)
+        if (name == opKindName(kind))
+            return kind;
+    sp_fatal("readProgramText: unknown op kind '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
+std::string
+formatValue(Value v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+Value
+parseValue(const std::string &tok)
+{
+    try {
+        return std::stod(tok);
+    } catch (const std::exception &) {
+        sp_fatal("readProgramText: bad value '%s'", tok.c_str());
+    }
+    __builtin_unreachable();
+}
+
+long long
+parseInt(const std::string &tok)
+{
+    try {
+        return std::stoll(tok);
+    } catch (const std::exception &) {
+        sp_fatal("readProgramText: bad integer '%s'", tok.c_str());
+    }
+    __builtin_unreachable();
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream ss(line);
+    std::vector<std::string> toks;
+    std::string tok;
+    while (ss >> tok)
+        toks.push_back(tok);
+    return toks;
+}
+
+} // anonymous namespace
+
+void
+writeProgramText(std::ostream &os, const Program &program)
+{
+    os << "sta-program v1\n";
+    if (!program.name().empty())
+        os << "name " << program.name() << "\n";
+    for (TensorId id = 0;
+         id < static_cast<TensorId>(program.tensors().size()); ++id) {
+        const TensorInfo &t = program.tensor(id);
+        if (t.name.find_first_of(" \t\n") != std::string::npos)
+            sp_fatal("writeProgramText: tensor name '%s' contains "
+                     "whitespace", t.name.c_str());
+        os << "tensor " << id << " " << tensorKindName(t.kind) << " "
+           << (t.name.empty() ? "_" : t.name) << " " << t.dim0 << " "
+           << t.dim1 << " " << (t.constant ? 1 : 0) << " "
+           << formatValue(t.init) << "\n";
+    }
+    for (const OpNode &op : program.ops()) {
+        os << "op " << opKindName(op.kind) << " " << op.output << " "
+           << op.inputs.size();
+        for (TensorId in : op.inputs)
+            os << " " << in;
+        os << " " << op.semiring.name() << " " << binaryOpName(op.bop)
+           << " " << unaryOpName(op.uop) << "\n";
+    }
+    for (const Carry &c : program.carries())
+        os << "carry " << c.dst << " " << c.src << "\n";
+    if (program.hasConvergence())
+        os << "converge " << program.convergenceScalar() << " "
+           << formatValue(program.convergenceThreshold()) << "\n";
+    os << "end\n";
+}
+
+Program
+readProgramText(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || tokenize(line) !=
+        std::vector<std::string>{"sta-program", "v1"})
+        sp_fatal("readProgramText: missing 'sta-program v1' header");
+
+    Program program;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+        const std::string &key = toks[0];
+        if (key == "end") {
+            saw_end = true;
+            break;
+        } else if (key == "name") {
+            if (toks.size() != 2)
+                sp_fatal("readProgramText: bad name line '%s'",
+                         line.c_str());
+            program.setName(toks[1]);
+        } else if (key == "tensor") {
+            if (toks.size() != 8)
+                sp_fatal("readProgramText: bad tensor line '%s'",
+                         line.c_str());
+            TensorInfo info;
+            const TensorId id = parseInt(toks[1]);
+            info.kind = tensorKindFromName(toks[2]);
+            info.name = toks[3] == "_" ? std::string() : toks[3];
+            info.dim0 = parseInt(toks[4]);
+            info.dim1 = parseInt(toks[5]);
+            info.constant = parseInt(toks[6]) != 0;
+            info.init = parseValue(toks[7]);
+            const TensorId got = program.addTensor(std::move(info));
+            if (got != id)
+                sp_fatal("readProgramText: tensor ids must be dense "
+                         "and in order (expected %lld, got %lld)",
+                         static_cast<long long>(got),
+                         static_cast<long long>(id));
+        } else if (key == "op") {
+            if (toks.size() < 4)
+                sp_fatal("readProgramText: bad op line '%s'",
+                         line.c_str());
+            OpNode node;
+            node.kind = opKindFromName(toks[1]);
+            node.output = parseInt(toks[2]);
+            const std::size_t nin =
+                static_cast<std::size_t>(parseInt(toks[3]));
+            if (toks.size() != 4 + nin + 3)
+                sp_fatal("readProgramText: op line has %zu tokens, "
+                         "expected %zu: '%s'", toks.size(), 7 + nin,
+                         line.c_str());
+            for (std::size_t i = 0; i < nin; ++i)
+                node.inputs.push_back(parseInt(toks[4 + i]));
+            node.semiring = semiringFromName(toks[4 + nin]);
+            node.bop = binaryOpFromName(toks[5 + nin]);
+            node.uop = unaryOpFromName(toks[6 + nin]);
+            program.addOp(std::move(node));
+        } else if (key == "carry") {
+            if (toks.size() != 3)
+                sp_fatal("readProgramText: bad carry line '%s'",
+                         line.c_str());
+            program.addCarry(parseInt(toks[1]), parseInt(toks[2]));
+        } else if (key == "converge") {
+            if (toks.size() != 3)
+                sp_fatal("readProgramText: bad converge line '%s'",
+                         line.c_str());
+            program.setConvergence(parseInt(toks[1]),
+                                   parseValue(toks[2]));
+        } else {
+            sp_fatal("readProgramText: unknown directive '%s'",
+                     key.c_str());
+        }
+    }
+    if (!saw_end)
+        sp_fatal("readProgramText: missing 'end' line");
+    program.validate();
+    return program;
+}
+
+std::string
+programToText(const Program &program)
+{
+    std::ostringstream ss;
+    writeProgramText(ss, program);
+    return ss.str();
+}
+
+Program
+programFromText(const std::string &text)
+{
+    std::istringstream ss(text);
+    return readProgramText(ss);
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text serialization of STA programs.
+ *
+ * The fuzzing subsystem (src/check) must persist failing programs as
+ * minimal reproducers in a corpus that survives recompilation, so the
+ * format is a stable line-oriented text form rather than anything
+ * binary.  Round-tripping preserves every semantic field of the IR
+ * (tensors, ops, carries, convergence); trace labels are dropped.
+ */
+
+#ifndef SPARSEPIPE_LANG_SERIALIZE_HH
+#define SPARSEPIPE_LANG_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/ir.hh"
+
+namespace sparsepipe {
+
+/** Write `program` to `os` in the sta-program v1 text format. */
+void writeProgramText(std::ostream &os, const Program &program);
+
+/**
+ * Parse a program previously written by writeProgramText.  The
+ * parsed program is validated before being returned; malformed
+ * input is a user error (fatal).
+ */
+Program readProgramText(std::istream &is);
+
+/** String-based conveniences around the stream forms. */
+std::string programToText(const Program &program);
+Program programFromText(const std::string &text);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_LANG_SERIALIZE_HH

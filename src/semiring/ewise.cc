@@ -80,4 +80,35 @@ unaryOpName(UnaryOp op)
     return "?";
 }
 
+BinaryOp
+binaryOpFromName(const std::string &name)
+{
+    static const BinaryOp all[] = {
+        BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div,
+        BinaryOp::Min, BinaryOp::Max, BinaryOp::AbsDiff,
+        BinaryOp::Select, BinaryOp::First, BinaryOp::Second,
+        BinaryOp::NotEqual,
+    };
+    for (BinaryOp op : all)
+        if (name == binaryOpName(op))
+            return op;
+    sp_fatal("binaryOpFromName: unknown op '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
+UnaryOp
+unaryOpFromName(const std::string &name)
+{
+    static const UnaryOp all[] = {
+        UnaryOp::Identity, UnaryOp::Abs, UnaryOp::Negate,
+        UnaryOp::Reciprocal, UnaryOp::Signum, UnaryOp::IsNonZero,
+        UnaryOp::Relu, UnaryOp::Sqrt,
+    };
+    for (UnaryOp op : all)
+        if (name == unaryOpName(op))
+            return op;
+    sp_fatal("unaryOpFromName: unknown op '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
 } // namespace sparsepipe

@@ -57,6 +57,10 @@ Value applyUnary(UnaryOp op, Value x);
 const char *binaryOpName(BinaryOp op);
 const char *unaryOpName(UnaryOp op);
 
+/** Parse an opcode name back to the enum; fatal on unknown names. */
+BinaryOp binaryOpFromName(const std::string &name);
+UnaryOp unaryOpFromName(const std::string &name);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_SEMIRING_EWISE_HH

@@ -74,6 +74,16 @@ CooMatrix::transposed() const
     return out;
 }
 
+CooMatrix
+CooMatrix::topLeft(Idx rows, Idx cols) const
+{
+    CooMatrix out(rows, cols);
+    for (const Triplet &t : entries_)
+        if (t.row < rows && t.col < cols)
+            out.entries_.push_back(t);
+    return out;
+}
+
 bool
 CooMatrix::isCanonical() const
 {

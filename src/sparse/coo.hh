@@ -58,6 +58,14 @@ class CooMatrix
     /** @return transposed copy (rows and cols swapped). */
     CooMatrix transposed() const;
 
+    /**
+     * @return the top-left `rows` x `cols` corner: entries whose
+     * coordinates fall inside the new shape, order preserved.
+     * Case shrinkers use this to halve a failing matrix while
+     * keeping the surviving entries identical.
+     */
+    CooMatrix topLeft(Idx rows, Idx cols) const;
+
     Idx rows() const { return rows_; }
     Idx cols() const { return cols_; }
     Idx nnz() const { return static_cast<Idx>(entries_.size()); }

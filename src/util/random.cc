@@ -66,4 +66,13 @@ Rng::nextDouble()
     return (next64() >> 11) * 0x1.0p-53;
 }
 
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+    // Two finalizer rounds so adjacent streams decorrelate fully.
+    splitmix64(x);
+    return splitmix64(x);
+}
+
 } // namespace sparsepipe

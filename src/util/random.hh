@@ -49,6 +49,14 @@ class Rng
     std::uint64_t state[4];
 };
 
+/**
+ * Mix a base seed with a stream index into a statistically
+ * independent seed (splitmix64 finalizer).  Batch workloads seed
+ * job k with mixSeed(seed, k) so every job is reproducible from the
+ * single base seed regardless of worker count or completion order.
+ */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t stream);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_UTIL_RANDOM_HH

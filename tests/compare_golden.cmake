@@ -1,0 +1,25 @@
+# Runs a deterministic binary and diffs its stdout against a
+# checked-in golden file.  Invoked as a ctest command:
+#   cmake -DBIN=<exe> -DARGS=<args> -DGOLDEN=<file> -P compare_golden.cmake
+# Regenerate a golden after an intended output change with:
+#   <exe> <args> > tests/golden/<file>
+
+if(NOT DEFINED BIN OR NOT DEFINED GOLDEN)
+    message(FATAL_ERROR "compare_golden.cmake wants -DBIN and -DGOLDEN")
+endif()
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+
+execute_process(
+    COMMAND ${BIN} ${arg_list}
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} exited with ${rc}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+    message(FATAL_ERROR "output of ${BIN} ${ARGS} diverged from "
+        "${GOLDEN}\n--- expected ---\n${expected}\n--- actual ---\n"
+        "${actual}\n(regenerate the golden if the change is intended)")
+endif()

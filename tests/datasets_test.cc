@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests of the Table I dataset registry: every stand-in generates,
+ * keeps its declared scale and nnz/row ratio, exhibits its
+ * distribution class, and is deterministic per (spec, seed).
+ */
+
+#include <cstdlib>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sparse/datasets.hh"
+
+namespace sparsepipe {
+namespace {
+
+TEST(Datasets, RegistryMatchesTableI)
+{
+    const auto &specs = datasetSpecs();
+    ASSERT_EQ(specs.size(), 9u);
+
+    // Table I order, by two-letter key.
+    const std::vector<std::string> order = {
+        "ca", "gy", "g2", "co", "bu", "wi", "ad", "ro", "eu"};
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(specs[i].name, order[i]) << i;
+
+    for (const DatasetSpec &spec : specs) {
+        // Stand-ins never exceed the original's scale.
+        EXPECT_LE(spec.rows, spec.paper_rows) << spec.name;
+        EXPECT_LE(spec.nnz, spec.paper_nnz) << spec.name;
+        EXPECT_GT(spec.rows, 0) << spec.name;
+        EXPECT_GT(spec.nnz, 0) << spec.name;
+
+        // The defining nnz/row ratio survives the rescaling.
+        const double paper_ratio =
+            static_cast<double>(spec.paper_nnz) /
+            static_cast<double>(spec.paper_rows);
+        const double ratio = static_cast<double>(spec.nnz) /
+                             static_cast<double>(spec.rows);
+        EXPECT_NEAR(ratio / paper_ratio, 1.0, 0.15) << spec.name;
+    }
+}
+
+TEST(Datasets, LookupByName)
+{
+    for (const DatasetSpec &spec : datasetSpecs())
+        EXPECT_EQ(datasetSpec(spec.name).rows, spec.rows);
+    EXPECT_DEATH(datasetSpec("zz"), "unknown dataset");
+}
+
+TEST(Datasets, KindNamesAreDistinct)
+{
+    std::map<std::string, int> seen;
+    for (MatrixKind kind :
+         {MatrixKind::Clustered, MatrixKind::Banded,
+          MatrixKind::Uniform, MatrixKind::Rmat,
+          MatrixKind::LowerSkew})
+        ++seen[matrixKindName(kind)];
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Datasets, EveryStandInGeneratesInSpec)
+{
+    for (const DatasetSpec &spec : datasetSpecs()) {
+        const CooMatrix m = generateDataset(spec);
+        EXPECT_EQ(m.rows(), spec.rows) << spec.name;
+        EXPECT_EQ(m.cols(), spec.rows) << spec.name;
+
+        // Generators that place nnz directly are exact; the banded
+        // generator draws per-row counts, so allow slack.
+        const double rel = static_cast<double>(m.nnz()) /
+                           static_cast<double>(spec.nnz);
+        EXPECT_NEAR(rel, 1.0, 0.25) << spec.name;
+
+        Idx below = 0, above = 0, max_band = 0;
+        for (const Triplet &t : m.entries()) {
+            ASSERT_GE(t.row, 0) << spec.name;
+            ASSERT_LT(t.row, m.rows()) << spec.name;
+            ASSERT_GE(t.col, 0) << spec.name;
+            ASSERT_LT(t.col, m.cols()) << spec.name;
+            below += t.row > t.col;
+            above += t.row < t.col;
+            max_band = std::max(max_band, std::abs(t.row - t.col));
+        }
+        switch (spec.kind) {
+          case MatrixKind::Banded:
+            EXPECT_LE(max_band, spec.param) << spec.name;
+            break;
+          case MatrixKind::LowerSkew:
+            // The skew parameter pushes mass below the diagonal.
+            EXPECT_GT(below, above) << spec.name;
+            break;
+          default:
+            break; // distribution asserted by generate_test
+        }
+    }
+}
+
+TEST(Datasets, DeterministicPerSeed)
+{
+    // One spec per generator family keeps the test fast.
+    for (const char *name : {"ca", "gy", "co", "wi"}) {
+        const DatasetSpec &spec = datasetSpec(name);
+        const CooMatrix a = generateDataset(spec, 77);
+        const CooMatrix b = generateDataset(spec, 77);
+        const CooMatrix c = generateDataset(spec, 78);
+        ASSERT_EQ(a.nnz(), b.nnz()) << name;
+        bool identical = true;
+        for (std::size_t i = 0; i < a.entries().size(); ++i) {
+            const Triplet &ta = a.entries()[i];
+            const Triplet &tb = b.entries()[i];
+            identical = identical && ta.row == tb.row &&
+                        ta.col == tb.col && ta.val == tb.val;
+        }
+        EXPECT_TRUE(identical) << name;
+
+        bool differs = c.nnz() != a.nnz();
+        for (std::size_t i = 0;
+             !differs && i < a.entries().size(); ++i)
+            differs = a.entries()[i].row != c.entries()[i].row ||
+                      a.entries()[i].col != c.entries()[i].col;
+        EXPECT_TRUE(differs) << name << ": seed ignored";
+    }
+}
+
+TEST(Datasets, StandInsAreDistinctPerName)
+{
+    // The name is folded into the seed, so two same-shape specs must
+    // not produce the same matrix.
+    const DatasetSpec &gy = datasetSpec("gy");
+    DatasetSpec renamed = gy;
+    renamed.name = "xx";
+    const CooMatrix a = generateDataset(gy, 5);
+    const CooMatrix b = generateDataset(renamed, 5);
+    bool differs = a.nnz() != b.nnz();
+    for (std::size_t i = 0; !differs && i < a.entries().size(); ++i)
+        differs = a.entries()[i].row != b.entries()[i].row ||
+                  a.entries()[i].col != b.entries()[i].col;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace sparsepipe

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Replays every shrunk reproducer in tests/corpus/ through the full
+ * differential check.  Each file is a minimal case that once exposed
+ * a real bug (sparsepipe_fuzz shrinks and serializes failures here);
+ * the suite pins those bugs fixed.
+ *
+ * The corpus directory is compiled in as SPARSEPIPE_CORPUS_DIR; drop
+ * new .fuzzcase files there and they are picked up automatically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/corpus.hh"
+#include "check/diff_check.hh"
+
+namespace sparsepipe {
+namespace {
+
+std::vector<std::string>
+corpusFiles()
+{
+    return listCorpus(SPARSEPIPE_CORPUS_DIR);
+}
+
+TEST(FuzzRegression, CorpusIsNotEmpty)
+{
+    // The suite would silently pass if the compiled-in path went
+    // stale; the corpus ships with at least the bandwidth-drain
+    // reproducers (posted writes past the last compute stage).
+    EXPECT_GE(corpusFiles().size(), 2u)
+        << "no .fuzzcase files under " << SPARSEPIPE_CORPUS_DIR;
+}
+
+class CorpusCase : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CorpusCase, Replays)
+{
+    FuzzCase fuzz = readCaseFile(GetParam());
+    CaseReport report = checkCase(fuzz);
+    EXPECT_TRUE(report.ok) << GetParam();
+    for (const std::string &f : report.failures)
+        ADD_FAILURE() << f;
+}
+
+std::string
+caseLabel(const ::testing::TestParamInfo<std::string> &info)
+{
+    // Parameter labels must be alphanumeric: keep the digits of the
+    // case seed from ".../case-<seed>.fuzzcase".
+    std::string label;
+    for (char c : info.param.substr(info.param.rfind('/') + 1))
+        if (c >= '0' && c <= '9')
+            label += c;
+    return label.empty() ? "case" + std::to_string(info.index)
+                         : label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusCase,
+                         ::testing::ValuesIn(corpusFiles()),
+                         caseLabel);
+
+} // namespace
+} // namespace sparsepipe

@@ -4,6 +4,8 @@
  * computations or dense oracles, carry semantics, convergence.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "lang/builder.hh"
@@ -211,6 +213,113 @@ TEST(RefExecutor, ConvergenceStopsEarly)
     RunResult r = RefExecutor().run(ws, 100);
     EXPECT_TRUE(r.converged);
     EXPECT_EQ(r.iterations, 4); // 0.5 0.25 0.125 0.0625
+}
+
+// ---- semiring edge cases -------------------------------------------
+
+constexpr SemiringKind all_semirings[] = {
+    SemiringKind::MulAdd, SemiringKind::AndOr, SemiringKind::MinAdd,
+    SemiringKind::ArilAdd, SemiringKind::MaxMul};
+
+/** vxm of `raw` against `x_vals`, returning the output vector. */
+DenseVector
+runVxm(const CooMatrix &raw, const DenseVector &x_vals, Semiring sr)
+{
+    ProgramBuilder b("edge");
+    TensorId a = b.matrix("A", raw.rows(), raw.cols());
+    TensorId x = b.vector("x", raw.rows());
+    TensorId y = b.vector("y", raw.cols());
+    b.vxm(y, x, a, sr);
+    Program p = b.build();
+    Workspace ws(p);
+    ws.bindMatrix(a, CsrMatrix::fromCoo(raw));
+    ws.vec(x) = x_vals;
+    RefExecutor().runBody(ws);
+    return ws.vec(y);
+}
+
+TEST(RefExecutorEdge, EmptyMatrixYieldsAddIdentity)
+{
+    // No non-zeros: every output lane holds the additive identity
+    // (0, +inf for MinAdd, -inf for MaxMul), never stale memory.
+    const CooMatrix raw(6, 6);
+    for (SemiringKind kind : all_semirings) {
+        Semiring sr(kind);
+        DenseVector y =
+            runVxm(raw, DenseVector(6, 1.0), sr);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            EXPECT_EQ(y[i], sr.addIdentity())
+                << sr.name() << " lane " << i;
+    }
+}
+
+TEST(RefExecutorEdge, EmptyColumnGetsIdentity)
+{
+    // Column 2 has no entries: its lane must be the identity while
+    // populated columns reduce normally.
+    CooMatrix raw(4, 4);
+    raw.add(0, 0, 2.0);
+    raw.add(1, 1, 3.0);
+    raw.add(2, 3, 4.0);
+    raw.add(3, 0, 5.0);
+    for (SemiringKind kind : all_semirings) {
+        Semiring sr(kind);
+        DenseVector x(4, 1.0);
+        DenseVector y = runVxm(raw, x, sr);
+        EXPECT_EQ(y[2], sr.addIdentity()) << sr.name();
+        EXPECT_EQ(y[0], sr.add(sr.multiply(1.0, 2.0),
+                               sr.multiply(1.0, 5.0)))
+            << sr.name();
+    }
+}
+
+TEST(RefExecutorEdge, SingleElementMatrix)
+{
+    CooMatrix raw(1, 1);
+    raw.add(0, 0, 3.0);
+    for (SemiringKind kind : all_semirings) {
+        Semiring sr(kind);
+        DenseVector y = runVxm(raw, DenseVector(1, 2.0), sr);
+        EXPECT_EQ(y[0], sr.add(sr.addIdentity(),
+                               sr.multiply(2.0, 3.0)))
+            << sr.name();
+    }
+}
+
+TEST(RefExecutorEdge, AnnihilatorInputContributesNothing)
+{
+    // A fully-annihilating input vector (0, or +inf under MinAdd)
+    // must leave every output lane at the identity, exactly as the
+    // hardware gates inactive lanes.  MaxMul has no annihilator.
+    CooMatrix raw = testing::smallGraph(16, 60);
+    for (SemiringKind kind : all_semirings) {
+        Semiring sr(kind);
+        if (kind == SemiringKind::MaxMul)
+            continue;
+        const Value ann =
+            kind == SemiringKind::MinAdd
+                ? std::numeric_limits<Value>::infinity()
+                : 0.0;
+        ASSERT_TRUE(sr.annihilates(ann)) << sr.name();
+        DenseVector y = runVxm(raw, DenseVector(16, ann), sr);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            EXPECT_EQ(y[i], sr.addIdentity())
+                << sr.name() << " lane " << i;
+    }
+}
+
+TEST(RefExecutorEdge, MinAddIdentityPropagatesThroughAdd)
+{
+    // min(+inf, x) == x and +inf survives an empty reduction: the
+    // two identities interact correctly in one program.
+    CooMatrix raw(2, 2);
+    raw.add(0, 0, 1.5);
+    Semiring sr(SemiringKind::MinAdd);
+    DenseVector x = {2.0,
+                     std::numeric_limits<Value>::infinity()};
+    DenseVector y = runVxm(raw, x, sr);
+    EXPECT_EQ(y[0], 3.5);
+    EXPECT_EQ(y[1], sr.addIdentity());
 }
 
 TEST(RefExecutor, AssignCopiesVectors)

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Differential fuzzer CLI.
+ *
+ * Samples random STA programs over random synthetic matrices and
+ * runs each case through the three execution paths (reference
+ * executor, independent OEI functional driver, cycle-level
+ * simulator), diff-checking outputs and simulator invariants.  Cases
+ * fan out over the sp_runner worker pool; per-case seeds derive from
+ * --seed with mixSeed(), so results are byte-identical for any
+ * --jobs count.  Failing cases are shrunk to minimal reproducers and
+ * serialized to the corpus directory; --replay re-checks serialized
+ * reproducers (the fuzz_regression_test path).
+ *
+ * Examples:
+ *   sparsepipe_fuzz --cases 200 --seed 42 --jobs 8
+ *   sparsepipe_fuzz --cases 25 --seed 1 --corpus corpus
+ *   sparsepipe_fuzz --replay corpus
+ *   sparsepipe_fuzz --cases 50 --inject-bug buffer-overflow
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/case_gen.hh"
+#include "check/corpus.hh"
+#include "check/diff_check.hh"
+#include "check/shrink.hh"
+#include "runner/scheduler.hh"
+#include "runner/thread_pool.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/random.hh"
+
+using namespace sparsepipe;
+
+namespace {
+
+struct Options
+{
+    Idx cases = 100;
+    std::uint64_t seed = 1;
+    int jobs = 0; // 0 = ThreadPool::defaultJobs()
+    std::string corpus = "corpus";
+    std::string replay;
+    Idx max_n = 96;
+    Idx max_iters = 6;
+    bool allow_spmm = true;
+    bool shrink = true;
+    InjectedBug bug = InjectedBug::None;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: sparsepipe_fuzz [options]\n"
+        "  --cases N         cases to generate (default 100)\n"
+        "  --seed S          base seed; case i uses mixSeed(S, i) "
+        "(default 1)\n"
+        "  --jobs N          worker threads (default: SPARSEPIPE_JOBS "
+        "env,\n"
+        "                    else hardware concurrency)\n"
+        "  --corpus DIR      where shrunk reproducers are written "
+        "(default corpus)\n"
+        "  --replay PATH     re-check a .fuzzcase file or a corpus "
+        "directory\n"
+        "                    instead of generating\n"
+        "  --max-n N         matrix dimension ceiling (default 96)\n"
+        "  --max-iters N     iteration-budget ceiling (default 6)\n"
+        "  --no-spmm         skip the SpMM/GCN archetype\n"
+        "  --no-shrink       serialize failing cases unshrunk\n"
+        "  --inject-bug B    none | result-epsilon | buffer-overflow;"
+        "\n"
+        "                    deliberately corrupt every simulator run "
+        "to prove\n"
+        "                    the catch -> shrink -> serialize "
+        "pipeline\n");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                sp_fatal("flag %s wants a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--cases") {
+            opt.cases = parseI64Flag("--cases", next());
+            if (opt.cases < 1)
+                sp_fatal("--cases wants a positive count");
+        } else if (arg == "--seed") {
+            opt.seed = parseU64Flag("--seed", next());
+        } else if (arg == "--jobs") {
+            opt.jobs =
+                static_cast<int>(parseI64Flag("--jobs", next()));
+            if (opt.jobs < 1)
+                sp_fatal("--jobs wants a positive count");
+        } else if (arg == "--corpus") {
+            opt.corpus = next();
+        } else if (arg == "--replay") {
+            opt.replay = next();
+        } else if (arg == "--max-n") {
+            opt.max_n = parseI64Flag("--max-n", next());
+            if (opt.max_n < 8)
+                sp_fatal("--max-n wants at least 8");
+        } else if (arg == "--max-iters") {
+            opt.max_iters = parseI64Flag("--max-iters", next());
+            if (opt.max_iters < 2)
+                sp_fatal("--max-iters wants at least 2");
+        } else if (arg == "--no-spmm") {
+            opt.allow_spmm = false;
+        } else if (arg == "--no-shrink") {
+            opt.shrink = false;
+        } else if (arg == "--inject-bug") {
+            opt.bug = injectedBugFromName(next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            sp_fatal("unknown flag '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+/** Per-case outcome, kept so reporting happens in index order. */
+struct Outcome
+{
+    FuzzCase fuzz;
+    CaseReport report;
+};
+
+int
+replay(const Options &opt)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    if (fs::is_directory(opt.replay))
+        paths = listCorpus(opt.replay);
+    else
+        paths.push_back(opt.replay);
+    if (paths.empty()) {
+        std::printf("replay: no .fuzzcase files under %s\n",
+                    opt.replay.c_str());
+        return 0;
+    }
+
+    int failed = 0;
+    for (const std::string &path : paths) {
+        const FuzzCase fuzz = readCaseFile(path);
+        const CaseReport report = checkCase(fuzz, opt.bug);
+        std::printf("%-6s %s (%s)\n", report.ok ? "PASS" : "FAIL",
+                    path.c_str(), fuzz.name.c_str());
+        for (const std::string &failure : report.failures)
+            std::printf("       %s\n", failure.c_str());
+        failed += report.ok ? 0 : 1;
+    }
+    std::printf("replayed %zu case(s), %d failure(s)\n", paths.size(),
+                failed);
+    return failed == 0 ? 0 : 1;
+}
+
+int
+fuzz(const Options &opt)
+{
+    const GenOptions gen{8, opt.max_n, opt.max_iters, opt.allow_spmm};
+
+    runner::ThreadPool pool(opt.jobs);
+    std::vector<Outcome> outcomes = runner::parallelIndexed(
+        pool, static_cast<std::size_t>(opt.cases),
+        [&](std::size_t i) {
+            const std::uint64_t seed = mixSeed(opt.seed, i);
+            Outcome out;
+            out.fuzz = generateCase(seed, gen);
+            out.report = checkCase(out.fuzz, opt.bug);
+            return out;
+        },
+        [&](std::size_t i) {
+            return "case-" +
+                   std::to_string(mixSeed(opt.seed, i));
+        });
+
+    // Report + shrink + serialize in index order (deterministic for
+    // any worker count).
+    int failed = 0;
+    for (const Outcome &out : outcomes) {
+        if (out.report.ok)
+            continue;
+        ++failed;
+        std::printf("FAIL %s (seed %llu)\n", out.fuzz.name.c_str(),
+                    static_cast<unsigned long long>(out.fuzz.seed));
+        for (const std::string &failure : out.report.failures)
+            std::printf("     %s\n", failure.c_str());
+
+        FuzzCase minimal = out.fuzz;
+        if (opt.shrink) {
+            ShrinkStats st;
+            minimal = shrinkCase(
+                out.fuzz,
+                [&](const FuzzCase &c) {
+                    return !checkCase(c, opt.bug).ok;
+                },
+                &st);
+            std::printf("     shrunk: %lld x %lld, %lld nnz, %zu "
+                        "ops, %lld iters (%d of %d reductions "
+                        "accepted)\n",
+                        static_cast<long long>(minimal.operand.rows()),
+                        static_cast<long long>(minimal.operand.cols()),
+                        static_cast<long long>(minimal.operand.nnz()),
+                        minimal.program.ops().size(),
+                        static_cast<long long>(minimal.iters),
+                        st.accepted, st.attempts);
+        }
+
+        std::error_code ec;
+        std::filesystem::create_directories(opt.corpus, ec);
+        const std::string path =
+            opt.corpus + "/" + minimal.name + ".fuzzcase";
+        writeCaseFile(path, minimal);
+        std::printf("     reproducer: %s (replay with "
+                    "sparsepipe_fuzz --replay %s)\n",
+                    path.c_str(), path.c_str());
+    }
+
+    std::printf("checked %lld case(s), seed %llu, %d failure(s)\n",
+                static_cast<long long>(opt.cases),
+                static_cast<unsigned long long>(opt.seed), failed);
+    return failed == 0 ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    if (!opt.replay.empty())
+        return replay(opt);
+    return fuzz(opt);
+}
