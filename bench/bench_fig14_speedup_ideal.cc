@@ -19,7 +19,7 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 14: speedup over the idealized sparse "
                 "accelerator",
                 "paper: up to 3.59x; OEI-app geomeans 1.21-2.62x; "
@@ -27,7 +27,7 @@ main(int argc, char **argv)
 
     RunConfig cfg;
     std::vector<CaseResult> results =
-        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 
     TextTable table;
     std::vector<std::string> header = {"app"};
@@ -70,5 +70,14 @@ main(int argc, char **argv)
     std::printf("OEI-app geomean range : %.2fx .. %.2fx (paper: "
                 "1.21x .. 2.62x)\n",
                 minOf(oei_geo), maxOf(oei_geo));
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        for (const CaseResult &r : results)
+            recordCaseMetrics(reg, r);
+        reg.set("summary.geomean_speedup_vs_ideal", geomean(all));
+        reg.set("summary.best_speedup_vs_ideal", best);
+        writeMetrics(args, reg);
+    }
     return 0;
 }

@@ -20,7 +20,7 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 16: speedup over the CPU STA framework",
                 "paper: per-app geomeans 12.20-35.14x (iso-GPU), "
                 "1.31-3.57x (iso-CPU)");
@@ -36,7 +36,7 @@ main(int argc, char **argv)
     const std::size_t gpu_count = specs.size();
     for (CaseSpec &spec : sweepGrid(allApps(), allDatasets(), cpu_cfg))
         specs.push_back(std::move(spec));
-    std::vector<CaseResult> results = runSweep(specs, jobs);
+    std::vector<CaseResult> results = runSweep(specs, args.jobs);
 
     TextTable table;
     std::vector<std::string> header = {"app"};
@@ -84,5 +84,20 @@ main(int argc, char **argv)
                 minOf(iso_cpu_geo), maxOf(iso_cpu_geo));
     std::printf("overall geomean (iso-GPU)     : %.2fx (paper "
                 "headline: 19.82x)\n", geomean(all));
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        // The iso-GPU and iso-CPU halves of the sweep share (app,
+        // dataset) keys; prefix the iso-CPU half apart.
+        for (std::size_t i = 0; i < gpu_count; ++i)
+            recordCaseMetrics(reg, results[i]);
+        for (std::size_t i = gpu_count; i < results.size(); ++i) {
+            CaseResult r = results[i];
+            r.app = "isocpu-" + r.app;
+            recordCaseMetrics(reg, r);
+        }
+        reg.set("summary.geomean_speedup_vs_cpu", geomean(all));
+        writeMetrics(args, reg);
+    }
     return 0;
 }

@@ -18,7 +18,7 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 17: speedup over GPU frameworks "
                 "(bfs / kcore / pr / sssp)",
                 "paper: geomean 4.65x across all matrices");
@@ -27,7 +27,7 @@ main(int argc, char **argv)
                                            "sssp"};
     RunConfig cfg;
     std::vector<CaseResult> results =
-        runSweep(sweepGrid(apps, allDatasets(), cfg), jobs);
+        runSweep(sweepGrid(apps, allDatasets(), cfg), args.jobs);
 
     TextTable table;
     std::vector<std::string> header = {"app"};
@@ -54,5 +54,13 @@ main(int argc, char **argv)
 
     std::printf("\noverall geomean: %.2fx (paper: 4.65x)\n",
                 geomean(all));
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        for (const CaseResult &r : results)
+            recordCaseMetrics(reg, r);
+        reg.set("summary.geomean_speedup_vs_gpu", geomean(all));
+        writeMetrics(args, reg);
+    }
     return 0;
 }

@@ -20,14 +20,14 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 18: fraction of oracle-accelerator "
                 "performance",
                 "paper: 66.78% on average");
 
     RunConfig cfg;
     std::vector<CaseResult> results =
-        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 
     TextTable table;
     std::vector<std::string> header = {"app"};
@@ -55,5 +55,13 @@ main(int argc, char **argv)
 
     std::printf("\naverage across all cases: %.2f%% of oracle "
                 "(paper: 66.78%%)\n", mean(all));
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        for (const CaseResult &r : results)
+            recordCaseMetrics(reg, r);
+        reg.set("summary.mean_fraction_of_oracle_pct", mean(all));
+        writeMetrics(args, reg);
+    }
     return 0;
 }

@@ -18,14 +18,14 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 21: Sparsepipe bandwidth utilization",
                 "paper: 82.93% overall, 92.94% for memory-bound "
                 "apps (excl. gmres, gcn)");
 
     RunConfig cfg;
     std::vector<CaseResult> results =
-        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 
     TextTable table;
     table.addRow({"app", "geomean util %", "min %", "max %"});
@@ -52,5 +52,15 @@ main(int argc, char **argv)
                 "82.93%%)\n", geomean(all));
     std::printf("memory-bound apps only : %.2f%% (paper: "
                 "92.94%%)\n", geomean(memory_bound));
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        for (const CaseResult &r : results)
+            recordCaseMetrics(reg, r);
+        reg.set("summary.geomean_util_pct", geomean(all));
+        reg.set("summary.memory_bound_geomean_util_pct",
+                geomean(memory_bound));
+        writeMetrics(args, reg);
+    }
     return 0;
 }

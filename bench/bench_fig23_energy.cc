@@ -20,7 +20,7 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 23: relative energy vs the baseline "
                 "accelerator (compute / memory / cache)",
                 "paper: -54.98% total, -50.32% memory, -39.45% "
@@ -32,7 +32,7 @@ main(int argc, char **argv)
     // Cacti/Accelergy accounting charges.
     RunConfig cfg;
     std::vector<CaseResult> results =
-        runSweep(sweepGrid(allApps(), allDatasets(), cfg), jobs);
+        runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 
     TextTable table;
     table.addRow({"app", "compute %", "memory %", "cache %",
@@ -67,5 +67,18 @@ main(int argc, char **argv)
                 "50.32%%)\n", mean(mem_save));
     std::printf("average cache energy saving  : %.2f%% (paper: "
                 "39.45%%)\n", mean(cache_save));
+
+    if (!args.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        for (const CaseResult &r : results)
+            recordCaseMetrics(reg, r);
+        reg.set("summary.avg_total_energy_saving_pct",
+                mean(total_save));
+        reg.set("summary.avg_memory_energy_saving_pct",
+                mean(mem_save));
+        reg.set("summary.avg_cache_energy_saving_pct",
+                mean(cache_save));
+        writeMetrics(args, reg);
+    }
     return 0;
 }

@@ -26,7 +26,7 @@ using namespace sparsepipe::bench;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchJobs(argc, argv);
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Table I: on-chip fraction of the sparse matrix "
                 "required by the OEI dataflow",
                 "smaller % is better; paper max% / avg% shown "
@@ -52,7 +52,7 @@ main(int argc, char **argv)
         Idx nnz = 0;
         ResidencyStats stats;
     };
-    runner::ThreadPool pool(jobs);
+    runner::ThreadPool pool(args.jobs);
     std::vector<Row> rows = runner::parallelIndexed(
         pool, names.size(),
         [&](std::size_t i) {
@@ -85,5 +85,26 @@ main(int argc, char **argv)
     std::printf("\nsub-tensor size auto-resolved per matrix; "
                 "pipeline lag = %lld steps\n",
                 static_cast<long long>(cfg.lag));
+
+    if (!args.metrics_out.empty()) {
+        // Residency numbers are pure integer functions of the
+        // deterministic stand-in datasets, so this dump doubles as
+        // the CI regression baseline (bench/baselines/).
+        obs::MetricsRegistry reg;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const std::string prefix = "table1." + names[i];
+            const Row &row = rows[i];
+            reg.set(prefix + ".rows",
+                    static_cast<double>(row.rows));
+            reg.set(prefix + ".nnz", static_cast<double>(row.nnz));
+            reg.set(prefix + ".max_resident",
+                    static_cast<double>(row.stats.max_resident));
+            reg.set(prefix + ".max_pct",
+                    row.stats.maxPercent(row.nnz));
+            reg.set(prefix + ".avg_pct",
+                    row.stats.avgPercent(row.nnz));
+        }
+        writeMetrics(args, reg);
+    }
     return 0;
 }

@@ -119,34 +119,82 @@ runSweep(const std::vector<CaseSpec> &specs, int jobs)
         });
 }
 
-int
-benchJobs(int argc, char **argv)
+BenchArgs
+parseBenchArgs(int argc, char **argv)
 {
-    int jobs = runner::ThreadPool::defaultJobs();
+    BenchArgs args;
+    args.jobs = runner::ThreadPool::defaultJobs();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--jobs" || arg == "-j") {
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto value = [&](const char *flag) -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc)
-                sp_fatal("flag %s wants a value", arg.c_str());
-            jobs = static_cast<int>(
-                parseI64Flag("--jobs", argv[++i]));
-            if (jobs < 1)
+                sp_fatal("flag %s wants a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            args.jobs = static_cast<int>(
+                parseI64Flag("--jobs", value("--jobs")));
+            if (args.jobs < 1)
                 sp_fatal("--jobs wants a positive count, got %d",
-                         jobs);
+                         args.jobs);
+        } else if (arg == "--metrics-out") {
+            args.metrics_out = value("--metrics-out");
+            if (args.metrics_out.empty())
+                sp_fatal("--metrics-out wants a file path");
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--jobs N]\n"
-                        "  --jobs N   worker threads for the sweep "
-                        "(default: SPARSEPIPE_JOBS env,\n"
-                        "             else hardware concurrency); "
-                        "output is identical for any N\n",
-                        argv[0]);
+            std::printf(
+                "usage: %s [--jobs N] [--metrics-out FILE]\n"
+                "  --jobs N           worker threads for the sweep "
+                "(default: SPARSEPIPE_JOBS env,\n"
+                "                     else hardware concurrency); "
+                "output is identical for any N\n"
+                "  --metrics-out FILE dump every counter as a "
+                "metrics-v1 JSON file\n"
+                "                     (compare runs with "
+                "tools/metrics_diff)\n",
+                argv[0]);
             std::exit(0);
         } else {
             sp_fatal("unknown bench flag '%s' (try --help)",
                      arg.c_str());
         }
     }
-    return jobs;
+    return args;
+}
+
+void
+recordCaseMetrics(obs::MetricsRegistry &reg, const CaseResult &r)
+{
+    const std::string prefix = r.app + "." + r.dataset;
+    recordSimMetrics(reg, prefix, r.sp);
+    reg.set(prefix + ".nnz", static_cast<double>(r.nnz));
+    reg.set(prefix + ".ideal_seconds", r.ideal.seconds);
+    reg.set(prefix + ".oracle_seconds", r.oracle.seconds);
+    reg.set(prefix + ".cpu_seconds", r.cpu.seconds);
+    reg.set(prefix + ".gpu_seconds", r.gpu.seconds);
+    reg.set(prefix + ".speedup_vs_ideal", r.speedupVsIdeal());
+}
+
+void
+writeMetrics(const BenchArgs &args, const obs::MetricsRegistry &reg)
+{
+    if (args.metrics_out.empty())
+        return;
+    reg.writeFile(args.metrics_out);
+    std::printf("\nwrote %zu metrics-v1 counters to %s\n", reg.size(),
+                args.metrics_out.c_str());
 }
 
 std::vector<std::string>

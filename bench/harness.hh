@@ -25,6 +25,7 @@
 #include "apps/apps.hh"
 #include "baseline/models.hh"
 #include "core/sparsepipe_sim.hh"
+#include "obs/metrics.hh"
 #include "prep/reorder.hh"
 #include "sparse/datasets.hh"
 #include "util/stats.hh"
@@ -114,13 +115,36 @@ std::vector<CaseSpec> sweepGrid(const std::vector<std::string> &apps,
 std::vector<CaseResult> runSweep(const std::vector<CaseSpec> &specs,
                                  int jobs);
 
+/** Arguments every bench binary accepts. */
+struct BenchArgs
+{
+    /** Worker threads for runSweep(). */
+    int jobs = 0;
+    /** When non-empty, dump a metrics-v1 file here before exit. */
+    std::string metrics_out;
+};
+
 /**
  * Parse bench-binary arguments: `--jobs N` / `-j N` (default: the
- * SPARSEPIPE_JOBS env override, else hardware concurrency).
+ * SPARSEPIPE_JOBS env override, else hardware concurrency) and
+ * `--metrics-out FILE`; both accept the `--flag=value` spelling.
  * Unknown flags are fatal; --help prints usage and exits.
- * @return worker count to pass to runSweep().
  */
-int benchJobs(int argc, char **argv);
+BenchArgs parseBenchArgs(int argc, char **argv);
+
+/**
+ * Record one case's full statistics (simulator counters via
+ * recordSimMetrics() plus baseline model seconds) under the
+ * "<app>.<dataset>" prefix.
+ */
+void recordCaseMetrics(obs::MetricsRegistry &reg, const CaseResult &r);
+
+/**
+ * Write `reg` to args.metrics_out when set (prints a one-line note);
+ * no-op otherwise.
+ */
+void writeMetrics(const BenchArgs &args,
+                  const obs::MetricsRegistry &reg);
 
 /** All dataset keys in Table I order. */
 std::vector<std::string> allDatasets();

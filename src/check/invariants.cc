@@ -137,6 +137,50 @@ checkCyclesNnzMonotone(const InvariantContext &ctx)
 }
 
 std::string
+checkCycleAttribution(const InvariantContext &ctx)
+{
+    const obs::CycleAttribution &attr = ctx.stats.attribution;
+
+    // Per-phase buckets must partition the phase window exactly, and
+    // the windows must tile [0, cycles] with no gap or overlap.
+    Tick cursor = 0;
+    for (const obs::PhaseCycles &ph : attr.phases) {
+        if (ph.begin != cursor) {
+            std::ostringstream ss;
+            ss << obs::phaseKindName(ph.kind) << " #" << ph.index
+               << " begins at " << ph.begin
+               << ", previous phase ended at " << cursor;
+            return ss.str();
+        }
+        if (ph.total() != ph.span()) {
+            std::ostringstream ss;
+            ss << obs::phaseKindName(ph.kind) << " #" << ph.index
+               << " buckets sum to " << ph.total() << " over a "
+               << ph.span() << "-cycle window";
+            return ss.str();
+        }
+        cursor = ph.end;
+    }
+    if (cursor != ctx.stats.cycles) {
+        std::ostringstream ss;
+        ss << "phase windows cover [0, " << cursor
+           << ") but the run took " << ctx.stats.cycles << " cycles";
+        return ss.str();
+    }
+    if (attr.totalCycles() != ctx.stats.cycles) {
+        std::ostringstream ss;
+        ss << "attribution totals sum to " << attr.totalCycles()
+           << " cycles (compute " << attr.compute << " + read stall "
+           << attr.dram_read_stall << " + write drain "
+           << attr.dram_write_drain << " + swap wait "
+           << attr.buffer_swap_wait << "), run took "
+           << ctx.stats.cycles;
+        return ss.str();
+    }
+    return "";
+}
+
+std::string
 checkStatsSanity(const InvariantContext &ctx)
 {
     const SimStats &s = ctx.stats;
@@ -172,6 +216,7 @@ defaultInvariants()
         {"dram-conservation", checkDramConservation},
         {"prep-permutation", checkPrepPermutation},
         {"cycles-nnz-monotone", checkCyclesNnzMonotone},
+        {"cycle-attribution", checkCycleAttribution},
         {"stats-sanity", checkStatsSanity},
     };
     return registry;

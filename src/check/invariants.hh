@@ -50,6 +50,10 @@ struct Invariant
  *    multiset); the blocked layout loses no non-zeros;
  *  - cycles-nnz-monotone:  for a fixed configuration, thinning the
  *    operand's non-zeros never increases simulated cycles;
+ *  - cycle-attribution:  the phase windows tile [0, cycles], each
+ *    phase's compute / read-stall / write-drain / swap-wait buckets
+ *    sum to its span, and the bucket totals reconcile exactly with
+ *    SimStats::cycles;
  *  - stats-sanity:  utilization and timeline samples stay in [0, 1],
  *    iteration counts inside the budget.
  */

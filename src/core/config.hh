@@ -56,6 +56,12 @@ struct SparsepipeConfig
     /** Memory system (Table II; iso-CPU uses ddr4()). */
     DramConfig dram = DramConfig::gddr6x();
 
+    /**
+     * Samples in SimStats::bw_timeline (Fig. 15 uses 25 = 4% of the
+     * run per sample).  Values below 1 are clamped to 1.
+     */
+    Idx bw_timeline_samples = 25;
+
     /** Fraction of free buffer space the prefetcher may claim. */
     double prefetch_fraction = 0.5;
 

@@ -237,6 +237,7 @@ struct PassEngine::Run
                 continue;
             Idx want = std::min(avail, budget_elems);
             Idx admitted = buffer->addPrefetch(want);
+            stats.prefetch_denied_elems += want - admitted;
             if (admitted <= 0)
                 break;
             prefetched[static_cast<std::size_t>(cs)] += admitted;
@@ -258,11 +259,13 @@ struct PassEngine::Run
                 continue;
             Idx want = std::min(ev, budget_elems);
             Idx admitted = buffer->addPrefetch(want);
+            stats.prefetch_denied_elems += want - admitted;
             if (admitted < ev)
                 buffer->returnEvicted(u, ev - admitted);
             if (admitted <= 0)
                 break;
             pre_reloaded[static_cast<std::size_t>(u)] += admitted;
+            ++stats.reload_ahead_events;
             budget_elems -= admitted;
             reload_taken += admitted;
         }
@@ -305,6 +308,8 @@ struct PassEngine::Run
             data_ready[static_cast<std::size_t>(j)] = arrival;
             stats.matrix_demand_bytes += mat_bytes;
             stats.vector_bytes += vec_bytes;
+            stats.prefetch_hit_elems += pre;
+            stats.prefetch_miss_elems += demand;
 
             if (fused && buffer) {
                 slice_resident[static_cast<std::size_t>(j)] =
@@ -349,6 +354,10 @@ struct PassEngine::Run
             const Tick ready = data_ready[static_cast<std::size_t>(j)];
             if (ready > now)
                 dur += ready - now;
+            // Busy once the data is in; the wait before that is
+            // covered by the DRAM model's read spans.
+            stats.activity.push_back({std::max(now, ready), now + dur,
+                                      obs::Activity::Compute});
             if (fused && buffer) {
                 buffer->releaseCscSlice(
                     slice_resident[static_cast<std::size_t>(j)]);
@@ -375,6 +384,8 @@ struct PassEngine::Run
                 dram.access(now, wb, true);
                 stats.vector_bytes += wb;
             }
+            stats.activity.push_back({now, end,
+                                      obs::Activity::Compute});
             finish(s, j, end);
             return;
           }
@@ -397,6 +408,7 @@ struct PassEngine::Run
                     buffer->releasePrefetch(reloaded);
                 Tick t_fetch = now;
                 if (evicted > 0) {
+                    ++stats.demand_reload_events;
                     // Evictions the reload-ahead path did not cover
                     // become a demand fetch that stalls the IS core.
                     const Idx rb = roundBytes(
@@ -424,6 +436,10 @@ struct PassEngine::Run
                 }
                 end = std::max(now + dur, t_fetch);
             }
+            // Includes the 1-cycle fill/drain bookkeeping steps, so
+            // the pipeline tail stays attributed to the cores.
+            stats.activity.push_back({now, end,
+                                      obs::Activity::Compute});
             finish(s, j, end);
             return;
           }

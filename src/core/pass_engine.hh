@@ -26,6 +26,7 @@
 #include "core/buckets.hh"
 #include "core/config.hh"
 #include "mem/dram.hh"
+#include "obs/attribution.hh"
 #include "sim/event_queue.hh"
 
 namespace sparsepipe {
@@ -55,6 +56,22 @@ struct PassStats
     Idx os_elems = 0;
     Idx is_elems = 0;
     double ewise_ops = 0.0;
+
+    /** Compute busy spans, for cycle attribution (DRAM spans are
+     * recorded by the DramModel's access hook). */
+    std::vector<obs::ActivitySpan> activity;
+
+    /** Matrix elements staged by the eager CSR loader and consumed
+     * without a demand fetch. */
+    Idx prefetch_hit_elems = 0;
+    /** Matrix elements the demand CSC loader fetched instead. */
+    Idx prefetch_miss_elems = 0;
+    /** Elements the prefetcher wanted but the buffer refused. */
+    Idx prefetch_denied_elems = 0;
+    /** Demand reload fetches that stalled the IS core. */
+    Idx demand_reload_events = 0;
+    /** Band reloads the reload-ahead path hid. */
+    Idx reload_ahead_events = 0;
 };
 
 /**

@@ -8,6 +8,8 @@
 #include "core/oei_functional.hh"
 #include "core/pass_engine.hh"
 #include "mem/dram.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "util/logging.hh"
 
@@ -116,6 +118,11 @@ mergePass(SimStats &stats, const PassStats &ps)
     stats.os_elems += ps.os_elems;
     stats.is_elems += ps.is_elems;
     stats.ewise_ops += ps.ewise_ops;
+    stats.counters.prefetch_hit_elems += ps.prefetch_hit_elems;
+    stats.counters.prefetch_miss_elems += ps.prefetch_miss_elems;
+    stats.counters.prefetch_denied_elems += ps.prefetch_denied_elems;
+    stats.counters.demand_reload_events += ps.demand_reload_events;
+    stats.counters.reload_ahead_events += ps.reload_ahead_events;
     ++stats.passes;
 }
 
@@ -146,6 +153,67 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     PassEngine engine(config_, dram, eq);
     RefExecutor ref;
 
+    // Activity spans and phase windows feeding cycle attribution.
+    // Windows tile [0, cycles]: every pass / iteration starts where
+    // the previous one ended, and the drain window covers the tail.
+    obs::ActivityLog alog;
+    std::vector<obs::PhaseWindow> windows;
+    dram.setAccessHook([this, &alog](Tick start, Tick finish,
+                                     Tick avail, Idx bytes,
+                                     bool write) {
+        if (write) {
+            alog.record(obs::Activity::WriteTransfer, start, finish);
+        } else {
+            alog.record(obs::Activity::ReadTransfer, start, finish);
+            alog.record(obs::Activity::ReadWait, finish, avail);
+        }
+        if (trace_)
+            trace_->complete(write ? "write" : "read", "dram",
+                             obs::TraceTrack::Dram, start, finish,
+                             {{"bytes",
+                               static_cast<double>(bytes)}});
+    });
+    auto pushWindow = [&windows](obs::PhaseKind kind, Tick begin,
+                                 Tick end) {
+        windows.push_back(
+            {kind, static_cast<Idx>(windows.size()), begin, end});
+    };
+
+    // Drain posted writes, attribute every cycle, and fill the
+    // DRAM-side aggregates (shared epilogue of both timing models).
+    auto finalize = [&](Tick t) {
+        const Tick drained = std::max(t, dram.nextFree());
+        if (drained > t)
+            pushWindow(obs::PhaseKind::WriteDrain, t, drained);
+        stats.cycles = drained;
+        stats.dram_read_bytes = dram.bytesRead();
+        stats.dram_write_bytes = dram.bytesWritten();
+        stats.bw_utilization =
+            dram.utilization(std::max<Tick>(drained, 1));
+        const std::size_t samples = static_cast<std::size_t>(
+            std::max<Idx>(1, config_.bw_timeline_samples));
+        stats.bw_timeline = dram.utilizationSeries(
+            std::max<Tick>(drained, 1), samples);
+        stats.attribution = obs::attributeCycles(windows, alog);
+        if (trace_) {
+            for (const obs::PhaseCycles &ph :
+                 stats.attribution.phases) {
+                trace_->complete(
+                    std::string(obs::phaseKindName(ph.kind)) + " #" +
+                        std::to_string(ph.index),
+                    "phase", obs::TraceTrack::Phases, ph.begin,
+                    ph.end,
+                    {{"compute", static_cast<double>(ph.compute)},
+                     {"dram_read_stall",
+                      static_cast<double>(ph.dram_read_stall)},
+                     {"dram_write_drain",
+                      static_cast<double>(ph.dram_write_drain)},
+                     {"buffer_swap_wait",
+                      static_cast<double>(ph.buffer_swap_wait)}});
+            }
+        }
+    };
+
     PassCosts per_iter;
     per_iter.vector_read_bytes =
         static_cast<double>(an.traffic.vector_reads_fused) *
@@ -165,6 +233,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     if (an.leading_ops.empty()) {
         Tick t = 0;
         for (Idx it = 0; it < max_iters; ++it) {
+            const Tick t0 = t;
             Idx bytes = static_cast<Idx>(per_iter.vector_read_bytes +
                                          per_iter.vector_write_bytes);
             Tick t_mem = dram.access(t, bytes, false);
@@ -172,6 +241,8 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
                 per_iter.ewise_work /
                 static_cast<double>(config_.pe_per_core)) + 1;
             t = std::max(t_mem, t_cmp);
+            alog.record(obs::Activity::Compute, t0, t_cmp);
+            pushWindow(obs::PhaseKind::EwiseIteration, t0, t);
             ref.runBody(ws);
             ref.applyCarries(ws);
             stats.iterations = it + 1;
@@ -182,13 +253,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
                 break;
             }
         }
-        t = std::max(t, dram.nextFree()); // drain posted writes
-        stats.cycles = t;
-        stats.dram_read_bytes = dram.bytesRead();
-        stats.dram_write_bytes = dram.bytesWritten();
-        stats.bw_utilization = dram.utilization(std::max<Tick>(t, 1));
-        stats.bw_timeline =
-            dram.utilizationSeries(std::max<Tick>(t, 1), 25);
+        finalize(t);
         return stats;
     }
 
@@ -200,6 +265,15 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
         : StepBuckets::build(ws.csc(plan.matrix), t_cols);
     const Idx bytes_per_nz = static_cast<Idx>(
         std::ceil(config_.bytes_per_nz));
+
+    for (Idx cs = 0; cs < buckets.steps(); ++cs) {
+        for (Idx rs = 0; rs < buckets.bands(); ++rs) {
+            const Idx cnt = buckets.count(cs, rs);
+            if (cnt > 0)
+                ++stats.counters.bucket_occupancy[
+                    static_cast<std::size_t>(obs::occupancyBin(cnt))];
+        }
+    }
 
     Tick t = 0;
     std::optional<DenseVector> pending;
@@ -228,6 +302,8 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
             DualBufferModel buffer(config_.buffer_bytes, bytes_per_nz,
                                    buckets.bands());
             PassStats ps = engine.runFused(buckets, buffer, costs, t);
+            alog.append(ps.activity);
+            pushWindow(obs::PhaseKind::FusedPass, t, ps.end);
             t = ps.end;
             mergePass(stats, ps);
             mergeBuffer(stats.buffer, buffer.stats());
@@ -242,6 +318,8 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
             costs.ewise_work /= static_cast<double>(v);
             for (Idx k = 0; k < v; ++k) {
                 PassStats ps = engine.runStream(buckets, costs, t);
+                alog.append(ps.activity);
+                pushWindow(obs::PhaseKind::StreamPass, t, ps.end);
                 t = ps.end;
                 mergePass(stats, ps);
             }
@@ -290,13 +368,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
         }
     }
 
-    t = std::max(t, dram.nextFree()); // drain posted writes
-    stats.cycles = t;
-    stats.dram_read_bytes = dram.bytesRead();
-    stats.dram_write_bytes = dram.bytesWritten();
-    stats.bw_utilization = dram.utilization(std::max<Tick>(t, 1));
-    stats.bw_timeline =
-        dram.utilizationSeries(std::max<Tick>(t, 1), 25);
+    finalize(t);
     return stats;
 }
 
@@ -308,6 +380,65 @@ SparsepipeSim::simulateApp(const AppInstance &app, const CooMatrix &raw,
     ws.bindMatrix(app.matrix, app.prepare(raw));
     app.init(ws);
     return run(ws, iters > 0 ? iters : app.default_iters);
+}
+
+void
+recordSimMetrics(obs::MetricsRegistry &reg, const std::string &prefix,
+                 const SimStats &stats)
+{
+    auto set = [&](const char *key, double value) {
+        reg.set(prefix + "." + key, value);
+    };
+    set("cycles", static_cast<double>(stats.cycles));
+    set("iterations", static_cast<double>(stats.iterations));
+    set("converged", stats.converged ? 1.0 : 0.0);
+    set("passes", static_cast<double>(stats.passes));
+    set("dram_read_bytes",
+        static_cast<double>(stats.dram_read_bytes));
+    set("dram_write_bytes",
+        static_cast<double>(stats.dram_write_bytes));
+    set("matrix_demand_bytes",
+        static_cast<double>(stats.matrix_demand_bytes));
+    set("reload_bytes", static_cast<double>(stats.reload_bytes));
+    set("prefetch_bytes", static_cast<double>(stats.prefetch_bytes));
+    set("vector_bytes", static_cast<double>(stats.vector_bytes));
+    set("bw_utilization", stats.bw_utilization);
+    set("os_elems", static_cast<double>(stats.os_elems));
+    set("is_elems", static_cast<double>(stats.is_elems));
+    set("ewise_ops", stats.ewise_ops);
+    set("attr.compute",
+        static_cast<double>(stats.attribution.compute));
+    set("attr.dram_read_stall",
+        static_cast<double>(stats.attribution.dram_read_stall));
+    set("attr.dram_write_drain",
+        static_cast<double>(stats.attribution.dram_write_drain));
+    set("attr.buffer_swap_wait",
+        static_cast<double>(stats.attribution.buffer_swap_wait));
+    set("prefetch_hit_elems",
+        static_cast<double>(stats.counters.prefetch_hit_elems));
+    set("prefetch_miss_elems",
+        static_cast<double>(stats.counters.prefetch_miss_elems));
+    set("prefetch_denied_elems",
+        static_cast<double>(stats.counters.prefetch_denied_elems));
+    set("demand_reload_events",
+        static_cast<double>(stats.counters.demand_reload_events));
+    set("reload_ahead_events",
+        static_cast<double>(stats.counters.reload_ahead_events));
+    for (int b = 0; b < obs::kOccupancyBins; ++b) {
+        reg.set(prefix + ".bucket_occupancy.bin" + std::to_string(b),
+                static_cast<double>(
+                    stats.counters.bucket_occupancy
+                        [static_cast<std::size_t>(b)]));
+    }
+    set("buffer.peak_elems",
+        static_cast<double>(stats.buffer.peak_elems));
+    set("buffer.evicted_elems",
+        static_cast<double>(stats.buffer.evicted_elems));
+    set("buffer.repacks", static_cast<double>(stats.buffer.repacks));
+    set("buffer.sram_reads_elems",
+        static_cast<double>(stats.buffer.sram_reads_elems));
+    set("buffer.sram_writes_elems",
+        static_cast<double>(stats.buffer.sram_writes_elems));
 }
 
 } // namespace sparsepipe

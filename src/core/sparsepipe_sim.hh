@@ -20,15 +20,22 @@
 #ifndef SPARSEPIPE_CORE_SPARSEPIPE_SIM_HH
 #define SPARSEPIPE_CORE_SPARSEPIPE_SIM_HH
 
+#include <string>
 #include <vector>
 
 #include "apps/apps.hh"
 #include "buffer/dual_buffer.hh"
 #include "core/config.hh"
 #include "graph/analysis.hh"
+#include "obs/attribution.hh"
 #include "ref/executor.hh"
 
 namespace sparsepipe {
+
+namespace obs {
+class MetricsRegistry;
+class TraceSink;
+} // namespace obs
 
 /** Scheduling mode chosen for a program. */
 enum class ScheduleMode
@@ -67,6 +74,15 @@ struct SimStats
 
     BufferStats buffer;
 
+    /**
+     * Exact cycle partition: per-phase compute / DRAM-read stall /
+     * DRAM-write drain / buffer-swap wait buckets whose totals sum
+     * to `cycles` (enforced as an sp_check invariant).
+     */
+    obs::CycleAttribution attribution;
+    /** Prefetcher / reload / bucket-occupancy counters. */
+    obs::ObsCounters counters;
+
     /** Wall-clock equivalent at the configured core clock. */
     double seconds(double clock_ghz = 1.0) const
     {
@@ -99,11 +115,27 @@ class SparsepipeSim
     SimStats simulateApp(const AppInstance &app, const CooMatrix &raw,
                          Idx iters = 0);
 
+    /**
+     * Attach a trace sink: subsequent runs emit one trace event per
+     * simulator phase and per DRAM transaction.  Pass null to detach
+     * (the default; a detached run records nothing).
+     */
+    void attachTrace(obs::TraceSink *sink) { trace_ = sink; }
+
     const SparsepipeConfig &config() const { return config_; }
 
   private:
     SparsepipeConfig config_;
+    obs::TraceSink *trace_ = nullptr;
 };
+
+/**
+ * Dump a run's statistics into `reg` under `prefix` (counters named
+ * "<prefix>.cycles", "<prefix>.attr.compute", ...), the standard
+ * counter set benches expose through --metrics-out.
+ */
+void recordSimMetrics(obs::MetricsRegistry &reg,
+                      const std::string &prefix, const SimStats &stats);
 
 } // namespace sparsepipe
 

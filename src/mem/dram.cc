@@ -59,8 +59,12 @@ DramModel::access(Tick now, Idx bytes, bool write)
     else
         bytes_read_ += bytes;
 
-    return finish + (write ? config_.writeLatencyCycles()
-                           : config_.readLatencyCycles());
+    const Tick avail =
+        finish + (write ? config_.writeLatencyCycles()
+                        : config_.readLatencyCycles());
+    if (hook_)
+        hook_(start, finish, avail, bytes, write);
+    return avail;
 }
 
 Idx
@@ -127,6 +131,13 @@ DramModel::utilizationSeries(Tick end_tick, std::size_t buckets) const
             static_cast<double>(w) * static_cast<double>(window_cycles_);
         const double w_end =
             w_start + static_cast<double>(window_cycles_);
+        // Bytes were recorded against the whole ledger window, but a
+        // run may end inside it; average over the covered extent so
+        // short runs are not diluted by the unused window tail.
+        const double w_extent =
+            std::min(w_end, static_cast<double>(end_tick)) - w_start;
+        if (w_extent <= 0.0)
+            continue;
         // Distribute this window's bytes over overlapping buckets.
         std::size_t b_lo = static_cast<std::size_t>(w_start /
                                                     bucket_ticks);
@@ -143,8 +154,7 @@ DramModel::utilizationSeries(Tick end_tick, std::size_t buckets) const
                               std::max(w_start, b_start));
             if (ov <= 0.0)
                 continue;
-            out[b] += window_busy_[w] * ov /
-                      static_cast<double>(window_cycles_);
+            out[b] += window_busy_[w] * ov / w_extent;
         }
     }
     for (double &v : out)

@@ -13,6 +13,7 @@
 #ifndef SPARSEPIPE_MEM_DRAM_HH
 #define SPARSEPIPE_MEM_DRAM_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,10 +61,21 @@ class DramModel
 {
   public:
     /**
+     * Observer of every non-empty access: pin occupancy is
+     * [start, finish), the data is available/durable at `avail`.
+     * Keeps the model free of any dependency on the observability
+     * layer; unset hooks cost one test per access.
+     */
+    using AccessHook = std::function<void(
+        Tick start, Tick finish, Tick avail, Idx bytes, bool write)>;
+
+    /**
      * @param config         memory configuration
      * @param window_cycles  granularity of the utilization ledger
      */
     explicit DramModel(DramConfig config, Tick window_cycles = 2048);
+
+    void setAccessHook(AccessHook hook) { hook_ = std::move(hook); }
 
     /**
      * Serve a request.
@@ -95,7 +107,10 @@ class DramModel
 
     /**
      * Utilization in `buckets` equal slices of [0, end_tick) — the
-     * 25-sample (4%) timelines of Figure 15.
+     * 25-sample (4%) timelines of Figure 15.  Ledger windows are
+     * averaged over the part of the window inside [0, end_tick), so
+     * runs shorter than one window keep their true utilization
+     * instead of being flattened by the unused window tail.
      */
     std::vector<double> utilizationSeries(Tick end_tick,
                                           std::size_t buckets) const;
@@ -107,6 +122,7 @@ class DramModel
 
     DramConfig config_;
     Tick window_cycles_;
+    AccessHook hook_;
     Tick next_free_ = 0;
     Idx bytes_read_ = 0;
     Idx bytes_written_ = 0;

@@ -1,0 +1,294 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sparsepipe::obs {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : object)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent parser over a raw character range. */
+struct Parser
+{
+    const char *cur;
+    const char *end;
+    const char *begin;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty()) {
+            error = what + " at offset " +
+                    std::to_string(cur - begin);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (cur < end &&
+               (*cur == ' ' || *cur == '\t' || *cur == '\n' ||
+                *cur == '\r'))
+            ++cur;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (cur < end && *cur == c) {
+            ++cur;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (static_cast<std::size_t>(end - cur) < len)
+            return fail("truncated literal");
+        for (std::size_t i = 0; i < len; ++i)
+            if (cur[i] != word[i])
+                return fail("bad literal");
+        cur += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (cur >= end || *cur != '"')
+            return fail("expected string");
+        ++cur;
+        out.clear();
+        while (cur < end && *cur != '"') {
+            char c = *cur++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (cur >= end)
+                return fail("truncated escape");
+            char esc = *cur++;
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (end - cur < 4)
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *cur++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= h - '0';
+                    else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are passed through as two 3-byte sequences; the
+                // emitters never produce them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (cur >= end)
+            return fail("unterminated string");
+        ++cur; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = cur;
+        if (cur < end && *cur == '-')
+            ++cur;
+        while (cur < end &&
+               (std::isdigit(static_cast<unsigned char>(*cur)) ||
+                *cur == '.' || *cur == 'e' || *cur == 'E' ||
+                *cur == '+' || *cur == '-'))
+            ++cur;
+        if (cur == start)
+            return fail("expected number");
+        char *parsed_end = nullptr;
+        std::string token(start, cur);
+        out.number = std::strtod(token.c_str(), &parsed_end);
+        if (parsed_end != token.c_str() + token.size())
+            return fail("malformed number");
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (cur >= end)
+            return fail("unexpected end of input");
+        switch (*cur) {
+          case '{': {
+            ++cur;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (cur < end && *cur == '}') {
+                ++cur;
+                return true;
+            }
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.object.emplace_back(std::move(key),
+                                        std::move(member));
+                skipSpace();
+                if (cur < end && *cur == ',') {
+                    ++cur;
+                    continue;
+                }
+                return consume('}');
+            }
+          }
+          case '[': {
+            ++cur;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (cur < end && *cur == ']') {
+                ++cur;
+                return true;
+            }
+            for (;;) {
+                JsonValue element;
+                if (!parseValue(element))
+                    return false;
+                out.array.push_back(std::move(element));
+                skipSpace();
+                if (cur < end && *cur == ',') {
+                    ++cur;
+                    continue;
+                }
+                return consume(']');
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    Parser p{text.data(), text.data() + text.size(), text.data(), {}};
+    out = JsonValue{};
+    bool ok = p.parseValue(out);
+    if (ok) {
+        p.skipSpace();
+        if (p.cur != p.end)
+            ok = p.fail("trailing garbage");
+    }
+    if (!ok && error)
+        *error = p.error;
+    return ok;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    // Integers inside the double-exact window print as integers so
+    // counter dumps stay diff-friendly.
+    if (std::nearbyint(value) == value &&
+        std::abs(value) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace sparsepipe::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON reader/writer for the observability layer.
+ *
+ * The telemetry subsystem emits two JSON artifacts (Chrome
+ * trace_event streams and metrics-v1 counter dumps) and must be able
+ * to read the latter back for regression diffing, so a small
+ * self-contained JSON implementation lives here instead of pulling
+ * in an external dependency.  It supports the full JSON value
+ * grammar; numbers are held as doubles (every counter the simulator
+ * emits fits a double exactly).
+ */
+
+#ifndef SPARSEPIPE_OBS_JSON_HH
+#define SPARSEPIPE_OBS_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sparsepipe::obs {
+
+/** One parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Object members in document order (duplicates preserved). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** @return first member with `key`, or nullptr. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed,
+ * trailing garbage is an error).
+ * @param error  optional; receives a position-tagged message
+ * @return false on malformed input
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+/** Escape a string for embedding between JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Format a number the way the observability emitters do: integers
+ * (within double-exact range) without a decimal point, everything
+ * else with round-trip precision.
+ */
+std::string jsonNumber(double value);
+
+} // namespace sparsepipe::obs
+
+#endif // SPARSEPIPE_OBS_JSON_HH

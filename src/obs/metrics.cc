@@ -1,0 +1,179 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe::obs {
+
+void
+MetricsRegistry::set(const std::string &key, double value)
+{
+    if (key.empty())
+        sp_panic("MetricsRegistry: empty counter name");
+    values_[key] = value;
+}
+
+void
+MetricsRegistry::add(const std::string &key, double delta)
+{
+    values_[key] += delta;
+}
+
+bool
+MetricsRegistry::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+double
+MetricsRegistry::get(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        sp_fatal("MetricsRegistry: no counter '%s'", key.c_str());
+    return it->second;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"metrics-v1\",\n  \"metrics\": {";
+    bool first = true;
+    for (const auto &[key, value] : values_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n    \"" << jsonEscape(key)
+            << "\": " << jsonNumber(value);
+    }
+    out << "\n  }\n}\n";
+    return out.str();
+}
+
+MetricsRegistry
+MetricsRegistry::fromJson(const std::string &text)
+{
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, &error))
+        sp_fatal("metrics: malformed JSON (%s)", error.c_str());
+    if (!doc.isObject())
+        sp_fatal("metrics: document is not an object");
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->string != "metrics-v1")
+        sp_fatal("metrics: missing or unsupported schema (want "
+                 "\"metrics-v1\")");
+    const JsonValue *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject())
+        sp_fatal("metrics: missing \"metrics\" object");
+
+    MetricsRegistry reg;
+    for (const auto &[key, value] : metrics->object) {
+        if (!value.isNumber())
+            sp_fatal("metrics: counter '%s' is not a number",
+                     key.c_str());
+        reg.set(key, value.number);
+    }
+    return reg;
+}
+
+void
+MetricsRegistry::writeFile(const std::string &path) const
+{
+    const std::string json = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        sp_fatal("metrics: cannot open '%s' for writing",
+                 path.c_str());
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+        std::fclose(f);
+        sp_fatal("metrics: short write to '%s'", path.c_str());
+    }
+    std::fclose(f);
+}
+
+MetricsRegistry
+MetricsRegistry::readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        sp_fatal("metrics: cannot open '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return fromJson(text);
+}
+
+bool
+diffPatternMatches(const std::string &pattern, const std::string &key)
+{
+    if (!pattern.empty() && pattern.back() == '*')
+        return key.compare(0, pattern.size() - 1, pattern, 0,
+                           pattern.size() - 1) == 0;
+    return pattern == key;
+}
+
+double
+toleranceFor(const std::string &key, const MetricsDiffOptions &options)
+{
+    for (const DiffRule &rule : options.rules)
+        if (diffPatternMatches(rule.pattern, key))
+            return rule.rtol;
+    return options.default_rtol;
+}
+
+MetricsDiffResult
+diffMetrics(const MetricsRegistry &baseline,
+            const MetricsRegistry &current,
+            const MetricsDiffOptions &options)
+{
+    MetricsDiffResult result;
+
+    for (const auto &[key, base] : baseline.entries()) {
+        if (!current.has(key)) {
+            if (!options.allow_missing) {
+                result.failures.push_back(
+                    key + ": missing from current run");
+            }
+            continue;
+        }
+        ++result.compared;
+        const double cur = current.get(key);
+        const double rtol = toleranceFor(key, options);
+        const double scale =
+            std::max(std::abs(base), std::abs(cur));
+        const double delta = std::abs(cur - base);
+        if (delta > rtol * scale) {
+            std::ostringstream ss;
+            ss.precision(17);
+            ss << key << ": baseline " << base << " vs current "
+               << cur;
+            if (rtol > 0.0) {
+                ss << " (|delta| " << delta << " > rtol " << rtol
+                   << " * " << scale << ")";
+            }
+            result.failures.push_back(ss.str());
+        }
+    }
+    if (!options.allow_extra) {
+        for (const auto &[key, value] : current.entries()) {
+            (void)value;
+            if (!baseline.has(key))
+                result.failures.push_back(
+                    key + ": not present in baseline");
+        }
+    }
+    result.ok = result.failures.empty();
+    return result;
+}
+
+} // namespace sparsepipe::obs

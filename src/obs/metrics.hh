@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Metrics registry and the stable `metrics-v1` JSON schema.
+ *
+ * A MetricsRegistry is a flat, sorted map of counter name -> value.
+ * Benches and the CLI fill one per run and dump it with
+ * --metrics-out; the emitted document is
+ *
+ *   {
+ *     "schema": "metrics-v1",
+ *     "metrics": { "<key>": <number>, ... }
+ *   }
+ *
+ * with keys in lexicographic order and integer-valued counters
+ * printed without a decimal point, so two dumps of the same run are
+ * byte-identical and diffs stay reviewable.  diffMetrics() compares
+ * two registries under per-counter relative tolerances (exact by
+ * default) — the engine behind tools/metrics_diff and the CI
+ * regression gate.
+ */
+
+#ifndef SPARSEPIPE_OBS_METRICS_HH
+#define SPARSEPIPE_OBS_METRICS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe::obs {
+
+/** Flat, ordered counter store with metrics-v1 serialization. */
+class MetricsRegistry
+{
+  public:
+    void set(const std::string &key, double value);
+    void add(const std::string &key, double delta);
+
+    bool has(const std::string &key) const;
+    /** @return the counter's value; fatal when absent. */
+    double get(const std::string &key) const;
+
+    std::size_t size() const { return values_.size(); }
+    const std::map<std::string, double> &entries() const
+    {
+        return values_;
+    }
+
+    /** Serialize as a metrics-v1 document. */
+    std::string toJson() const;
+
+    /** Parse a metrics-v1 document; fatal on malformed input. */
+    static MetricsRegistry fromJson(const std::string &text);
+
+    /** Write toJson() to a file; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+    /** Read and parse a metrics-v1 file; fatal on failure. */
+    static MetricsRegistry readFile(const std::string &path);
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+/** One tolerance rule: `pattern` may end in '*' (prefix match). */
+struct DiffRule
+{
+    std::string pattern;
+    double rtol = 0.0;
+};
+
+/** Options of a metrics comparison. */
+struct MetricsDiffOptions
+{
+    /** Tolerance for counters no rule matches (0 = exact). */
+    double default_rtol = 0.0;
+    /** First matching rule wins. */
+    std::vector<DiffRule> rules;
+    /** Accept counters present in baseline but not in current. */
+    bool allow_missing = false;
+    /** Accept counters present in current but not in baseline. */
+    bool allow_extra = true;
+};
+
+/** Outcome of a metrics comparison. */
+struct MetricsDiffResult
+{
+    bool ok = true;
+    Idx compared = 0;
+    /** One line per violating counter. */
+    std::vector<std::string> failures;
+};
+
+/** @return true when `pattern` (literal or trailing-'*') matches. */
+bool diffPatternMatches(const std::string &pattern,
+                        const std::string &key);
+
+/** Tolerance the options assign to `key`. */
+double toleranceFor(const std::string &key,
+                    const MetricsDiffOptions &options);
+
+/**
+ * Compare `current` against `baseline` under per-counter relative
+ * tolerances: a counter regresses when
+ * |current - baseline| > rtol * max(|current|, |baseline|)
+ * (exact inequality when rtol is 0).
+ */
+MetricsDiffResult diffMetrics(const MetricsRegistry &baseline,
+                              const MetricsRegistry &current,
+                              const MetricsDiffOptions &options = {});
+
+} // namespace sparsepipe::obs
+
+#endif // SPARSEPIPE_OBS_METRICS_HH

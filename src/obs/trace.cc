@@ -1,0 +1,82 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe::obs {
+
+void
+TraceSink::complete(std::string name, const char *category,
+                    TraceTrack track, Tick begin, Tick end,
+                    std::vector<std::pair<std::string, double>> args)
+{
+    if (end < begin)
+        end = begin;
+    events_.push_back({std::move(name), category,
+                       static_cast<int>(track), begin, end,
+                       std::move(args)});
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    // Track-name metadata so Perfetto labels the rows.
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << static_cast<int>(TraceTrack::Phases)
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           "\"pipeline phases\"}},"
+        << "{\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << static_cast<int>(TraceTrack::Dram)
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           "\"dram transactions\"}}";
+
+    for (const Event &ev : events_) {
+        const double ts =
+            static_cast<double>(ev.begin) * us_per_tick_;
+        const double dur =
+            static_cast<double>(ev.end - ev.begin) * us_per_tick_;
+        out << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+            << ",\"name\":\"" << jsonEscape(ev.name)
+            << "\",\"cat\":\"" << jsonEscape(ev.category)
+            << "\",\"ts\":" << jsonNumber(ts)
+            << ",\"dur\":" << jsonNumber(dur);
+        if (!ev.args.empty()) {
+            out << ",\"args\":{";
+            bool first = true;
+            for (const auto &[key, value] : ev.args) {
+                if (!first)
+                    out << ",";
+                first = false;
+                out << "\"" << jsonEscape(key)
+                    << "\":" << jsonNumber(value);
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+void
+TraceSink::writeFile(const std::string &path) const
+{
+    const std::string json = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        sp_fatal("TraceSink: cannot open '%s' for writing",
+                 path.c_str());
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+        std::fclose(f);
+        sp_fatal("TraceSink: short write to '%s'", path.c_str());
+    }
+    std::fclose(f);
+}
+
+} // namespace sparsepipe::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Chrome trace_event emitter (chrome://tracing / Perfetto).
+ *
+ * The sink collects complete ("ph":"X") events during a simulated
+ * run — one per simulator phase and one per DRAM transaction — and
+ * serializes them as a JSON Object Format trace on demand.  Tick
+ * timestamps are converted to microseconds of wall time at the
+ * configured core clock so the Perfetto timeline reads in real
+ * units.
+ *
+ * The sink is entirely passive: code paths that might emit hold a
+ * `TraceSink *` that is null when tracing is disabled, so a disabled
+ * run costs one pointer test per would-be event.
+ */
+
+#ifndef SPARSEPIPE_OBS_TRACE_HH
+#define SPARSEPIPE_OBS_TRACE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace sparsepipe::obs {
+
+/** Well-known trace tracks (trace_event "tid" values). */
+enum class TraceTrack : int
+{
+    Phases = 1, ///< simulator phases (passes, iterations, drain)
+    Dram = 2,   ///< DRAM transactions
+};
+
+/** Collects trace events for one run. */
+class TraceSink
+{
+  public:
+    /** @param clock_ghz core clock used to convert ticks to us */
+    explicit TraceSink(double clock_ghz = 1.0)
+        : us_per_tick_(1e-3 / (clock_ghz > 0.0 ? clock_ghz : 1.0)) {}
+
+    /**
+     * Record a complete event spanning [begin, end] ticks.
+     * @param args  numeric key/value pairs for the "args" object
+     */
+    void complete(std::string name, const char *category,
+                  TraceTrack track, Tick begin, Tick end,
+                  std::vector<std::pair<std::string, double>> args = {});
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Serialize as a trace_event JSON Object Format document. */
+    std::string toJson() const;
+
+    /** Write toJson() to a file; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        int tid;
+        Tick begin;
+        Tick end;
+        std::vector<std::pair<std::string, double>> args;
+    };
+
+    double us_per_tick_;
+    std::vector<Event> events_;
+};
+
+} // namespace sparsepipe::obs
+
+#endif // SPARSEPIPE_OBS_TRACE_HH

@@ -153,6 +153,47 @@ TEST(Invariants, RegistryPassesOnCleanRun)
         EXPECT_EQ(inv.check(ctx), "") << inv.name;
 }
 
+TEST(Invariants, RegistryIncludesCycleAttribution)
+{
+    bool found = false;
+    for (const Invariant &inv : defaultInvariants())
+        found |= inv.name == "cycle-attribution";
+    EXPECT_TRUE(found);
+}
+
+TEST(Invariants, CycleAttributionCatchesBrokenAttribution)
+{
+    // A run whose attribution totals were tampered with must be
+    // rejected — this is what makes the reconciliation claim of
+    // OBSERVABILITY.md falsifiable under fuzzing.
+    FuzzCase fuzz = generateCase(mixSeed(13, 4));
+    Workspace ws = makeWorkspace(fuzz);
+    SparsepipeSim sim(fuzz.config);
+    SimStats stats = sim.run(ws, fuzz.iters);
+    Analysis an = analyzeProgram(fuzz.program);
+
+    const Invariant *attr_inv = nullptr;
+    for (const Invariant &inv : defaultInvariants())
+        if (inv.name == "cycle-attribution")
+            attr_inv = &inv;
+    ASSERT_NE(attr_inv, nullptr);
+
+    InvariantContext clean{fuzz, an, stats, ws};
+    EXPECT_EQ(attr_inv->check(clean), "");
+
+    SimStats leak = stats;
+    leak.attribution.compute += 1; // bucket total drifts off cycles
+    InvariantContext broken{fuzz, an, leak, ws};
+    EXPECT_NE(attr_inv->check(broken), "");
+
+    SimStats gap = stats;
+    if (!gap.attribution.phases.empty()) {
+        gap.attribution.phases.back().end += 1; // window tiling gap
+        InvariantContext gapped{fuzz, an, gap, ws};
+        EXPECT_NE(attr_inv->check(gapped), "");
+    }
+}
+
 TEST(Shrink, ReducesWhileStillFailing)
 {
     FuzzCase fuzz = generateCase(mixSeed(17, 2));

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Tests of the observability layer (src/obs) and its integration
+ * with the simulator: exact cycle attribution for every application,
+ * Chrome-trace emission, metrics-v1 round-tripping, and the
+ * tolerance-diff engine behind tools/metrics_diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "core/sparsepipe_sim.hh"
+#include "obs/attribution.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "test_helpers.hh"
+
+namespace sparsepipe {
+namespace {
+
+using obs::Activity;
+using obs::ActivityLog;
+using obs::CycleAttribution;
+using obs::JsonValue;
+using obs::MetricsDiffOptions;
+using obs::MetricsDiffResult;
+using obs::MetricsRegistry;
+using obs::PhaseKind;
+using obs::PhaseWindow;
+using obs::TraceSink;
+using obs::TraceTrack;
+using testing::smallGraph;
+using testing::smallRmat;
+
+// ---------------------------------------------------------------
+// attributeCycles in isolation
+// ---------------------------------------------------------------
+
+TEST(Attribution, ClassifiesByPriorityAndTilesExactly)
+{
+    // One 100-cycle phase: compute [0,30), read transfer [20,50),
+    // read wait [50,60), write [55,80).  Priority gives compute 30,
+    // read 30 (the non-compute part of [20,60)), write 20, idle 20.
+    ActivityLog log;
+    log.record(Activity::Compute, 0, 30);
+    log.record(Activity::ReadTransfer, 20, 50);
+    log.record(Activity::ReadWait, 50, 60);
+    log.record(Activity::WriteTransfer, 55, 80);
+
+    std::vector<PhaseWindow> windows = {
+        {PhaseKind::FusedPass, 0, 0, 100}};
+    CycleAttribution attr = attributeCycles(windows, log);
+
+    ASSERT_EQ(attr.phases.size(), 1u);
+    EXPECT_EQ(attr.compute, 30);
+    EXPECT_EQ(attr.dram_read_stall, 30);
+    EXPECT_EQ(attr.dram_write_drain, 20);
+    EXPECT_EQ(attr.buffer_swap_wait, 20);
+    EXPECT_EQ(attr.totalCycles(), 100);
+    EXPECT_EQ(attr.phases[0].total(), attr.phases[0].span());
+}
+
+TEST(Attribution, SpansCrossingWindowBoundariesSplit)
+{
+    // A single compute span crossing the boundary of two windows
+    // contributes to each side without double counting.
+    ActivityLog log;
+    log.record(Activity::Compute, 40, 60);
+    std::vector<PhaseWindow> windows = {
+        {PhaseKind::FusedPass, 0, 0, 50},
+        {PhaseKind::WriteDrain, 1, 50, 100}};
+    CycleAttribution attr = attributeCycles(windows, log);
+    ASSERT_EQ(attr.phases.size(), 2u);
+    EXPECT_EQ(attr.phases[0].compute, 10);
+    EXPECT_EQ(attr.phases[1].compute, 10);
+    EXPECT_EQ(attr.compute, 20);
+    EXPECT_EQ(attr.totalCycles(), 100);
+}
+
+TEST(Attribution, OverlappingSpansOfOneKindCountOnce)
+{
+    ActivityLog log;
+    log.record(Activity::ReadTransfer, 0, 40);
+    log.record(Activity::ReadTransfer, 20, 60);
+    log.record(Activity::ReadWait, 30, 50);
+    std::vector<PhaseWindow> windows = {
+        {PhaseKind::StreamPass, 0, 0, 60}};
+    CycleAttribution attr = attributeCycles(windows, log);
+    EXPECT_EQ(attr.dram_read_stall, 60);
+    EXPECT_EQ(attr.totalCycles(), 60);
+}
+
+TEST(Attribution, ZeroLengthSpansAreDropped)
+{
+    ActivityLog log;
+    log.record(Activity::Compute, 10, 10);
+    log.record(Activity::Compute, 12, 11);
+    EXPECT_TRUE(log.spans().empty());
+}
+
+TEST(Attribution, OccupancyBinsAreLog2)
+{
+    EXPECT_EQ(obs::occupancyBin(1), 0);
+    EXPECT_EQ(obs::occupancyBin(2), 1);
+    EXPECT_EQ(obs::occupancyBin(3), 1);
+    EXPECT_EQ(obs::occupancyBin(4), 2);
+    EXPECT_EQ(obs::occupancyBin(127), 6);
+    EXPECT_EQ(obs::occupancyBin(128), 7);
+    EXPECT_EQ(obs::occupancyBin(1 << 20), 7);
+}
+
+TEST(Attribution, PhaseKindNamesAreStable)
+{
+    EXPECT_STREQ(obs::phaseKindName(PhaseKind::FusedPass),
+                 "fused-pass");
+    EXPECT_STREQ(obs::phaseKindName(PhaseKind::StreamPass),
+                 "stream-pass");
+    EXPECT_STREQ(obs::phaseKindName(PhaseKind::EwiseIteration),
+                 "ewise-iteration");
+    EXPECT_STREQ(obs::phaseKindName(PhaseKind::WriteDrain),
+                 "write-drain");
+}
+
+// ---------------------------------------------------------------
+// Attribution reconciliation on real simulated runs
+// ---------------------------------------------------------------
+
+void
+expectReconciled(const SimStats &stats, const std::string &label)
+{
+    const CycleAttribution &attr = stats.attribution;
+    EXPECT_EQ(attr.totalCycles(), stats.cycles) << label;
+    Tick cursor = 0;
+    for (const obs::PhaseCycles &ph : attr.phases) {
+        EXPECT_EQ(ph.begin, cursor) << label << ": phase gap/overlap";
+        EXPECT_EQ(ph.total(), ph.span())
+            << label << ": phase buckets do not tile its span";
+        cursor = ph.end;
+    }
+    EXPECT_EQ(cursor, stats.cycles)
+        << label << ": phases do not cover the run";
+}
+
+TEST(ObsIntegration, AttributionReconcilesForEveryApp)
+{
+    // Every application (all three schedule modes: cross-iteration,
+    // intra-iteration, stream) over both matrix classes.
+    for (const AppInfo &info : appInfos()) {
+        for (int skew = 0; skew < 2; ++skew) {
+            AppInstance app = makeApp(info.name, 64);
+            CooMatrix raw = skew ? smallRmat() : smallGraph();
+            SimStats stats = SparsepipeSim(SparsepipeConfig::isoGpu())
+                                 .simulateApp(app, raw, 6);
+            expectReconciled(stats, std::string(info.name) +
+                                        (skew ? "/rmat" : "/uniform"));
+            EXPECT_GT(stats.attribution.compute, 0)
+                << info.name << ": no compute cycles attributed";
+        }
+    }
+}
+
+TEST(ObsIntegration, AttributionReconcilesUnderTinyBuffer)
+{
+    // A starved buffer exercises eviction/reload paths.
+    SparsepipeConfig tiny = SparsepipeConfig::isoGpu();
+    tiny.buffer_bytes = 2048 * 12; // ~2k resident elements
+    AppInstance app = makeApp("pr", 64);
+    CooMatrix raw = smallRmat();
+    SimStats stats = SparsepipeSim(tiny).simulateApp(app, raw, 6);
+    expectReconciled(stats, "pr/tiny-buffer");
+}
+
+TEST(ObsIntegration, CountersArePopulated)
+{
+    AppInstance app = makeApp("pr", 64);
+    CooMatrix raw = smallGraph();
+    SimStats stats = SparsepipeSim(SparsepipeConfig::isoGpu())
+                         .simulateApp(app, raw, 6);
+    const obs::ObsCounters &c = stats.counters;
+    // Every matrix element the OS consumed came from one loader.
+    EXPECT_GT(c.prefetch_hit_elems + c.prefetch_miss_elems, 0);
+    Idx occupied = 0;
+    for (Idx bin : c.bucket_occupancy)
+        occupied += bin;
+    EXPECT_GT(occupied, 0) << "no occupancy histogram recorded";
+}
+
+TEST(ObsIntegration, TimelineSampleCountIsConfigurable)
+{
+    AppInstance app = makeApp("bfs", 64);
+    CooMatrix raw = smallGraph();
+    SparsepipeConfig cfg = SparsepipeConfig::isoGpu();
+    cfg.bw_timeline_samples = 7;
+    SimStats stats = SparsepipeSim(cfg).simulateApp(app, raw, 6);
+    ASSERT_EQ(stats.bw_timeline.size(), 7u);
+    for (double u : stats.bw_timeline) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(ObsIntegration, ShortRunTimelineStaysNormalized)
+{
+    // A run far shorter than one 2048-cycle utilization window used
+    // to divide the partial window's traffic by the full window
+    // width, deflating the sample; the extent fix keeps every sample
+    // a true fraction of the covered cycles.
+    AppInstance app = makeApp("bfs", 16);
+    CooMatrix raw = smallGraph(16, 40);
+    SparsepipeConfig cfg = SparsepipeConfig::isoGpu();
+    cfg.bw_timeline_samples = 5;
+    SimStats stats = SparsepipeSim(cfg).simulateApp(app, raw, 2);
+    ASSERT_EQ(stats.bw_timeline.size(), 5u);
+    double peak = 0.0;
+    for (double u : stats.bw_timeline) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+        peak = std::max(peak, u);
+    }
+    // The run moved real bytes, so the busiest sample must register.
+    EXPECT_GT(peak, 0.0);
+}
+
+// ---------------------------------------------------------------
+// Trace emission
+// ---------------------------------------------------------------
+
+TEST(Trace, SimRunEmitsParsableChromeTrace)
+{
+    AppInstance app = makeApp("pr", 64);
+    CooMatrix raw = smallGraph();
+    SparsepipeSim sim(SparsepipeConfig::isoGpu());
+    TraceSink sink(1.0);
+    sim.attachTrace(&sink);
+    SimStats stats = sim.simulateApp(app, raw, 6);
+    ASSERT_GT(sink.eventCount(), 0u);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(sink.toJson(), doc, &error)) << error;
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::size_t phase_events = 0, dram_events = 0, meta = 0;
+    for (const JsonValue &ev : events->array) {
+        const JsonValue *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "M") {
+            ++meta;
+            continue;
+        }
+        EXPECT_EQ(ph->string, "X");
+        ASSERT_NE(ev.find("ts"), nullptr);
+        ASSERT_NE(ev.find("dur"), nullptr);
+        EXPECT_GE(ev.find("dur")->number, 0.0);
+        const JsonValue *cat = ev.find("cat");
+        ASSERT_NE(cat, nullptr);
+        if (cat->string == "phase")
+            ++phase_events;
+        else if (cat->string == "dram")
+            ++dram_events;
+    }
+    EXPECT_EQ(meta, 2u) << "expect one thread_name per track";
+    EXPECT_EQ(phase_events, stats.attribution.phases.size());
+    EXPECT_GT(dram_events, 0u);
+}
+
+TEST(Trace, TicksConvertToMicroseconds)
+{
+    TraceSink sink(2.0); // 2 GHz -> 0.0005 us per tick
+    sink.complete("ev", "cat", TraceTrack::Phases, 1000, 3000);
+    JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(sink.toJson(), doc, nullptr));
+    const JsonValue &ev = doc.find("traceEvents")->array.back();
+    EXPECT_DOUBLE_EQ(ev.find("ts")->number, 0.5);
+    EXPECT_DOUBLE_EQ(ev.find("dur")->number, 1.0);
+}
+
+TEST(Trace, EscapesEventNames)
+{
+    TraceSink sink;
+    sink.complete("quote\"back\\slash", "cat", TraceTrack::Dram, 0, 1);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(sink.toJson(), doc, &error)) << error;
+    EXPECT_EQ(doc.find("traceEvents")->array.back().find("name")->string,
+              "quote\"back\\slash");
+}
+
+// ---------------------------------------------------------------
+// Metrics registry + metrics-v1 round-trip
+// ---------------------------------------------------------------
+
+TEST(Metrics, RoundTripsThroughJson)
+{
+    MetricsRegistry reg;
+    reg.set("b.integer", 42.0);
+    reg.set("a.fraction", 0.125);
+    reg.set("c.large", 9.0e15);
+    reg.set("d.negative", -17.0);
+    reg.add("b.integer", 8.0);
+
+    MetricsRegistry back = MetricsRegistry::fromJson(reg.toJson());
+    ASSERT_EQ(back.size(), 4u);
+    EXPECT_DOUBLE_EQ(back.get("b.integer"), 50.0);
+    EXPECT_DOUBLE_EQ(back.get("a.fraction"), 0.125);
+    EXPECT_DOUBLE_EQ(back.get("c.large"), 9.0e15);
+    EXPECT_DOUBLE_EQ(back.get("d.negative"), -17.0);
+    // Stable schema: dumping the parsed registry is byte-identical.
+    EXPECT_EQ(back.toJson(), reg.toJson());
+}
+
+TEST(Metrics, IntegersPrintWithoutDecimalPoint)
+{
+    MetricsRegistry reg;
+    reg.set("n", 123456789.0);
+    EXPECT_NE(reg.toJson().find("\"n\": 123456789"), std::string::npos);
+    EXPECT_EQ(reg.toJson().find("123456789.0"), std::string::npos);
+}
+
+TEST(Metrics, RecordSimMetricsEmitsAttributionKeys)
+{
+    AppInstance app = makeApp("sssp", 64);
+    CooMatrix raw = smallGraph();
+    SimStats stats = SparsepipeSim(SparsepipeConfig::isoGpu())
+                         .simulateApp(app, raw, 6);
+    MetricsRegistry reg;
+    recordSimMetrics(reg, "sssp.t", stats);
+    EXPECT_TRUE(reg.has("sssp.t.cycles"));
+    EXPECT_TRUE(reg.has("sssp.t.attr.compute"));
+    EXPECT_TRUE(reg.has("sssp.t.attr.dram_read_stall"));
+    EXPECT_TRUE(reg.has("sssp.t.attr.dram_write_drain"));
+    EXPECT_TRUE(reg.has("sssp.t.attr.buffer_swap_wait"));
+    EXPECT_TRUE(reg.has("sssp.t.bucket_occupancy.bin0"));
+    EXPECT_TRUE(reg.has("sssp.t.prefetch_hit_elems"));
+    // The dumped attribution reconciles just like the in-memory one.
+    EXPECT_DOUBLE_EQ(reg.get("sssp.t.attr.compute") +
+                         reg.get("sssp.t.attr.dram_read_stall") +
+                         reg.get("sssp.t.attr.dram_write_drain") +
+                         reg.get("sssp.t.attr.buffer_swap_wait"),
+                     reg.get("sssp.t.cycles"));
+}
+
+// ---------------------------------------------------------------
+// Metrics diffing
+// ---------------------------------------------------------------
+
+TEST(MetricsDiff, PatternMatching)
+{
+    EXPECT_TRUE(obs::diffPatternMatches("a.b", "a.b"));
+    EXPECT_FALSE(obs::diffPatternMatches("a.b", "a.bc"));
+    EXPECT_TRUE(obs::diffPatternMatches("a.*", "a.bc"));
+    EXPECT_TRUE(obs::diffPatternMatches("*", "anything"));
+    EXPECT_FALSE(obs::diffPatternMatches("b.*", "a.bc"));
+}
+
+TEST(MetricsDiff, FirstMatchingRuleWins)
+{
+    MetricsDiffOptions options;
+    options.default_rtol = 0.5;
+    options.rules = {{"a.b", 0.01}, {"a.*", 0.1}};
+    EXPECT_DOUBLE_EQ(obs::toleranceFor("a.b", options), 0.01);
+    EXPECT_DOUBLE_EQ(obs::toleranceFor("a.c", options), 0.1);
+    EXPECT_DOUBLE_EQ(obs::toleranceFor("z", options), 0.5);
+}
+
+TEST(MetricsDiff, IdenticalRegistriesPass)
+{
+    MetricsRegistry a;
+    a.set("x", 1.0);
+    a.set("y", 2.5);
+    MetricsDiffResult r = diffMetrics(a, a);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.compared, 2);
+    EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(MetricsDiff, ExactModeFlagsAnyDrift)
+{
+    MetricsRegistry base, cur;
+    base.set("x", 1000.0);
+    cur.set("x", 1001.0);
+    MetricsDiffResult r = diffMetrics(base, cur);
+    EXPECT_FALSE(r.ok);
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_NE(r.failures[0].find("x"), std::string::npos);
+}
+
+TEST(MetricsDiff, ToleranceAbsorbsSmallDrift)
+{
+    MetricsRegistry base, cur;
+    base.set("x", 1000.0);
+    cur.set("x", 1001.0);
+    MetricsDiffOptions options;
+    options.rules = {{"x", 0.01}};
+    EXPECT_TRUE(diffMetrics(base, cur, options).ok);
+    options.rules = {{"x", 1e-6}};
+    EXPECT_FALSE(diffMetrics(base, cur, options).ok);
+}
+
+TEST(MetricsDiff, ZeroBaselineRequiresZeroCurrentWhenExact)
+{
+    MetricsRegistry base, cur;
+    base.set("x", 0.0);
+    cur.set("x", 0.0);
+    EXPECT_TRUE(diffMetrics(base, cur).ok);
+    cur.set("x", 1e-12);
+    EXPECT_FALSE(diffMetrics(base, cur).ok);
+}
+
+TEST(MetricsDiff, MissingAndExtraCounters)
+{
+    MetricsRegistry base, cur;
+    base.set("gone", 1.0);
+    base.set("kept", 2.0);
+    cur.set("kept", 2.0);
+    cur.set("new", 3.0);
+
+    MetricsDiffResult r = diffMetrics(base, cur);
+    EXPECT_FALSE(r.ok) << "missing counter must fail by default";
+
+    MetricsDiffOptions options;
+    options.allow_missing = true;
+    EXPECT_TRUE(diffMetrics(base, cur, options).ok)
+        << "extra counters are fine by default";
+
+    options.allow_extra = false;
+    EXPECT_FALSE(diffMetrics(base, cur, options).ok)
+        << "--no-allow-extra must reject the new counter";
+}
+
+// ---------------------------------------------------------------
+// JSON primitives
+// ---------------------------------------------------------------
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    JsonValue out;
+    EXPECT_FALSE(obs::parseJson("{", out, nullptr));
+    EXPECT_FALSE(obs::parseJson("{} trailing", out, nullptr));
+    EXPECT_FALSE(obs::parseJson("{'single': 1}", out, nullptr));
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("[1, 2,, 3]", out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    JsonValue out;
+    ASSERT_TRUE(obs::parseJson(
+        "{\"a\": [1, 2.5, \"s\"], \"b\": {\"c\": true, \"d\": null}}",
+        out, nullptr));
+    const JsonValue *a = out.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+    EXPECT_EQ(a->array[2].string, "s");
+    EXPECT_TRUE(out.find("b")->find("c")->boolean);
+}
+
+TEST(Json, NumberFormatting)
+{
+    EXPECT_EQ(obs::jsonNumber(0.0), "0");
+    EXPECT_EQ(obs::jsonNumber(-12.0), "-12");
+    EXPECT_EQ(obs::jsonNumber(0.5), "0.5");
+    // Round-trips through the parser exactly.
+    JsonValue out;
+    ASSERT_TRUE(obs::parseJson(obs::jsonNumber(1.0 / 3.0), out,
+                               nullptr));
+    EXPECT_DOUBLE_EQ(out.number, 1.0 / 3.0);
+}
+
+} // namespace
+} // namespace sparsepipe

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Compare two metrics-v1 JSON files under per-counter relative
+ * tolerances — the CI regression gate behind the bench metrics
+ * snapshots.
+ *
+ * Exit status: 0 when every compared counter is within tolerance,
+ * 1 on any regression (or missing counter), 2 on usage errors.
+ *
+ * Examples:
+ *   metrics_diff baseline.json current.json
+ *   metrics_diff --default-rtol 1e-9 base.json cur.json
+ *   metrics_diff --rtol 'pr.*.cycles=0.02' --rtol 'summary.*=0.05' \
+ *       base.json cur.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+
+using namespace sparsepipe;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: metrics_diff [options] BASELINE CURRENT\n"
+        "  --default-rtol X      tolerance for counters no rule "
+        "matches (default 0,\n"
+        "                        i.e. exact)\n"
+        "  --rtol PATTERN=X      per-counter tolerance; PATTERN may "
+        "end in '*'\n"
+        "                        (prefix match), first matching rule "
+        "wins; repeatable\n"
+        "  --allow-missing       accept counters present only in "
+        "BASELINE\n"
+        "  --no-allow-extra      reject counters present only in "
+        "CURRENT\n"
+        "  --quiet               print nothing on success\n"
+        "BASELINE and CURRENT are metrics-v1 JSON files (bench "
+        "--metrics-out dumps).\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::MetricsDiffOptions options;
+    std::vector<std::string> files;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "metrics_diff: flag %s wants a "
+                                     "value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--default-rtol") {
+            options.default_rtol =
+                parseF64Flag("--default-rtol", next());
+        } else if (arg == "--rtol") {
+            // Value is PATTERN=X; with --rtol=PATTERN=X the split at
+            // the first '=' leaves exactly PATTERN=X as the value.
+            const std::string rule = next();
+            const std::size_t eq = rule.rfind('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr, "metrics_diff: --rtol wants "
+                                     "PATTERN=X, got '%s'\n",
+                             rule.c_str());
+                std::exit(2);
+            }
+            options.rules.push_back(
+                {rule.substr(0, eq),
+                 parseF64Flag("--rtol", rule.substr(eq + 1))});
+        } else if (arg == "--allow-missing") {
+            options.allow_missing = true;
+        } else if (arg == "--no-allow-extra") {
+            options.allow_extra = false;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            std::fprintf(stderr, "metrics_diff: unknown flag '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        usage();
+        std::fprintf(stderr, "metrics_diff: want exactly two files, "
+                             "got %zu\n", files.size());
+        return 2;
+    }
+
+    const obs::MetricsRegistry baseline =
+        obs::MetricsRegistry::readFile(files[0]);
+    const obs::MetricsRegistry current =
+        obs::MetricsRegistry::readFile(files[1]);
+    const obs::MetricsDiffResult result =
+        diffMetrics(baseline, current, options);
+
+    for (const std::string &failure : result.failures)
+        std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+    if (!result.ok) {
+        std::fprintf(stderr,
+                     "metrics_diff: %zu counter(s) out of tolerance "
+                     "(%lld compared)\n",
+                     result.failures.size(),
+                     static_cast<long long>(result.compared));
+        return 1;
+    }
+    if (!quiet)
+        std::printf("metrics_diff: %lld counter(s) within tolerance\n",
+                    static_cast<long long>(result.compared));
+    return 0;
+}

@@ -30,6 +30,8 @@
 #include "core/sparsepipe_sim.hh"
 #include "energy/energy_model.hh"
 #include "harness.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "prep/blocked.hh"
 #include "prep/reorder.hh"
 #include "runner/batch.hh"
@@ -60,7 +62,10 @@ struct Options
     bool blocked = true;
     std::string reorder = "vanilla";
     bool timeline = false;
+    Idx timeline_samples = 0; // 0 keeps the config default (25)
     bool autotune = false;
+    std::string trace_out;   // Chrome trace_event JSON
+    std::string metrics_out; // metrics-v1 JSON
     std::uint64_t seed = 0x5eed5eedULL;
     /** Batch file; when set, all other run flags are ignored. */
     std::string batch;
@@ -91,7 +96,16 @@ usage()
         "  --no-blocked        use the unblocked dual storage\n"
         "  --reorder KIND      none | vanilla | locality\n"
         "  --autotune          explore sub-tensor sizes first\n"
-        "  --timeline          print the 25-sample BW timeline\n"
+        "  --timeline          print the BW timeline\n"
+        "  --timeline-samples N  timeline resolution (default 25)\n"
+        "  --trace FILE        write a Chrome trace_event JSON of "
+        "phases and DRAM\n"
+        "                      transactions (open in Perfetto / "
+        "chrome://tracing)\n"
+        "  --metrics-out FILE  dump every run counter as metrics-v1 "
+        "JSON\n"
+        "                      (compare runs with "
+        "tools/metrics_diff)\n"
         "  --seed N            generator seed\n"
         "  --batch FILE        run one job per line (key=value "
         "specs: app= dataset=\n"
@@ -155,7 +169,20 @@ parse(int argc, char **argv)
     Options opt;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        auto next = [&]() -> const char * {
+        // Accept both `--flag value` and `--flag=value`.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc)
                 sp_fatal("flag %s wants a value", arg.c_str());
             return argv[++i];
@@ -178,6 +205,14 @@ parse(int argc, char **argv)
         else if (arg == "--reorder") opt.reorder = next();
         else if (arg == "--autotune") opt.autotune = true;
         else if (arg == "--timeline") opt.timeline = true;
+        else if (arg == "--timeline-samples") {
+            opt.timeline_samples =
+                parseI64Flag("--timeline-samples", next());
+            if (opt.timeline_samples < 1)
+                sp_fatal("--timeline-samples wants a positive count");
+        }
+        else if (arg == "--trace") opt.trace_out = next();
+        else if (arg == "--metrics-out") opt.metrics_out = next();
         else if (arg == "--seed")
             opt.seed = parseU64Flag("--seed", next());
         else if (arg == "--batch") opt.batch = next();
@@ -325,6 +360,8 @@ main(int argc, char **argv)
         cfg.dram.bandwidth_gb_s = opt.bandwidth;
     cfg.eager_csr = opt.eager;
     cfg.sub_tensor_cols = opt.sub_tensor;
+    if (opt.timeline_samples > 0)
+        cfg.bw_timeline_samples = opt.timeline_samples;
     if (opt.blocked) {
         cfg.bytes_per_nz =
             buildBlockedLayout(prepared).bytesPerNonzero();
@@ -344,6 +381,9 @@ main(int argc, char **argv)
 
     // ---- run ---------------------------------------------------------
     SparsepipeSim sim(cfg);
+    obs::TraceSink trace(cfg.dram.clock_ghz);
+    if (!opt.trace_out.empty())
+        sim.attachTrace(&trace);
     SimStats stats = sim.simulateApp(app, raw, opt.iters);
 
     Analysis an = analyzeProgram(app.program);
@@ -383,6 +423,30 @@ main(int argc, char **argv)
     std::printf("bandwidth      : %.1f%% of %.0f GB/s\n",
                 100.0 * stats.bw_utilization,
                 cfg.dram.bandwidth_gb_s);
+    if (stats.cycles > 0) {
+        const obs::CycleAttribution &attr = stats.attribution;
+        const double pct = 100.0 / static_cast<double>(stats.cycles);
+        std::printf("cycle breakdown: compute %.1f%%, read stall "
+                    "%.1f%%, write drain %.1f%%, swap wait %.1f%% "
+                    "(%zu phases)\n",
+                    pct * static_cast<double>(attr.compute),
+                    pct * static_cast<double>(attr.dram_read_stall),
+                    pct * static_cast<double>(attr.dram_write_drain),
+                    pct * static_cast<double>(attr.buffer_swap_wait),
+                    attr.phases.size());
+    }
+    std::printf("prefetcher     : %lld hit elems, %lld miss, %lld "
+                "denied; %lld demand reloads, %lld hidden\n",
+                static_cast<long long>(
+                    stats.counters.prefetch_hit_elems),
+                static_cast<long long>(
+                    stats.counters.prefetch_miss_elems),
+                static_cast<long long>(
+                    stats.counters.prefetch_denied_elems),
+                static_cast<long long>(
+                    stats.counters.demand_reload_events),
+                static_cast<long long>(
+                    stats.counters.reload_ahead_events));
     std::printf("DRAM traffic   : %.2f MB (matrix %.2f, reload "
                 "%.2f, prefetch %.2f, vector %.2f)\n",
                 static_cast<double>(stats.dram_read_bytes +
@@ -416,6 +480,19 @@ main(int argc, char **argv)
         for (double u : stats.bw_timeline)
             std::printf(" %2.0f", 100.0 * u);
         std::printf("\n");
+    }
+
+    if (!opt.trace_out.empty()) {
+        trace.writeFile(opt.trace_out);
+        std::printf("trace          : wrote %zu events to %s\n",
+                    trace.eventCount(), opt.trace_out.c_str());
+    }
+    if (!opt.metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        recordSimMetrics(reg, opt.app, stats);
+        reg.writeFile(opt.metrics_out);
+        std::printf("metrics        : wrote %zu counters to %s\n",
+                    reg.size(), opt.metrics_out.c_str());
     }
     return 0;
 }
