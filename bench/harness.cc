@@ -1,11 +1,8 @@
 #include "harness.hh"
 
 #include <cstdio>
-#include <tuple>
 #include <utility>
 
-#include "prep/blocked.hh"
-#include "runner/keyed_cache.hh"
 #include "runner/scheduler.hh"
 #include "runner/thread_pool.hh"
 #include "util/logging.hh"
@@ -17,31 +14,14 @@ namespace sparsepipe::bench {
 const CooMatrix &
 rawDataset(const std::string &name, std::uint64_t seed)
 {
-    static runner::KeyedCache<std::pair<std::string, std::uint64_t>,
-                              CooMatrix>
-        cache;
-    return cache.get(std::make_pair(name, seed), [&] {
-        return generateDataset(datasetSpec(name), seed);
-    });
+    return api::Session::process().raw(name, seed);
 }
 
 const CooMatrix &
 preparedDataset(const std::string &name, ReorderKind reorder,
                 std::uint64_t seed)
 {
-    if (reorder == ReorderKind::None)
-        return rawDataset(name, seed);
-
-    static runner::KeyedCache<
-        std::tuple<std::string, ReorderKind, std::uint64_t>,
-        CooMatrix>
-        cache;
-    return cache.get(std::make_tuple(name, reorder, seed), [&] {
-        const CooMatrix &raw = rawDataset(name, seed);
-        CsrMatrix csr = CsrMatrix::fromCoo(raw);
-        auto perm = makeReorder(reorder, csr);
-        return applySymmetricPermutation(raw, perm);
-    });
+    return api::Session::process().reordered(name, reorder, seed);
 }
 
 CaseResult
@@ -52,31 +32,30 @@ runCase(const std::string &app_name, const std::string &dataset,
     result.app = app_name;
     result.dataset = dataset;
 
-    const CooMatrix &raw =
-        preparedDataset(dataset, config.reorder, config.seed);
-    AppInstance app = makeApp(app_name, raw.rows());
-    CsrMatrix prepared = app.prepare(raw);
-    result.nnz = prepared.nnz();
+    api::Session &session = api::Session::process();
+    const api::PreparedCase &pc = session.prepared(
+        app_name, dataset, config.reorder, config.seed);
 
-    SparsepipeConfig sp_cfg = config.sp;
-    if (config.blocked) {
-        BlockedLayout layout = buildBlockedLayout(prepared);
-        sp_cfg.bytes_per_nz = layout.bytesPerNonzero();
-    } else {
-        sp_cfg.bytes_per_nz = 12.0;
-    }
-
-    SparsepipeSim sim(sp_cfg);
-    result.sp = sim.simulateApp(app, raw, config.iters);
+    api::RunRequest req;
+    req.app = app_name;
+    req.dataset = dataset;
+    req.sp = config.sp;
+    req.iters = config.iters;
+    req.reorder = config.reorder;
+    req.blocked = config.blocked;
+    req.seed = config.seed;
+    api::RunReport report = session.run(req, pc);
+    result.nnz = report.nnz;
+    result.sp = std::move(report.stats);
 
     // Baselines are charged for the iterations the simulated run
     // actually executed (apps with convergence conditions stop
     // early on some matrices).
     const Idx iters = result.sp.iterations;
-    Analysis an = analyzeProgram(app.program);
+    Analysis an = analyzeProgram(pc.app.program);
     AccelConfig accel;
-    accel.bandwidth_gb_s = sp_cfg.dram.bandwidth_gb_s;
-    accel.pes = sp_cfg.pe_per_core;
+    accel.bandwidth_gb_s = config.sp.dram.bandwidth_gb_s;
+    accel.pes = config.sp.pe_per_core;
     result.ideal = idealAccelerator(an, result.nnz, iters, accel);
     AccelConfig strict = accel;
     strict.fused_ewise = false;

@@ -4,10 +4,11 @@
  *
  * Each bench binary regenerates one table or figure of the paper's
  * evaluation (Section VI) on the scaled stand-in datasets.  The
- * harness caches dataset generation and preprocessing (thread-safe,
- * once per key), runs the Sparsepipe simulator plus the four
- * comparison models, and provides the common printing helpers so all
- * benches emit uniform, diff-friendly tables.
+ * harness drives the shared api::Session (which caches dataset
+ * generation and preprocessing thread-safe, once per key), runs the
+ * Sparsepipe simulator plus the four comparison models, and provides
+ * the common printing helpers so all benches emit uniform,
+ * diff-friendly tables.
  *
  * The all-pairs sweeps go through src/runner: build the grid with
  * sweepGrid(), run it with runSweep(specs, jobs), and read the
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hh"
 #include "apps/apps.hh"
 #include "baseline/models.hh"
 #include "core/sparsepipe_sim.hh"
@@ -164,7 +166,7 @@ geomeanOf(const std::vector<CaseResult> &cases, Fn metric)
     return geomean(values);
 }
 
-/** Render a 25-sample utilization series as a sparkline row. */
+/** Render a utilization series (one char per sample) as a sparkline. */
 std::string sparkline(const std::vector<double> &series);
 
 /** Standard bench header. */

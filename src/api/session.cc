@@ -1,0 +1,108 @@
+#include "api/session.hh"
+
+#include <utility>
+
+#include "prep/blocked.hh"
+#include "sparse/datasets.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe::api {
+
+PreparedCase
+prepareCase(const std::string &app_name, const CooMatrix &reordered)
+{
+    PreparedCase pc;
+    pc.app = makeApp(app_name, reordered.rows());
+    pc.csr = pc.app.prepare(reordered);
+    pc.csc = CscMatrix::fromCsr(pc.csr);
+    pc.blocked_bytes_per_nz =
+        buildBlockedLayout(pc.csr).bytesPerNonzero();
+    pc.nnz = pc.csr.nnz();
+    return pc;
+}
+
+CooMatrix
+reorderMatrix(CooMatrix raw, ReorderKind kind)
+{
+    if (kind == ReorderKind::None)
+        return raw;
+    CsrMatrix csr = CsrMatrix::fromCoo(raw);
+    return applySymmetricPermutation(raw, makeReorder(kind, csr));
+}
+
+Session &
+Session::process()
+{
+    static Session session;
+    return session;
+}
+
+const CooMatrix &
+Session::raw(const std::string &dataset, std::uint64_t seed)
+{
+    return raw_.get(std::make_pair(dataset, seed), [&] {
+        return generateDataset(datasetSpec(dataset), seed);
+    });
+}
+
+const CooMatrix &
+Session::reordered(const std::string &dataset, ReorderKind kind,
+                   std::uint64_t seed)
+{
+    if (kind == ReorderKind::None)
+        return raw(dataset, seed);
+    return reordered_.get(std::make_tuple(dataset, kind, seed), [&] {
+        return reorderMatrix(raw(dataset, seed), kind);
+    });
+}
+
+const PreparedCase &
+Session::prepared(const std::string &app, const std::string &dataset,
+                  ReorderKind kind, std::uint64_t seed)
+{
+    return prepared_.get(
+        std::make_tuple(app, dataset, kind, seed), [&] {
+            return prepareCase(app, reordered(dataset, kind, seed));
+        });
+}
+
+Workspace
+Session::bindWorkspace(const PreparedCase &pc)
+{
+    Workspace ws(pc.app.program);
+    ws.bindMatrix(pc.app.matrix, pc.csr, pc.csc);
+    pc.app.init(ws);
+    return ws;
+}
+
+RunReport
+Session::run(const RunRequest &req)
+{
+    if (req.dataset.empty())
+        sp_fatal("Session::run: request names no dataset (use the "
+                 "PreparedCase overload for external matrices)");
+    return run(req,
+               prepared(req.app, req.dataset, req.reorder, req.seed));
+}
+
+RunReport
+Session::run(const RunRequest &req, const PreparedCase &pc)
+{
+    SparsepipeConfig cfg = req.sp;
+    cfg.bytes_per_nz = req.blocked ? pc.blocked_bytes_per_nz : 12.0;
+
+    Workspace ws = bindWorkspace(pc);
+    SparsepipeSim sim(cfg);
+    if (req.trace)
+        sim.attachTrace(req.trace);
+
+    RunReport report;
+    report.app = req.app;
+    report.dataset = req.dataset;
+    report.nnz = pc.nnz;
+    report.stats = sim.run(
+        ws, req.iters > 0 ? req.iters : pc.app.default_iters);
+    return report;
+}
+
+} // namespace sparsepipe::api

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The Session API: one front door for the dataset -> reorder ->
+ * prepare -> configure -> run pipeline.
+ *
+ * Before this facade every entry point (the bench harness, the CLI,
+ * the fuzzer, the autotuner) re-assembled the pipeline by hand, and
+ * each run paid the preprocessing twice: once to size the blocked
+ * layout and once more inside simulateApp's bind.  A Session owns
+ * thread-safe keyed caches for the three expensive artifacts —
+ *
+ *   raw        generated stand-in matrix       (dataset, seed)
+ *   reordered  symmetric row permutation       (dataset, kind, seed)
+ *   prepared   app operand: CSR + CSC twin +   (app, dataset, kind,
+ *              blocked bytes/nz + AppInstance             seed)
+ *
+ * — so a sweep touching the same (app, dataset) under many hardware
+ * configurations prepares exactly once, and a single run prepares
+ * exactly once instead of twice.  Caching is bitwise-transparent:
+ * every simulated counter is identical to the uncached pipeline.
+ *
+ * Entries live for the Session's lifetime (std::map node stability),
+ * so the references handed out stay valid while the Session exists.
+ * Session::process() is the shared process-wide instance the benches
+ * and CLI use.
+ */
+
+#ifndef SPARSEPIPE_API_SESSION_HH
+#define SPARSEPIPE_API_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "apps/apps.hh"
+#include "core/sparsepipe_sim.hh"
+#include "prep/reorder.hh"
+#include "runner/keyed_cache.hh"
+#include "sparse/coo.hh"
+
+namespace sparsepipe {
+namespace obs {
+class TraceSink;
+} // namespace obs
+} // namespace sparsepipe
+
+namespace sparsepipe::api {
+
+/** Seed every request uses unless it overrides it. */
+inline constexpr std::uint64_t kDefaultSeed = 0x5eed5eedULL;
+
+/** Everything that defines one simulator run. */
+struct RunRequest
+{
+    /** Application (Table III key). */
+    std::string app = "pr";
+    /** Built-in dataset stand-in (Table I key). */
+    std::string dataset;
+    /** Hardware configuration; bytes_per_nz is overwritten from the
+     *  blocked layout when `blocked` is set. */
+    SparsepipeConfig sp = SparsepipeConfig::isoGpu();
+    /** Loop iterations; 0 uses the app's default. */
+    Idx iters = 0;
+    ReorderKind reorder = ReorderKind::Vanilla;
+    /** Derive bytes_per_nz from the blocked build (else 12.0). */
+    bool blocked = true;
+    std::uint64_t seed = kDefaultSeed;
+    /** Optional trace sink attached for the run. */
+    obs::TraceSink *trace = nullptr;
+};
+
+/**
+ * A fully preprocessed (app, matrix) pair: everything downstream of
+ * the raw COO that does not depend on the hardware configuration.
+ */
+struct PreparedCase
+{
+    /** Program + operand handles + init (shared, stateless). */
+    AppInstance app;
+    /** App-prepared operand in both compressed forms. */
+    CsrMatrix csr;
+    CscMatrix csc;
+    /** Per-nonzero footprint of the blocked dual storage. */
+    double blocked_bytes_per_nz = 12.0;
+    Idx nnz = 0;
+};
+
+/** Result of Session::run. */
+struct RunReport
+{
+    std::string app;
+    std::string dataset;
+    Idx nnz = 0;
+    SimStats stats;
+};
+
+/**
+ * Preprocess an app operand from an already-reordered matrix:
+ * makeApp + prepare + CSC twin + blocked layout sizing.  The
+ * uncached core of Session::prepared(), exposed for external
+ * matrices (MatrixMarket / synthetic inputs).
+ */
+PreparedCase prepareCase(const std::string &app_name,
+                         const CooMatrix &reordered);
+
+/** Apply a symmetric row reorder (None returns the input). */
+CooMatrix reorderMatrix(CooMatrix raw, ReorderKind kind);
+
+class Session
+{
+  public:
+    Session() = default;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Shared process-wide session (benches, CLI). */
+    static Session &process();
+
+    /** Generated stand-in matrix, cached per (dataset, seed). */
+    const CooMatrix &raw(const std::string &dataset,
+                         std::uint64_t seed = kDefaultSeed);
+
+    /** Reordered matrix, cached per (dataset, kind, seed). */
+    const CooMatrix &reordered(const std::string &dataset,
+                               ReorderKind kind,
+                               std::uint64_t seed = kDefaultSeed);
+
+    /** Preprocessed operand, cached per (app, dataset, kind, seed). */
+    const PreparedCase &prepared(const std::string &app,
+                                 const std::string &dataset,
+                                 ReorderKind kind,
+                                 std::uint64_t seed = kDefaultSeed);
+
+    /**
+     * Build a workspace for a prepared case: allocate, bind the
+     * cached CSR/CSC pair (no transpose), run the app's init.
+     */
+    static Workspace bindWorkspace(const PreparedCase &pc);
+
+    /** Run one request end to end through the caches. */
+    RunReport run(const RunRequest &req);
+
+    /**
+     * Run a request against an externally supplied prepared case
+     * (MatrixMarket / synthetic operands).  req.app must match the
+     * app `pc` was prepared for; req.dataset labels the report.
+     */
+    RunReport run(const RunRequest &req, const PreparedCase &pc);
+
+  private:
+    runner::KeyedCache<std::pair<std::string, std::uint64_t>,
+                       CooMatrix>
+        raw_;
+    runner::KeyedCache<
+        std::tuple<std::string, ReorderKind, std::uint64_t>,
+        CooMatrix>
+        reordered_;
+    runner::KeyedCache<std::tuple<std::string, std::string,
+                                  ReorderKind, std::uint64_t>,
+                       PreparedCase>
+        prepared_;
+};
+
+} // namespace sparsepipe::api
+
+#endif // SPARSEPIPE_API_SESSION_HH

@@ -149,16 +149,23 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
 {
     CaseReport report;
 
+    // The three execution paths behind the one Executor interface:
+    // golden reference, functional OEI driver (deliberately at a
+    // different sub-tensor width), cycle-level simulator.
+    const ReferenceExecutor ref_exec;
+    const OeiExecutor oei_exec(fuzz.oei_sub_tensor);
+    const SimulatorExecutor sim_exec(fuzz.config);
+
     Workspace ws_ref = makeWorkspace(fuzz);
-    const RunResult ref_run = RefExecutor{}.run(ws_ref, fuzz.iters);
+    const RunResult ref_run =
+        ref_exec.execute(ws_ref, fuzz.iters).run;
 
     Workspace ws_oei = makeWorkspace(fuzz);
-    const OeiResult oei =
-        runOeiFunctional(ws_oei, fuzz.iters, fuzz.oei_sub_tensor);
+    const ExecOutcome oei = oei_exec.execute(ws_oei, fuzz.iters);
 
     Workspace ws_sim = makeWorkspace(fuzz);
-    SparsepipeSim sim(fuzz.config);
-    SimStats stats = sim.run(ws_sim, fuzz.iters);
+    SimStats stats =
+        sim_exec.execute(ws_sim, fuzz.iters).stats;
 
     // ---- deliberate defect injection (harness self-test) ------------
     if (bug == InjectedBug::ResultEpsilon) {

@@ -18,6 +18,7 @@
 #ifndef SPARSEPIPE_CHECK_OEI_DRIVER_HH
 #define SPARSEPIPE_CHECK_OEI_DRIVER_HH
 
+#include "core/executor.hh"
 #include "core/sparsepipe_sim.hh"
 #include "lang/workspace.hh"
 #include "ref/executor.hh"
@@ -39,6 +40,35 @@ struct OeiResult
  */
 OeiResult runOeiFunctional(Workspace &ws, Idx max_iters,
                            Idx sub_tensor_cols = 0);
+
+/**
+ * The functional OEI driver behind the unified Executor interface,
+ * completing the differential trio next to ReferenceExecutor and
+ * SimulatorExecutor.
+ */
+class OeiExecutor final : public Executor
+{
+  public:
+    explicit OeiExecutor(Idx sub_tensor_cols = 0)
+        : sub_tensor_cols_(sub_tensor_cols) {}
+
+    const char *name() const override { return "oei"; }
+
+    ExecOutcome
+    execute(Workspace &ws, Idx max_iters) const override
+    {
+        const OeiResult r =
+            runOeiFunctional(ws, max_iters, sub_tensor_cols_);
+        ExecOutcome out;
+        out.run = r.run;
+        out.mode = r.mode;
+        out.has_mode = true;
+        return out;
+    }
+
+  private:
+    Idx sub_tensor_cols_;
+};
 
 } // namespace sparsepipe
 

@@ -11,10 +11,20 @@ autotuneSubTensor(const AppInstance &app, const CooMatrix &raw,
                   SparsepipeConfig config,
                   std::vector<Idx> candidates, Idx pilot_iters)
 {
+    CsrMatrix prepared = app.prepare(raw);
+    CscMatrix csc = CscMatrix::fromCsr(prepared);
+    return autotuneSubTensor(app, prepared, csc, std::move(config),
+                             std::move(candidates), pilot_iters);
+}
+
+AutotuneResult
+autotuneSubTensor(const AppInstance &app, const CsrMatrix &prepared,
+                  const CscMatrix &csc, SparsepipeConfig config,
+                  std::vector<Idx> candidates, Idx pilot_iters)
+{
     if (pilot_iters < 2)
         sp_fatal("autotuneSubTensor: pilot needs >= 2 iterations");
 
-    CsrMatrix prepared = app.prepare(raw);
     if (candidates.empty()) {
         // Power-of-two ladder spanning 1/8x .. 8x of the static
         // heuristic.
@@ -34,7 +44,10 @@ autotuneSubTensor(const AppInstance &app, const CooMatrix &raw,
         SparsepipeConfig probe = config;
         probe.sub_tensor_cols = t;
         SparsepipeSim sim(probe);
-        SimStats stats = sim.simulateApp(app, raw, pilot_iters);
+        Workspace ws(app.program);
+        ws.bindMatrix(app.matrix, prepared, csc);
+        app.init(ws);
+        SimStats stats = sim.run(ws, pilot_iters);
         result.probes.push_back({t, stats.cycles});
         if (result.best == 0 || stats.cycles < best_cycles) {
             result.best = t;

@@ -51,6 +51,17 @@ AutotuneResult autotuneSubTensor(
     SparsepipeConfig config,
     std::vector<Idx> candidates = {}, Idx pilot_iters = 4);
 
+/**
+ * Same exploration against an already-prepared operand (CSR plus its
+ * CSC twin), skipping the per-probe prepare + transpose.  This is
+ * the overload api::Session-based callers use; probe cycle counts
+ * are identical to the CooMatrix form.
+ */
+AutotuneResult autotuneSubTensor(
+    const AppInstance &app, const CsrMatrix &prepared,
+    const CscMatrix &csc, SparsepipeConfig config,
+    std::vector<Idx> candidates = {}, Idx pilot_iters = 4);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_CORE_AUTOTUNE_HH

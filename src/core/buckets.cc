@@ -30,17 +30,7 @@ StepBuckets::build(const CscMatrix &matrix, Idx t)
             ++b.band_nnz_[static_cast<std::size_t>(rs)];
         }
     }
-
-    // Per-band prefix over column steps: band_prefix_[cs][rs] =
-    // sum_{cs' <= cs} counts[cs'][rs], laid out like counts_.
-    b.band_prefix_.assign(b.counts_.size(), 0);
-    for (Idx cs = 0; cs < b.steps_; ++cs) {
-        for (Idx rs = 0; rs < b.bands_; ++rs) {
-            Idx prev = cs > 0 ? b.band_prefix_[b.index(cs - 1, rs)] : 0;
-            b.band_prefix_[b.index(cs, rs)] =
-                prev + b.counts_[b.index(cs, rs)];
-        }
-    }
+    b.finalizeDerived();
     return b;
 }
 
@@ -68,15 +58,64 @@ StepBuckets::buildTransposed(const CsrMatrix &matrix, Idx t)
             ++b.band_nnz_[static_cast<std::size_t>(rs)];
         }
     }
-    b.band_prefix_.assign(b.counts_.size(), 0);
-    for (Idx cs = 0; cs < b.steps_; ++cs) {
-        for (Idx rs = 0; rs < b.bands_; ++rs) {
-            Idx prev = cs > 0 ? b.band_prefix_[b.index(cs - 1, rs)] : 0;
-            b.band_prefix_[b.index(cs, rs)] =
-                prev + b.counts_[b.index(cs, rs)];
+    b.finalizeDerived();
+    return b;
+}
+
+void
+StepBuckets::finalizeDerived()
+{
+    // Per-band prefix over column steps: band_prefix_[cs][rs] =
+    // sum_{cs' <= cs} counts[cs'][rs], laid out like counts_; the
+    // twin col_prefix_ runs the other way (over row bands within a
+    // column step) for the engine's unlocked-arrival shortcut.
+    band_prefix_.assign(counts_.size(), 0);
+    col_prefix_.assign(counts_.size(), 0);
+    for (Idx cs = 0; cs < steps_; ++cs) {
+        Idx run = 0;
+        for (Idx rs = 0; rs < bands_; ++rs) {
+            const Idx cnt = counts_[index(cs, rs)];
+            const Idx prev =
+                cs > 0 ? band_prefix_[index(cs - 1, rs)] : 0;
+            band_prefix_[index(cs, rs)] = prev + cnt;
+            run += cnt;
+            col_prefix_[index(cs, rs)] = run;
         }
     }
-    return b;
+
+    // Compress the occupied buckets into CSR/CSC-style span slabs so
+    // the pass engine iterates only non-zero work.  Both slabs list
+    // spans in ascending index order, matching the dense scans they
+    // replace bucket for bucket.
+    std::size_t occupied = 0;
+    for (const Idx cnt : counts_)
+        occupied += cnt > 0;
+
+    col_slab_.clear();
+    col_slab_.reserve(occupied);
+    col_slab_ptr_.assign(static_cast<std::size_t>(steps_) + 1, 0);
+    for (Idx cs = 0; cs < steps_; ++cs) {
+        for (Idx rs = 0; rs < bands_; ++rs) {
+            const Idx cnt = counts_[index(cs, rs)];
+            if (cnt > 0)
+                col_slab_.push_back({rs, cnt});
+        }
+        col_slab_ptr_[static_cast<std::size_t>(cs) + 1] =
+            col_slab_.size();
+    }
+
+    band_slab_.clear();
+    band_slab_.reserve(occupied);
+    band_slab_ptr_.assign(static_cast<std::size_t>(bands_) + 1, 0);
+    for (Idx rs = 0; rs < bands_; ++rs) {
+        for (Idx cs = 0; cs < steps_; ++cs) {
+            const Idx cnt = counts_[index(cs, rs)];
+            if (cnt > 0)
+                band_slab_.push_back({cs, cnt});
+        }
+        band_slab_ptr_[static_cast<std::size_t>(rs) + 1] =
+            band_slab_.size();
+    }
 }
 
 Idx
@@ -86,6 +125,15 @@ StepBuckets::bandLoadedThrough(Idx cs, Idx rs) const
         return 0;
     cs = std::min(cs, steps_ - 1);
     return band_prefix_[index(cs, rs)];
+}
+
+Idx
+StepBuckets::colLoadedThrough(Idx cs, Idx rs) const
+{
+    if (rs < 0)
+        return 0;
+    rs = std::min(rs, bands_ - 1);
+    return col_prefix_[index(cs, rs)];
 }
 
 double

@@ -14,11 +14,24 @@
 #ifndef SPARSEPIPE_CORE_BUCKETS_HH
 #define SPARSEPIPE_CORE_BUCKETS_HH
 
+#include <span>
 #include <vector>
 
 #include "sparse/csr.hh"
 
 namespace sparsepipe {
+
+/**
+ * One contiguous run of non-zeros in a bucket: `cnt` elements at
+ * band (or column-step) index `at`.  The span slabs below compress
+ * the dense counts grid down to its occupied buckets so hot loops
+ * touch only non-zero work.
+ */
+struct BucketSpan
+{
+    Idx at = 0;
+    Idx cnt = 0;
+};
 
 /** Element counts bucketed by (column step, row band). */
 class StepBuckets
@@ -66,7 +79,45 @@ class StepBuckets
      */
     Idx bandLoadedThrough(Idx cs, Idx rs) const;
 
+    /**
+     * Elements of column-step cs in row bands <= rs.  This is the
+     * engine's analytic shortcut: the arrivals into already-unlocked
+     * bands at step cs are one prefix lookup instead of a band scan.
+     * rs < 0 returns 0; rs >= bands clamps to the full step.
+     */
+    Idx colLoadedThrough(Idx cs, Idx rs) const;
+
+    /**
+     * Occupied buckets of column-step cs as (row band, count) spans
+     * in ascending band order.  Iterating this visits exactly the
+     * buckets the dense `count(cs, rs)` scan would find non-zero.
+     */
+    std::span<const BucketSpan> colSpans(Idx cs) const
+    {
+        const std::size_t lo =
+            col_slab_ptr_[static_cast<std::size_t>(cs)];
+        const std::size_t hi =
+            col_slab_ptr_[static_cast<std::size_t>(cs) + 1];
+        return {col_slab_.data() + lo, hi - lo};
+    }
+
+    /**
+     * Occupied buckets of row-band rs as (column step, count) spans
+     * in ascending column-step order.
+     */
+    std::span<const BucketSpan> bandSpans(Idx rs) const
+    {
+        const std::size_t lo =
+            band_slab_ptr_[static_cast<std::size_t>(rs)];
+        const std::size_t hi =
+            band_slab_ptr_[static_cast<std::size_t>(rs) + 1];
+        return {band_slab_.data() + lo, hi - lo};
+    }
+
   private:
+    /** Build prefixes and span slabs from the filled counts grid. */
+    void finalizeDerived();
+
     std::size_t index(Idx cs, Idx rs) const
     {
         return static_cast<std::size_t>(cs) *
@@ -83,6 +134,14 @@ class StepBuckets
     std::vector<Idx> band_nnz_;
     /** Per-band prefix over column steps (for residency queries). */
     std::vector<Idx> band_prefix_;
+    /** Per-column-step prefix over row bands (unlock shortcut). */
+    std::vector<Idx> col_prefix_;
+    /** Occupied buckets by column step (CSR-style slab). */
+    std::vector<BucketSpan> col_slab_;
+    std::vector<std::size_t> col_slab_ptr_;
+    /** Occupied buckets by row band (CSC-style slab). */
+    std::vector<BucketSpan> band_slab_;
+    std::vector<std::size_t> band_slab_ptr_;
 };
 
 /**

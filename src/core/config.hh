@@ -65,6 +65,15 @@ struct SparsepipeConfig
     /** Fraction of free buffer space the prefetcher may claim. */
     double prefetch_fraction = 0.5;
 
+    /**
+     * Host-side engine fast path: advance Load / IS stage
+     * bookkeeping over compressed non-zero bucket spans instead of
+     * scanning the dense (step, band) grid.  Purely an
+     * implementation strategy -- results are bit-identical either
+     * way; the flag exists so equivalence tests can run both.
+     */
+    bool span_batching = true;
+
     /** @return iso-GPU configuration (the paper's default). */
     static SparsepipeConfig isoGpu()
     {

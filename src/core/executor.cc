@@ -1,0 +1,27 @@
+#include "core/executor.hh"
+
+namespace sparsepipe {
+
+ExecOutcome
+ReferenceExecutor::execute(Workspace &ws, Idx max_iters) const
+{
+    ExecOutcome out;
+    out.run = RefExecutor{}.run(ws, max_iters);
+    return out;
+}
+
+ExecOutcome
+SimulatorExecutor::execute(Workspace &ws, Idx max_iters) const
+{
+    SparsepipeSim sim(config_);
+    ExecOutcome out;
+    out.stats = sim.run(ws, max_iters);
+    out.run.iterations = out.stats.iterations;
+    out.run.converged = out.stats.converged;
+    out.mode = out.stats.mode;
+    out.has_mode = true;
+    out.has_stats = true;
+    return out;
+}
+
+} // namespace sparsepipe

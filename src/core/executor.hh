@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unified execution interface over the three engines that can run a
+ * bound workspace: the reference executor (src/ref), the functional
+ * OEI driver (src/check), and the cycle-level simulator (src/core).
+ *
+ * All three transform a Workspace the same way — OEI only reorders
+ * computation — so callers that care about values, iteration counts,
+ * or schedule agreement (the differential checker, the Session API)
+ * can hold them behind one vtable instead of three ad-hoc call
+ * shapes.  Timing statistics are optional: only the simulator
+ * produces them.
+ */
+
+#ifndef SPARSEPIPE_CORE_EXECUTOR_HH
+#define SPARSEPIPE_CORE_EXECUTOR_HH
+
+#include <memory>
+
+#include "core/sparsepipe_sim.hh"
+#include "lang/workspace.hh"
+#include "ref/executor.hh"
+
+namespace sparsepipe {
+
+/** Outcome of one Executor::execute call. */
+struct ExecOutcome
+{
+    /** Iterations executed + convergence flag. */
+    RunResult run;
+
+    /** Schedule the engine chose; meaningful when has_mode. */
+    ScheduleMode mode = ScheduleMode::Stream;
+    /** True for engines that make a scheduling decision. */
+    bool has_mode = false;
+
+    /** Cycle-level statistics; meaningful when has_stats. */
+    SimStats stats;
+    /** True for the simulator. */
+    bool has_stats = false;
+};
+
+/**
+ * One engine that can execute a bound + initialised workspace.
+ * execute() leaves the workspace in the engine's final state — for
+ * correct engines, value-equivalent to every other engine's.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /** Short name for reports ("ref", "oei", "sim"). */
+    virtual const char *name() const = 0;
+
+    /** Run up to max_iters iterations (convergence may stop early). */
+    virtual ExecOutcome execute(Workspace &ws, Idx max_iters) const = 0;
+};
+
+/** The golden operator-at-a-time reference executor. */
+class ReferenceExecutor final : public Executor
+{
+  public:
+    const char *name() const override { return "ref"; }
+    ExecOutcome execute(Workspace &ws, Idx max_iters) const override;
+};
+
+/** The cycle-level Sparsepipe simulator (timing + values). */
+class SimulatorExecutor final : public Executor
+{
+  public:
+    explicit SimulatorExecutor(SparsepipeConfig config)
+        : config_(std::move(config)) {}
+
+    const char *name() const override { return "sim"; }
+    ExecOutcome execute(Workspace &ws, Idx max_iters) const override;
+
+    const SparsepipeConfig &config() const { return config_; }
+
+  private:
+    SparsepipeConfig config_;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_EXECUTOR_HH

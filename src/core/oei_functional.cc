@@ -1,6 +1,7 @@
 #include "core/oei_functional.hh"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -127,7 +128,53 @@ runFusedPair(Workspace &ws, const Program &program,
         }
     }
 
-    std::unordered_map<TensorId, DenseVector> slices;
+    // Pre-resolve every chain read once: a chain input is either the
+    // slice slot of an earlier chain op (slot 0 seeds the producer's
+    // output), a workspace vector indexed at the slice offset, or a
+    // scalar broadcast.  Chain slots never alias workspace storage
+    // mid-pass (commits land after the loop), so the binding is the
+    // same for every slice and the per-element hash lookups of the
+    // old path drop out.
+    struct SliceSrc
+    {
+        enum Kind { Slot, WsVec, Scalar } kind = Scalar;
+        int slot = 0;
+        const Value *base = nullptr;
+        Value scalar = 0.0;
+    };
+    auto bindInput = [&](TensorId id,
+                         const std::unordered_map<TensorId, int> &sym) {
+        SliceSrc src;
+        auto it = sym.find(id);
+        if (it != sym.end()) {
+            src.kind = SliceSrc::Slot;
+            src.slot = it->second;
+        } else if (program.tensor(id).kind == TensorKind::Scalar) {
+            src.kind = SliceSrc::Scalar;
+            src.scalar = ws.scalar(id);
+        } else {
+            src.kind = SliceSrc::WsVec;
+            src.base = ws.vec(id).data();
+        }
+        return src;
+    };
+    std::unordered_map<TensorId, int> sym;
+    sym[prod.output] = 0;
+    std::vector<std::array<SliceSrc, 2>> bindings(chain.ops.size());
+    for (std::size_t k = 0; k < chain.ops.size(); ++k) {
+        const OpNode &op = chain.ops[k];
+        bindings[k][0] = bindInput(op.inputs[0], sym);
+        if (op.kind == OpKind::EwiseBinary)
+            bindings[k][1] = bindInput(op.inputs[1], sym);
+        sym[op.output] = static_cast<int>(k) + 1;
+    }
+    const SliceSrc z_src = bindInput(chain.consumer_input, sym);
+
+    // One slab per chain slot, reused across slices (max width t).
+    std::vector<DenseVector> slabs(chain.ops.size() + 1);
+    for (DenseVector &slab : slabs)
+        slab.resize(static_cast<std::size_t>(std::min<Idx>(t, n)));
+
     for (Idx c0 = 0; c0 < n; c0 += t) {
         const Idx c1 = std::min(n, c0 + t);
         const std::size_t width = static_cast<std::size_t>(c1 - c0);
@@ -147,62 +194,52 @@ runFusedPair(Workspace &ws, const Program &program,
         }
 
         // --- fused e-wise chain on the slice -----------------------
-        slices.clear();
-        {
-            DenseVector seed(width);
-            for (std::size_t i = 0; i < width; ++i)
-                seed[i] = y[static_cast<std::size_t>(c0) + i];
-            slices.emplace(prod.output, std::move(seed));
-        }
-        auto read = [&](TensorId id, std::size_t i) -> Value {
-            auto it = slices.find(id);
-            if (it != slices.end())
-                return it->second[i];
-            const TensorInfo &info = program.tensor(id);
-            if (info.kind == TensorKind::Scalar)
-                return ws.scalar(id);
-            return ws.vec(id)[static_cast<std::size_t>(c0) + i];
+        for (std::size_t i = 0; i < width; ++i)
+            slabs[0][i] = y[static_cast<std::size_t>(c0) + i];
+        auto read = [&](const SliceSrc &src, std::size_t i) -> Value {
+            switch (src.kind) {
+              case SliceSrc::Slot:
+                return slabs[static_cast<std::size_t>(src.slot)][i];
+              case SliceSrc::WsVec:
+                return src.base[static_cast<std::size_t>(c0) + i];
+              case SliceSrc::Scalar:
+                break;
+            }
+            return src.scalar;
         };
         for (std::size_t k = 0; k < chain.ops.size(); ++k) {
             const OpNode &op = chain.ops[k];
-            DenseVector out(width);
-            for (std::size_t i = 0; i < width; ++i) {
-                switch (op.kind) {
-                  case OpKind::EwiseBinary:
-                    out[i] = applyBinary(op.bop,
-                                         read(op.inputs[0], i),
-                                         read(op.inputs[1], i));
-                    break;
-                  case OpKind::EwiseUnary:
-                    out[i] = applyUnary(op.uop, read(op.inputs[0], i));
-                    break;
-                  case OpKind::Assign:
-                    out[i] = read(op.inputs[0], i);
-                    break;
-                  default:
-                    sp_panic("runFusedPair: bad chain op");
-                }
+            DenseVector &out = slabs[k + 1];
+            const SliceSrc &in0 = bindings[k][0];
+            const SliceSrc &in1 = bindings[k][1];
+            switch (op.kind) {
+              case OpKind::EwiseBinary:
+                for (std::size_t i = 0; i < width; ++i)
+                    out[i] = applyBinary(op.bop, read(in0, i),
+                                         read(in1, i));
+                break;
+              case OpKind::EwiseUnary:
+                for (std::size_t i = 0; i < width; ++i)
+                    out[i] = applyUnary(op.uop, read(in0, i));
+                break;
+              case OpKind::Assign:
+                for (std::size_t i = 0; i < width; ++i)
+                    out[i] = read(in0, i);
+                break;
+              default:
+                sp_panic("runFusedPair: bad chain op");
             }
             if (chain.commit[k]) {
                 DenseVector &full = committed.at(op.output);
                 for (std::size_t i = 0; i < width; ++i)
                     full[static_cast<std::size_t>(c0) + i] = out[i];
             }
-            slices[op.output] = std::move(out);
         }
 
         // --- IS stage: scatter rows of the consumer input ----------
-        const DenseVector *z_slice = nullptr;
-        auto zit = slices.find(chain.consumer_input);
-        if (zit != slices.end())
-            z_slice = &zit->second;
-        const DenseVector *z_full =
-            z_slice ? nullptr : &ws.vec(chain.consumer_input);
         for (std::size_t i = 0; i < width; ++i) {
             const Idx row = c0 + static_cast<Idx>(i);
-            const Value zi = z_slice
-                ? (*z_slice)[i]
-                : (*z_full)[static_cast<std::size_t>(row)];
+            const Value zi = read(z_src, i);
             if (sr_is.annihilates(zi))
                 continue;
             auto cols = csr.rowCols(row);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "util/logging.hh"
 
@@ -44,25 +45,32 @@ struct PassEngine::Run
     double per_step_ewise = 0.0;
     double per_band_write_bytes = 0.0;
 
-    std::vector<std::array<Tick, 4>> done;
-    std::vector<std::array<char, 4>> completed;
-    std::vector<std::array<char, 4>> launched;
+    // Per-pass state lives in the engine-owned scratch arena; the
+    // assign() calls below reuse its capacity across passes.
+    std::vector<std::array<Tick, 4>> &done;
+    std::vector<std::array<char, 4>> &completed;
+    std::vector<std::array<char, 4>> &launched;
 
-    std::vector<Idx> prefetched;      ///< admitted per column step
-    std::vector<Idx> prefetchable;    ///< unlocked, not yet fetched
-    std::vector<Idx> slice_resident;  ///< admitted CSC elems per step
-    std::vector<double> is_arrival;   ///< immediate IS work per step
-    std::vector<Idx> pre_reloaded;    ///< evictions reloaded early
-    std::vector<Tick> data_ready;     ///< per-step load data arrival
+    std::vector<Idx> &prefetched;     ///< admitted per column step
+    std::vector<Idx> &prefetchable;   ///< unlocked, not yet fetched
+    std::vector<Idx> &slice_resident; ///< admitted CSC elems per step
+    std::vector<double> &is_arrival;  ///< immediate IS work per step
+    std::vector<Idx> &pre_reloaded;   ///< evictions reloaded early
+    std::vector<Tick> &data_ready;    ///< per-step load data arrival
 
     PassStats stats;
 
     Run(const SparsepipeConfig &cfg_, DramModel &dram_,
         EventQueue &eq_, const StepBuckets &b_,
         DualBufferModel *buffer_, const PassCosts &costs_,
-        bool fused_)
+        bool fused_, PassEngine::Scratch &sc)
         : cfg(cfg_), dram(dram_), eq(eq_), b(b_), buffer(buffer_),
-          costs(costs_), fused(fused_)
+          costs(costs_), fused(fused_), done(sc.done),
+          completed(sc.completed), launched(sc.launched),
+          prefetched(sc.prefetched), prefetchable(sc.prefetchable),
+          slice_resident(sc.slice_resident),
+          is_arrival(sc.is_arrival), pre_reloaded(sc.pre_reloaded),
+          data_ready(sc.data_ready)
     {
         steps = b.steps();
         bands = b.bands();
@@ -83,6 +91,9 @@ struct PassEngine::Run
         is_arrival.assign(static_cast<std::size_t>(total), 0.0);
         pre_reloaded.assign(static_cast<std::size_t>(bands), 0);
         data_ready.assign(static_cast<std::size_t>(steps), 0);
+        // Os + Ew spans per step, plus the IS chain when fused.
+        stats.activity.reserve(static_cast<std::size_t>(
+            2 * steps + (fused ? total : 0)));
     }
 
     bool
@@ -189,7 +200,17 @@ struct PassEngine::Run
     {
         done[static_cast<std::size_t>(j)]
             [static_cast<std::size_t>(s)] = end;
-        eq.schedule(end, [this, s, j] { onComplete(s, j); });
+        // Pack (stage, step) into one word so the completion closure
+        // fits std::function's inline storage: a pass schedules one
+        // event per stage instance, and the three-capture form
+        // heap-allocates every one of them.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(j) << 2) |
+            static_cast<std::uint64_t>(s);
+        eq.schedule(end, [this, key] {
+            onComplete(static_cast<Stage>(key & 3),
+                       static_cast<Idx>(key >> 2));
+        });
     }
 
     /** Rough duration of the next step, for the prefetch deadline. */
@@ -321,15 +342,33 @@ struct PassEngine::Run
                 // were IS-consumed at prefetch time, so they do not
                 // arrive again here.
                 double unlocked_arrivals = 0.0;
-                for (Idx rs = 0; rs < bands; ++rs) {
-                    Idx cnt = b.count(j, rs);
-                    if (cnt == 0)
-                        continue;
-                    if (rs <= j - cfg.lag) {
-                        unlocked_arrivals +=
-                            static_cast<double>(cnt);
-                    } else {
-                        buffer->addRowElems(rs, cnt);
+                const Idx unlocked = j - cfg.lag;
+                if (cfg.span_batching) {
+                    // Unlocked bands form a prefix of the band axis:
+                    // their arrivals are one prefix-sum lookup, and
+                    // the locked remainder walks only the occupied
+                    // buckets of this column step.
+                    unlocked_arrivals = static_cast<double>(
+                        b.colLoadedThrough(j, unlocked));
+                    const auto spans = b.colSpans(j);
+                    auto it = std::upper_bound(
+                        spans.begin(), spans.end(), unlocked,
+                        [](Idx v, const BucketSpan &sp) {
+                            return v < sp.at;
+                        });
+                    for (; it != spans.end(); ++it)
+                        buffer->addRowElems(it->at, it->cnt);
+                } else {
+                    for (Idx rs = 0; rs < bands; ++rs) {
+                        Idx cnt = b.count(j, rs);
+                        if (cnt == 0)
+                            continue;
+                        if (rs <= unlocked) {
+                            unlocked_arrivals +=
+                                static_cast<double>(cnt);
+                        } else {
+                            buffer->addRowElems(rs, cnt);
+                        }
                     }
                 }
                 is_arrival[static_cast<std::size_t>(j)] += std::max(
@@ -395,10 +434,22 @@ struct PassEngine::Run
             if (u >= 0 && u < bands && buffer) {
                 // Band u unlocks: elements of future column steps
                 // become prefetchable for the CSR loader.
-                for (Idx cs = std::min<Idx>(j + 2, steps);
-                     cs < steps; ++cs) {
-                    prefetchable[static_cast<std::size_t>(cs)] +=
-                        b.count(cs, u);
+                const Idx cs_begin = std::min<Idx>(j + 2, steps);
+                if (cfg.span_batching) {
+                    const auto spans = b.bandSpans(u);
+                    auto it = std::lower_bound(
+                        spans.begin(), spans.end(), cs_begin,
+                        [](const BucketSpan &sp, Idx v) {
+                            return sp.at < v;
+                        });
+                    for (; it != spans.end(); ++it)
+                        prefetchable[static_cast<std::size_t>(
+                            it->at)] += it->cnt;
+                } else {
+                    for (Idx cs = cs_begin; cs < steps; ++cs) {
+                        prefetchable[static_cast<std::size_t>(cs)] +=
+                            b.count(cs, u);
+                    }
                 }
                 const Idx resident = buffer->consumeBand(u);
                 const Idx evicted = buffer->takeEvicted(u);
@@ -485,7 +536,8 @@ PassEngine::runFused(const StepBuckets &buckets,
                      DualBufferModel &buffer, const PassCosts &costs,
                      Tick start)
 {
-    Run run(config_, dram_, queue_, buckets, &buffer, costs, true);
+    Run run(config_, dram_, queue_, buckets, &buffer, costs, true,
+            scratch_);
     run.run(start);
     return run.stats;
 }
@@ -494,7 +546,8 @@ PassStats
 PassEngine::runStream(const StepBuckets &buckets,
                       const PassCosts &costs, Tick start)
 {
-    Run run(config_, dram_, queue_, buckets, nullptr, costs, false);
+    Run run(config_, dram_, queue_, buckets, nullptr, costs, false,
+            scratch_);
     run.run(start);
     return run.stats;
 }

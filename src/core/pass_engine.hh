@@ -20,6 +20,7 @@
 #ifndef SPARSEPIPE_CORE_PASS_ENGINE_HH
 #define SPARSEPIPE_CORE_PASS_ENGINE_HH
 
+#include <array>
 #include <vector>
 
 #include "buffer/dual_buffer.hh"
@@ -99,9 +100,29 @@ class PassEngine
   private:
     struct Run;
 
+    /**
+     * Per-pass working state.  Owned by the engine and rebound to
+     * each Run so steady-state passes reuse the previous pass's
+     * capacity instead of allocating ~9 vectors per pass (the runs
+     * of a sweep execute thousands of passes over one bucketing).
+     */
+    struct Scratch
+    {
+        std::vector<std::array<Tick, 4>> done;
+        std::vector<std::array<char, 4>> completed;
+        std::vector<std::array<char, 4>> launched;
+        std::vector<Idx> prefetched;
+        std::vector<Idx> prefetchable;
+        std::vector<Idx> slice_resident;
+        std::vector<double> is_arrival;
+        std::vector<Idx> pre_reloaded;
+        std::vector<Tick> data_ready;
+    };
+
     const SparsepipeConfig &config_;
     DramModel &dram_;
     EventQueue &queue_;
+    Scratch scratch_;
 };
 
 } // namespace sparsepipe

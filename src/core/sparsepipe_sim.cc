@@ -267,11 +267,9 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
         std::ceil(config_.bytes_per_nz));
 
     for (Idx cs = 0; cs < buckets.steps(); ++cs) {
-        for (Idx rs = 0; rs < buckets.bands(); ++rs) {
-            const Idx cnt = buckets.count(cs, rs);
-            if (cnt > 0)
-                ++stats.counters.bucket_occupancy[
-                    static_cast<std::size_t>(obs::occupancyBin(cnt))];
+        for (const BucketSpan &sp : buckets.colSpans(cs)) {
+            ++stats.counters.bucket_occupancy[
+                static_cast<std::size_t>(obs::occupancyBin(sp.cnt))];
         }
     }
 

@@ -65,7 +65,11 @@ struct SimStats
     Idx vector_bytes = 0;
 
     double bw_utilization = 0.0;
-    /** 25-sample utilization timeline (Fig. 15). */
+    /**
+     * Utilization timeline (Fig. 15), one sample per bucket; the
+     * resolution follows SparsepipeConfig::bw_timeline_samples
+     * (default 25, overridable per run).
+     */
     std::vector<double> bw_timeline;
 
     Idx os_elems = 0;

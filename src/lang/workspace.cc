@@ -52,6 +52,13 @@ Workspace::at(TensorId id) const
 void
 Workspace::bindMatrix(TensorId id, CsrMatrix csr)
 {
+    CscMatrix csc = CscMatrix::fromCsr(csr);
+    bindMatrix(id, std::move(csr), std::move(csc));
+}
+
+void
+Workspace::bindMatrix(TensorId id, CsrMatrix csr, CscMatrix csc)
+{
     const TensorInfo &t = info(id);
     if (t.kind != TensorKind::SparseMatrix)
         sp_fatal("bindMatrix: tensor '%s' is not a sparse matrix",
@@ -63,8 +70,12 @@ Workspace::bindMatrix(TensorId id, CsrMatrix csr)
                  static_cast<long long>(t.dim1),
                  static_cast<long long>(csr.rows()),
                  static_cast<long long>(csr.cols()));
+    if (csc.rows() != csr.rows() || csc.cols() != csr.cols() ||
+        csc.nnz() != csr.nnz())
+        sp_fatal("bindMatrix: '%s' CSC twin disagrees with the CSR "
+                 "operand", t.name.c_str());
     std::size_t idx = at(id);
-    cscs_[idx] = CscMatrix::fromCsr(csr);
+    cscs_[idx] = std::move(csc);
     csrs_[idx] = std::move(csr);
     bound_[idx] = 1;
 }

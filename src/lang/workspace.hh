@@ -32,6 +32,13 @@ class Workspace
     /** Bind the sparse operand (builds the CSC twin internally). */
     void bindMatrix(TensorId id, CsrMatrix csr);
 
+    /**
+     * Bind the sparse operand with a precomputed CSC twin.  `csc`
+     * must equal CscMatrix::fromCsr(csr); callers that cache the
+     * pair (api::Session) skip the per-bind transpose.
+     */
+    void bindMatrix(TensorId id, CsrMatrix csr, CscMatrix csc);
+
     /** @return mutable dense vector storage for a Vector tensor. */
     DenseVector &vec(TensorId id);
     const DenseVector &vec(TensorId id) const;

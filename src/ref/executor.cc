@@ -24,15 +24,30 @@ foldIdentity(BinaryOp monoid)
 }
 
 /**
- * Read one broadcastable element: scalars repeat, vectors index.
+ * Resolved broadcastable operand: scalars repeat, vectors index.
+ * Resolving the tensor kind once per op (not once per element) keeps
+ * the element loop free of per-element program lookups.
  */
-Value
-operand(const Workspace &ws, TensorId id, std::size_t i)
+struct OperandView
 {
-    const TensorInfo &t = ws.program().tensor(id);
-    if (t.kind == TensorKind::Scalar)
-        return ws.scalar(id);
-    return ws.vec(id)[i];
+    const Value *vec = nullptr; ///< null for scalar broadcast
+    Value scalar = 0.0;
+
+    Value operator[](std::size_t i) const
+    {
+        return vec ? vec[i] : scalar;
+    }
+};
+
+OperandView
+operandView(const Workspace &ws, TensorId id)
+{
+    OperandView view;
+    if (ws.program().tensor(id).kind == TensorKind::Scalar)
+        view.scalar = ws.scalar(id);
+    else
+        view.vec = ws.vec(id).data();
+    return view;
 }
 
 void
@@ -119,10 +134,10 @@ execEwiseBinary(Workspace &ws, const OpNode &op)
     }
     std::size_t n = static_cast<std::size_t>(out_info.dim0);
     DenseVector out(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        out[i] = applyBinary(op.bop, operand(ws, op.inputs[0], i),
-                             operand(ws, op.inputs[1], i));
-    }
+    const OperandView a = operandView(ws, op.inputs[0]);
+    const OperandView b = operandView(ws, op.inputs[1]);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = applyBinary(op.bop, a[i], b[i]);
     ws.vec(op.output) = std::move(out);
 }
 

@@ -7,69 +7,6 @@
 
 namespace sparsepipe {
 
-namespace {
-
-constexpr Value pos_inf = std::numeric_limits<Value>::infinity();
-constexpr Value neg_inf = -std::numeric_limits<Value>::infinity();
-
-} // anonymous namespace
-
-Value
-Semiring::addIdentity() const
-{
-    switch (kind_) {
-      case SemiringKind::MulAdd:  return 0.0;
-      case SemiringKind::AndOr:   return 0.0;
-      case SemiringKind::MinAdd:  return pos_inf;
-      case SemiringKind::ArilAdd: return 0.0;
-      case SemiringKind::MaxMul:  return neg_inf;
-    }
-    sp_panic("Semiring::addIdentity: bad kind");
-    __builtin_unreachable();
-}
-
-Value
-Semiring::add(Value a, Value b) const
-{
-    switch (kind_) {
-      case SemiringKind::MulAdd:  return a + b;
-      case SemiringKind::AndOr:   return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-      case SemiringKind::MinAdd:  return std::min(a, b);
-      case SemiringKind::ArilAdd: return a + b;
-      case SemiringKind::MaxMul:  return std::max(a, b);
-    }
-    sp_panic("Semiring::add: bad kind");
-    __builtin_unreachable();
-}
-
-Value
-Semiring::multiply(Value a, Value b) const
-{
-    switch (kind_) {
-      case SemiringKind::MulAdd:  return a * b;
-      case SemiringKind::AndOr:   return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
-      case SemiringKind::MinAdd:  return a + b;
-      case SemiringKind::ArilAdd: return a != 0.0 ? b : 0.0;
-      case SemiringKind::MaxMul:  return a * b;
-    }
-    sp_panic("Semiring::multiply: bad kind");
-    __builtin_unreachable();
-}
-
-bool
-Semiring::annihilates(Value x) const
-{
-    switch (kind_) {
-      case SemiringKind::MulAdd:  return x == 0.0;
-      case SemiringKind::AndOr:   return x == 0.0;
-      case SemiringKind::MinAdd:  return x == pos_inf;
-      case SemiringKind::ArilAdd: return x == 0.0;
-      case SemiringKind::MaxMul:  return false;
-    }
-    sp_panic("Semiring::annihilates: bad kind");
-    __builtin_unreachable();
-}
-
 const char *
 Semiring::name() const
 {

@@ -13,6 +13,8 @@
 #ifndef SPARSEPIPE_SEMIRING_SEMIRING_HH
 #define SPARSEPIPE_SEMIRING_SEMIRING_HH
 
+#include <algorithm>
+#include <limits>
 #include <string>
 
 #include "sparse/types.hh"
@@ -42,21 +44,71 @@ class Semiring
 
     constexpr SemiringKind kind() const { return kind_; }
 
-    /** Identity of the additive monoid (0, false, +inf, ...). */
-    Value addIdentity() const;
+    /**
+     * Identity of the additive monoid (0, false, +inf, ...).
+     * The hot operators are defined inline: they sit in the
+     * innermost per-nonzero loops of every executor, where an
+     * out-of-line call per element dominates the loop body.
+     */
+    Value addIdentity() const
+    {
+        switch (kind_) {
+          case SemiringKind::MulAdd:  return 0.0;
+          case SemiringKind::AndOr:   return 0.0;
+          case SemiringKind::MinAdd:
+            return std::numeric_limits<Value>::infinity();
+          case SemiringKind::ArilAdd: return 0.0;
+          case SemiringKind::MaxMul:
+            return -std::numeric_limits<Value>::infinity();
+        }
+        __builtin_unreachable();
+    }
 
     /** The additive (reduction) monoid. */
-    Value add(Value a, Value b) const;
+    Value add(Value a, Value b) const
+    {
+        switch (kind_) {
+          case SemiringKind::MulAdd:  return a + b;
+          case SemiringKind::AndOr:
+            return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+          case SemiringKind::MinAdd:  return std::min(a, b);
+          case SemiringKind::ArilAdd: return a + b;
+          case SemiringKind::MaxMul:  return std::max(a, b);
+        }
+        __builtin_unreachable();
+    }
 
     /** The multiplicative map. */
-    Value multiply(Value a, Value b) const;
+    Value multiply(Value a, Value b) const
+    {
+        switch (kind_) {
+          case SemiringKind::MulAdd:  return a * b;
+          case SemiringKind::AndOr:
+            return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+          case SemiringKind::MinAdd:  return a + b;
+          case SemiringKind::ArilAdd: return a != 0.0 ? b : 0.0;
+          case SemiringKind::MaxMul:  return a * b;
+        }
+        __builtin_unreachable();
+    }
 
     /**
      * True when x contributes nothing through this semiring's
      * multiply (e.g. 0 for MulAdd).  Lets executors skip work the
      * way the hardware gates inactive lanes.
      */
-    bool annihilates(Value x) const;
+    bool annihilates(Value x) const
+    {
+        switch (kind_) {
+          case SemiringKind::MulAdd:  return x == 0.0;
+          case SemiringKind::AndOr:   return x == 0.0;
+          case SemiringKind::MinAdd:
+            return x == std::numeric_limits<Value>::infinity();
+          case SemiringKind::ArilAdd: return x == 0.0;
+          case SemiringKind::MaxMul:  return false;
+        }
+        __builtin_unreachable();
+    }
 
     /** Short lowercase name (mul-add, and-or, ...). */
     const char *name() const;

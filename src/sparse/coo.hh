@@ -41,7 +41,15 @@ class CooMatrix
     CooMatrix(Idx rows, Idx cols);
 
     /** Append a non-zero.  Coordinates are bounds-checked. */
-    void add(Idx row, Idx col, Value val);
+    void add(Idx row, Idx col, Value val)
+    {
+        if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+            addOutOfRange(row, col);
+        entries_.push_back({row, col, val});
+    }
+
+    /** Reserve capacity for `n` entries (generator fast path). */
+    void reserve(std::size_t n) { entries_.reserve(n); }
 
     /**
      * Sort row-major, merge duplicate coordinates by addition, and
@@ -77,6 +85,8 @@ class CooMatrix
     bool isCanonical() const;
 
   private:
+    [[noreturn]] void addOutOfRange(Idx row, Idx col) const;
+
     Idx rows_ = 0;
     Idx cols_ = 0;
     std::vector<Triplet> entries_;

@@ -36,6 +36,42 @@ compress(Idx major, const std::vector<Triplet> &entries,
     }
 }
 
+/**
+ * Stable counting-sort transpose between the compressed layouts.
+ * Walking the source majors in order keeps the destination's minor
+ * indices ascending inside each run, so the result is canonical —
+ * identical to the COO round-trip it replaces, without materializing
+ * (and comparison-sorting) the triplet view.
+ */
+void
+transposeCompressed(Idx src_major, Idx dst_major,
+                    const std::vector<Idx> &src_ptr,
+                    const std::vector<Idx> &src_idx,
+                    const std::vector<Value> &src_vals,
+                    std::vector<Idx> &dst_ptr,
+                    std::vector<Idx> &dst_idx,
+                    std::vector<Value> &dst_vals)
+{
+    dst_ptr.assign(static_cast<std::size_t>(dst_major) + 1, 0);
+    dst_idx.resize(src_idx.size());
+    dst_vals.resize(src_vals.size());
+    for (Idx m : src_idx)
+        ++dst_ptr[static_cast<std::size_t>(m) + 1];
+    for (std::size_t i = 1; i < dst_ptr.size(); ++i)
+        dst_ptr[i] += dst_ptr[i - 1];
+    std::vector<Idx> cursor(dst_ptr.begin(), dst_ptr.end() - 1);
+    for (Idx s = 0; s < src_major; ++s) {
+        for (Idx k = src_ptr[static_cast<std::size_t>(s)];
+             k < src_ptr[static_cast<std::size_t>(s) + 1]; ++k) {
+            const auto d = static_cast<std::size_t>(
+                src_idx[static_cast<std::size_t>(k)]);
+            const auto at = static_cast<std::size_t>(cursor[d]++);
+            dst_idx[at] = s;
+            dst_vals[at] = src_vals[static_cast<std::size_t>(k)];
+        }
+    }
+}
+
 } // anonymous namespace
 
 CsrMatrix
@@ -55,7 +91,13 @@ CsrMatrix::fromCoo(CooMatrix coo)
 CsrMatrix
 CsrMatrix::fromCsc(const CscMatrix &csc)
 {
-    return fromCoo(csc.toCoo());
+    CsrMatrix out;
+    out.rows_ = csc.rows();
+    out.cols_ = csc.cols();
+    transposeCompressed(csc.cols(), csc.rows(), csc.colPtr_,
+                        csc.rowIdx_, csc.vals_, out.rowPtr_,
+                        out.colIdx_, out.vals_);
+    return out;
 }
 
 CooMatrix
@@ -99,21 +141,41 @@ CscMatrix
 CscMatrix::fromCoo(CooMatrix coo)
 {
     coo.canonicalize();
-    coo.sortColMajor();
+    // The entries are now row-major canonical; a stable counting
+    // sort by column lands them in (col, row) order without the
+    // comparison sort the old sortColMajor() path paid.
     CscMatrix out;
     out.rows_ = coo.rows();
     out.cols_ = coo.cols();
-    compress(coo.cols(), coo.entries(),
-             [](const Triplet &t) { return t.col; },
-             [](const Triplet &t) { return t.row; },
-             out.colPtr_, out.rowIdx_, out.vals_);
+    const auto &entries = coo.entries();
+    out.colPtr_.assign(static_cast<std::size_t>(coo.cols()) + 1, 0);
+    out.rowIdx_.resize(entries.size());
+    out.vals_.resize(entries.size());
+    for (const Triplet &t : entries)
+        ++out.colPtr_[static_cast<std::size_t>(t.col) + 1];
+    for (std::size_t i = 1; i < out.colPtr_.size(); ++i)
+        out.colPtr_[i] += out.colPtr_[i - 1];
+    std::vector<Idx> cursor(out.colPtr_.begin(),
+                            out.colPtr_.end() - 1);
+    for (const Triplet &t : entries) {
+        const auto at = static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(t.col)]++);
+        out.rowIdx_[at] = t.row;
+        out.vals_[at] = t.val;
+    }
     return out;
 }
 
 CscMatrix
 CscMatrix::fromCsr(const CsrMatrix &csr)
 {
-    return fromCoo(csr.toCoo());
+    CscMatrix out;
+    out.rows_ = csr.rows();
+    out.cols_ = csr.cols();
+    transposeCompressed(csr.rows(), csr.cols(), csr.rowPtr_,
+                        csr.colIdx_, csr.vals_, out.colPtr_,
+                        out.rowIdx_, out.vals_);
+    return out;
 }
 
 CooMatrix

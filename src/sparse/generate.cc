@@ -24,6 +24,7 @@ generateUniform(Idx n, Idx nnz, Rng &rng)
     if (n <= 0)
         sp_fatal("generateUniform: n must be positive");
     CooMatrix out(n, n);
+    out.reserve(static_cast<std::size_t>(nnz));
     for (Idx i = 0; i < nnz; ++i) {
         Idx r = static_cast<Idx>(rng.nextBelow(n));
         Idx c = static_cast<Idx>(rng.nextBelow(n));
@@ -48,6 +49,7 @@ generateRmat(Idx n, Idx nnz, Rng &rng, double a, double b, double c)
         size <<= 1;
 
     CooMatrix out(n, n);
+    out.reserve(static_cast<std::size_t>(nnz));
     Idx placed = 0;
     while (placed < nnz) {
         Idx r = 0, col = 0;
@@ -102,6 +104,7 @@ generateClustered(Idx n, Idx nnz, Idx clusters, double within, Rng &rng)
     if (n <= 0 || clusters <= 0 || clusters > n)
         sp_fatal("generateClustered: invalid parameters");
     CooMatrix out(n, n);
+    out.reserve(static_cast<std::size_t>(nnz));
     const Idx block = (n + clusters - 1) / clusters;
     for (Idx i = 0; i < nnz; ++i) {
         if (rng.nextDouble() < within) {
@@ -129,6 +132,7 @@ generateLowerSkew(Idx n, Idx nnz, double low_frac, Rng &rng)
     if (n <= 0)
         sp_fatal("generateLowerSkew: n must be positive");
     CooMatrix out(n, n);
+    out.reserve(static_cast<std::size_t>(nnz));
     for (Idx i = 0; i < nnz; ++i) {
         Idx r = static_cast<Idx>(rng.nextBelow(n));
         Idx c = static_cast<Idx>(rng.nextBelow(n));
@@ -147,6 +151,7 @@ generatePoisson2D(Idx grid)
         sp_fatal("generatePoisson2D: grid must be positive");
     const Idx n = grid * grid;
     CooMatrix out(n, n);
+    out.reserve(static_cast<std::size_t>(n) * 5);
     auto id = [grid](Idx x, Idx y) { return x * grid + y; };
     for (Idx x = 0; x < grid; ++x) {
         for (Idx y = 0; y < grid; ++y) {

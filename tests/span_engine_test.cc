@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Span-batched engine equivalence: the pass engine's compressed
+ * bucket-span fast path (SparsepipeConfig::span_batching) must
+ * produce bit-identical SimStats to the dense element scan it
+ * replaces, across application archetypes and matrix shapes.  The
+ * comparison goes through recordSimMetrics, so every exported
+ * counter — cycles, traffic split, cycle attribution, prefetch and
+ * occupancy counters, the bandwidth timeline — participates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/session.hh"
+#include "obs/metrics.hh"
+#include "sparse/generate.hh"
+#include "util/random.hh"
+
+namespace sparsepipe {
+namespace {
+
+/** The six matrix shapes the generators can produce. */
+CooMatrix
+shapeMatrix(int shape)
+{
+    Rng rng(0x59a7 + static_cast<std::uint64_t>(shape));
+    const Idx n = 192;
+    const Idx nnz = 1536;
+    switch (shape) {
+      case 0: return generateUniform(n, nnz, rng);
+      case 1: return generateRmat(n, nnz, rng);
+      case 2: return generateBanded(n, 12, 6.0, rng);
+      case 3: return generateClustered(n, nnz, 8, 0.85, rng);
+      case 4: return generateLowerSkew(n, nnz, 0.8, rng);
+      default: return generatePoisson2D(14);
+    }
+}
+
+const char *const kShapes[] = {"uniform", "rmat",  "banded",
+                               "clustered", "skew", "poisson"};
+
+/** Five archetypes: mul-add PR, min-plus SSSP, or-and BFS,
+ *  SpMM GCN, and the stream-scheduled solver CG. */
+const char *const kApps[] = {"pr", "sssp", "bfs", "gcn", "cg"};
+
+obs::MetricsRegistry
+runOnce(const std::string &app, const api::PreparedCase &pc,
+        bool span_batching)
+{
+    api::Session session;
+    api::RunRequest req;
+    req.app = app;
+    req.dataset = "span-eq";
+    req.iters = 6;
+    req.sp.span_batching = span_batching;
+    const api::RunReport report = session.run(req, pc);
+    obs::MetricsRegistry reg;
+    recordSimMetrics(reg, "sim", report.stats);
+    // The timeline is exported in reduced form; pin the raw samples
+    // too so resolution-level drift cannot hide.
+    for (std::size_t i = 0; i < report.stats.bw_timeline.size(); ++i)
+        reg.set("raw_timeline." + std::to_string(i),
+                report.stats.bw_timeline[i]);
+    return reg;
+}
+
+TEST(SpanEngine, MatchesElementScanAcrossAppsAndShapes)
+{
+    for (const char *app : kApps) {
+        for (int shape = 0; shape < 6; ++shape) {
+            const api::PreparedCase pc =
+                api::prepareCase(app, shapeMatrix(shape));
+            const obs::MetricsRegistry with = runOnce(app, pc, true);
+            const obs::MetricsRegistry without =
+                runOnce(app, pc, false);
+            EXPECT_EQ(with.entries(), without.entries())
+                << "span/element divergence for app=" << app
+                << " shape=" << kShapes[shape];
+        }
+    }
+}
+
+TEST(SpanEngine, SpanFlagDefaultsOn)
+{
+    EXPECT_TRUE(SparsepipeConfig{}.span_batching);
+    EXPECT_TRUE(SparsepipeConfig::isoCpu().span_batching);
+}
+
+} // anonymous namespace
+} // namespace sparsepipe

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hh"
 #include "apps/apps.hh"
 #include "baseline/models.hh"
 #include "core/autotune.hh"
@@ -32,7 +33,6 @@
 #include "harness.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
-#include "prep/blocked.hh"
 #include "prep/reorder.hh"
 #include "runner/batch.hh"
 #include "runner/thread_pool.hh"
@@ -317,24 +317,7 @@ main(int argc, char **argv)
     if (!opt.batch.empty())
         return runBatch(opt);
 
-    // ---- input matrix ----------------------------------------------
-    CooMatrix raw;
-    std::string source;
-    if (!opt.mtx.empty()) {
-        raw = readMatrixMarket(opt.mtx);
-        source = opt.mtx;
-    } else if (!opt.synthetic.empty()) {
-        raw = makeSynthetic(opt.synthetic, opt.seed);
-        source = "synthetic " + opt.synthetic;
-    } else {
-        std::string key = opt.dataset.empty() ? "ca" : opt.dataset;
-        raw = generateDataset(datasetSpec(key), opt.seed);
-        source = "dataset " + key;
-    }
-    if (raw.rows() != raw.cols())
-        sp_fatal("sparsepipe_cli: need a square operand");
-
-    // ---- preprocessing ---------------------------------------------
+    // ---- reorder + request skeleton --------------------------------
     ReorderKind reorder = ReorderKind::Vanilla;
     if (opt.reorder == "none") reorder = ReorderKind::None;
     else if (opt.reorder == "vanilla") reorder = ReorderKind::Vanilla;
@@ -342,33 +325,56 @@ main(int argc, char **argv)
         reorder = ReorderKind::Locality;
     else
         sp_fatal("unknown reorder '%s'", opt.reorder.c_str());
-    if (reorder != ReorderKind::None) {
-        CsrMatrix csr = CsrMatrix::fromCoo(raw);
-        raw = applySymmetricPermutation(raw,
-                                        makeReorder(reorder, csr));
-    }
 
-    AppInstance app = makeApp(opt.app, raw.rows());
-    CsrMatrix prepared = app.prepare(raw);
-
-    // ---- hardware configuration ------------------------------------
-    SparsepipeConfig cfg = opt.iso_cpu ? SparsepipeConfig::isoCpu()
-                                       : SparsepipeConfig::isoGpu();
+    api::RunRequest req;
+    req.app = opt.app;
+    req.iters = opt.iters;
+    req.reorder = reorder;
+    req.blocked = opt.blocked;
+    req.seed = opt.seed;
+    req.sp = opt.iso_cpu ? SparsepipeConfig::isoCpu()
+                         : SparsepipeConfig::isoGpu();
     if (opt.buffer_kb > 0)
-        cfg.buffer_bytes = opt.buffer_kb * 1024;
+        req.sp.buffer_bytes = opt.buffer_kb * 1024;
     if (opt.bandwidth > 0.0)
-        cfg.dram.bandwidth_gb_s = opt.bandwidth;
-    cfg.eager_csr = opt.eager;
-    cfg.sub_tensor_cols = opt.sub_tensor;
+        req.sp.dram.bandwidth_gb_s = opt.bandwidth;
+    req.sp.eager_csr = opt.eager;
+    req.sp.sub_tensor_cols = opt.sub_tensor;
     if (opt.timeline_samples > 0)
-        cfg.bw_timeline_samples = opt.timeline_samples;
-    if (opt.blocked) {
-        cfg.bytes_per_nz =
-            buildBlockedLayout(prepared).bytesPerNonzero();
+        req.sp.bw_timeline_samples = opt.timeline_samples;
+
+    // ---- input matrix -> prepared case -----------------------------
+    api::Session &session = api::Session::process();
+    std::string source;
+    const api::PreparedCase *pc = nullptr;
+    api::PreparedCase external; // owns the mtx / synthetic case
+    if (!opt.mtx.empty() || !opt.synthetic.empty()) {
+        CooMatrix raw;
+        if (!opt.mtx.empty()) {
+            raw = readMatrixMarket(opt.mtx);
+            source = opt.mtx;
+        } else {
+            raw = makeSynthetic(opt.synthetic, opt.seed);
+            source = "synthetic " + opt.synthetic;
+        }
+        if (raw.rows() != raw.cols())
+            sp_fatal("sparsepipe_cli: need a square operand");
+        external = api::prepareCase(
+            opt.app, api::reorderMatrix(std::move(raw), reorder));
+        pc = &external;
+    } else {
+        req.dataset = opt.dataset.empty() ? "ca" : opt.dataset;
+        source = "dataset " + req.dataset;
+        pc = &session.prepared(req.app, req.dataset, reorder,
+                               req.seed);
     }
 
     if (opt.autotune) {
-        AutotuneResult tuned = autotuneSubTensor(app, raw, cfg);
+        SparsepipeConfig probe_cfg = req.sp;
+        probe_cfg.bytes_per_nz =
+            req.blocked ? pc->blocked_bytes_per_nz : 12.0;
+        AutotuneResult tuned = autotuneSubTensor(
+            pc->app, pc->csr, pc->csc, probe_cfg);
         std::printf("autotune probes:");
         for (const TunePoint &p : tuned.probes)
             std::printf(" T=%lld:%llucyc",
@@ -376,28 +382,27 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(p.cycles));
         std::printf("\nautotune winner: T=%lld\n\n",
                     static_cast<long long>(tuned.best));
-        cfg.sub_tensor_cols = tuned.best;
+        req.sp.sub_tensor_cols = tuned.best;
     }
 
     // ---- run ---------------------------------------------------------
-    SparsepipeSim sim(cfg);
-    obs::TraceSink trace(cfg.dram.clock_ghz);
+    obs::TraceSink trace(req.sp.dram.clock_ghz);
     if (!opt.trace_out.empty())
-        sim.attachTrace(&trace);
-    SimStats stats = sim.simulateApp(app, raw, opt.iters);
+        req.trace = &trace;
+    api::RunReport run_report = session.run(req, *pc);
+    const SimStats &stats = run_report.stats;
+    const SparsepipeConfig &cfg = req.sp;
 
-    Analysis an = analyzeProgram(app.program);
+    Analysis an = analyzeProgram(pc->app.program);
     AccelConfig accel;
     accel.bandwidth_gb_s = cfg.dram.bandwidth_gb_s;
     accel.pes = cfg.pe_per_core;
     BaselineStats ideal =
-        idealAccelerator(an, prepared.nnz(), stats.iterations, accel);
-    BaselineStats oracle = oracleAccelerator(an, prepared.nnz(),
-                                             stats.iterations, accel);
-    BaselineStats cpu =
-        cpuModel(an, prepared.nnz(), stats.iterations);
-    BaselineStats gpu =
-        gpuModel(an, prepared.nnz(), stats.iterations);
+        idealAccelerator(an, pc->nnz, stats.iterations, accel);
+    BaselineStats oracle =
+        oracleAccelerator(an, pc->nnz, stats.iterations, accel);
+    BaselineStats cpu = cpuModel(an, pc->nnz, stats.iterations);
+    BaselineStats gpu = gpuModel(an, pc->nnz, stats.iterations);
     EnergyBreakdown energy = sparsepipeEnergy(stats);
 
     // ---- report ------------------------------------------------------
@@ -406,9 +411,10 @@ main(int argc, char **argv)
                 opt.app.c_str(), an.semiring.name());
     std::printf("operand        : %s, %lld x %lld, %lld nnz "
                 "(prepared)\n",
-                source.c_str(), static_cast<long long>(raw.rows()),
-                static_cast<long long>(raw.cols()),
-                static_cast<long long>(prepared.nnz()));
+                source.c_str(),
+                static_cast<long long>(pc->csr.rows()),
+                static_cast<long long>(pc->csr.cols()),
+                static_cast<long long>(pc->nnz));
     std::printf("schedule       : %s%s\n",
                 scheduleModeName(stats.mode),
                 stats.mode != ScheduleMode::Stream
