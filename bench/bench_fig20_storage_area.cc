@@ -39,8 +39,8 @@ main()
 
         Idx dual = dualStorageBytes(plain.nnz(), plain.rows(),
                                     plain.cols());
-        BlockedLayout blk = buildBlockedLayout(plain);
-        BlockedLayout blk_r = buildBlockedLayout(reord);
+        BlockedLayout blk = buildBlockedLayout(plain).value();
+        BlockedLayout blk_r = buildBlockedLayout(reord).value();
         double ratio = 100.0 * static_cast<double>(blk.totalBytes()) /
                        static_cast<double>(dual);
         double ratio_r =

@@ -159,9 +159,9 @@ main(int argc, char **argv)
     const auto t_cold = Clock::now();
     session.prepared(req.app, req.dataset, req.reorder, req.seed);
     const double prepare_cold_ms = msSince(t_cold);
-    session.run(req); // warm every cache level
+    session.run(req).value(); // warm every cache level
     const double run_cached_ms =
-        bestMs(reps, [&] { session.run(req); });
+        bestMs(reps, [&] { session.run(req).value(); });
 
     std::printf("engine fused x24   : span %.2f ms, element %.2f ms "
                 "(%.2fx)\n",

@@ -145,7 +145,7 @@ BM_BlockedLayout(benchmark::State &state)
         CsrMatrix::fromCoo(benchGraph(state.range(0),
                                       state.range(0) * 8));
     for (auto _ : state) {
-        BlockedLayout layout = buildBlockedLayout(csr);
+        BlockedLayout layout = buildBlockedLayout(csr).value();
         benchmark::DoNotOptimize(layout.nonzero_blocks);
     }
 }

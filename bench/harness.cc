@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "runner/scheduler.hh"
@@ -24,47 +25,73 @@ preparedDataset(const std::string &name, ReorderKind reorder,
     return api::Session::process().reordered(name, reorder, seed);
 }
 
+StatusOr<CaseResult>
+runCaseOr(const std::string &app_name, const std::string &dataset,
+          const RunConfig &config, const CancelToken *cancel)
+{
+    // Pre-validate names: the cache builders behind
+    // Session::prepared() use the fatal registry lookups.
+    if (!findAppInfo(app_name))
+        return invalidInput("unknown application '%s'",
+                            app_name.c_str());
+    if (!findDatasetSpec(dataset))
+        return invalidInput("unknown dataset '%s'", dataset.c_str());
+    try {
+        CaseResult result;
+        result.app = app_name;
+        result.dataset = dataset;
+
+        api::Session &session = api::Session::process();
+        const api::PreparedCase &pc = session.prepared(
+            app_name, dataset, config.reorder, config.seed);
+
+        api::RunRequest req;
+        req.app = app_name;
+        req.dataset = dataset;
+        req.sp = config.sp;
+        req.iters = config.iters;
+        req.reorder = config.reorder;
+        req.blocked = config.blocked;
+        req.seed = config.seed;
+        req.cancel = cancel;
+        StatusOr<api::RunReport> report = session.run(req, pc);
+        if (!report.ok()) {
+            Status status = report.status();
+            return std::move(status).withContext(app_name + " on " +
+                                                 dataset);
+        }
+        result.nnz = report->nnz;
+        result.sp = std::move(report->stats);
+
+        // Baselines are charged for the iterations the simulated run
+        // actually executed (apps with convergence conditions stop
+        // early on some matrices).
+        const Idx iters = result.sp.iterations;
+        Analysis an = analyzeProgram(pc.app.program);
+        AccelConfig accel;
+        accel.bandwidth_gb_s = config.sp.dram.bandwidth_gb_s;
+        accel.pes = config.sp.pe_per_core;
+        result.ideal = idealAccelerator(an, result.nnz, iters, accel);
+        AccelConfig strict = accel;
+        strict.fused_ewise = false;
+        result.ideal_strict =
+            idealAccelerator(an, result.nnz, iters, strict);
+        result.oracle =
+            oracleAccelerator(an, result.nnz, iters, accel);
+        result.cpu = cpuModel(an, result.nnz, iters);
+        result.gpu = gpuModel(an, result.nnz, iters);
+        return result;
+    } catch (...) {
+        return statusFromCurrentException();
+    }
+}
+
 CaseResult
 runCase(const std::string &app_name, const std::string &dataset,
         const RunConfig &config)
 {
-    CaseResult result;
-    result.app = app_name;
-    result.dataset = dataset;
-
-    api::Session &session = api::Session::process();
-    const api::PreparedCase &pc = session.prepared(
-        app_name, dataset, config.reorder, config.seed);
-
-    api::RunRequest req;
-    req.app = app_name;
-    req.dataset = dataset;
-    req.sp = config.sp;
-    req.iters = config.iters;
-    req.reorder = config.reorder;
-    req.blocked = config.blocked;
-    req.seed = config.seed;
-    api::RunReport report = session.run(req, pc);
-    result.nnz = report.nnz;
-    result.sp = std::move(report.stats);
-
-    // Baselines are charged for the iterations the simulated run
-    // actually executed (apps with convergence conditions stop
-    // early on some matrices).
-    const Idx iters = result.sp.iterations;
-    Analysis an = analyzeProgram(pc.app.program);
-    AccelConfig accel;
-    accel.bandwidth_gb_s = config.sp.dram.bandwidth_gb_s;
-    accel.pes = config.sp.pe_per_core;
-    result.ideal = idealAccelerator(an, result.nnz, iters, accel);
-    AccelConfig strict = accel;
-    strict.fused_ewise = false;
-    result.ideal_strict =
-        idealAccelerator(an, result.nnz, iters, strict);
-    result.oracle = oracleAccelerator(an, result.nnz, iters, accel);
-    result.cpu = cpuModel(an, result.nnz, iters);
-    result.gpu = gpuModel(an, result.nnz, iters);
-    return result;
+    // value() panics with the status if the trusted spec failed.
+    return runCaseOr(app_name, dataset, config).value();
 }
 
 std::vector<CaseSpec>
@@ -98,6 +125,18 @@ runSweep(const std::vector<CaseSpec> &specs, int jobs)
         });
 }
 
+namespace {
+
+/** Bad bench flags exit with the usage code, not a fatal(). */
+[[noreturn]] void
+benchUsageError(const std::string &message)
+{
+    std::fprintf(stderr, "%s (try --help)\n", message.c_str());
+    std::exit(kExitUsage);
+}
+
+} // anonymous namespace
+
 BenchArgs
 parseBenchArgs(int argc, char **argv)
 {
@@ -119,19 +158,22 @@ parseBenchArgs(int argc, char **argv)
             if (has_inline)
                 return inline_value;
             if (i + 1 >= argc)
-                sp_fatal("flag %s wants a value", flag);
+                benchUsageError(std::string("flag ") + flag +
+                                " wants a value");
             return argv[++i];
         };
         if (arg == "--jobs" || arg == "-j") {
-            args.jobs = static_cast<int>(
-                parseI64Flag("--jobs", value("--jobs")));
+            StatusOr<long long> jobs =
+                parseI64Flag("--jobs", value("--jobs"));
+            if (!jobs.ok())
+                benchUsageError(jobs.status().toString());
+            args.jobs = static_cast<int>(*jobs);
             if (args.jobs < 1)
-                sp_fatal("--jobs wants a positive count, got %d",
-                         args.jobs);
+                benchUsageError("--jobs wants a positive count");
         } else if (arg == "--metrics-out") {
             args.metrics_out = value("--metrics-out");
             if (args.metrics_out.empty())
-                sp_fatal("--metrics-out wants a file path");
+                benchUsageError("--metrics-out wants a file path");
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--metrics-out FILE]\n"
@@ -146,8 +188,7 @@ parseBenchArgs(int argc, char **argv)
                 argv[0]);
             std::exit(0);
         } else {
-            sp_fatal("unknown bench flag '%s' (try --help)",
-                     arg.c_str());
+            benchUsageError("unknown bench flag '" + arg + "'");
         }
     }
     return args;

@@ -90,7 +90,23 @@ const CooMatrix &preparedDataset(const std::string &name,
                                  ReorderKind reorder,
                                  std::uint64_t seed = kDefaultSeed);
 
-/** Run one (app, dataset) case under a configuration. */
+/**
+ * Run one (app, dataset) case under a configuration.
+ *
+ * Recoverable failures come back as a Status: InvalidInput for
+ * unknown names, Cancelled / DeadlineExceeded when `cancel` fires,
+ * ResourceExhausted / Internal for trouble inside the simulator.
+ * Batch sweeps use this so one bad job cannot take the process down.
+ */
+StatusOr<CaseResult> runCaseOr(const std::string &app,
+                               const std::string &dataset,
+                               const RunConfig &config,
+                               const CancelToken *cancel = nullptr);
+
+/**
+ * Run one (app, dataset) case under a configuration.  Bench-internal
+ * specs are trusted, so any failure here is a bug and panics.
+ */
 CaseResult runCase(const std::string &app, const std::string &dataset,
                    const RunConfig &config);
 

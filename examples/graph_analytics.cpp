@@ -31,7 +31,10 @@ main(int argc, char **argv)
 {
     CooMatrix raw;
     if (argc > 1) {
-        raw = readMatrixMarket(argv[1]);
+        StatusOr<CooMatrix> read = readMatrixMarket(argv[1]);
+        if (!read.ok())
+            sp_fatal("%s", read.status().toString().c_str());
+        raw = std::move(read).value();
         if (raw.rows() != raw.cols())
             sp_fatal("graph_analytics: need a square matrix");
     } else {

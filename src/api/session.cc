@@ -4,7 +4,6 @@
 
 #include "prep/blocked.hh"
 #include "sparse/datasets.hh"
-#include "util/logging.hh"
 
 namespace sparsepipe::api {
 
@@ -15,8 +14,9 @@ prepareCase(const std::string &app_name, const CooMatrix &reordered)
     pc.app = makeApp(app_name, reordered.rows());
     pc.csr = pc.app.prepare(reordered);
     pc.csc = CscMatrix::fromCsr(pc.csr);
+    // The default block size is always legal, so value() cannot trip.
     pc.blocked_bytes_per_nz =
-        buildBlockedLayout(pc.csr).bytesPerNonzero();
+        buildBlockedLayout(pc.csr).value().bytesPerNonzero();
     pc.nnz = pc.csr.nnz();
     return pc;
 }
@@ -27,7 +27,10 @@ reorderMatrix(CooMatrix raw, ReorderKind kind)
     if (kind == ReorderKind::None)
         return raw;
     CsrMatrix csr = CsrMatrix::fromCoo(raw);
-    return applySymmetricPermutation(raw, makeReorder(kind, csr));
+    // makeReorder emits a bijection over a square matrix by
+    // construction, so value() cannot trip.
+    return applySymmetricPermutation(raw, makeReorder(kind, csr))
+        .value();
 }
 
 Session &
@@ -75,34 +78,62 @@ Session::bindWorkspace(const PreparedCase &pc)
     return ws;
 }
 
-RunReport
+StatusOr<RunReport>
 Session::run(const RunRequest &req)
 {
+    // Pre-validate the request's names so a typo comes back as
+    // InvalidInput instead of tripping the fatal registry lookups
+    // inside the cache builders.
     if (req.dataset.empty())
-        sp_fatal("Session::run: request names no dataset (use the "
-                 "PreparedCase overload for external matrices)");
-    return run(req,
-               prepared(req.app, req.dataset, req.reorder, req.seed));
+        return invalidInput(
+            "Session::run: request names no dataset (use the "
+            "PreparedCase overload for external matrices)");
+    if (!findAppInfo(req.app))
+        return invalidInput("Session::run: unknown application '%s'",
+                            req.app.c_str());
+    if (!findDatasetSpec(req.dataset))
+        return invalidInput("Session::run: unknown dataset '%s'",
+                            req.dataset.c_str());
+    try {
+        return run(req, prepared(req.app, req.dataset, req.reorder,
+                                 req.seed));
+    } catch (...) {
+        return statusFromCurrentException();
+    }
 }
 
-RunReport
+StatusOr<RunReport>
 Session::run(const RunRequest &req, const PreparedCase &pc)
 {
-    SparsepipeConfig cfg = req.sp;
-    cfg.bytes_per_nz = req.blocked ? pc.blocked_bytes_per_nz : 12.0;
+    if (req.cancel) {
+        // Don't bother binding a workspace for an already-dead job.
+        if (Status status = req.cancel->check(); !status.ok())
+            return status;
+    }
+    try {
+        SparsepipeConfig cfg = req.sp;
+        cfg.bytes_per_nz =
+            req.blocked ? pc.blocked_bytes_per_nz : 12.0;
 
-    Workspace ws = bindWorkspace(pc);
-    SparsepipeSim sim(cfg);
-    if (req.trace)
-        sim.attachTrace(req.trace);
+        Workspace ws = bindWorkspace(pc);
+        SparsepipeSim sim(cfg);
+        if (req.trace)
+            sim.attachTrace(req.trace);
+        sim.setCancelToken(req.cancel);
 
-    RunReport report;
-    report.app = req.app;
-    report.dataset = req.dataset;
-    report.nnz = pc.nnz;
-    report.stats = sim.run(
-        ws, req.iters > 0 ? req.iters : pc.app.default_iters);
-    return report;
+        RunReport report;
+        report.app = req.app;
+        report.dataset = req.dataset;
+        report.nnz = pc.nnz;
+        report.stats = sim.run(
+            ws, req.iters > 0 ? req.iters : pc.app.default_iters);
+        return report;
+    } catch (...) {
+        // SpError (cancellation, deadline) keeps its status;
+        // bad_alloc maps to ResourceExhausted; anything else is
+        // Internal.
+        return statusFromCurrentException();
+    }
 }
 
 } // namespace sparsepipe::api

@@ -37,6 +37,7 @@
 #include "prep/reorder.hh"
 #include "runner/keyed_cache.hh"
 #include "sparse/coo.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 namespace obs {
@@ -67,6 +68,12 @@ struct RunRequest
     std::uint64_t seed = kDefaultSeed;
     /** Optional trace sink attached for the run. */
     obs::TraceSink *trace = nullptr;
+    /**
+     * Optional cancellation / deadline token.  Checked before the
+     * run starts and per pass-engine stage launch during it; a fired
+     * token makes run() return Cancelled / DeadlineExceeded.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**
@@ -137,15 +144,25 @@ class Session
      */
     static Workspace bindWorkspace(const PreparedCase &pc);
 
-    /** Run one request end to end through the caches. */
-    RunReport run(const RunRequest &req);
+    /**
+     * Run one request end to end through the caches.
+     *
+     * Recoverable failures come back as a Status instead of killing
+     * the process: InvalidInput for unknown app / dataset names or a
+     * missing dataset, Cancelled / DeadlineExceeded when req.cancel
+     * fires, ResourceExhausted on allocation failure, Internal for
+     * anything unexpected escaping the simulator.
+     */
+    StatusOr<RunReport> run(const RunRequest &req);
 
     /**
      * Run a request against an externally supplied prepared case
      * (MatrixMarket / synthetic operands).  req.app must match the
      * app `pc` was prepared for; req.dataset labels the report.
+     * Same error contract as the cached overload.
      */
-    RunReport run(const RunRequest &req, const PreparedCase &pc);
+    StatusOr<RunReport> run(const RunRequest &req,
+                            const PreparedCase &pc);
 
   private:
     runner::KeyedCache<std::pair<std::string, std::uint64_t>,

@@ -72,6 +72,9 @@ struct AppInfo
 /** @return the suite in Table III order. */
 const std::vector<AppInfo> &appInfos();
 
+/** @return the info row for `name`, or nullptr when unknown. */
+const AppInfo *findAppInfo(const std::string &name);
+
 /**
  * Instantiate an application for an n x n operand.
  * @param name  Table III short name

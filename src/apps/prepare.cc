@@ -48,7 +48,7 @@ CsrMatrix
 prepareSpd(CooMatrix m)
 {
     if (m.rows() != m.cols())
-        sp_fatal("prepareSpd: matrix must be square");
+        sp_panic("prepareSpd: matrix must be square");
     // Symmetrise: B = (A + A^T) / 2 on the stored pattern.
     CooMatrix sym(m.rows(), m.cols());
     for (const Triplet &t : m.entries()) {

@@ -23,6 +23,15 @@ appInfos()
     return infos;
 }
 
+const AppInfo *
+findAppInfo(const std::string &name)
+{
+    for (const AppInfo &info : appInfos())
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
 AppInstance
 makeApp(const std::string &name, Idx n)
 {
@@ -37,7 +46,7 @@ makeApp(const std::string &name, Idx n)
     if (name == "gmres") return makeGmres(n);
     if (name == "cg")    return makeCg(n);
     if (name == "bgs")   return makeBgs(n);
-    sp_fatal("makeApp: unknown application '%s'", name.c_str());
+    sp_panic("makeApp: unknown application '%s'", name.c_str());
     __builtin_unreachable();
 }
 

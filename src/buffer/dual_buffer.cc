@@ -16,7 +16,7 @@ DualBufferModel::DualBufferModel(Idx capacity_bytes, Idx bytes_per_elem,
       band_evicted_(static_cast<std::size_t>(bands), 0)
 {
     if (capacity_bytes <= 0 || bytes_per_elem <= 0 || bands <= 0)
-        sp_fatal("DualBufferModel: invalid configuration");
+        sp_panic("DualBufferModel: invalid configuration");
 }
 
 void

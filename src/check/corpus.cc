@@ -1,13 +1,15 @@
 #include "check/corpus.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "lang/serialize.hh"
-#include "util/logging.hh"
+#include "util/alloc_hook.hh"
 
 namespace sparsepipe {
 
@@ -21,26 +23,47 @@ formatValue(Value v)
     return buf;
 }
 
-Value
-parseValue(const std::string &tok)
+/** Whole-string double parse; accepts inf/nan (see serialize.cc). */
+bool
+tryParseValue(const std::string &tok, Value &out)
 {
-    try {
-        return std::stod(tok);
-    } catch (const std::exception &) {
-        sp_fatal("readCase: bad value '%s'", tok.c_str());
-    }
-    __builtin_unreachable();
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    double value = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size())
+        return false;
+    out = value;
+    return true;
 }
 
-long long
-parseInt(const std::string &tok)
+bool
+tryParseInt(const std::string &tok, long long &out)
 {
-    try {
-        return std::stoll(tok);
-    } catch (const std::exception &) {
-        sp_fatal("readCase: bad integer '%s'", tok.c_str());
-    }
-    __builtin_unreachable();
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(tok.c_str(), &end, 10);
+    if (errno == ERANGE || end != tok.c_str() + tok.size())
+        return false;
+    out = value;
+    return true;
+}
+
+/** Seeds use the full uint64 range, so they get their own parser. */
+bool
+tryParseSeed(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty() || tok[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(tok.c_str(), &end, 10);
+    if (errno == ERANGE || end != tok.c_str() + tok.size())
+        return false;
+    out = value;
+    return true;
 }
 
 std::vector<std::string>
@@ -54,9 +77,260 @@ tokenize(const std::string &line)
     return toks;
 }
 
+/**
+ * Cross-field consistency: every id a case carries must resolve
+ * inside its own program with the right tensor kind and element
+ * count, and operand coordinates must fall inside the declared
+ * shape.  makeWorkspace and CooMatrix::add treat violations as
+ * invariant breaks, so a corrupted file must be rejected here.
+ */
+Status
+checkCaseConsistency(const FuzzCase &fuzz)
+{
+    const auto ntensors =
+        static_cast<long long>(fuzz.program.tensors().size());
+    auto bad_id = [&](TensorId id) {
+        return id < 0 || static_cast<long long>(id) >= ntensors;
+    };
+
+    if (fuzz.matrix != invalid_tensor) {
+        if (bad_id(fuzz.matrix))
+            return invalidInput("readCase: matrix id %lld out of "
+                                "range",
+                                static_cast<long long>(fuzz.matrix));
+        const TensorInfo &t = fuzz.program.tensor(fuzz.matrix);
+        if (t.kind != TensorKind::SparseMatrix)
+            return invalidInput(
+                "readCase: matrix id %lld is not a sparse tensor",
+                static_cast<long long>(fuzz.matrix));
+        if (t.dim0 != fuzz.operand.rows() ||
+            t.dim1 != fuzz.operand.cols())
+            return invalidInput(
+                "readCase: operand is %lld x %lld but tensor %lld "
+                "declares %lld x %lld",
+                static_cast<long long>(fuzz.operand.rows()),
+                static_cast<long long>(fuzz.operand.cols()),
+                static_cast<long long>(fuzz.matrix),
+                static_cast<long long>(t.dim0),
+                static_cast<long long>(t.dim1));
+    }
+
+    for (const auto &[id, values] : fuzz.vec_init) {
+        if (bad_id(id))
+            return invalidInput("readCase: vec-init id %lld out of "
+                                "range", static_cast<long long>(id));
+        const TensorInfo &t = fuzz.program.tensor(id);
+        if (t.kind != TensorKind::Vector)
+            return invalidInput(
+                "readCase: vec-init id %lld is not a vector",
+                static_cast<long long>(id));
+        if (static_cast<long long>(values.size()) != t.dim0)
+            return invalidInput(
+                "readCase: vec-init for tensor %lld has %zu values, "
+                "tensor holds %lld", static_cast<long long>(id),
+                values.size(), static_cast<long long>(t.dim0));
+    }
+    for (const auto &[id, values] : fuzz.den_init) {
+        if (bad_id(id))
+            return invalidInput("readCase: den-init id %lld out of "
+                                "range", static_cast<long long>(id));
+        const TensorInfo &t = fuzz.program.tensor(id);
+        if (t.kind != TensorKind::DenseMatrix)
+            return invalidInput(
+                "readCase: den-init id %lld is not a dense matrix",
+                static_cast<long long>(id));
+        if (static_cast<long long>(values.size()) !=
+            t.dim0 * t.dim1)
+            return invalidInput(
+                "readCase: den-init for tensor %lld has %zu values, "
+                "tensor holds %lld", static_cast<long long>(id),
+                values.size(), static_cast<long long>(t.dim0 * t.dim1));
+    }
+
+    if (fuzz.iters < 0)
+        return invalidInput("readCase: negative iters");
+    if (fuzz.config.buffer_bytes <= 0)
+        return invalidInput("readCase: non-positive buffer bytes");
+    if (!(fuzz.config.bytes_per_nz > 0.0))
+        return invalidInput("readCase: bad bytes-per-nz");
+    if (fuzz.config.sub_tensor_cols < 0 || fuzz.config.lag < 0)
+        return invalidInput("readCase: negative config field");
+    return okStatus();
+}
+
+StatusOr<FuzzCase>
+readCaseImpl(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line)) {
+        if (is.bad())
+            return ioError("case read failed mid-stream");
+        return invalidInput(
+            "readCase: missing 'sparsepipe-fuzz-case v1' header");
+    }
+    if (tokenize(line) !=
+        std::vector<std::string>{"sparsepipe-fuzz-case", "v1"})
+        return invalidInput(
+            "readCase: missing 'sparsepipe-fuzz-case v1' header");
+
+    FuzzCase fuzz;
+    bool saw_program = false;
+    while (std::getline(is, line)) {
+        allocCheckpoint();
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+        const std::string &key = toks[0];
+        long long v0 = 0;
+        if (key == "program") {
+            saw_program = true;
+            break;
+        } else if (key == "name" && toks.size() == 2) {
+            fuzz.name = toks[1];
+        } else if (key == "seed" && toks.size() == 2) {
+            if (!tryParseSeed(toks[1], fuzz.seed))
+                return invalidInput("readCase: bad seed '%s'",
+                                    toks[1].c_str());
+        } else if (key == "iters" && toks.size() == 2) {
+            if (!tryParseInt(toks[1], v0))
+                return invalidInput("readCase: bad iters '%s'",
+                                    toks[1].c_str());
+            fuzz.iters = static_cast<Idx>(v0);
+        } else if (key == "oei-sub-tensor" && toks.size() == 2) {
+            if (!tryParseInt(toks[1], v0))
+                return invalidInput(
+                    "readCase: bad oei-sub-tensor '%s'",
+                    toks[1].c_str());
+            fuzz.oei_sub_tensor = static_cast<Idx>(v0);
+        } else if (key == "config" && toks.size() == 7) {
+            long long buffer = 0, eager = 0, cols = 0, lag = 0;
+            double bpn = 0.0;
+            if (!tryParseInt(toks[1], buffer) ||
+                !tryParseValue(toks[2], bpn) ||
+                !tryParseInt(toks[3], eager) ||
+                !tryParseInt(toks[4], cols) ||
+                !tryParseInt(toks[5], lag))
+                return invalidInput("readCase: bad config line '%s'",
+                                    line.c_str());
+            fuzz.config.buffer_bytes = static_cast<Idx>(buffer);
+            fuzz.config.bytes_per_nz = bpn;
+            fuzz.config.eager_csr = eager != 0;
+            fuzz.config.sub_tensor_cols = static_cast<Idx>(cols);
+            fuzz.config.lag = static_cast<Idx>(lag);
+            if (toks[6] == "ddr4")
+                fuzz.config.dram = DramConfig::ddr4();
+            else if (toks[6] == "gddr6x")
+                fuzz.config.dram = DramConfig::gddr6x();
+            else
+                return invalidInput("readCase: unknown dram '%s'",
+                                    toks[6].c_str());
+        } else if (key == "matrix" && toks.size() == 2) {
+            if (!tryParseInt(toks[1], v0))
+                return invalidInput("readCase: bad matrix id '%s'",
+                                    toks[1].c_str());
+            fuzz.matrix = static_cast<TensorId>(v0);
+        } else if (key == "operand" && toks.size() == 4) {
+            long long rows = 0, cols = 0, nnz = 0;
+            if (!tryParseInt(toks[1], rows) ||
+                !tryParseInt(toks[2], cols) ||
+                !tryParseInt(toks[3], nnz) || rows < 0 || cols < 0 ||
+                nnz < 0)
+                return invalidInput(
+                    "readCase: bad operand line '%s'", line.c_str());
+            fuzz.operand = CooMatrix(static_cast<Idx>(rows),
+                                     static_cast<Idx>(cols));
+            for (long long i = 0; i < nnz; ++i) {
+                allocCheckpoint();
+                if (!std::getline(is, line)) {
+                    if (is.bad())
+                        return ioError("case read failed mid-stream");
+                    return invalidInput(
+                        "readCase: truncated operand (%lld of %lld "
+                        "entries)", i, nnz);
+                }
+                const std::vector<std::string> entry = tokenize(line);
+                long long r = 0, c = 0;
+                Value val = 0.0;
+                if (entry.size() != 3 ||
+                    !tryParseInt(entry[0], r) ||
+                    !tryParseInt(entry[1], c) ||
+                    !tryParseValue(entry[2], val))
+                    return invalidInput(
+                        "readCase: bad operand entry '%s'",
+                        line.c_str());
+                // CooMatrix::add treats out-of-range coordinates as
+                // an invariant break; reject them as input here.
+                if (r < 0 || r >= rows || c < 0 || c >= cols)
+                    return invalidInput(
+                        "readCase: operand entry (%lld, %lld) "
+                        "outside %lld x %lld", r, c, rows, cols);
+                fuzz.operand.add(static_cast<Idx>(r),
+                                 static_cast<Idx>(c), val);
+            }
+        } else if (key == "vec-init" && toks.size() >= 3) {
+            long long id = 0, count = 0;
+            if (!tryParseInt(toks[1], id) ||
+                !tryParseInt(toks[2], count) || count < 0)
+                return invalidInput(
+                    "readCase: bad vec-init line '%s'", line.c_str());
+            if (toks.size() !=
+                static_cast<unsigned long long>(count) + 3)
+                return invalidInput(
+                    "readCase: vec-init expects %lld values, got "
+                    "%zu", count, toks.size() - 3);
+            DenseVector values(static_cast<std::size_t>(count));
+            for (long long i = 0; i < count; ++i)
+                if (!tryParseValue(toks[static_cast<std::size_t>(3 + i)],
+                                   values[static_cast<std::size_t>(i)]))
+                    return invalidInput(
+                        "readCase: bad vec-init value in '%s'",
+                        line.c_str());
+            fuzz.vec_init.emplace_back(static_cast<TensorId>(id),
+                                       std::move(values));
+        } else if (key == "den-init" && toks.size() >= 3) {
+            long long id = 0, count = 0;
+            if (!tryParseInt(toks[1], id) ||
+                !tryParseInt(toks[2], count) || count < 0)
+                return invalidInput(
+                    "readCase: bad den-init line '%s'", line.c_str());
+            if (toks.size() !=
+                static_cast<unsigned long long>(count) + 3)
+                return invalidInput(
+                    "readCase: den-init expects %lld values, got "
+                    "%zu", count, toks.size() - 3);
+            std::vector<Value> values(static_cast<std::size_t>(count));
+            for (long long i = 0; i < count; ++i)
+                if (!tryParseValue(toks[static_cast<std::size_t>(3 + i)],
+                                   values[static_cast<std::size_t>(i)]))
+                    return invalidInput(
+                        "readCase: bad den-init value in '%s'",
+                        line.c_str());
+            fuzz.den_init.emplace_back(static_cast<TensorId>(id),
+                                       std::move(values));
+        } else {
+            return invalidInput("readCase: bad directive '%s'",
+                                line.c_str());
+        }
+    }
+    if (is.bad())
+        return ioError("case read failed mid-stream");
+    if (!saw_program)
+        return invalidInput("readCase: missing 'program' section");
+    StatusOr<Program> program = readProgramText(is);
+    if (!program.ok()) {
+        Status status = program.status();
+        return std::move(status).withContext(
+            "reading embedded program");
+    }
+    fuzz.program = std::move(*program);
+    if (Status status = checkCaseConsistency(fuzz); !status.ok())
+        return status;
+    return fuzz;
+}
+
 } // anonymous namespace
 
-void
+Status
 writeCase(std::ostream &os, const FuzzCase &fuzz)
 {
     os << "sparsepipe-fuzz-case v1\n";
@@ -89,120 +363,47 @@ writeCase(std::ostream &os, const FuzzCase &fuzz)
         os << "\n";
     }
     os << "program\n";
-    writeProgramText(os, fuzz.program);
+    return writeProgramText(os, fuzz.program);
 }
 
-FuzzCase
+StatusOr<FuzzCase>
 readCase(std::istream &is)
 {
-    std::string line;
-    if (!std::getline(is, line) || tokenize(line) !=
-        std::vector<std::string>{"sparsepipe-fuzz-case", "v1"})
-        sp_fatal("readCase: missing 'sparsepipe-fuzz-case v1' header");
-
-    FuzzCase fuzz;
-    bool saw_program = false;
-    while (std::getline(is, line)) {
-        const std::vector<std::string> toks = tokenize(line);
-        if (toks.empty() || toks[0][0] == '#')
-            continue;
-        const std::string &key = toks[0];
-        if (key == "program") {
-            saw_program = true;
-            break;
-        } else if (key == "name" && toks.size() == 2) {
-            fuzz.name = toks[1];
-        } else if (key == "seed" && toks.size() == 2) {
-            fuzz.seed = static_cast<std::uint64_t>(
-                std::stoull(toks[1]));
-        } else if (key == "iters" && toks.size() == 2) {
-            fuzz.iters = parseInt(toks[1]);
-        } else if (key == "oei-sub-tensor" && toks.size() == 2) {
-            fuzz.oei_sub_tensor = parseInt(toks[1]);
-        } else if (key == "config" && toks.size() == 7) {
-            fuzz.config.buffer_bytes = parseInt(toks[1]);
-            fuzz.config.bytes_per_nz = parseValue(toks[2]);
-            fuzz.config.eager_csr = parseInt(toks[3]) != 0;
-            fuzz.config.sub_tensor_cols = parseInt(toks[4]);
-            fuzz.config.lag = parseInt(toks[5]);
-            if (toks[6] == "ddr4")
-                fuzz.config.dram = DramConfig::ddr4();
-            else if (toks[6] == "gddr6x")
-                fuzz.config.dram = DramConfig::gddr6x();
-            else
-                sp_fatal("readCase: unknown dram '%s'",
-                         toks[6].c_str());
-        } else if (key == "matrix" && toks.size() == 2) {
-            fuzz.matrix = parseInt(toks[1]);
-        } else if (key == "operand" && toks.size() == 4) {
-            const Idx rows = parseInt(toks[1]);
-            const Idx cols = parseInt(toks[2]);
-            const Idx nnz = parseInt(toks[3]);
-            fuzz.operand = CooMatrix(rows, cols);
-            for (Idx i = 0; i < nnz; ++i) {
-                if (!std::getline(is, line))
-                    sp_fatal("readCase: truncated operand (%lld of "
-                             "%lld entries)", static_cast<long long>(i),
-                             static_cast<long long>(nnz));
-                const std::vector<std::string> entry = tokenize(line);
-                if (entry.size() != 3)
-                    sp_fatal("readCase: bad operand entry '%s'",
-                             line.c_str());
-                fuzz.operand.add(parseInt(entry[0]),
-                                 parseInt(entry[1]),
-                                 parseValue(entry[2]));
-            }
-        } else if (key == "vec-init" && toks.size() >= 3) {
-            const TensorId id = parseInt(toks[1]);
-            const std::size_t count =
-                static_cast<std::size_t>(parseInt(toks[2]));
-            if (toks.size() != 3 + count)
-                sp_fatal("readCase: vec-init expects %zu values, got "
-                         "%zu", count, toks.size() - 3);
-            DenseVector values(count);
-            for (std::size_t i = 0; i < count; ++i)
-                values[i] = parseValue(toks[3 + i]);
-            fuzz.vec_init.emplace_back(id, std::move(values));
-        } else if (key == "den-init" && toks.size() >= 3) {
-            const TensorId id = parseInt(toks[1]);
-            const std::size_t count =
-                static_cast<std::size_t>(parseInt(toks[2]));
-            if (toks.size() != 3 + count)
-                sp_fatal("readCase: den-init expects %zu values, got "
-                         "%zu", count, toks.size() - 3);
-            std::vector<Value> values(count);
-            for (std::size_t i = 0; i < count; ++i)
-                values[i] = parseValue(toks[3 + i]);
-            fuzz.den_init.emplace_back(id, std::move(values));
-        } else {
-            sp_fatal("readCase: bad directive '%s'", line.c_str());
-        }
+    try {
+        return readCaseImpl(is);
+    } catch (const std::bad_alloc &) {
+        return resourceExhausted("out of memory parsing fuzz case");
     }
-    if (!saw_program)
-        sp_fatal("readCase: missing 'program' section");
-    fuzz.program = readProgramText(is);
-    return fuzz;
 }
 
-void
+Status
 writeCaseFile(const std::string &path, const FuzzCase &fuzz)
 {
     std::ofstream os(path);
     if (!os)
-        sp_fatal("writeCaseFile: cannot open '%s'", path.c_str());
-    writeCase(os, fuzz);
+        return ioError("writeCaseFile: cannot open '%s'",
+                       path.c_str());
+    if (Status status = writeCase(os, fuzz); !status.ok())
+        return std::move(status).withContext("writing '" + path + "'");
+    os.flush();
     if (!os)
-        sp_fatal("writeCaseFile: write to '%s' failed", path.c_str());
+        return ioError("writeCaseFile: write to '%s' failed",
+                       path.c_str());
+    return okStatus();
 }
 
-FuzzCase
+StatusOr<FuzzCase>
 readCaseFile(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        sp_fatal("readCaseFile: cannot open '%s'", path.c_str());
-    ScopedLogLabel label(path);
-    return readCase(is);
+        return ioError("readCaseFile: cannot open '%s'", path.c_str());
+    StatusOr<FuzzCase> fuzz = readCase(is);
+    if (!fuzz.ok()) {
+        Status status = fuzz.status();
+        return std::move(status).withContext("in '" + path + "'");
+    }
+    return fuzz;
 }
 
 std::vector<std::string>

@@ -4,6 +4,12 @@
  * line-oriented text file so shrunk reproducers survive in
  * `corpus/` directories and replay under ctest (fuzz_regression_test)
  * long after the seed that found them stopped reproducing.
+ *
+ * Corpus files live on disk and may be hand-edited or corrupted, so
+ * the readers sit on the user-input boundary: malformed content comes
+ * back as InvalidInput, environment trouble as IoError.  A returned
+ * case is internally consistent (operand entries in range, init
+ * blocks matching their tensors), so downstream code may trust it.
  */
 
 #ifndef SPARSEPIPE_CHECK_CORPUS_HH
@@ -14,18 +20,19 @@
 #include <vector>
 
 #include "check/fuzz_case.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
 /** Write one case in the sparsepipe-fuzz-case v1 format. */
-void writeCase(std::ostream &os, const FuzzCase &fuzz);
+Status writeCase(std::ostream &os, const FuzzCase &fuzz);
 
-/** Parse a case; malformed input is a user error (fatal). */
-FuzzCase readCase(std::istream &is);
+/** Parse and consistency-check a case. */
+StatusOr<FuzzCase> readCase(std::istream &is);
 
-/** File wrappers; I/O failures are user errors (fatal). */
-void writeCaseFile(const std::string &path, const FuzzCase &fuzz);
-FuzzCase readCaseFile(const std::string &path);
+/** File wrappers around the stream forms. */
+Status writeCaseFile(const std::string &path, const FuzzCase &fuzz);
+StatusOr<FuzzCase> readCaseFile(const std::string &path);
 
 /**
  * @return paths of every `*.fuzzcase` file directly inside `dir`,

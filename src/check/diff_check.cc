@@ -23,7 +23,7 @@ injectedBugName(InjectedBug bug)
     return "?";
 }
 
-InjectedBug
+StatusOr<InjectedBug>
 injectedBugFromName(const std::string &name)
 {
     static const InjectedBug all[] = {
@@ -33,9 +33,9 @@ injectedBugFromName(const std::string &name)
     for (InjectedBug bug : all)
         if (name == injectedBugName(bug))
             return bug;
-    sp_fatal("unknown injected bug '%s' (none, result-epsilon, "
-             "buffer-overflow)", name.c_str());
-    __builtin_unreachable();
+    return invalidInput(
+        "unknown injected bug '%s' (none, result-epsilon, "
+        "buffer-overflow)", name.c_str());
 }
 
 bool

@@ -20,6 +20,7 @@
 
 #include "check/fuzz_case.hh"
 #include "core/sparsepipe_sim.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
@@ -37,8 +38,8 @@ enum class InjectedBug { None, ResultEpsilon, BufferOverflow };
 /** @return short name ("none", "result-epsilon", ...). */
 const char *injectedBugName(InjectedBug bug);
 
-/** Parse a bug name; fatal on unknown names. */
-InjectedBug injectedBugFromName(const std::string &name);
+/** Parse a bug name; InvalidInput on unknown names (CLI input). */
+StatusOr<InjectedBug> injectedBugFromName(const std::string &name);
 
 /** Outcome of checking one case. */
 struct CaseReport

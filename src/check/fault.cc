@@ -1,0 +1,343 @@
+#include "check/fault.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <ios>
+#include <istream>
+#include <sstream>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "check/case_gen.hh"
+#include "check/corpus.hh"
+#include "sparse/generate.hh"
+#include "sparse/io.hh"
+#include "util/alloc_hook.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace sparsepipe {
+
+namespace {
+
+/**
+ * A streambuf that throws once `fail_at` characters were consumed.
+ * istreams catch the throw and set badbit (the default exception
+ * mask swallows it), which is exactly what a disk read error looks
+ * like to the readers — they must answer with IoError.
+ */
+class FailingBuf : public std::streambuf
+{
+  public:
+    FailingBuf(std::string text, std::size_t fail_at)
+        : text_(std::move(text)), fail_at_(fail_at) {}
+
+  protected:
+    int_type
+    underflow() override
+    {
+        failMaybe();
+        if (pos_ >= text_.size())
+            return traits_type::eof();
+        return traits_type::to_int_type(text_[pos_]);
+    }
+
+    int_type
+    uflow() override
+    {
+        failMaybe();
+        if (pos_ >= text_.size())
+            return traits_type::eof();
+        return traits_type::to_int_type(text_[pos_++]);
+    }
+
+  private:
+    void
+    failMaybe() const
+    {
+        if (pos_ >= fail_at_)
+            throw std::ios_base::failure("injected stream failure");
+    }
+
+    std::string text_;
+    std::size_t fail_at_;
+    std::size_t pos_ = 0;
+};
+
+/** Generate a small valid MatrixMarket file (>= 4 entries). */
+std::string
+makeMtxText(Rng &rng)
+{
+    const Idx n = 8 + static_cast<Idx>(rng.nextBelow(25));
+    CooMatrix m = generateUniform(n, 4 * n, rng);
+    if (m.nnz() < 4) {
+        // Dedup can (in principle) collapse the sample; pin a floor.
+        m = CooMatrix(n, n);
+        m.add(0, 0, 1.0);
+        m.add(1, 2, -2.5);
+        m.add(2, 1, 0.25);
+        m.add(n - 1, n - 1, 3.0);
+    }
+    std::ostringstream os;
+    Status status = writeMatrixMarket(m, os);
+    sp_assert(status.ok());
+    return os.str();
+}
+
+/** Generate a small valid .fuzzcase file. */
+std::string
+makeCaseText(Rng &rng)
+{
+    GenOptions gen;
+    gen.min_n = 8;
+    gen.max_n = 32;
+    gen.max_iters = 4;
+    const FuzzCase fuzz = generateCase(rng.next64(), gen);
+    std::ostringstream os;
+    Status status = writeCase(os, fuzz);
+    sp_assert(status.ok());
+    return os.str();
+}
+
+/** Split into lines, ignoring a trailing final newline. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Drop 1..3 whole trailing lines (never the first line).  Both file
+ * formats end in load-bearing content — the last .mtx lines are
+ * declared entries, the last .fuzzcase line is the program's 'end'
+ * — so any whole-line truncation is invalid by construction.
+ */
+std::string
+dropTrailingLines(const std::string &text, Rng &rng)
+{
+    std::vector<std::string> lines = splitLines(text);
+    sp_assert(lines.size() >= 2);
+    const std::size_t max_drop =
+        std::min<std::size_t>(3, lines.size() - 1);
+    const std::size_t drop = 1 + rng.nextBelow(max_drop);
+    std::string out;
+    for (std::size_t i = 0; i + drop < lines.size(); ++i)
+        out += lines[i] + "\n";
+    return out;
+}
+
+/** Whole-token number test (accepts inf/nan like the parsers do). */
+bool
+parsesAsNumber(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    (void)std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+}
+
+/**
+ * Replace one randomly chosen numeric token with a string no number
+ * parser accepts.  Only numeric tokens are load-bearing in both
+ * formats (names and keywords are free-form or keyword-matched), so
+ * the mutation is guaranteed to make the file invalid.
+ */
+std::string
+corruptNumericToken(const std::string &text, Rng &rng)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[j])))
+            ++j;
+        if (parsesAsNumber(text.substr(i, j - i)))
+            spans.emplace_back(i, j);
+        i = j;
+    }
+    sp_assert(!spans.empty());
+    const auto [begin, end] =
+        spans[rng.nextBelow(spans.size())];
+    std::string out = text;
+    out.replace(begin, end - begin, "bogus!");
+    return out;
+}
+
+/** Swap the first line for something that is not a banner. */
+std::string
+breakBanner(const std::string &text)
+{
+    const std::size_t nl = text.find('\n');
+    sp_assert(nl != std::string::npos);
+    return "%%NotMatrixMarket definitely not a banner" +
+           text.substr(nl);
+}
+
+Status
+statusOfMtxRead(std::istream &in)
+{
+    StatusOr<CooMatrix> read = readMatrixMarket(in, "<fault>");
+    return read.ok() ? okStatus() : read.status();
+}
+
+Status
+statusOfCaseRead(std::istream &in)
+{
+    StatusOr<FuzzCase> read = readCase(in);
+    return read.ok() ? okStatus() : read.status();
+}
+
+/** Feed the broken artifact to the real boundary reader. */
+Status
+observeFault(FaultKind kind, Rng &rng)
+{
+    switch (kind) {
+    case FaultKind::MtxBadBanner: {
+        std::istringstream in(breakBanner(makeMtxText(rng)));
+        return statusOfMtxRead(in);
+    }
+    case FaultKind::MtxTruncated: {
+        std::istringstream in(dropTrailingLines(makeMtxText(rng), rng));
+        return statusOfMtxRead(in);
+    }
+    case FaultKind::MtxCorruptToken: {
+        std::istringstream in(
+            corruptNumericToken(makeMtxText(rng), rng));
+        return statusOfMtxRead(in);
+    }
+    case FaultKind::MtxEmpty: {
+        std::istringstream in("");
+        return statusOfMtxRead(in);
+    }
+    case FaultKind::MtxFailingStream: {
+        const std::string text = makeMtxText(rng);
+        FailingBuf buf(text,
+                       1 + rng.nextBelow(std::max<std::uint64_t>(
+                               1, text.size() / 2)));
+        std::istream in(&buf);
+        return statusOfMtxRead(in);
+    }
+    case FaultKind::MtxAllocFail: {
+        std::istringstream in(makeMtxText(rng));
+        // Every declared entry passes a checkpoint and the text
+        // holds >= 4 entries, so a budget of 0..1 always fires.
+        ScopedAllocFailure fail(
+            static_cast<long long>(rng.nextBelow(2)));
+        return statusOfMtxRead(in);
+    }
+    case FaultKind::CaseTruncated: {
+        std::istringstream in(
+            dropTrailingLines(makeCaseText(rng), rng));
+        return statusOfCaseRead(in);
+    }
+    case FaultKind::CaseCorruptToken: {
+        std::istringstream in(
+            corruptNumericToken(makeCaseText(rng), rng));
+        return statusOfCaseRead(in);
+    }
+    case FaultKind::CaseFailingStream: {
+        const std::string text = makeCaseText(rng);
+        FailingBuf buf(text,
+                       1 + rng.nextBelow(std::max<std::uint64_t>(
+                               1, text.size() / 2)));
+        std::istream in(&buf);
+        return statusOfCaseRead(in);
+    }
+    case FaultKind::CaseAllocFail: {
+        std::istringstream in(makeCaseText(rng));
+        // The parser passes a checkpoint per body line; every case
+        // has several, so a budget of 0..3 always fires.
+        ScopedAllocFailure fail(
+            static_cast<long long>(rng.nextBelow(4)));
+        return statusOfCaseRead(in);
+    }
+    case FaultKind::Count_:
+        break;
+    }
+    sp_panic("observeFault: bad fault kind %d",
+             static_cast<int>(kind));
+    __builtin_unreachable();
+}
+
+} // anonymous namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::MtxBadBanner: return "mtx-bad-banner";
+    case FaultKind::MtxTruncated: return "mtx-truncated";
+    case FaultKind::MtxCorruptToken: return "mtx-corrupt-token";
+    case FaultKind::MtxEmpty: return "mtx-empty";
+    case FaultKind::MtxFailingStream: return "mtx-failing-stream";
+    case FaultKind::MtxAllocFail: return "mtx-alloc-fail";
+    case FaultKind::CaseTruncated: return "case-truncated";
+    case FaultKind::CaseCorruptToken: return "case-corrupt-token";
+    case FaultKind::CaseFailingStream: return "case-failing-stream";
+    case FaultKind::CaseAllocFail: return "case-alloc-fail";
+    case FaultKind::Count_: break;
+    }
+    return "unknown-fault";
+}
+
+FaultPlan
+planFault(std::uint64_t base_seed, std::uint64_t index)
+{
+    FaultPlan plan;
+    plan.kind = static_cast<FaultKind>(
+        index % static_cast<std::uint64_t>(FaultKind::Count_));
+    plan.seed = mixSeed(base_seed, index);
+    return plan;
+}
+
+StatusCode
+expectedFaultCode(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::MtxFailingStream:
+    case FaultKind::CaseFailingStream:
+        return StatusCode::IoError;
+    case FaultKind::MtxAllocFail:
+    case FaultKind::CaseAllocFail:
+        return StatusCode::ResourceExhausted;
+    default:
+        return StatusCode::InvalidInput;
+    }
+}
+
+FaultReport
+runFaultCase(const FaultPlan &plan)
+{
+    FaultReport report;
+    report.plan = plan;
+    report.expected = expectedFaultCode(plan.kind);
+    Rng rng(plan.seed);
+    try {
+        report.observed = observeFault(plan.kind, rng);
+    } catch (...) {
+        // The boundary contract is "return a Status, never throw";
+        // an escaping exception is itself a failed case.
+        Status leaked = statusFromCurrentException();
+        report.observed =
+            internalError("reader threw instead of returning: %s",
+                          leaked.toString().c_str());
+    }
+    report.pass = !report.observed.ok() &&
+                  report.observed.code() == report.expected;
+    return report;
+}
+
+} // namespace sparsepipe

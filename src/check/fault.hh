@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fault injection against the recoverable-error boundary.
+ *
+ * The Status layer (util/status.hh) claims that every malformed
+ * input, broken stream, and allocation failure at the boundary comes
+ * back as a non-Ok Status of a specific code — never a crash, a
+ * hang, or a silently wrong success.  This module checks that claim
+ * the same way src/check fuzzes the simulator: generate a VALID
+ * artifact (a MatrixMarket file or a .fuzzcase) from a seed, break
+ * it in a controlled way, feed it to the real reader, and compare
+ * the observed StatusCode against the one the fault must produce:
+ *
+ *   truncated / corrupted / bad-banner bytes -> InvalidInput
+ *   a stream that fails mid-read             -> IoError
+ *   an allocation that fails mid-parse       -> ResourceExhausted
+ *
+ * Mutations are designed to guarantee invalidity: truncation drops
+ * whole trailing lines (both formats end with load-bearing content),
+ * and corruption replaces a numeric token with a string no number
+ * parser accepts.  `sparsepipe_fuzz --inject-fault` drives this over
+ * many seeds in parallel.
+ */
+
+#ifndef SPARSEPIPE_CHECK_FAULT_HH
+#define SPARSEPIPE_CHECK_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hh"
+
+namespace sparsepipe {
+
+/** One way of breaking one artifact. */
+enum class FaultKind : int
+{
+    MtxBadBanner = 0, ///< first line is not a MatrixMarket banner
+    MtxTruncated,     ///< trailing entry lines dropped
+    MtxCorruptToken,  ///< one numeric token replaced with garbage
+    MtxEmpty,         ///< zero-byte file
+    MtxFailingStream, ///< stream throws mid-read (badbit)
+    MtxAllocFail,     ///< allocation fails mid-parse
+    CaseTruncated,    ///< trailing lines dropped (loses 'end')
+    CaseCorruptToken, ///< one numeric token replaced with garbage
+    CaseFailingStream,///< stream throws mid-read (badbit)
+    CaseAllocFail,    ///< allocation fails mid-parse
+    Count_,           ///< number of kinds (cycle index with this)
+};
+
+/** @return stable name ("mtx-truncated", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One planned fault: which artifact to build and how to break it. */
+struct FaultPlan
+{
+    FaultKind kind = FaultKind::MtxBadBanner;
+    /** Seeds both the artifact and the mutation point. */
+    std::uint64_t seed = 0;
+};
+
+/** Plan fault `index` of a sweep: kinds cycle, seeds are mixed. */
+FaultPlan planFault(std::uint64_t base_seed, std::uint64_t index);
+
+/** @return the StatusCode the fault must surface as. */
+StatusCode expectedFaultCode(FaultKind kind);
+
+/** Outcome of running one planned fault against the real reader. */
+struct FaultReport
+{
+    FaultPlan plan;
+    StatusCode expected = StatusCode::Ok;
+    /** What the reader actually returned. */
+    Status observed;
+    /** Expected code observed (and therefore not a silent success). */
+    bool pass = false;
+};
+
+/**
+ * Build the artifact, break it, run it through the boundary reader,
+ * and compare codes.  Never crashes or hangs itself: a reader that
+ * throws instead of returning is reported as a failed case with an
+ * Internal observed status.
+ */
+FaultReport runFaultCase(const FaultPlan &plan);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CHECK_FAULT_HH

@@ -15,7 +15,7 @@ makeWorkspace(const FuzzCase &fuzz)
     for (const auto &[id, values] : fuzz.vec_init) {
         DenseVector &dst = ws.vec(id);
         if (dst.size() != values.size())
-            sp_fatal("makeWorkspace: vec-init for tensor %lld has %zu "
+            sp_panic("makeWorkspace: vec-init for tensor %lld has %zu "
                      "values, tensor holds %zu",
                      static_cast<long long>(id), values.size(),
                      dst.size());
@@ -24,7 +24,7 @@ makeWorkspace(const FuzzCase &fuzz)
     for (const auto &[id, values] : fuzz.den_init) {
         DenseMatrix &dst = ws.den(id);
         if (dst.data().size() != values.size())
-            sp_fatal("makeWorkspace: den-init for tensor %lld has %zu "
+            sp_panic("makeWorkspace: den-init for tensor %lld has %zu "
                      "values, tensor holds %zu",
                      static_cast<long long>(id), values.size(),
                      dst.data().size());

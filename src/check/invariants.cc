@@ -66,7 +66,13 @@ checkPrepPermutation(const InvariantContext &ctx)
         if (!isPermutation(perm))
             return std::string(reorderKindName(kind)) +
                    " reorder is not a permutation";
-        CooMatrix renum = applySymmetricPermutation(coo, perm);
+        StatusOr<CooMatrix> renum_or =
+            applySymmetricPermutation(coo, perm);
+        if (!renum_or.ok())
+            return std::string(reorderKindName(kind)) +
+                   " reorder rejected: " +
+                   renum_or.status().toString();
+        CooMatrix renum = std::move(renum_or).value();
         renum.canonicalize();
         if (renum.nnz() != csr.nnz())
             return std::string(reorderKindName(kind)) +
@@ -84,7 +90,11 @@ checkPrepPermutation(const InvariantContext &ctx)
                    " reorder changed the value multiset";
     }
 
-    const BlockedLayout layout = buildBlockedLayout(csr);
+    StatusOr<BlockedLayout> layout_or = buildBlockedLayout(csr);
+    if (!layout_or.ok())
+        return "blocked layout rejected: " +
+               layout_or.status().toString();
+    const BlockedLayout &layout = *layout_or;
     if (layout.nnz != csr.nnz()) {
         std::ostringstream ss;
         ss << "blocked layout holds " << layout.nnz

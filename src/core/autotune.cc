@@ -23,7 +23,7 @@ autotuneSubTensor(const AppInstance &app, const CsrMatrix &prepared,
                   std::vector<Idx> candidates, Idx pilot_iters)
 {
     if (pilot_iters < 2)
-        sp_fatal("autotuneSubTensor: pilot needs >= 2 iterations");
+        sp_panic("autotuneSubTensor: pilot needs >= 2 iterations");
 
     if (candidates.empty()) {
         // Power-of-two ladder spanning 1/8x .. 8x of the static

@@ -10,7 +10,7 @@ StepBuckets
 StepBuckets::build(const CscMatrix &matrix, Idx t)
 {
     if (t <= 0)
-        sp_fatal("StepBuckets: sub-tensor size must be positive");
+        sp_panic("StepBuckets: sub-tensor size must be positive");
     StepBuckets b;
     b.t_ = t;
     b.steps_ = (matrix.cols() + t - 1) / t;
@@ -38,7 +38,7 @@ StepBuckets
 StepBuckets::buildTransposed(const CsrMatrix &matrix, Idx t)
 {
     if (t <= 0)
-        sp_fatal("StepBuckets: sub-tensor size must be positive");
+        sp_panic("StepBuckets: sub-tensor size must be positive");
     StepBuckets b;
     b.t_ = t;
     b.steps_ = (matrix.rows() + t - 1) / t;

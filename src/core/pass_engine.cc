@@ -36,6 +36,7 @@ struct PassEngine::Run
     DualBufferModel *buffer; ///< null for stream passes
     PassCosts costs;
     bool fused;
+    const CancelToken *cancel; ///< null when cancellation is off
 
     Idx steps = 0;
     Idx bands = 0;
@@ -63,9 +64,11 @@ struct PassEngine::Run
     Run(const SparsepipeConfig &cfg_, DramModel &dram_,
         EventQueue &eq_, const StepBuckets &b_,
         DualBufferModel *buffer_, const PassCosts &costs_,
-        bool fused_, PassEngine::Scratch &sc)
+        bool fused_, const CancelToken *cancel_,
+        PassEngine::Scratch &sc)
         : cfg(cfg_), dram(dram_), eq(eq_), b(b_), buffer(buffer_),
-          costs(costs_), fused(fused_), done(sc.done),
+          costs(costs_), fused(fused_), cancel(cancel_),
+          done(sc.done),
           completed(sc.completed), launched(sc.launched),
           prefetched(sc.prefetched), prefetchable(sc.prefetchable),
           slice_resident(sc.slice_resident),
@@ -161,6 +164,11 @@ struct PassEngine::Run
         if (flag || !ready(s, j))
             return;
         flag = 1;
+        // Cooperative cancellation point: one relaxed load per stage
+        // launch.  Unwinds through the event queue via SpError; all
+        // pass state is per-run, so abandoning it is safe.
+        if (cancel)
+            throwIfError(cancel->check());
         execute(s, j);
     }
 
@@ -537,7 +545,7 @@ PassEngine::runFused(const StepBuckets &buckets,
                      Tick start)
 {
     Run run(config_, dram_, queue_, buckets, &buffer, costs, true,
-            scratch_);
+            cancel_, scratch_);
     run.run(start);
     return run.stats;
 }
@@ -547,7 +555,7 @@ PassEngine::runStream(const StepBuckets &buckets,
                       const PassCosts &costs, Tick start)
 {
     Run run(config_, dram_, queue_, buckets, nullptr, costs, false,
-            scratch_);
+            cancel_, scratch_);
     run.run(start);
     return run.stats;
 }

@@ -29,6 +29,7 @@
 #include "mem/dram.hh"
 #include "obs/attribution.hh"
 #include "sim/event_queue.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
@@ -97,6 +98,16 @@ class PassEngine
     PassStats runStream(const StepBuckets &buckets,
                         const PassCosts &costs, Tick start);
 
+    /**
+     * Attach a cancellation token (null detaches).  The engine
+     * checks it once per stage launch — a relaxed atomic load per
+     * column step — and unwinds by throwing SpError(Cancelled /
+     * DeadlineExceeded); the Session boundary flattens that back
+     * into a returned Status.  Engine, queue, and DRAM model are
+     * per-run objects, so abandoning them mid-pass is safe.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
   private:
     struct Run;
 
@@ -122,6 +133,7 @@ class PassEngine
     const SparsepipeConfig &config_;
     DramModel &dram_;
     EventQueue &queue_;
+    const CancelToken *cancel_ = nullptr;
     Scratch scratch_;
 };
 

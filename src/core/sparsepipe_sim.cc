@@ -151,6 +151,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     EventQueue eq;
     DramModel dram(config_.dram);
     PassEngine engine(config_, dram, eq);
+    engine.setCancelToken(cancel_);
     RefExecutor ref;
 
     // Activity spans and phase windows feeding cycle attribution.
@@ -233,6 +234,8 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     if (an.leading_ops.empty()) {
         Tick t = 0;
         for (Idx it = 0; it < max_iters; ++it) {
+            if (cancel_)
+                throwIfError(cancel_->check());
             const Tick t0 = t;
             Idx bytes = static_cast<Idx>(per_iter.vector_read_bytes +
                                          per_iter.vector_write_bytes);
@@ -279,6 +282,8 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
 
     Idx it = 0;
     while (it < max_iters) {
+        if (cancel_)
+            throwIfError(cancel_->check());
         bool pass_this_iter = false;
         bool pairs_next = false;
         if (plan.mode == ScheduleMode::CrossIteration &&

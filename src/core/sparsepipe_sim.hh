@@ -29,6 +29,7 @@
 #include "graph/analysis.hh"
 #include "obs/attribution.hh"
 #include "ref/executor.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
@@ -126,11 +127,22 @@ class SparsepipeSim
      */
     void attachTrace(obs::TraceSink *sink) { trace_ = sink; }
 
+    /**
+     * Attach a cancellation token (null detaches).  Runs check it
+     * per pass-engine stage launch and per iteration; on
+     * cancellation or deadline expiry the run unwinds by throwing
+     * SpError (caught and flattened to a Status at the Session
+     * boundary).  A cancelled run leaves the workspace mid-update;
+     * callers must discard it.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
     const SparsepipeConfig &config() const { return config_; }
 
   private:
     SparsepipeConfig config_;
     obs::TraceSink *trace_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
 };
 
 /**

@@ -136,7 +136,9 @@ fusedStreams(const std::vector<VxmPairing> &pairings)
 Analysis
 analyzeProgram(const Program &p)
 {
-    p.validate();
+    // Callers hand in already-validated programs; re-check so the
+    // analysis can assume well-formed ids below.
+    throwIfError(p.validate());
     Analysis a;
     const auto &ops = p.ops();
 

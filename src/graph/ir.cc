@@ -46,7 +46,7 @@ TensorId
 Program::addTensor(TensorInfo info)
 {
     if (info.dim0 < 0 || info.dim1 < 0)
-        sp_fatal("Program::addTensor: negative dims for '%s'",
+        sp_panic("Program::addTensor: negative dims for '%s'",
                  info.name.c_str());
     tensors_.push_back(std::move(info));
     return static_cast<TensorId>(tensors_.size()) - 1;
@@ -92,78 +92,106 @@ Program::tensor(TensorId id) const
     return tensors_[static_cast<std::size_t>(id)];
 }
 
-void
+Status
 Program::validate() const
 {
-    auto check_id = [&](TensorId id, const OpNode &op) {
-        if (id < 0 || id >= static_cast<TensorId>(tensors_.size()))
-            sp_fatal("validate(%s): op '%s' references bad tensor",
-                     name_.c_str(), opKindName(op.kind));
+    auto bad_id = [&](TensorId id) {
+        return id < 0 || id >= static_cast<TensorId>(tensors_.size());
     };
     auto kind_of = [&](TensorId id) { return tensor(id).kind; };
 
+    // Convergence must name a declared scalar.
+    if (convergence_scalar_ != invalid_tensor) {
+        if (bad_id(convergence_scalar_))
+            return invalidInput(
+                "validate(%s): convergence references bad tensor "
+                "%lld", name_.c_str(),
+                static_cast<long long>(convergence_scalar_));
+        if (kind_of(convergence_scalar_) != TensorKind::Scalar)
+            return invalidInput(
+                "validate(%s): convergence tensor is not a scalar",
+                name_.c_str());
+    }
+
     for (const OpNode &op : ops_) {
-        for (TensorId id : op.inputs)
-            check_id(id, op);
-        check_id(op.output, op);
+        for (TensorId id : op.inputs) {
+            if (bad_id(id))
+                return invalidInput(
+                    "validate(%s): op '%s' references bad tensor",
+                    name_.c_str(), opKindName(op.kind));
+        }
+        if (bad_id(op.output))
+            return invalidInput(
+                "validate(%s): op '%s' references bad tensor",
+                name_.c_str(), opKindName(op.kind));
 
         switch (op.kind) {
           case OpKind::Vxm: {
             if (op.inputs.size() != 2)
-                sp_fatal("validate: vxm needs (vector, matrix)");
+                return invalidInput(
+                    "validate: vxm needs (vector, matrix)");
             const TensorInfo &vec = tensor(op.inputs[0]);
             const TensorInfo &mat = tensor(op.inputs[1]);
             const TensorInfo &out = tensor(op.output);
             if (vec.kind != TensorKind::Vector ||
                 mat.kind != TensorKind::SparseMatrix ||
                 out.kind != TensorKind::Vector)
-                sp_fatal("validate: vxm operand kinds wrong in '%s'",
-                         name_.c_str());
+                return invalidInput(
+                    "validate: vxm operand kinds wrong in '%s'",
+                    name_.c_str());
             if (vec.dim0 != mat.dim0 || out.dim0 != mat.dim1)
-                sp_fatal("validate: vxm shape mismatch in '%s': "
-                         "v[%lld] x A[%lld,%lld] -> y[%lld]",
-                         name_.c_str(),
-                         static_cast<long long>(vec.dim0),
-                         static_cast<long long>(mat.dim0),
-                         static_cast<long long>(mat.dim1),
-                         static_cast<long long>(out.dim0));
+                return invalidInput(
+                    "validate: vxm shape mismatch in '%s': "
+                    "v[%lld] x A[%lld,%lld] -> y[%lld]",
+                    name_.c_str(),
+                    static_cast<long long>(vec.dim0),
+                    static_cast<long long>(mat.dim0),
+                    static_cast<long long>(mat.dim1),
+                    static_cast<long long>(out.dim0));
             break;
           }
           case OpKind::Spmm: {
             if (op.inputs.size() != 2)
-                sp_fatal("validate: spmm needs (matrix, dense)");
+                return invalidInput(
+                    "validate: spmm needs (matrix, dense)");
             const TensorInfo &mat = tensor(op.inputs[0]);
             const TensorInfo &dense = tensor(op.inputs[1]);
             const TensorInfo &out = tensor(op.output);
             if (mat.kind != TensorKind::SparseMatrix ||
                 dense.kind != TensorKind::DenseMatrix ||
                 out.kind != TensorKind::DenseMatrix)
-                sp_fatal("validate: spmm operand kinds wrong");
+                return invalidInput(
+                    "validate: spmm operand kinds wrong");
             if (mat.dim1 != dense.dim0 || out.dim0 != mat.dim0 ||
                 out.dim1 != dense.dim1)
-                sp_fatal("validate: spmm shape mismatch in '%s'",
-                         name_.c_str());
+                return invalidInput(
+                    "validate: spmm shape mismatch in '%s'",
+                    name_.c_str());
             break;
           }
           case OpKind::Mm: {
             if (op.inputs.size() != 2)
-                sp_fatal("validate: mm needs (dense, dense)");
+                return invalidInput(
+                    "validate: mm needs (dense, dense)");
             const TensorInfo &a = tensor(op.inputs[0]);
             const TensorInfo &b = tensor(op.inputs[1]);
             const TensorInfo &out = tensor(op.output);
             if (a.kind != TensorKind::DenseMatrix ||
                 b.kind != TensorKind::DenseMatrix ||
                 out.kind != TensorKind::DenseMatrix)
-                sp_fatal("validate: mm operand kinds wrong");
+                return invalidInput(
+                    "validate: mm operand kinds wrong");
             if (a.dim1 != b.dim0 || out.dim0 != a.dim0 ||
                 out.dim1 != b.dim1)
-                sp_fatal("validate: mm shape mismatch in '%s'",
-                         name_.c_str());
+                return invalidInput(
+                    "validate: mm shape mismatch in '%s'",
+                    name_.c_str());
             break;
           }
           case OpKind::EwiseBinary: {
             if (op.inputs.size() != 2)
-                sp_fatal("validate: ewise-binary needs two inputs");
+                return invalidInput(
+                    "validate: ewise-binary needs two inputs");
             // Scalars broadcast; vectors must match the output.
             const TensorInfo &out = tensor(op.output);
             for (TensorId in : op.inputs) {
@@ -172,16 +200,17 @@ Program::validate() const
                     continue;
                 if (t.kind != out.kind || t.dim0 != out.dim0 ||
                     t.dim1 != out.dim1)
-                    sp_fatal("validate: ewise shape mismatch in '%s'",
-                             name_.c_str());
+                    return invalidInput(
+                        "validate: ewise shape mismatch in '%s'",
+                        name_.c_str());
             }
             break;
           }
           case OpKind::EwiseUnary:
           case OpKind::Assign: {
             if (op.inputs.size() != 1)
-                sp_fatal("validate: %s needs one input",
-                         opKindName(op.kind));
+                return invalidInput("validate: %s needs one input",
+                                    opKindName(op.kind));
             const TensorInfo &in = tensor(op.inputs[0]);
             const TensorInfo &out = tensor(op.output);
             if (in.kind == TensorKind::Scalar &&
@@ -189,15 +218,17 @@ Program::validate() const
                 break;
             if (in.kind != out.kind || in.dim0 != out.dim0 ||
                 in.dim1 != out.dim1)
-                sp_fatal("validate: %s shape mismatch in '%s'",
-                         opKindName(op.kind), name_.c_str());
+                return invalidInput(
+                    "validate: %s shape mismatch in '%s'",
+                    opKindName(op.kind), name_.c_str());
             break;
           }
           case OpKind::Fold: {
             if (op.inputs.size() != 1 ||
                 kind_of(op.inputs[0]) != TensorKind::Vector ||
                 kind_of(op.output) != TensorKind::Scalar)
-                sp_fatal("validate: fold needs vector -> scalar");
+                return invalidInput(
+                    "validate: fold needs vector -> scalar");
             break;
           }
           case OpKind::Dot: {
@@ -205,31 +236,35 @@ Program::validate() const
                 kind_of(op.inputs[0]) != TensorKind::Vector ||
                 kind_of(op.inputs[1]) != TensorKind::Vector ||
                 kind_of(op.output) != TensorKind::Scalar)
-                sp_fatal("validate: dot needs (vector, vector) -> "
-                         "scalar");
-            if (tensor(op.inputs[0]).dim0 != tensor(op.inputs[1]).dim0)
-                sp_fatal("validate: dot length mismatch in '%s'",
-                         name_.c_str());
+                return invalidInput(
+                    "validate: dot needs (vector, vector) -> scalar");
+            if (tensor(op.inputs[0]).dim0 !=
+                tensor(op.inputs[1]).dim0)
+                return invalidInput(
+                    "validate: dot length mismatch in '%s'",
+                    name_.c_str());
             break;
           }
         }
     }
 
     for (const Carry &carry : carries_) {
-        if (carry.dst < 0 || carry.src < 0 ||
-            carry.dst >= static_cast<TensorId>(tensors_.size()) ||
-            carry.src >= static_cast<TensorId>(tensors_.size()))
-            sp_fatal("validate: carry references bad tensor");
+        if (bad_id(carry.dst) || bad_id(carry.src))
+            return invalidInput(
+                "validate: carry references bad tensor");
         const TensorInfo &dst = tensor(carry.dst);
         const TensorInfo &src = tensor(carry.src);
         if (dst.kind != src.kind || dst.dim0 != src.dim0 ||
             dst.dim1 != src.dim1)
-            sp_fatal("validate: carry shape mismatch (%s <- %s)",
-                     dst.name.c_str(), src.name.c_str());
+            return invalidInput(
+                "validate: carry shape mismatch (%s <- %s)",
+                dst.name.c_str(), src.name.c_str());
         if (dst.constant)
-            sp_fatal("validate: carry writes constant tensor '%s'",
-                     dst.name.c_str());
+            return invalidInput(
+                "validate: carry writes constant tensor '%s'",
+                dst.name.c_str());
     }
+    return okStatus();
 }
 
 } // namespace sparsepipe

@@ -25,6 +25,7 @@
 #include "semiring/ewise.hh"
 #include "semiring/semiring.hh"
 #include "sparse/types.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
@@ -148,9 +149,11 @@ class Program
     /**
      * Structural validation: operand kinds and shapes match each
      * opcode's contract; carries connect equal-shaped tensors.
-     * Violations are user errors (fatal).
+     * @return Ok, or InvalidInput describing the first violation
+     * (programs arrive from user-supplied text, so a bad one must
+     * not kill the process).
      */
-    void validate() const;
+    Status validate() const;
 
   private:
     std::string name_;

@@ -182,7 +182,9 @@ ProgramBuilder::converge(TensorId scalar, Value eps)
 Program
 ProgramBuilder::build()
 {
-    program_.validate();
+    // Builder programs are constructed in code, not parsed from user
+    // input; a violation here is a programming error.
+    throwIfError(program_.validate());
     return std::move(program_);
 }
 

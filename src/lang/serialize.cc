@@ -1,12 +1,14 @@
 #include "lang/serialize.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
-#include "util/logging.hh"
+#include "util/alloc_hook.hh"
 
 namespace sparsepipe {
 
@@ -24,32 +26,36 @@ tensorKindName(TensorKind kind)
     return "?";
 }
 
-TensorKind
-tensorKindFromName(const std::string &name)
+bool
+tryTensorKindFromName(const std::string &name, TensorKind &out)
 {
     static const TensorKind all[] = {
         TensorKind::Vector, TensorKind::SparseMatrix,
         TensorKind::DenseMatrix, TensorKind::Scalar,
     };
-    for (TensorKind kind : all)
-        if (name == tensorKindName(kind))
-            return kind;
-    sp_fatal("readProgramText: unknown tensor kind '%s'", name.c_str());
-    __builtin_unreachable();
+    for (TensorKind kind : all) {
+        if (name == tensorKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
-OpKind
-opKindFromName(const std::string &name)
+bool
+tryOpKindFromName(const std::string &name, OpKind &out)
 {
     static const OpKind all[] = {
         OpKind::Vxm, OpKind::Spmm, OpKind::Mm, OpKind::EwiseBinary,
         OpKind::EwiseUnary, OpKind::Fold, OpKind::Dot, OpKind::Assign,
     };
-    for (OpKind kind : all)
-        if (name == opKindName(kind))
-            return kind;
-    sp_fatal("readProgramText: unknown op kind '%s'", name.c_str());
-    __builtin_unreachable();
+    for (OpKind kind : all) {
+        if (name == opKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string
@@ -60,26 +66,37 @@ formatValue(Value v)
     return buf;
 }
 
-Value
-parseValue(const std::string &tok)
+/**
+ * Whole-string double parse.  Unlike tryParseF64 this accepts inf and
+ * nan: formatValue emits them for programs that legitimately carry
+ * non-finite constants (e.g. min-reductions seeded with +inf), and the
+ * corpus must round-trip such programs.
+ */
+bool
+tryParseValue(const std::string &tok, Value &out)
 {
-    try {
-        return std::stod(tok);
-    } catch (const std::exception &) {
-        sp_fatal("readProgramText: bad value '%s'", tok.c_str());
-    }
-    __builtin_unreachable();
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    double value = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size())
+        return false;
+    out = value;
+    return true;
 }
 
-long long
-parseInt(const std::string &tok)
+bool
+tryParseInt(const std::string &tok, long long &out)
 {
-    try {
-        return std::stoll(tok);
-    } catch (const std::exception &) {
-        sp_fatal("readProgramText: bad integer '%s'", tok.c_str());
-    }
-    __builtin_unreachable();
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(tok.c_str(), &end, 10);
+    if (errno == ERANGE || end != tok.c_str() + tok.size())
+        return false;
+    out = value;
+    return true;
 }
 
 std::vector<std::string>
@@ -93,9 +110,149 @@ tokenize(const std::string &line)
     return toks;
 }
 
+StatusOr<Program>
+readProgramTextImpl(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line)) {
+        if (is.bad())
+            return ioError("program read failed mid-stream");
+        return invalidInput(
+            "readProgramText: missing 'sta-program v1' header");
+    }
+    if (tokenize(line) !=
+        std::vector<std::string>{"sta-program", "v1"})
+        return invalidInput(
+            "readProgramText: missing 'sta-program v1' header");
+
+    Program program;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        allocCheckpoint();
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+        const std::string &key = toks[0];
+        if (key == "end") {
+            saw_end = true;
+            break;
+        } else if (key == "name") {
+            if (toks.size() != 2)
+                return invalidInput(
+                    "readProgramText: bad name line '%s'",
+                    line.c_str());
+            program.setName(toks[1]);
+        } else if (key == "tensor") {
+            if (toks.size() != 8)
+                return invalidInput(
+                    "readProgramText: bad tensor line '%s'",
+                    line.c_str());
+            TensorInfo info;
+            long long id = 0, dim0 = 0, dim1 = 0, constant = 0;
+            if (!tryParseInt(toks[1], id) ||
+                !tryParseInt(toks[4], dim0) ||
+                !tryParseInt(toks[5], dim1) ||
+                !tryParseInt(toks[6], constant) ||
+                !tryParseValue(toks[7], info.init))
+                return invalidInput(
+                    "readProgramText: bad tensor line '%s'",
+                    line.c_str());
+            if (!tryTensorKindFromName(toks[2], info.kind))
+                return invalidInput(
+                    "readProgramText: unknown tensor kind '%s'",
+                    toks[2].c_str());
+            if (dim0 < 0 || dim1 < 0)
+                return invalidInput(
+                    "readProgramText: negative dims in '%s'",
+                    line.c_str());
+            info.name = toks[3] == "_" ? std::string() : toks[3];
+            info.dim0 = static_cast<Idx>(dim0);
+            info.dim1 = static_cast<Idx>(dim1);
+            info.constant = constant != 0;
+            const TensorId got = program.addTensor(std::move(info));
+            if (got != id)
+                return invalidInput(
+                    "readProgramText: tensor ids must be dense and "
+                    "in order (expected %lld, got %lld)",
+                    static_cast<long long>(got), id);
+        } else if (key == "op") {
+            if (toks.size() < 4)
+                return invalidInput(
+                    "readProgramText: bad op line '%s'",
+                    line.c_str());
+            OpNode node;
+            long long output = 0, nin = 0;
+            if (!tryOpKindFromName(toks[1], node.kind) ||
+                !tryParseInt(toks[2], output) ||
+                !tryParseInt(toks[3], nin))
+                return invalidInput(
+                    "readProgramText: bad op line '%s'",
+                    line.c_str());
+            node.output = static_cast<TensorId>(output);
+            // Bound nin by the token count BEFORE believing it, so a
+            // hostile count can neither overflow the expected-size
+            // arithmetic nor drive a huge reserve.
+            if (nin < 0 ||
+                static_cast<unsigned long long>(nin) + 7 !=
+                    toks.size())
+                return invalidInput(
+                    "readProgramText: op line has %zu tokens, "
+                    "expected %lld: '%s'", toks.size(), nin + 7,
+                    line.c_str());
+            for (long long i = 0; i < nin; ++i) {
+                long long in = 0;
+                if (!tryParseInt(toks[static_cast<std::size_t>(4 + i)],
+                                 in))
+                    return invalidInput(
+                        "readProgramText: bad op input in '%s'",
+                        line.c_str());
+                node.inputs.push_back(static_cast<TensorId>(in));
+            }
+            const std::size_t base = static_cast<std::size_t>(4 + nin);
+            if (!trySemiringFromName(toks[base], node.semiring) ||
+                !tryBinaryOpFromName(toks[base + 1], node.bop) ||
+                !tryUnaryOpFromName(toks[base + 2], node.uop))
+                return invalidInput(
+                    "readProgramText: unknown semiring/opcode in "
+                    "'%s'", line.c_str());
+            program.addOp(std::move(node));
+        } else if (key == "carry") {
+            long long dst = 0, src = 0;
+            if (toks.size() != 3 || !tryParseInt(toks[1], dst) ||
+                !tryParseInt(toks[2], src))
+                return invalidInput(
+                    "readProgramText: bad carry line '%s'",
+                    line.c_str());
+            program.addCarry(static_cast<TensorId>(dst),
+                             static_cast<TensorId>(src));
+        } else if (key == "converge") {
+            long long scalar = 0;
+            Value threshold = 0.0;
+            if (toks.size() != 3 || !tryParseInt(toks[1], scalar) ||
+                !tryParseValue(toks[2], threshold))
+                return invalidInput(
+                    "readProgramText: bad converge line '%s'",
+                    line.c_str());
+            program.setConvergence(static_cast<TensorId>(scalar),
+                                   threshold);
+        } else {
+            return invalidInput(
+                "readProgramText: unknown directive '%s'",
+                key.c_str());
+        }
+    }
+    if (is.bad())
+        return ioError("program read failed mid-stream");
+    if (!saw_end)
+        return invalidInput("readProgramText: missing 'end' line");
+    if (Status status = program.validate(); !status.ok())
+        return std::move(status).withContext("readProgramText");
+    return program;
+}
+
 } // anonymous namespace
 
-void
+Status
 writeProgramText(std::ostream &os, const Program &program)
 {
     os << "sta-program v1\n";
@@ -105,8 +262,9 @@ writeProgramText(std::ostream &os, const Program &program)
          id < static_cast<TensorId>(program.tensors().size()); ++id) {
         const TensorInfo &t = program.tensor(id);
         if (t.name.find_first_of(" \t\n") != std::string::npos)
-            sp_fatal("writeProgramText: tensor name '%s' contains "
-                     "whitespace", t.name.c_str());
+            return invalidInput(
+                "writeProgramText: tensor name '%s' contains "
+                "whitespace", t.name.c_str());
         os << "tensor " << id << " " << tensorKindName(t.kind) << " "
            << (t.name.empty() ? "_" : t.name) << " " << t.dim0 << " "
            << t.dim1 << " " << (t.constant ? 1 : 0) << " "
@@ -126,99 +284,30 @@ writeProgramText(std::ostream &os, const Program &program)
         os << "converge " << program.convergenceScalar() << " "
            << formatValue(program.convergenceThreshold()) << "\n";
     os << "end\n";
+    if (!os)
+        return ioError("program write failed mid-stream");
+    return okStatus();
 }
 
-Program
+StatusOr<Program>
 readProgramText(std::istream &is)
 {
-    std::string line;
-    if (!std::getline(is, line) || tokenize(line) !=
-        std::vector<std::string>{"sta-program", "v1"})
-        sp_fatal("readProgramText: missing 'sta-program v1' header");
-
-    Program program;
-    bool saw_end = false;
-    while (std::getline(is, line)) {
-        const std::vector<std::string> toks = tokenize(line);
-        if (toks.empty() || toks[0][0] == '#')
-            continue;
-        const std::string &key = toks[0];
-        if (key == "end") {
-            saw_end = true;
-            break;
-        } else if (key == "name") {
-            if (toks.size() != 2)
-                sp_fatal("readProgramText: bad name line '%s'",
-                         line.c_str());
-            program.setName(toks[1]);
-        } else if (key == "tensor") {
-            if (toks.size() != 8)
-                sp_fatal("readProgramText: bad tensor line '%s'",
-                         line.c_str());
-            TensorInfo info;
-            const TensorId id = parseInt(toks[1]);
-            info.kind = tensorKindFromName(toks[2]);
-            info.name = toks[3] == "_" ? std::string() : toks[3];
-            info.dim0 = parseInt(toks[4]);
-            info.dim1 = parseInt(toks[5]);
-            info.constant = parseInt(toks[6]) != 0;
-            info.init = parseValue(toks[7]);
-            const TensorId got = program.addTensor(std::move(info));
-            if (got != id)
-                sp_fatal("readProgramText: tensor ids must be dense "
-                         "and in order (expected %lld, got %lld)",
-                         static_cast<long long>(got),
-                         static_cast<long long>(id));
-        } else if (key == "op") {
-            if (toks.size() < 4)
-                sp_fatal("readProgramText: bad op line '%s'",
-                         line.c_str());
-            OpNode node;
-            node.kind = opKindFromName(toks[1]);
-            node.output = parseInt(toks[2]);
-            const std::size_t nin =
-                static_cast<std::size_t>(parseInt(toks[3]));
-            if (toks.size() != 4 + nin + 3)
-                sp_fatal("readProgramText: op line has %zu tokens, "
-                         "expected %zu: '%s'", toks.size(), 7 + nin,
-                         line.c_str());
-            for (std::size_t i = 0; i < nin; ++i)
-                node.inputs.push_back(parseInt(toks[4 + i]));
-            node.semiring = semiringFromName(toks[4 + nin]);
-            node.bop = binaryOpFromName(toks[5 + nin]);
-            node.uop = unaryOpFromName(toks[6 + nin]);
-            program.addOp(std::move(node));
-        } else if (key == "carry") {
-            if (toks.size() != 3)
-                sp_fatal("readProgramText: bad carry line '%s'",
-                         line.c_str());
-            program.addCarry(parseInt(toks[1]), parseInt(toks[2]));
-        } else if (key == "converge") {
-            if (toks.size() != 3)
-                sp_fatal("readProgramText: bad converge line '%s'",
-                         line.c_str());
-            program.setConvergence(parseInt(toks[1]),
-                                   parseValue(toks[2]));
-        } else {
-            sp_fatal("readProgramText: unknown directive '%s'",
-                     key.c_str());
-        }
+    try {
+        return readProgramTextImpl(is);
+    } catch (const std::bad_alloc &) {
+        return resourceExhausted("out of memory parsing program");
     }
-    if (!saw_end)
-        sp_fatal("readProgramText: missing 'end' line");
-    program.validate();
-    return program;
 }
 
 std::string
 programToText(const Program &program)
 {
     std::ostringstream ss;
-    writeProgramText(ss, program);
+    throwIfError(writeProgramText(ss, program));
     return ss.str();
 }
 
-Program
+StatusOr<Program>
 programFromText(const std::string &text)
 {
     std::istringstream ss(text);

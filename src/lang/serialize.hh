@@ -7,6 +7,12 @@
  * format is a stable line-oriented text form rather than anything
  * binary.  Round-tripping preserves every semantic field of the IR
  * (tensors, ops, carries, convergence); trace labels are dropped.
+ *
+ * Program text comes from disk (corpus files, user reproducers), so
+ * the readers sit on the user-input boundary: malformed text returns
+ * InvalidInput, a broken stream IoError.  A non-Ok read never yields
+ * a partial program, and every returned program has passed
+ * Program::validate().
  */
 
 #ifndef SPARSEPIPE_LANG_SERIALIZE_HH
@@ -16,22 +22,19 @@
 #include <string>
 
 #include "graph/ir.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
 /** Write `program` to `os` in the sta-program v1 text format. */
-void writeProgramText(std::ostream &os, const Program &program);
+Status writeProgramText(std::ostream &os, const Program &program);
 
-/**
- * Parse a program previously written by writeProgramText.  The
- * parsed program is validated before being returned; malformed
- * input is a user error (fatal).
- */
-Program readProgramText(std::istream &is);
+/** Parse a program previously written by writeProgramText. */
+StatusOr<Program> readProgramText(std::istream &is);
 
 /** String-based conveniences around the stream forms. */
 std::string programToText(const Program &program);
-Program programFromText(const std::string &text);
+StatusOr<Program> programFromText(const std::string &text);
 
 } // namespace sparsepipe
 

@@ -61,10 +61,10 @@ Workspace::bindMatrix(TensorId id, CsrMatrix csr, CscMatrix csc)
 {
     const TensorInfo &t = info(id);
     if (t.kind != TensorKind::SparseMatrix)
-        sp_fatal("bindMatrix: tensor '%s' is not a sparse matrix",
+        sp_panic("bindMatrix: tensor '%s' is not a sparse matrix",
                  t.name.c_str());
     if (csr.rows() != t.dim0 || csr.cols() != t.dim1)
-        sp_fatal("bindMatrix: '%s' expects %lld x %lld, got "
+        sp_panic("bindMatrix: '%s' expects %lld x %lld, got "
                  "%lld x %lld", t.name.c_str(),
                  static_cast<long long>(t.dim0),
                  static_cast<long long>(t.dim1),
@@ -72,7 +72,7 @@ Workspace::bindMatrix(TensorId id, CsrMatrix csr, CscMatrix csc)
                  static_cast<long long>(csr.cols()));
     if (csc.rows() != csr.rows() || csc.cols() != csr.cols() ||
         csc.nnz() != csr.nnz())
-        sp_fatal("bindMatrix: '%s' CSC twin disagrees with the CSR "
+        sp_panic("bindMatrix: '%s' CSC twin disagrees with the CSR "
                  "operand", t.name.c_str());
     std::size_t idx = at(id);
     cscs_[idx] = std::move(csc);
@@ -129,7 +129,7 @@ const CsrMatrix &
 Workspace::csr(TensorId id) const
 {
     if (!matrixBound(id))
-        sp_fatal("Workspace::csr: matrix '%s' is unbound",
+        sp_panic("Workspace::csr: matrix '%s' is unbound",
                  info(id).name.c_str());
     return csrs_[at(id)];
 }
@@ -138,7 +138,7 @@ const CscMatrix &
 Workspace::csc(TensorId id) const
 {
     if (!matrixBound(id))
-        sp_fatal("Workspace::csc: matrix '%s' is unbound",
+        sp_panic("Workspace::csc: matrix '%s' is unbound",
                  info(id).name.c_str());
     return cscs_[at(id)];
 }

@@ -33,9 +33,9 @@ DramModel::DramModel(DramConfig config, Tick window_cycles)
     : config_(std::move(config)), window_cycles_(window_cycles)
 {
     if (config_.bandwidth_gb_s <= 0.0)
-        sp_fatal("DramModel: non-positive bandwidth");
+        sp_panic("DramModel: non-positive bandwidth");
     if (window_cycles_ == 0)
-        sp_fatal("DramModel: zero ledger window");
+        sp_panic("DramModel: zero ledger window");
 }
 
 Tick

@@ -2,8 +2,6 @@
 
 #include <unordered_set>
 
-#include "util/logging.hh"
-
 namespace sparsepipe {
 
 Idx
@@ -44,12 +42,14 @@ dualStorageBytes(Idx nnz, Idx rows, Idx cols)
     return 2 * per_format_payload + ptrs;
 }
 
-BlockedLayout
+StatusOr<BlockedLayout>
 buildBlockedLayout(const CsrMatrix &matrix, Idx block_size)
 {
     if (block_size <= 0 || block_size > 256)
-        sp_fatal("buildBlockedLayout: block size must be in (0, 256] "
-                 "for 1-byte in-block coordinates");
+        return invalidInput(
+            "buildBlockedLayout: block size %lld must be in (0, 256] "
+            "for 1-byte in-block coordinates",
+            static_cast<long long>(block_size));
 
     BlockedLayout layout;
     layout.block_size = block_size;

@@ -16,6 +16,7 @@
 #define SPARSEPIPE_PREP_BLOCKED_HH
 
 #include "sparse/csr.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
@@ -44,10 +45,12 @@ Idx dualStorageBytes(Idx nnz, Idx rows, Idx cols);
 
 /**
  * Decompose a matrix into `block_size` square tiles and count the
- * non-empty ones.
+ * non-empty ones.  Block sizes outside (0, 256] cannot use 1-byte
+ * in-block coordinates and come back as InvalidInput (the size is a
+ * user-facing CLI knob).
  */
-BlockedLayout buildBlockedLayout(const CsrMatrix &matrix,
-                                 Idx block_size = 256);
+StatusOr<BlockedLayout> buildBlockedLayout(const CsrMatrix &matrix,
+                                           Idx block_size = 256);
 
 } // namespace sparsepipe
 

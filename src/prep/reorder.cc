@@ -130,15 +130,24 @@ makeReorder(ReorderKind kind, const CsrMatrix &matrix)
     __builtin_unreachable();
 }
 
-CooMatrix
+StatusOr<CooMatrix>
 applySymmetricPermutation(const CooMatrix &matrix,
                           const std::vector<Idx> &perm)
 {
     if (matrix.rows() != matrix.cols())
-        sp_fatal("applySymmetricPermutation: matrix must be square");
+        return invalidInput(
+            "applySymmetricPermutation: matrix must be square, got "
+            "%lld x %lld", static_cast<long long>(matrix.rows()),
+            static_cast<long long>(matrix.cols()));
     if (static_cast<Idx>(perm.size()) != matrix.rows())
-        sp_fatal("applySymmetricPermutation: permutation length "
-                 "mismatch");
+        return invalidInput(
+            "applySymmetricPermutation: permutation length %zu does "
+            "not match %lld rows", perm.size(),
+            static_cast<long long>(matrix.rows()));
+    if (!isPermutation(perm))
+        return invalidInput(
+            "applySymmetricPermutation: not a bijection on [0, %zu)",
+            perm.size());
     CooMatrix out(matrix.rows(), matrix.cols());
     for (const Triplet &t : matrix.entries()) {
         out.add(perm[static_cast<std::size_t>(t.row)],

@@ -28,6 +28,7 @@
 
 #include "sparse/coo.hh"
 #include "sparse/csr.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
@@ -59,10 +60,14 @@ std::vector<Idx> makeReorder(ReorderKind kind, const CsrMatrix &matrix);
 
 /**
  * Apply a symmetric renumbering: entry (r, c) moves to
- * (perm[r], perm[c]).  @return the renumbered matrix.
+ * (perm[r], perm[c]).  @return the renumbered matrix, or
+ * InvalidInput when the matrix is not square or `perm` is not a
+ * bijection on its rows (permutations can arrive from external
+ * tooling, not only makeReorder).
  */
-CooMatrix applySymmetricPermutation(const CooMatrix &matrix,
-                                    const std::vector<Idx> &perm);
+StatusOr<CooMatrix>
+applySymmetricPermutation(const CooMatrix &matrix,
+                          const std::vector<Idx> &perm);
 
 /** @return true when perm is a bijection on [0, n). */
 bool isPermutation(const std::vector<Idx> &perm);

@@ -17,7 +17,7 @@ foldIdentity(BinaryOp monoid)
       case BinaryOp::Min: return std::numeric_limits<Value>::infinity();
       case BinaryOp::Max: return -std::numeric_limits<Value>::infinity();
       default:
-        sp_fatal("fold: '%s' is not a reduction monoid",
+        sp_panic("fold: '%s' is not a reduction monoid",
                  binaryOpName(monoid));
     }
     __builtin_unreachable();
@@ -167,7 +167,7 @@ execEwiseUnary(Workspace &ws, const OpNode &op)
         return;
       }
       case TensorKind::SparseMatrix:
-        sp_fatal("ewise-unary on a sparse matrix is unsupported");
+        sp_panic("ewise-unary on a sparse matrix is unsupported");
     }
 }
 
@@ -207,7 +207,7 @@ execAssign(Workspace &ws, const OpNode &op)
         ws.den(op.output) = ws.den(op.inputs[0]);
         return;
       case TensorKind::SparseMatrix:
-        sp_fatal("assign of sparse matrices is unsupported");
+        sp_panic("assign of sparse matrices is unsupported");
     }
 }
 
@@ -256,7 +256,7 @@ RefExecutor::applyCarries(Workspace &ws) const
             scl_snap.push_back(ws.scalar(c.src));
             break;
           case TensorKind::SparseMatrix:
-            sp_fatal("carry of sparse matrices is unsupported");
+            sp_panic("carry of sparse matrices is unsupported");
         }
     }
     std::size_t vi = 0, di = 0, si = 0;

@@ -3,7 +3,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "util/logging.hh"
 #include "util/parse.hh"
 
 namespace sparsepipe::runner {
@@ -76,6 +75,14 @@ parseBatchLine(const std::string &line, std::string &error)
         } else if (key == "iso-cpu" || key == "iso_cpu") {
             if (!parseBool(key, value, job.iso_cpu, error))
                 return std::nullopt;
+        } else if (key == "timeout-ms" || key == "timeout_ms") {
+            long long ms = 0;
+            if (!tryParseI64(value, ms) || ms < 0) {
+                error = "key 'timeout-ms' wants a non-negative "
+                        "integer, got '" + value + "'";
+                return std::nullopt;
+            }
+            job.timeout_ms = ms;
         } else if (key == "seed") {
             unsigned long long seed = 0;
             if (!tryParseU64(value, seed)) {
@@ -103,12 +110,12 @@ parseBatchLine(const std::string &line, std::string &error)
     return job;
 }
 
-std::vector<BatchJob>
+StatusOr<std::vector<BatchJob>>
 readBatchFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        sp_fatal("cannot open batch file '%s'", path.c_str());
+        return ioError("cannot open batch file '%s'", path.c_str());
 
     std::vector<BatchJob> jobs;
     std::string line;
@@ -118,12 +125,26 @@ readBatchFile(const std::string &path)
         std::string error;
         std::optional<BatchJob> job = parseBatchLine(line, error);
         if (!error.empty())
-            sp_fatal("batch file %s line %d: %s", path.c_str(),
-                     lineno, error.c_str());
+            return invalidInput("batch file %s line %d: %s",
+                                path.c_str(), lineno, error.c_str());
         if (job)
             jobs.push_back(std::move(*job));
     }
+    if (in.bad())
+        return ioError("read error on batch file '%s'", path.c_str());
     return jobs;
+}
+
+std::string
+batchJobKey(const BatchJob &job)
+{
+    std::ostringstream key;
+    key << "app=" << job.app << " dataset=" << job.dataset
+        << " iters=" << job.iters << " reorder=" << job.reorder
+        << " blocked=" << (job.blocked ? 1 : 0)
+        << " iso-cpu=" << (job.iso_cpu ? 1 : 0)
+        << " seed=" << job.seed << " label=" << job.label;
+    return key.str();
 }
 
 } // namespace sparsepipe::runner

@@ -11,9 +11,10 @@
  *
  * Keys: app (required), dataset (required), iters, reorder
  * (none|vanilla|locality), blocked (0|1|true|false), iso-cpu
- * (0|1|true|false), seed, label.  The label defaults to
+ * (0|1|true|false), seed, timeout-ms, label.  The label defaults to
  * "app-dataset" and names the job in log prefixes and the result
- * table.
+ * table; timeout-ms (0 = none) arms a per-job deadline that fails
+ * the job with DeadlineExceeded without stopping the sweep.
  */
 
 #ifndef SPARSEPIPE_RUNNER_BATCH_HH
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "sparse/types.hh"
+#include "util/status.hh"
 
 namespace sparsepipe::runner {
 
@@ -38,6 +40,8 @@ struct BatchJob
     bool blocked = true;
     bool iso_cpu = false;
     std::uint64_t seed = 0x5eed5eedULL;
+    /** Per-job deadline in milliseconds; 0 disables it. */
+    long long timeout_ms = 0;
     std::string label;
 };
 
@@ -50,10 +54,21 @@ std::optional<BatchJob> parseBatchLine(const std::string &line,
                                        std::string &error);
 
 /**
- * Read a whole batch file; fatal() (with the offending line number)
- * on any malformed line or if the file cannot be opened.
+ * Read a whole batch file.  InvalidInput (with the offending line
+ * number) on any malformed line, IoError when the file cannot be
+ * opened or breaks mid-read.
  */
-std::vector<BatchJob> readBatchFile(const std::string &path);
+StatusOr<std::vector<BatchJob>>
+readBatchFile(const std::string &path);
+
+/**
+ * Canonical identity of a job: every semantic field in a fixed
+ * order.  Used as the sweep journal's completion key, so --resume
+ * matches jobs by what they compute, not by file position.
+ * Deliberately excludes timeout-ms: a longer deadline on a rerun
+ * must still skip jobs that already completed.
+ */
+std::string batchJobKey(const BatchJob &job);
 
 } // namespace sparsepipe::runner
 

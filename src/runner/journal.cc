@@ -1,0 +1,90 @@
+#include "runner/journal.hh"
+
+#include <sstream>
+
+namespace sparsepipe::runner {
+
+Status
+SweepJournal::init(const std::string &path, bool resume)
+{
+    if (resume) {
+        std::ifstream in(path);
+        // A missing journal just means there is nothing to resume.
+        if (in) {
+            std::string line;
+            int lineno = 0;
+            while (std::getline(in, line)) {
+                ++lineno;
+                if (line.empty())
+                    continue;
+                std::istringstream tokens(line);
+                std::string verdict;
+                tokens >> verdict;
+                if (verdict == "ok") {
+                    std::string key;
+                    std::getline(tokens >> std::ws, key);
+                    if (key.empty())
+                        return invalidInput(
+                            "journal %s line %d: 'ok' record "
+                            "without a job key",
+                            path.c_str(), lineno);
+                    done_.insert(key);
+                } else if (verdict == "fail") {
+                    std::string code;
+                    tokens >> code;
+                    if (code.empty())
+                        return invalidInput(
+                            "journal %s line %d: 'fail' record "
+                            "without a status code",
+                            path.c_str(), lineno);
+                    // Failed jobs are retried, so the key is not
+                    // remembered.
+                } else {
+                    return invalidInput(
+                        "journal %s line %d: expected ok|fail, "
+                        "got '%s'",
+                        path.c_str(), lineno, verdict.c_str());
+                }
+            }
+            if (in.bad())
+                return ioError("read error on journal '%s'",
+                               path.c_str());
+        }
+    }
+    out_.open(path, resume ? std::ios::app : std::ios::trunc);
+    if (!out_)
+        return ioError("cannot open journal '%s' for writing",
+                       path.c_str());
+    return okStatus();
+}
+
+bool
+SweepJournal::completed(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.count(key) != 0;
+}
+
+void
+SweepJournal::append(const std::string &line)
+{
+    out_ << line << '\n';
+    out_.flush();
+}
+
+void
+SweepJournal::recordOk(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.insert(key);
+    append("ok " + key);
+}
+
+void
+SweepJournal::recordFail(const std::string &key, StatusCode code)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    append(std::string("fail ") + statusCodeName(code) + " " + key);
+}
+
+} // namespace sparsepipe::runner

@@ -5,7 +5,7 @@
 namespace sparsepipe::runner {
 
 void
-SweepScheduler::add(std::string label, std::function<void()> work)
+SweepScheduler::add(std::string label, std::function<Status()> work)
 {
     sp_assert(work);
     jobs_.push_back({std::move(label), std::move(work)});
@@ -25,13 +25,9 @@ SweepScheduler::run()
             JobOutcome outcome;
             outcome.label = job.label;
             try {
-                job.work();
-            } catch (const std::exception &e) {
-                outcome.ok = false;
-                outcome.error = e.what();
+                outcome.status = job.work();
             } catch (...) {
-                outcome.ok = false;
-                outcome.error = "unknown exception";
+                outcome.status = statusFromCurrentException();
             }
             sink.put(i, std::move(outcome));
         });

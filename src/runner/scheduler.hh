@@ -4,10 +4,12 @@
  *
  * Two layers:
  *
- *  - SweepScheduler: label + closure jobs, submitted in order,
- *    exceptions captured per job and reported as JobOutcomes in
- *    submission order (a crashed job never takes down the sweep or
- *    gets silently lost).
+ *  - SweepScheduler: label + closure jobs, submitted in order.
+ *    Each job returns a Status; failures (returned or thrown) are
+ *    captured per job and reported as JobOutcomes in submission
+ *    order, so a failed job never takes down the sweep or gets
+ *    silently lost — that is the fault-isolation contract batch
+ *    sweeps rely on.
  *
  *  - parallelIndexed(): run fn(i) for every index of a grid and
  *    return the results in index order regardless of completion
@@ -35,6 +37,7 @@
 #include "runner/result_sink.hh"
 #include "runner/thread_pool.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace sparsepipe::runner {
 
@@ -42,9 +45,10 @@ namespace sparsepipe::runner {
 struct JobOutcome
 {
     std::string label;
-    bool ok = true;
-    /** what() of the captured exception when !ok. */
-    std::string error;
+    /** Ok, or why the job failed (returned or thrown). */
+    Status status;
+
+    bool ok() const { return status.ok(); }
 };
 
 /**
@@ -56,8 +60,12 @@ class SweepScheduler
   public:
     explicit SweepScheduler(ThreadPool &pool) : pool_(pool) {}
 
-    /** Queue a job; jobs start in add() order. */
-    void add(std::string label, std::function<void()> work);
+    /**
+     * Queue a job; jobs start in add() order.  The closure's Status
+     * becomes the job's outcome; exceptions escaping it are
+     * flattened via statusFromCurrentException(), never propagated.
+     */
+    void add(std::string label, std::function<Status()> work);
 
     /** @return number of jobs queued so far. */
     std::size_t pending() const { return jobs_.size(); }
@@ -73,7 +81,7 @@ class SweepScheduler
     struct Pending
     {
         std::string label;
-        std::function<void()> work;
+        std::function<Status()> work;
     };
 
     ThreadPool &pool_;

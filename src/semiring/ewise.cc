@@ -80,8 +80,8 @@ unaryOpName(UnaryOp op)
     return "?";
 }
 
-BinaryOp
-binaryOpFromName(const std::string &name)
+bool
+tryBinaryOpFromName(const std::string &name, BinaryOp &out)
 {
     static const BinaryOp all[] = {
         BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div,
@@ -89,26 +89,48 @@ binaryOpFromName(const std::string &name)
         BinaryOp::Select, BinaryOp::First, BinaryOp::Second,
         BinaryOp::NotEqual,
     };
-    for (BinaryOp op : all)
-        if (name == binaryOpName(op))
-            return op;
-    sp_fatal("binaryOpFromName: unknown op '%s'", name.c_str());
-    __builtin_unreachable();
+    for (BinaryOp op : all) {
+        if (name == binaryOpName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
 }
 
-UnaryOp
-unaryOpFromName(const std::string &name)
+BinaryOp
+binaryOpFromName(const std::string &name)
+{
+    BinaryOp op = BinaryOp::Add;
+    if (!tryBinaryOpFromName(name, op))
+        sp_panic("binaryOpFromName: unknown op '%s'", name.c_str());
+    return op;
+}
+
+bool
+tryUnaryOpFromName(const std::string &name, UnaryOp &out)
 {
     static const UnaryOp all[] = {
         UnaryOp::Identity, UnaryOp::Abs, UnaryOp::Negate,
         UnaryOp::Reciprocal, UnaryOp::Signum, UnaryOp::IsNonZero,
         UnaryOp::Relu, UnaryOp::Sqrt,
     };
-    for (UnaryOp op : all)
-        if (name == unaryOpName(op))
-            return op;
-    sp_fatal("unaryOpFromName: unknown op '%s'", name.c_str());
-    __builtin_unreachable();
+    for (UnaryOp op : all) {
+        if (name == unaryOpName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+UnaryOp
+unaryOpFromName(const std::string &name)
+{
+    UnaryOp op = UnaryOp::Identity;
+    if (!tryUnaryOpFromName(name, op))
+        sp_panic("unaryOpFromName: unknown op '%s'", name.c_str());
+    return op;
 }
 
 } // namespace sparsepipe

@@ -61,6 +61,10 @@ const char *unaryOpName(UnaryOp op);
 BinaryOp binaryOpFromName(const std::string &name);
 UnaryOp unaryOpFromName(const std::string &name);
 
+/** Non-fatal lookups; @return false on unknown names. */
+bool tryBinaryOpFromName(const std::string &name, BinaryOp &out);
+bool tryUnaryOpFromName(const std::string &name, UnaryOp &out);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_SEMIRING_EWISE_HH

@@ -21,18 +21,29 @@ Semiring::name() const
     __builtin_unreachable();
 }
 
-Semiring
-semiringFromName(const std::string &name)
+bool
+trySemiringFromName(const std::string &name, Semiring &out)
 {
     for (SemiringKind kind : {SemiringKind::MulAdd, SemiringKind::AndOr,
                               SemiringKind::MinAdd, SemiringKind::ArilAdd,
                               SemiringKind::MaxMul}) {
         Semiring sr(kind);
-        if (name == sr.name())
-            return sr;
+        if (name == sr.name()) {
+            out = sr;
+            return true;
+        }
     }
-    sp_fatal("semiringFromName: unknown semiring '%s'", name.c_str());
-    __builtin_unreachable();
+    return false;
+}
+
+Semiring
+semiringFromName(const std::string &name)
+{
+    Semiring sr(SemiringKind::MulAdd);
+    if (!trySemiringFromName(name, sr))
+        sp_panic("semiringFromName: unknown semiring '%s'",
+                 name.c_str());
+    return sr;
 }
 
 } // namespace sparsepipe

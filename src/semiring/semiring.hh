@@ -122,6 +122,9 @@ class Semiring
 /** Parse a semiring name produced by Semiring::name(). */
 Semiring semiringFromName(const std::string &name);
 
+/** Non-fatal lookup; @return false on unknown names. */
+bool trySemiringFromName(const std::string &name, Semiring &out);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_SEMIRING_SEMIRING_HH

@@ -10,7 +10,7 @@ CooMatrix::CooMatrix(Idx rows, Idx cols)
     : rows_(rows), cols_(cols)
 {
     if (rows < 0 || cols < 0)
-        sp_fatal("CooMatrix: negative shape %lld x %lld",
+        sp_panic("CooMatrix: negative shape %lld x %lld",
                  static_cast<long long>(rows),
                  static_cast<long long>(cols));
 }
@@ -18,7 +18,7 @@ CooMatrix::CooMatrix(Idx rows, Idx cols)
 void
 CooMatrix::addOutOfRange(Idx row, Idx col) const
 {
-    sp_fatal("CooMatrix::add: (%lld, %lld) outside %lld x %lld",
+    sp_panic("CooMatrix::add: (%lld, %lld) outside %lld x %lld",
              static_cast<long long>(row),
              static_cast<long long>(col),
              static_cast<long long>(rows_),

@@ -42,15 +42,23 @@ datasetSpecs()
     return specs;
 }
 
-const DatasetSpec &
-datasetSpec(const std::string &name)
+const DatasetSpec *
+findDatasetSpec(const std::string &name)
 {
     for (const DatasetSpec &spec : datasetSpecs()) {
         if (spec.name == name)
-            return spec;
+            return &spec;
     }
-    sp_fatal("datasetSpec: unknown dataset '%s'", name.c_str());
-    __builtin_unreachable();
+    return nullptr;
+}
+
+const DatasetSpec &
+datasetSpec(const std::string &name)
+{
+    const DatasetSpec *spec = findDatasetSpec(name);
+    if (!spec)
+        sp_panic("datasetSpec: unknown dataset '%s'", name.c_str());
+    return *spec;
 }
 
 CooMatrix

@@ -51,6 +51,9 @@ const std::vector<DatasetSpec> &datasetSpecs();
 /** @return the spec for `name`; fatal if the name is unknown. */
 const DatasetSpec &datasetSpec(const std::string &name);
 
+/** @return the spec for `name`, or nullptr when unknown. */
+const DatasetSpec *findDatasetSpec(const std::string &name);
+
 /**
  * Generate the stand-in matrix for a spec.  Deterministic for a given
  * (spec, seed) pair.

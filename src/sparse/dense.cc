@@ -11,7 +11,7 @@ DenseMatrix::DenseMatrix(Idx rows, Idx cols, Value fill)
       data_(static_cast<std::size_t>(rows * cols), fill)
 {
     if (rows < 0 || cols < 0)
-        sp_fatal("DenseMatrix: negative shape");
+        sp_panic("DenseMatrix: negative shape");
 }
 
 Value
@@ -36,7 +36,7 @@ Value
 dot(const DenseVector &a, const DenseVector &b)
 {
     if (a.size() != b.size())
-        sp_fatal("dot: length mismatch %zu vs %zu", a.size(), b.size());
+        sp_panic("dot: length mismatch %zu vs %zu", a.size(), b.size());
     Value sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i)
         sum += a[i] * b[i];
@@ -47,7 +47,7 @@ Value
 maxAbsDiff(const DenseVector &a, const DenseVector &b)
 {
     if (a.size() != b.size())
-        sp_fatal("maxAbsDiff: length mismatch %zu vs %zu",
+        sp_panic("maxAbsDiff: length mismatch %zu vs %zu",
                  a.size(), b.size());
     Value best = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i)

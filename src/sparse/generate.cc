@@ -22,7 +22,7 @@ CooMatrix
 generateUniform(Idx n, Idx nnz, Rng &rng)
 {
     if (n <= 0)
-        sp_fatal("generateUniform: n must be positive");
+        sp_panic("generateUniform: n must be positive");
     CooMatrix out(n, n);
     out.reserve(static_cast<std::size_t>(nnz));
     for (Idx i = 0; i < nnz; ++i) {
@@ -38,9 +38,9 @@ CooMatrix
 generateRmat(Idx n, Idx nnz, Rng &rng, double a, double b, double c)
 {
     if (n <= 0)
-        sp_fatal("generateRmat: n must be positive");
+        sp_panic("generateRmat: n must be positive");
     if (a + b + c >= 1.0)
-        sp_fatal("generateRmat: quadrant probabilities exceed 1");
+        sp_panic("generateRmat: quadrant probabilities exceed 1");
 
     // Round n up to a power of two for the recursion, then reject
     // coordinates that land outside the requested extent.
@@ -79,7 +79,7 @@ CooMatrix
 generateBanded(Idx n, Idx band, double per_row, Rng &rng)
 {
     if (n <= 0 || band <= 0)
-        sp_fatal("generateBanded: invalid parameters");
+        sp_panic("generateBanded: invalid parameters");
     CooMatrix out(n, n);
     for (Idx r = 0; r < n; ++r) {
         Idx lo = std::max<Idx>(0, r - band);
@@ -102,7 +102,7 @@ CooMatrix
 generateClustered(Idx n, Idx nnz, Idx clusters, double within, Rng &rng)
 {
     if (n <= 0 || clusters <= 0 || clusters > n)
-        sp_fatal("generateClustered: invalid parameters");
+        sp_panic("generateClustered: invalid parameters");
     CooMatrix out(n, n);
     out.reserve(static_cast<std::size_t>(nnz));
     const Idx block = (n + clusters - 1) / clusters;
@@ -130,7 +130,7 @@ CooMatrix
 generateLowerSkew(Idx n, Idx nnz, double low_frac, Rng &rng)
 {
     if (n <= 0)
-        sp_fatal("generateLowerSkew: n must be positive");
+        sp_panic("generateLowerSkew: n must be positive");
     CooMatrix out(n, n);
     out.reserve(static_cast<std::size_t>(nnz));
     for (Idx i = 0; i < nnz; ++i) {
@@ -148,7 +148,7 @@ CooMatrix
 generatePoisson2D(Idx grid)
 {
     if (grid <= 0)
-        sp_fatal("generatePoisson2D: grid must be positive");
+        sp_panic("generatePoisson2D: grid must be positive");
     const Idx n = grid * grid;
     CooMatrix out(n, n);
     out.reserve(static_cast<std::size_t>(n) * 5);

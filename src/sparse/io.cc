@@ -1,95 +1,178 @@
 #include "sparse/io.hh"
 
+#include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
-#include "util/logging.hh"
+#include "util/alloc_hook.hh"
 
 namespace sparsepipe {
 
-CooMatrix
+namespace {
+
+/**
+ * getline wrapper distinguishing "file ended" (InvalidInput at the
+ * call sites, the file is simply too short) from "the stream broke"
+ * (IoError: a disk / pipe failure, not a malformed file).
+ */
+enum class LineResult { Got, Eof, Bad };
+
+LineResult
+nextLine(std::istream &in, std::string &line)
+{
+    if (std::getline(in, line))
+        return LineResult::Got;
+    return in.bad() ? LineResult::Bad : LineResult::Eof;
+}
+
+Status
+streamBroke(const std::string &name)
+{
+    return ioError("read from '%s' failed mid-stream", name.c_str());
+}
+
+} // anonymous namespace
+
+StatusOr<CooMatrix>
 readMatrixMarket(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        sp_fatal("readMatrixMarket: cannot open '%s'", path.c_str());
+        return ioError("cannot open '%s'", path.c_str());
     return readMatrixMarket(in, path);
 }
 
-CooMatrix
+StatusOr<CooMatrix>
 readMatrixMarket(std::istream &in, const std::string &name)
 {
     std::string line;
-    if (!std::getline(in, line))
-        sp_fatal("readMatrixMarket: '%s' is empty", name.c_str());
+    switch (nextLine(in, line)) {
+      case LineResult::Got: break;
+      case LineResult::Eof:
+        return invalidInput("'%s' is empty", name.c_str());
+      case LineResult::Bad:
+        return streamBroke(name);
+    }
 
     std::istringstream header(line);
     std::string banner, object, format, field, symmetry;
     header >> banner >> object >> format >> field >> symmetry;
     if (banner != "%%MatrixMarket" || object != "matrix" ||
         format != "coordinate") {
-        sp_fatal("readMatrixMarket: '%s' has unsupported header '%s'",
-                 name.c_str(), line.c_str());
+        return invalidInput("'%s' has unsupported header '%s'",
+                            name.c_str(), line.c_str());
     }
     const bool pattern = field == "pattern";
     const bool symmetric = symmetry == "symmetric";
     if (field != "real" && field != "integer" && !pattern)
-        sp_fatal("readMatrixMarket: unsupported field '%s' in '%s'",
-                 field.c_str(), name.c_str());
+        return invalidInput("unsupported field '%s' in '%s'",
+                            field.c_str(), name.c_str());
 
     // Skip comments.
-    while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%')
+    bool have_size_line = false;
+    while (true) {
+        const LineResult r = nextLine(in, line);
+        if (r == LineResult::Bad)
+            return streamBroke(name);
+        if (r == LineResult::Eof)
             break;
+        if (!line.empty() && line[0] != '%') {
+            have_size_line = true;
+            break;
+        }
     }
+    if (!have_size_line)
+        return invalidInput("'%s' has no size line", name.c_str());
 
     long long rows = 0, cols = 0, nnz = 0;
     {
+        // Extraction fails on garbage AND on 64-bit overflow, so an
+        // absurd size line never reaches the allocator.
         std::istringstream size_line(line);
         if (!(size_line >> rows >> cols >> nnz))
-            sp_fatal("readMatrixMarket: bad size line in '%s'",
-                     name.c_str());
+            return invalidInput("bad size line '%s' in '%s'",
+                                line.c_str(), name.c_str());
+        if (rows < 0 || cols < 0 || nnz < 0)
+            return invalidInput(
+                "negative size line '%s' in '%s'", line.c_str(),
+                name.c_str());
     }
 
-    CooMatrix out(rows, cols);
-    for (long long i = 0; i < nnz; ++i) {
-        if (!std::getline(in, line))
-            sp_fatal("readMatrixMarket: '%s' truncated at entry %lld",
-                     name.c_str(), i);
-        std::istringstream entry(line);
-        long long r = 0, c = 0;
-        double v = 1.0;
-        if (!(entry >> r >> c))
-            sp_fatal("readMatrixMarket: bad entry %lld in '%s'",
-                     i, name.c_str());
-        if (!pattern && !(entry >> v))
-            sp_fatal("readMatrixMarket: entry %lld in '%s' lacks value",
-                     i, name.c_str());
-        // MatrixMarket is 1-based.
-        out.add(r - 1, c - 1, v);
-        if (symmetric && r != c)
-            out.add(c - 1, r - 1, v);
+    try {
+        CooMatrix out(rows, cols);
+        for (long long i = 0; i < nnz; ++i) {
+            allocCheckpoint();
+            switch (nextLine(in, line)) {
+              case LineResult::Got: break;
+              case LineResult::Eof:
+                return invalidInput(
+                    "'%s' truncated at entry %lld of %lld",
+                    name.c_str(), i, nnz);
+              case LineResult::Bad:
+                return streamBroke(name);
+            }
+            std::istringstream entry(line);
+            long long r = 0, c = 0;
+            double v = 1.0;
+            if (!(entry >> r >> c))
+                return invalidInput("bad entry %lld in '%s': '%s'",
+                                    i, name.c_str(), line.c_str());
+            if (!pattern && !(entry >> v))
+                return invalidInput("entry %lld in '%s' lacks value",
+                                    i, name.c_str());
+            // MatrixMarket is 1-based; reject out-of-range indices
+            // instead of handing them to CooMatrix::add.
+            if (r < 1 || r > rows || c < 1 || c > cols)
+                return invalidInput(
+                    "entry %lld in '%s' has out-of-range index "
+                    "(%lld, %lld) for a %lld x %lld matrix", i,
+                    name.c_str(), r, c, rows, cols);
+            out.add(r - 1, c - 1, v);
+            if (symmetric && r != c)
+                out.add(c - 1, r - 1, v);
+        }
+        out.canonicalize();
+        return out;
+    } catch (const std::bad_alloc &) {
+        return resourceExhausted(
+            "out of memory reading '%s' (%lld entries)",
+            name.c_str(), nnz);
     }
-    out.canonicalize();
-    return out;
 }
 
-void
+Status
 writeMatrixMarket(const CooMatrix &m, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        sp_fatal("writeMatrixMarket: cannot open '%s'", path.c_str());
-    writeMatrixMarket(m, out);
+        return ioError("cannot open '%s' for writing", path.c_str());
+    Status status = writeMatrixMarket(m, out);
+    if (!status.ok())
+        return std::move(status).withContext("writing '" + path + "'");
+    out.flush();
+    if (!out)
+        return ioError("write to '%s' failed", path.c_str());
+    return okStatus();
 }
 
-void
+Status
 writeMatrixMarket(const CooMatrix &m, std::ostream &out)
 {
     out << "%%MatrixMarket matrix coordinate real general\n";
     out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
-    for (const Triplet &t : m.entries())
-        out << t.row + 1 << ' ' << t.col + 1 << ' ' << t.val << '\n';
+    // max_digits10 ("%.17g") makes the write -> read round trip
+    // value-exact.
+    char buf[64];
+    for (const Triplet &t : m.entries()) {
+        std::snprintf(buf, sizeof(buf), "%.*g",
+                      std::numeric_limits<double>::max_digits10,
+                      t.val);
+        out << t.row + 1 << ' ' << t.col + 1 << ' ' << buf << '\n';
+    }
+    if (!out)
+        return ioError("matrix write failed mid-stream");
+    return okStatus();
 }
 
 } // namespace sparsepipe

@@ -5,6 +5,12 @@
  * supports the same container so externally obtained matrices can be
  * dropped in, while the benchmark harness generates synthetic
  * stand-ins (see sparse/generate.hh).
+ *
+ * These functions sit on the user-input boundary: malformed files
+ * come back as InvalidInput, environment failures (open / read /
+ * write trouble) as IoError, and allocation failure while slurping a
+ * huge file as ResourceExhausted.  A non-Ok read never yields a
+ * partial matrix.
  */
 
 #ifndef SPARSEPIPE_SPARSE_IO_HH
@@ -14,25 +20,34 @@
 #include <string>
 
 #include "sparse/coo.hh"
+#include "util/status.hh"
 
 namespace sparsepipe {
 
 /**
  * Read a MatrixMarket coordinate file ("%%MatrixMarket matrix
  * coordinate real|integer|pattern general|symmetric").
- * Pattern entries get value 1.0; symmetric matrices are expanded.
- * User errors (missing file, malformed header) are fatal.
+ * Pattern entries get value 1.0; symmetric matrices are expanded
+ * (off-diagonal entries mirrored, the diagonal kept single).
+ * Entries are validated: 1-based indices must lie inside the size
+ * line's dimensions, and size-line values must be non-negative and
+ * in 64-bit range.
  */
-CooMatrix readMatrixMarket(const std::string &path);
+StatusOr<CooMatrix> readMatrixMarket(const std::string &path);
 
 /** Parse MatrixMarket content from a stream (same rules as above). */
-CooMatrix readMatrixMarket(std::istream &in, const std::string &name);
+StatusOr<CooMatrix> readMatrixMarket(std::istream &in,
+                                     const std::string &name);
 
-/** Write a COO matrix as a MatrixMarket coordinate-real file. */
-void writeMatrixMarket(const CooMatrix &m, const std::string &path);
+/**
+ * Write a COO matrix as a MatrixMarket coordinate-real file.
+ * Values are emitted at max_digits10 precision so a write -> read
+ * round trip reproduces them exactly.
+ */
+Status writeMatrixMarket(const CooMatrix &m, const std::string &path);
 
 /** Serialize to a stream (used by round-trip tests). */
-void writeMatrixMarket(const CooMatrix &m, std::ostream &out);
+Status writeMatrixMarket(const CooMatrix &m, std::ostream &out);
 
 } // namespace sparsepipe
 

@@ -1,0 +1,13 @@
+#include "util/alloc_hook.hh"
+
+#include <new>
+
+namespace sparsepipe::detail {
+
+void
+throwInjectedBadAlloc()
+{
+    throw std::bad_alloc();
+}
+
+} // namespace sparsepipe::detail

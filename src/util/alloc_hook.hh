@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Allocation-failure injection hook.
+ *
+ * Real allocation failures are practically impossible to provoke in
+ * tests, so allocation-heavy input paths (the MatrixMarket reader,
+ * the fuzz-case parser) call allocCheckpoint() once per element
+ * batch.  In production the hook is disarmed and the checkpoint is a
+ * single thread-local integer compare; under fault injection a
+ * ScopedAllocFailure arms a countdown and the N-th checkpoint throws
+ * std::bad_alloc, which the boundary maps to ResourceExhausted.
+ *
+ * The countdown is thread-local: concurrent fault-injection jobs
+ * fail independently (TSan-clean by construction).
+ */
+
+#ifndef SPARSEPIPE_UTIL_ALLOC_HOOK_HH
+#define SPARSEPIPE_UTIL_ALLOC_HOOK_HH
+
+namespace sparsepipe {
+
+namespace detail {
+/**
+ * < 0: disarmed.  Otherwise checkpoints left before the throw.
+ * Function-local so the constant-initialized TLS needs no
+ * cross-translation-unit init wrapper (which UBSan flags).
+ */
+inline long long &
+allocBudget()
+{
+    thread_local long long budget = -1;
+    return budget;
+}
+
+[[noreturn]] void throwInjectedBadAlloc();
+} // namespace detail
+
+/**
+ * Throws std::bad_alloc when an armed countdown reaches zero;
+ * otherwise a two-instruction no-op.
+ */
+inline void
+allocCheckpoint()
+{
+    long long &budget = detail::allocBudget();
+    if (budget >= 0 && budget-- == 0)
+        detail::throwInjectedBadAlloc();
+}
+
+/**
+ * Arms the calling thread's countdown: the (`after` + 1)-th
+ * checkpoint throws.  Restores the previous state on destruction.
+ */
+class ScopedAllocFailure
+{
+  public:
+    explicit ScopedAllocFailure(long long after)
+        : saved_(detail::allocBudget())
+    {
+        detail::allocBudget() = after;
+    }
+
+    ~ScopedAllocFailure() { detail::allocBudget() = saved_; }
+
+    ScopedAllocFailure(const ScopedAllocFailure &) = delete;
+    ScopedAllocFailure &operator=(const ScopedAllocFailure &) = delete;
+
+  private:
+    long long saved_;
+};
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_UTIL_ALLOC_HOOK_HH

@@ -2,18 +2,23 @@
  * @file
  * Logging and error-reporting helpers for the Sparsepipe code base.
  *
- * The conventions follow the gem5 split between user-facing failures
- * and internal invariant violations:
- *  - fatal():  the simulation cannot continue because of a condition
- *              that is the user's fault (bad configuration, malformed
- *              input matrix, mismatched dimensions).  Exits cleanly
- *              with a non-zero status.
- *  - panic():  something happened that should never happen regardless
- *              of user input, i.e. a bug in Sparsepipe itself.  Aborts
- *              so a debugger or core dump can capture the state.
- *  - warn():   functionality behaved unexpectedly but the run can
- *              continue.
- *  - inform(): plain status output.
+ * Recoverable errors — anything a user's input or environment can
+ * trigger — are NOT reported through this header: they travel as
+ * Status / StatusOr<T> (util/status.hh) so library code never kills
+ * the process (see DESIGN.md "Error handling").  What remains here:
+ *
+ *  - sp_fatal():  print-and-exit(1).  Allowed only at the top level
+ *                 of CLI binaries, where dying IS the error handling;
+ *                 library code returns a Status instead.
+ *  - sp_panic():  something happened that should never happen
+ *                 regardless of user input, i.e. a bug in Sparsepipe
+ *                 itself.  Aborts so a debugger or core dump can
+ *                 capture the state (and so CI can tell crashes from
+ *                 clean failures — see the exit-code contract in
+ *                 util/status.hh).
+ *  - sp_warn():   functionality behaved unexpectedly but the run can
+ *                 continue.
+ *  - sp_inform(): plain status output.
  */
 
 #ifndef SPARSEPIPE_UTIL_LOGGING_HH

@@ -5,8 +5,6 @@
 #include <cmath>
 #include <cstdlib>
 
-#include "util/logging.hh"
-
 namespace sparsepipe {
 
 namespace {
@@ -67,33 +65,34 @@ tryParseF64(const std::string &text, double &out)
     return true;
 }
 
-long long
+StatusOr<long long>
 parseI64Flag(const char *flag, const std::string &text)
 {
     long long value = 0;
     if (!tryParseI64(text, value))
-        sp_fatal("flag %s wants an integer, got '%s'", flag,
-                 text.c_str());
+        return invalidInput("flag %s wants an integer, got '%s'",
+                            flag, text.c_str());
     return value;
 }
 
-unsigned long long
+StatusOr<unsigned long long>
 parseU64Flag(const char *flag, const std::string &text)
 {
     unsigned long long value = 0;
     if (!tryParseU64(text, value))
-        sp_fatal("flag %s wants a non-negative integer, got '%s'",
-                 flag, text.c_str());
+        return invalidInput(
+            "flag %s wants a non-negative integer, got '%s'", flag,
+            text.c_str());
     return value;
 }
 
-double
+StatusOr<double>
 parseF64Flag(const char *flag, const std::string &text)
 {
     double value = 0.0;
     if (!tryParseF64(text, value))
-        sp_fatal("flag %s wants a number, got '%s'", flag,
-                 text.c_str());
+        return invalidInput("flag %s wants a number, got '%s'", flag,
+                            text.c_str());
     return value;
 }
 

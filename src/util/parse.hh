@@ -14,6 +14,8 @@
 
 #include <string>
 
+#include "util/status.hh"
+
 namespace sparsepipe {
 
 /**
@@ -33,14 +35,17 @@ bool tryParseU64(const std::string &text, unsigned long long &out);
 bool tryParseF64(const std::string &text, double &out);
 
 /**
- * Flag-parsing wrappers: return the value or fatal() with a message
- * naming the flag, e.g. parseI64Flag("--iters", "abc") exits with
- * "flag --iters wants an integer, got 'abc'".
+ * Flag-parsing wrappers: the value, or InvalidInput naming the flag,
+ * e.g. parseI64Flag("--iters", "abc") yields "flag --iters wants an
+ * integer, got 'abc'".  CLI mains map the error to the usage exit
+ * code (kExitUsage); they never die inside the parser.
  */
-long long parseI64Flag(const char *flag, const std::string &text);
-unsigned long long parseU64Flag(const char *flag,
-                                const std::string &text);
-double parseF64Flag(const char *flag, const std::string &text);
+StatusOr<long long> parseI64Flag(const char *flag,
+                                 const std::string &text);
+StatusOr<unsigned long long> parseU64Flag(const char *flag,
+                                          const std::string &text);
+StatusOr<double> parseF64Flag(const char *flag,
+                              const std::string &text);
 
 } // namespace sparsepipe
 

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Recoverable-error layer: Status / StatusOr<T> plus cooperative
+ * cancellation.
+ *
+ * The code base distinguishes three failure families (see DESIGN.md
+ * "Error handling"):
+ *
+ *  - Status / StatusOr<T>: recoverable errors at the user-input
+ *    boundary (malformed .mtx files, bad STA program text, invalid
+ *    configurations, I/O trouble, cancellation).  Returned, never
+ *    thrown across the public API, so a batch sweep can record one
+ *    failed job and keep going.
+ *  - sp_fatal(): print-and-exit(1), allowed only at the top level of
+ *    CLI binaries where dying IS the error handling.
+ *  - sp_panic(): internal invariant violations (bugs); aborts.
+ *
+ * SpError wraps a Status as an exception for the few interior spots
+ * (deep inside the event-driven simulator) where unwinding by hand
+ * would be invasive; every such throw is caught at the Session /
+ * scheduler boundary and converted back into a returned Status.
+ */
+
+#ifndef SPARSEPIPE_UTIL_STATUS_HH
+#define SPARSEPIPE_UTIL_STATUS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sparsepipe {
+
+/** Error taxonomy.  Keep statusCodeName() in sync. */
+enum class StatusCode : std::uint8_t
+{
+    Ok = 0,
+    InvalidInput,      ///< malformed user input (file, flag, program)
+    IoError,           ///< the environment failed (open, read, write)
+    ResourceExhausted, ///< allocation or capacity limit hit
+    Cancelled,         ///< cooperative cancellation (Ctrl-C, drain)
+    DeadlineExceeded,  ///< per-job deadline expired
+    Internal,          ///< unexpected error escaping a boundary
+};
+
+/** @return stable kebab-case name ("invalid-input", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Outcome of an operation that can fail recoverably: a code, a
+ * human-readable message, and a chain of context frames added as the
+ * error propagates outward ("entry 7" -> "reading 'x.mtx'").
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default: Ok. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Outermost-first context frames. */
+    const std::vector<std::string> &context() const { return context_; }
+
+    /**
+     * Add a context frame describing the operation that observed the
+     * error (no-op on Ok).  Chainable:
+     *   return readEntries(in).withContext("reading '" + name + "'");
+     */
+    Status &&
+    withContext(std::string frame) &&
+    {
+        if (!ok())
+            context_.insert(context_.begin(), std::move(frame));
+        return std::move(*this);
+    }
+
+    Status &
+    withContext(std::string frame) &
+    {
+        if (!ok())
+            context_.insert(context_.begin(), std::move(frame));
+        return *this;
+    }
+
+    /** "invalid-input: bad size line (reading 'x.mtx')". */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+    std::vector<std::string> context_;
+};
+
+/** The Ok status. */
+inline Status okStatus() { return Status(); }
+
+/** printf-style constructors, one per error code. */
+[[gnu::format(printf, 1, 2)]]
+Status invalidInput(const char *fmt, ...);
+[[gnu::format(printf, 1, 2)]]
+Status ioError(const char *fmt, ...);
+[[gnu::format(printf, 1, 2)]]
+Status resourceExhausted(const char *fmt, ...);
+[[gnu::format(printf, 1, 2)]]
+Status cancelledError(const char *fmt, ...);
+[[gnu::format(printf, 1, 2)]]
+Status deadlineExceeded(const char *fmt, ...);
+[[gnu::format(printf, 1, 2)]]
+Status internalError(const char *fmt, ...);
+
+/**
+ * A Status travelling as an exception through code that cannot
+ * return one (event callbacks, cache builders).  Always caught and
+ * flattened back to a Status at a subsystem boundary.
+ */
+class SpError : public std::exception
+{
+  public:
+    explicit SpError(Status status);
+
+    const Status &status() const { return status_; }
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    Status status_;
+    std::string what_;
+};
+
+/** Throw `status` as SpError when it is not Ok. */
+void throwIfError(Status status);
+
+/**
+ * Flatten the in-flight exception (inside a catch block) to a
+ * Status: SpError keeps its status, std::bad_alloc becomes
+ * ResourceExhausted, anything else becomes Internal.
+ */
+Status statusFromCurrentException();
+
+/**
+ * Wrapper holding either a value or a non-Ok Status.
+ *
+ * value() on an error (or status-construction from Ok) is a
+ * programming bug and panics; callers on recoverable paths must test
+ * ok() first.
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    /** Error state; `status` must not be Ok (panics otherwise). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            panicOkWithoutValue();
+    }
+
+    /** Value state. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return value_.has_value(); }
+
+    /** Ok when holding a value, the error otherwise. */
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const &
+    {
+        requireValue();
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        requireValue();
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        requireValue();
+        return *std::move(value_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    void requireValue() const
+    {
+        if (!value_.has_value())
+            panicNoValue(status_);
+    }
+
+    [[noreturn]] static void panicOkWithoutValue();
+    [[noreturn]] static void panicNoValue(const Status &status);
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+// Out-of-line panic helpers shared by every instantiation (defined
+// via the non-template hooks below so status.cc owns the message).
+namespace detail {
+[[noreturn]] void statusOrPanicOkWithoutValue();
+[[noreturn]] void statusOrPanicNoValue(const Status &status);
+} // namespace detail
+
+template <typename T>
+void
+StatusOr<T>::panicOkWithoutValue()
+{
+    detail::statusOrPanicOkWithoutValue();
+}
+
+template <typename T>
+void
+StatusOr<T>::panicNoValue(const Status &status)
+{
+    detail::statusOrPanicNoValue(status);
+}
+
+/**
+ * Cooperative cancellation + deadline propagation.
+ *
+ * One token per job; the scheduler passes it down into the
+ * simulator's column-step loop, which calls check() and unwinds with
+ * Cancelled / DeadlineExceeded when it fires.  A token may chain to
+ * a parent (the process-wide Ctrl-C token) — cancelling the parent
+ * cancels every child.
+ *
+ * check() is designed for hot loops: cancellation is one relaxed
+ * atomic load; the deadline clock is only consulted every
+ * kDeadlineStride calls and the result is latched.
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit CancelToken(const CancelToken *parent = nullptr)
+        : parent_(parent) {}
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation (thread- and signal-safe). */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        return parent_ && parent_->cancelled();
+    }
+
+    /** Arm a deadline `ms` milliseconds from now (<= 0 disarms). */
+    void
+    setDeadlineAfterMs(long long ms)
+    {
+        if (ms <= 0) {
+            has_deadline_.store(false, std::memory_order_relaxed);
+            return;
+        }
+        deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+        expired_.store(false, std::memory_order_relaxed);
+        has_deadline_.store(true, std::memory_order_release);
+    }
+
+    bool
+    deadlineExpired() const
+    {
+        if (!has_deadline_.load(std::memory_order_acquire))
+            return false;
+        if (expired_.load(std::memory_order_relaxed))
+            return true;
+        if (Clock::now() < deadline_)
+            return false;
+        expired_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
+    /**
+     * Ok while the job may continue; Cancelled / DeadlineExceeded
+     * once it must unwind.  Cheap enough for per-column-step use.
+     */
+    Status
+    check() const
+    {
+        if (cancelled())
+            return Status(StatusCode::Cancelled, "cancelled");
+        if (has_deadline_.load(std::memory_order_acquire)) {
+            // Latch first, then probe the clock only every
+            // kDeadlineStride calls.
+            if (expired_.load(std::memory_order_relaxed) ||
+                (++checks_ % kDeadlineStride == 0 &&
+                 deadlineExpired())) {
+                expired_.store(true, std::memory_order_relaxed);
+                return Status(StatusCode::DeadlineExceeded,
+                              "deadline exceeded");
+            }
+        }
+        return okStatus();
+    }
+
+  private:
+    static constexpr std::uint32_t kDeadlineStride = 32;
+
+    const CancelToken *parent_ = nullptr;
+    std::atomic<bool> cancelled_{false};
+    std::atomic<bool> has_deadline_{false};
+    mutable std::atomic<bool> expired_{false};
+    Clock::time_point deadline_{};
+    mutable std::atomic<std::uint32_t> checks_{0};
+};
+
+/**
+ * CLI exit-code contract (see DESIGN.md): 0 success, 1 input /
+ * runtime error (a non-Ok Status reaching main), 2 usage error (bad
+ * flags).  sp_panic aborts, so crashes are distinguishable from
+ * clean failures in CI logs.
+ */
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_UTIL_STATUS_HH

@@ -13,6 +13,7 @@
 #include "check/case_gen.hh"
 #include "check/corpus.hh"
 #include "check/diff_check.hh"
+#include "check/fault.hh"
 #include "check/invariants.hh"
 #include "check/oei_driver.hh"
 #include "check/shrink.hh"
@@ -45,8 +46,8 @@ TEST(CaseGen, DeterministicForSeed)
         EXPECT_EQ(a.iters, b.iters);
         EXPECT_EQ(a.config.buffer_bytes, b.config.buffer_bytes);
         std::ostringstream sa, sb;
-        writeCase(sa, a);
-        writeCase(sb, b);
+        EXPECT_TRUE(writeCase(sa, a).ok());
+        EXPECT_TRUE(writeCase(sb, b).ok());
         EXPECT_EQ(sa.str(), sb.str());
     }
 }
@@ -235,7 +236,10 @@ TEST(Serialize, ProgramRoundTrips)
     for (std::uint64_t seed = 0; seed < 16; ++seed) {
         FuzzCase fuzz = generateCase(mixSeed(23, seed));
         const std::string text = programToText(fuzz.program);
-        Program back = programFromText(text);
+        StatusOr<Program> parsed = programFromText(text);
+        ASSERT_TRUE(parsed.ok())
+            << seed << ": " << parsed.status().toString();
+        const Program &back = *parsed;
         EXPECT_EQ(programToText(back), text) << seed;
         EXPECT_EQ(back.tensors().size(),
                   fuzz.program.tensors().size());
@@ -252,9 +256,12 @@ TEST(Corpus, CaseRoundTrips)
     for (std::uint64_t seed = 0; seed < 16; ++seed) {
         FuzzCase fuzz = generateCase(mixSeed(29, seed));
         std::ostringstream os;
-        writeCase(os, fuzz);
+        ASSERT_TRUE(writeCase(os, fuzz).ok());
         std::istringstream is(os.str());
-        FuzzCase back = readCase(is);
+        StatusOr<FuzzCase> reread = readCase(is);
+        ASSERT_TRUE(reread.ok())
+            << seed << ": " << reread.status().toString();
+        const FuzzCase back = std::move(reread).value();
 
         EXPECT_EQ(back.name, fuzz.name);
         EXPECT_EQ(back.seed, fuzz.seed);
@@ -271,7 +278,7 @@ TEST(Corpus, CaseRoundTrips)
 
         // Writing the parsed case again must be byte-identical.
         std::ostringstream os2;
-        writeCase(os2, back);
+        ASSERT_TRUE(writeCase(os2, back).ok());
         EXPECT_EQ(os2.str(), os.str()) << seed;
 
         // And the parsed case must check identically to the source.
@@ -282,6 +289,40 @@ TEST(Corpus, CaseRoundTrips)
 TEST(Corpus, ListCorpusOnMissingDirIsEmpty)
 {
     EXPECT_TRUE(listCorpus("/nonexistent/sparsepipe-dir").empty());
+}
+
+TEST(Fault, PlansAreDeterministicAndCoverAllKinds)
+{
+    bool seen[static_cast<int>(FaultKind::Count_)] = {};
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        FaultPlan a = planFault(99, i);
+        FaultPlan b = planFault(99, i);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.seed, b.seed);
+        seen[static_cast<int>(a.kind)] = true;
+    }
+    for (int k = 0; k < static_cast<int>(FaultKind::Count_); ++k)
+        EXPECT_TRUE(seen[k]) << faultKindName(
+            static_cast<FaultKind>(k));
+}
+
+TEST(Fault, EveryKindSurfacesTheExpectedStatus)
+{
+    // One deterministic sweep over every fault kind: the reader must
+    // answer with exactly the documented code — never a crash, never
+    // a silent success.  The CLI smoke test covers the wide sweep;
+    // this keeps a narrow reproducer in the unit suite.
+    for (std::uint64_t i = 0;
+         i < 3 * static_cast<std::uint64_t>(FaultKind::Count_); ++i) {
+        const FaultPlan plan = planFault(4242, i);
+        const FaultReport report = runFaultCase(plan);
+        EXPECT_TRUE(report.pass)
+            << faultKindName(plan.kind) << " seed " << plan.seed
+            << ": expected " << statusCodeName(report.expected)
+            << ", observed "
+            << (report.observed.ok() ? "silent success"
+                                     : report.observed.toString());
+    }
 }
 
 } // namespace

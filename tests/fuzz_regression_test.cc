@@ -38,7 +38,10 @@ class CorpusCase : public ::testing::TestWithParam<std::string>
 
 TEST_P(CorpusCase, Replays)
 {
-    FuzzCase fuzz = readCaseFile(GetParam());
+    StatusOr<FuzzCase> read = readCaseFile(GetParam());
+    ASSERT_TRUE(read.ok())
+        << GetParam() << ": " << read.status().toString();
+    const FuzzCase fuzz = std::move(read).value();
     CaseReport report = checkCase(fuzz);
     EXPECT_TRUE(report.ok) << GetParam();
     for (const std::string &f : report.failures)

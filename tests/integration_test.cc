@@ -109,7 +109,7 @@ TEST(Preprocessing, ReorderedRunPermutesResults)
     CsrMatrix plain = app.prepare(raw);
 
     auto perm = vanillaReorder(CsrMatrix::fromCoo(raw));
-    CooMatrix renum = applySymmetricPermutation(raw, perm);
+    CooMatrix renum = applySymmetricPermutation(raw, perm).value();
     CsrMatrix reordered = app.prepare(renum);
 
     Workspace a(app.program), b(app.program);
@@ -137,7 +137,7 @@ TEST(Preprocessing, BlockedBytesFeedTheSimulator)
     CooMatrix raw = smallGraph(n, 8000, 29);
     AppInstance app = makeSssp(n);
     CsrMatrix prepared = app.prepare(raw);
-    BlockedLayout layout = buildBlockedLayout(prepared);
+    BlockedLayout layout = buildBlockedLayout(prepared).value();
 
     SparsepipeConfig blocked = SparsepipeConfig::isoGpu();
     blocked.bytes_per_nz = layout.bytesPerNonzero();

@@ -42,14 +42,30 @@ TEST(ProgramBuilder, ConvergenceRecorded)
     EXPECT_DOUBLE_EQ(p.convergenceThreshold(), 1e-3);
 }
 
-TEST(ProgramValidate, VxmShapeMismatchIsFatal)
+/**
+ * Validation contract: validate() answers with InvalidInput naming
+ * the first violation (programs can arrive from user text), and
+ * build() — the trusted in-code path — throws on the same defect.
+ */
+void
+expectInvalid(const ProgramBuilder &b, const std::string &needle)
+{
+    Status status = b.peek().validate();
+    ASSERT_FALSE(status.ok()) << "expected \"" << needle << "\"";
+    EXPECT_EQ(status.code(), StatusCode::InvalidInput);
+    EXPECT_NE(status.toString().find(needle), std::string::npos)
+        << status.toString();
+}
+
+TEST(ProgramValidate, VxmShapeMismatchIsInvalid)
 {
     ProgramBuilder b("bad");
     TensorId a = b.matrix("A", 8, 8);
     TensorId x = b.vector("x", 4); // wrong length
     TensorId y = b.vector("y", 8);
     b.vxm(y, x, a, Semiring(SemiringKind::MulAdd));
-    EXPECT_DEATH(b.build(), "shape mismatch");
+    expectInvalid(b, "shape mismatch");
+    EXPECT_THROW(b.build(), SpError);
 }
 
 TEST(ProgramValidate, VxmOperandKindsChecked)
@@ -59,17 +75,18 @@ TEST(ProgramValidate, VxmOperandKindsChecked)
     TensorId y = b.vector("y", 8);
     TensorId z = b.vector("z", 8);
     b.vxm(y, x, z, Semiring(SemiringKind::MulAdd)); // z not a matrix
-    EXPECT_DEATH(b.build(), "operand kinds");
+    expectInvalid(b, "operand kinds");
+    EXPECT_THROW(b.build(), SpError);
 }
 
-TEST(ProgramValidate, EwiseShapeMismatchIsFatal)
+TEST(ProgramValidate, EwiseShapeMismatchIsInvalid)
 {
     ProgramBuilder b("bad3");
     TensorId x = b.vector("x", 8);
     TensorId y = b.vector("y", 9);
     TensorId z = b.vector("z", 8);
     b.eWise(z, BinaryOp::Add, x, y);
-    EXPECT_DEATH(b.build(), "ewise shape mismatch");
+    expectInvalid(b, "ewise shape mismatch");
 }
 
 TEST(ProgramValidate, ScalarBroadcastAllowed)
@@ -83,22 +100,22 @@ TEST(ProgramValidate, ScalarBroadcastAllowed)
     EXPECT_EQ(p.ops().size(), 1u);
 }
 
-TEST(ProgramValidate, CarryShapeMismatchIsFatal)
+TEST(ProgramValidate, CarryShapeMismatchIsInvalid)
 {
     ProgramBuilder b("bad4");
     TensorId x = b.vector("x", 8);
     TensorId y = b.vector("y", 16);
     b.carry(x, y);
-    EXPECT_DEATH(b.build(), "carry shape mismatch");
+    expectInvalid(b, "carry shape mismatch");
 }
 
-TEST(ProgramValidate, CarryIntoConstantIsFatal)
+TEST(ProgramValidate, CarryIntoConstantIsInvalid)
 {
     ProgramBuilder b("bad5");
     TensorId c = b.constant("c", 1.0);
     TensorId s = b.scalar("s", 0.0);
     b.carry(c, s);
-    EXPECT_DEATH(b.build(), "constant");
+    expectInvalid(b, "constant");
 }
 
 TEST(ProgramValidate, FoldNeedsVectorToScalar)
@@ -107,7 +124,7 @@ TEST(ProgramValidate, FoldNeedsVectorToScalar)
     TensorId s = b.scalar("s", 0.0);
     TensorId t = b.scalar("t", 0.0);
     b.fold(t, BinaryOp::Add, s);
-    EXPECT_DEATH(b.build(), "fold needs vector");
+    expectInvalid(b, "fold needs vector");
 }
 
 TEST(ProgramValidate, MmShapesChecked)
@@ -117,7 +134,7 @@ TEST(ProgramValidate, MmShapesChecked)
     TensorId w = b.dense("W", 4, 4); // inner dim mismatch
     TensorId o = b.dense("O", 4, 4);
     b.mm(o, h, w);
-    EXPECT_DEATH(b.build(), "mm shape mismatch");
+    expectInvalid(b, "mm shape mismatch");
 }
 
 TEST(OpKindNames, Stable)

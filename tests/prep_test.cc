@@ -44,7 +44,7 @@ TEST(Reorder, SymmetricPermutationPreservesStructure)
     raw.canonicalize();
     CsrMatrix csr = CsrMatrix::fromCoo(raw);
     auto perm = localityReorder(csr);
-    CooMatrix renum = applySymmetricPermutation(raw, perm);
+    CooMatrix renum = applySymmetricPermutation(raw, perm).value();
 
     EXPECT_EQ(renum.nnz(), raw.nnz());
     // Degree multiset is preserved.
@@ -60,7 +60,7 @@ TEST(Reorder, SymmetricPermutationPreservesStructure)
     std::vector<Idx> inv(perm.size());
     for (std::size_t i = 0; i < perm.size(); ++i)
         inv[static_cast<std::size_t>(perm[i])] = static_cast<Idx>(i);
-    CooMatrix back = applySymmetricPermutation(renum, inv);
+    CooMatrix back = applySymmetricPermutation(renum, inv).value();
     CooMatrix canon = raw;
     canon.canonicalize();
     EXPECT_EQ(back.entries(), canon.entries());
@@ -80,7 +80,7 @@ TEST(Reorder, VanillaPushesMassAboveDiagonal)
         return count;
     };
     CooMatrix reord =
-        applySymmetricPermutation(raw, vanillaReorder(csr));
+        applySymmetricPermutation(raw, vanillaReorder(csr)).value();
     EXPECT_LT(below(reord), below(raw));
 }
 
@@ -94,7 +94,8 @@ TEST(Reorder, LocalityShrinksResidencyOnSkewedGraphs)
     for (std::size_t i = scramble.size(); i > 1; --i)
         std::swap(scramble[i - 1],
                   scramble[rng2.nextBelow(i)]);
-    CooMatrix scrambled = applySymmetricPermutation(raw, scramble);
+    CooMatrix scrambled =
+        applySymmetricPermutation(raw, scramble).value();
 
     auto avg_resident = [](const CooMatrix &m) {
         StepBuckets b =
@@ -103,18 +104,34 @@ TEST(Reorder, LocalityShrinksResidencyOnSkewedGraphs)
     };
     CsrMatrix csr = CsrMatrix::fromCoo(scrambled);
     CooMatrix reord =
-        applySymmetricPermutation(scrambled, localityReorder(csr));
+        applySymmetricPermutation(scrambled, localityReorder(csr))
+            .value();
     EXPECT_LT(avg_resident(reord), avg_resident(scrambled));
 }
 
-TEST(Reorder, NonSquareIsFatal)
+TEST(Reorder, BadShapesAreInvalidInput)
 {
     CooMatrix m(2, 3);
-    EXPECT_DEATH(applySymmetricPermutation(m, {0, 1}),
-                 "must be square");
+    StatusOr<CooMatrix> non_square =
+        applySymmetricPermutation(m, {0, 1});
+    ASSERT_FALSE(non_square.ok());
+    EXPECT_EQ(non_square.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(non_square.status().toString().find("must be square"),
+              std::string::npos);
+
     CooMatrix sq(3, 3);
-    EXPECT_DEATH(applySymmetricPermutation(sq, {0, 1}),
-                 "length mismatch");
+    StatusOr<CooMatrix> short_perm =
+        applySymmetricPermutation(sq, {0, 1});
+    ASSERT_FALSE(short_perm.ok());
+    EXPECT_EQ(short_perm.status().code(), StatusCode::InvalidInput);
+
+    StatusOr<CooMatrix> not_bijection =
+        applySymmetricPermutation(sq, {0, 0, 1});
+    ASSERT_FALSE(not_bijection.ok());
+    EXPECT_EQ(not_bijection.status().code(),
+              StatusCode::InvalidInput);
+    EXPECT_NE(not_bijection.status().toString().find("bijection"),
+              std::string::npos);
 }
 
 TEST(Blocked, DualStorageBytesFormula)
@@ -132,7 +149,7 @@ TEST(Blocked, LayoutCountsNonzeroBlocks)
     m.add(256, 0, 1.0);   // block (1,0)
     m.add(511, 511, 1.0); // block (1,1)
     BlockedLayout layout =
-        buildBlockedLayout(CsrMatrix::fromCoo(m), 256);
+        buildBlockedLayout(CsrMatrix::fromCoo(m), 256).value();
     EXPECT_EQ(layout.nonzero_blocks, 3);
     EXPECT_EQ(layout.nnz, 4);
     EXPECT_EQ(layout.grid_rows, 2);
@@ -142,7 +159,7 @@ TEST(Blocked, CompressesDualStorageSubstantially)
 {
     CooMatrix raw = testing::smallGraph(2048, 40000, 12);
     CsrMatrix csr = CsrMatrix::fromCoo(raw);
-    BlockedLayout layout = buildBlockedLayout(csr);
+    BlockedLayout layout = buildBlockedLayout(csr).value();
     Idx dual = dualStorageBytes(csr.nnz(), csr.rows(), csr.cols());
     double ratio = static_cast<double>(layout.totalBytes()) /
                    static_cast<double>(dual);
@@ -153,12 +170,18 @@ TEST(Blocked, CompressesDualStorageSubstantially)
     EXPECT_GT(layout.bytesPerNonzero(), 9.0);
 }
 
-TEST(Blocked, OversizedBlockIsFatal)
+TEST(Blocked, OversizedBlockIsInvalidInput)
 {
     CooMatrix raw = testing::smallGraph(64, 100);
     CsrMatrix csr = CsrMatrix::fromCoo(raw);
-    EXPECT_DEATH(buildBlockedLayout(csr, 512), "1-byte");
-    EXPECT_DEATH(buildBlockedLayout(csr, 0), "1-byte");
+    StatusOr<BlockedLayout> too_big = buildBlockedLayout(csr, 512);
+    ASSERT_FALSE(too_big.ok());
+    EXPECT_EQ(too_big.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(too_big.status().toString().find("1-byte"),
+              std::string::npos);
+    StatusOr<BlockedLayout> zero = buildBlockedLayout(csr, 0);
+    ASSERT_FALSE(zero.ok());
+    EXPECT_EQ(zero.status().code(), StatusCode::InvalidInput);
 }
 
 TEST(Reorder, KindNamesStable)

@@ -8,7 +8,10 @@
  */
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -17,11 +20,13 @@
 
 #include "harness.hh"
 #include "runner/batch.hh"
+#include "runner/journal.hh"
 #include "runner/keyed_cache.hh"
 #include "runner/result_sink.hh"
 #include "runner/scheduler.hh"
 #include "runner/thread_pool.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 using namespace sparsepipe;
 using namespace sparsepipe::runner;
@@ -86,25 +91,111 @@ TEST(Scheduler, CapturesExceptionsPerJob)
     ThreadPool pool(3);
     SweepScheduler scheduler(pool);
     std::atomic<int> ran{0};
-    scheduler.add("ok-1", [&] { ran.fetch_add(1); });
-    scheduler.add("boom", [] {
+    scheduler.add("ok-1", [&] {
+        ran.fetch_add(1);
+        return okStatus();
+    });
+    scheduler.add("boom", []() -> Status {
         throw std::runtime_error("deliberate failure");
     });
-    scheduler.add("ok-2", [&] { ran.fetch_add(1); });
+    scheduler.add("ok-2", [&] {
+        ran.fetch_add(1);
+        return okStatus();
+    });
 
     std::vector<JobOutcome> outcomes = scheduler.run();
     ASSERT_EQ(outcomes.size(), 3u);
-    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_TRUE(outcomes[0].ok());
     EXPECT_EQ(outcomes[0].label, "ok-1");
-    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_FALSE(outcomes[1].ok());
     EXPECT_EQ(outcomes[1].label, "boom");
-    EXPECT_NE(outcomes[1].error.find("deliberate failure"),
+    EXPECT_EQ(outcomes[1].status.code(), StatusCode::Internal);
+    EXPECT_NE(outcomes[1].status.toString().find(
+                  "deliberate failure"),
               std::string::npos);
-    EXPECT_TRUE(outcomes[2].ok);
+    EXPECT_TRUE(outcomes[2].ok());
     // The failing job neither killed the pool nor its neighbours.
     EXPECT_EQ(ran.load(), 2);
     // The scheduler is reusable after run().
     EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(Scheduler, ReturnedStatusIsolatesFailedJobs)
+{
+    // Fault-isolation contract: a job that *returns* a non-Ok Status
+    // is reported as failed while every other job still completes.
+    ThreadPool pool(4);
+    SweepScheduler scheduler(pool);
+    std::atomic<int> completed{0};
+    scheduler.add("bad-input", [] {
+        return invalidInput("dataset row 7 out of range");
+    });
+    for (int i = 0; i < 6; ++i) {
+        scheduler.add("ok-" + std::to_string(i), [&] {
+            completed.fetch_add(1);
+            return okStatus();
+        });
+    }
+    std::vector<JobOutcome> outcomes = scheduler.run();
+    ASSERT_EQ(outcomes.size(), 7u);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_EQ(outcomes[0].status.code(), StatusCode::InvalidInput);
+    for (std::size_t i = 1; i < outcomes.size(); ++i)
+        EXPECT_TRUE(outcomes[i].ok()) << outcomes[i].label;
+    EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(Scheduler, CancelledJobReportsCancelledRestComplete)
+{
+    // A pre-fired token cancels its job; neighbours are unaffected.
+    ThreadPool pool(4);
+    SweepScheduler scheduler(pool);
+    CancelToken cancelled;
+    cancelled.cancel();
+    CancelToken live;
+    std::atomic<int> completed{0};
+    scheduler.add("doomed", [&]() -> Status {
+        if (Status s = cancelled.check(); !s.ok())
+            return s;
+        completed.fetch_add(1);
+        return okStatus();
+    });
+    for (int i = 0; i < 4; ++i) {
+        scheduler.add("live-" + std::to_string(i), [&]() -> Status {
+            if (Status s = live.check(); !s.ok())
+                return s;
+            completed.fetch_add(1);
+            return okStatus();
+        });
+    }
+    std::vector<JobOutcome> outcomes = scheduler.run();
+    ASSERT_EQ(outcomes.size(), 5u);
+    EXPECT_EQ(outcomes[0].status.code(), StatusCode::Cancelled);
+    for (std::size_t i = 1; i < outcomes.size(); ++i)
+        EXPECT_TRUE(outcomes[i].ok()) << outcomes[i].label;
+    EXPECT_EQ(completed.load(), 4);
+}
+
+TEST(CancelToken, ParentChainingAndDeadline)
+{
+    CancelToken parent;
+    CancelToken child(&parent);
+    EXPECT_TRUE(child.check().ok());
+    parent.cancel();
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_EQ(child.check().code(), StatusCode::Cancelled);
+
+    CancelToken timed;
+    timed.setDeadlineAfterMs(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // The stride-latched probe must fire within one stride of calls.
+    Status last = okStatus();
+    for (int i = 0; i < 64 && last.ok(); ++i)
+        last = timed.check();
+    EXPECT_EQ(last.code(), StatusCode::DeadlineExceeded);
+    // Disarming clears the deadline.
+    timed.setDeadlineAfterMs(0);
+    EXPECT_TRUE(timed.check().ok());
 }
 
 TEST(Scheduler, ParallelIndexedPreservesOrderAndRethrows)
@@ -271,6 +362,212 @@ TEST(Sweep, ParallelMatchesSerialByteForByte)
         SCOPED_TRACE(serial[i].app + "-" + serial[i].dataset);
         expectCaseEqual(serial[i], parallel[i]);
     }
+}
+
+TEST(Batch, ParsesTimeoutMs)
+{
+    std::string error;
+    auto job = parseBatchLine(
+        "app=pr dataset=wi timeout-ms=1500", error);
+    ASSERT_TRUE(job.has_value()) << error;
+    EXPECT_EQ(job->timeout_ms, 1500);
+
+    auto unset = parseBatchLine("app=pr dataset=wi", error);
+    ASSERT_TRUE(unset.has_value());
+    EXPECT_EQ(unset->timeout_ms, 0);
+
+    EXPECT_FALSE(
+        parseBatchLine("app=pr dataset=wi timeout-ms=-5", error)
+            .has_value());
+    EXPECT_NE(error.find("timeout"), std::string::npos);
+}
+
+TEST(Batch, JobKeyIsCanonicalAndIgnoresTimeout)
+{
+    std::string error;
+    auto a = parseBatchLine(
+        "app=pr dataset=wi iters=8 seed=0x10 label=x", error);
+    auto b = parseBatchLine(
+        "label=x seed=16 iters=8 dataset=wi app=pr timeout-ms=900",
+        error);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    // Same job, different spelling/order and a timeout: same key, so
+    // a rerun with a longer deadline still skips completed work.
+    EXPECT_EQ(batchJobKey(*a), batchJobKey(*b));
+
+    auto c = parseBatchLine(
+        "app=pr dataset=wi iters=9 seed=0x10 label=x", error);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NE(batchJobKey(*a), batchJobKey(*c));
+}
+
+TEST(Batch, ReadBatchFileReportsStatus)
+{
+    StatusOr<std::vector<BatchJob>> missing =
+        readBatchFile("/nonexistent/sparsepipe.batch");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::IoError);
+
+    const std::string dir = ::testing::TempDir();
+    const std::string bad_path = dir + "/sp_bad.batch";
+    {
+        std::ofstream out(bad_path);
+        out << "app=pr dataset=wi\n"
+            << "app=pr dataset=wi iters=abc\n";
+    }
+    StatusOr<std::vector<BatchJob>> bad = readBatchFile(bad_path);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(bad.status().toString().find("line 2"),
+              std::string::npos);
+
+    const std::string good_path = dir + "/sp_good.batch";
+    {
+        std::ofstream out(good_path);
+        out << "# sweep\n"
+            << "app=pr dataset=wi\n"
+            << "\n"
+            << "app=sssp dataset=ro timeout-ms=250\n";
+    }
+    StatusOr<std::vector<BatchJob>> good = readBatchFile(good_path);
+    ASSERT_TRUE(good.ok()) << good.status().toString();
+    ASSERT_EQ(good->size(), 2u);
+    EXPECT_EQ((*good)[0].app, "pr");
+    EXPECT_EQ((*good)[1].timeout_ms, 250);
+    std::remove(bad_path.c_str());
+    std::remove(good_path.c_str());
+}
+
+TEST(Journal, RecordsSurviveAndResume)
+{
+    const std::string path =
+        ::testing::TempDir() + "/sp_journal_test.log";
+    std::remove(path.c_str());
+
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.init(path, /*resume=*/false).ok());
+        EXPECT_EQ(journal.resumedCount(), 0u);
+        journal.recordOk("app=pr dataset=wi seed=1");
+        journal.recordFail("app=gcn dataset=co seed=1",
+                           StatusCode::DeadlineExceeded);
+        journal.recordOk("app=sssp dataset=ro seed=1");
+    } // destructor closes; records were flushed per call anyway
+
+    SweepJournal resumed;
+    ASSERT_TRUE(resumed.init(path, /*resume=*/true).ok());
+    EXPECT_EQ(resumed.resumedCount(), 2u);
+    EXPECT_TRUE(resumed.completed("app=pr dataset=wi seed=1"));
+    EXPECT_TRUE(resumed.completed("app=sssp dataset=ro seed=1"));
+    // Failed jobs are retried, not skipped.
+    EXPECT_FALSE(resumed.completed("app=gcn dataset=co seed=1"));
+    EXPECT_FALSE(resumed.completed("app=pr dataset=xx seed=1"));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ConcurrentRecordsAllSurvive)
+{
+    const std::string path =
+        ::testing::TempDir() + "/sp_journal_mt.log";
+    std::remove(path.c_str());
+    constexpr int kJobs = 64;
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.init(path, false).ok());
+        ThreadPool pool(8);
+        for (int i = 0; i < kJobs; ++i) {
+            pool.submit([&journal, i] {
+                journal.recordOk("job-" + std::to_string(i));
+            });
+        }
+        pool.wait();
+    }
+    SweepJournal resumed;
+    ASSERT_TRUE(resumed.init(path, true).ok());
+    EXPECT_EQ(resumed.resumedCount(),
+              static_cast<std::size_t>(kJobs));
+    for (int i = 0; i < kJobs; ++i)
+        EXPECT_TRUE(resumed.completed("job-" + std::to_string(i)));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeToleratesMissingFileRejectsGarbage)
+{
+    const std::string missing =
+        ::testing::TempDir() + "/sp_journal_none.log";
+    std::remove(missing.c_str());
+    SweepJournal fresh;
+    EXPECT_TRUE(fresh.init(missing, /*resume=*/true).ok());
+    EXPECT_EQ(fresh.resumedCount(), 0u);
+    std::remove(missing.c_str());
+
+    const std::string garbled =
+        ::testing::TempDir() + "/sp_journal_garbled.log";
+    {
+        std::ofstream out(garbled);
+        out << "ok app=pr dataset=wi\n"
+            << "this is not a journal record\n";
+    }
+    SweepJournal broken;
+    Status status = broken.init(garbled, /*resume=*/true);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::InvalidInput);
+    std::remove(garbled.c_str());
+}
+
+TEST(Harness, RunCaseOrRejectsUnknownSpecs)
+{
+    using namespace sparsepipe::bench;
+    RunConfig cfg;
+    StatusOr<CaseResult> bad_app =
+        runCaseOr("no-such-app", allDatasets()[0], cfg);
+    ASSERT_FALSE(bad_app.ok());
+    EXPECT_EQ(bad_app.status().code(), StatusCode::InvalidInput);
+
+    StatusOr<CaseResult> bad_data =
+        runCaseOr(allApps()[0], "no-such-dataset", cfg);
+    ASSERT_FALSE(bad_data.ok());
+    EXPECT_EQ(bad_data.status().code(), StatusCode::InvalidInput);
+}
+
+TEST(Harness, CancelAndDeadlineSurfaceWhileOthersComplete)
+{
+    using namespace sparsepipe::bench;
+    const std::string app = allApps()[0];
+    const std::string dataset = allDatasets()[0];
+    RunConfig cfg;
+
+    CancelToken cancelled;
+    cancelled.cancel();
+    CancelToken expired;
+    expired.setDeadlineAfterMs(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    ThreadPool pool(3);
+    SweepScheduler scheduler(pool);
+    scheduler.add("cancelled", [&] {
+        StatusOr<CaseResult> r =
+            runCaseOr(app, dataset, cfg, &cancelled);
+        return r.ok() ? okStatus() : r.status();
+    });
+    scheduler.add("deadline", [&] {
+        StatusOr<CaseResult> r =
+            runCaseOr(app, dataset, cfg, &expired);
+        return r.ok() ? okStatus() : r.status();
+    });
+    scheduler.add("plain", [&] {
+        StatusOr<CaseResult> r = runCaseOr(app, dataset, cfg);
+        return r.ok() ? okStatus() : r.status();
+    });
+
+    std::vector<JobOutcome> outcomes = scheduler.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].status.code(), StatusCode::Cancelled);
+    EXPECT_EQ(outcomes[1].status.code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_TRUE(outcomes[2].ok())
+        << outcomes[2].status.toString();
 }
 
 TEST(Sweep, GridOrderIsAppMajor)

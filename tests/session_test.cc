@@ -52,7 +52,7 @@ TEST(Session, RunRoundTripMatchesManualPipeline)
     req.iters = 8;
 
     api::Session session;
-    const api::RunReport cached = session.run(req);
+    const api::RunReport cached = session.run(req).value();
     EXPECT_EQ(cached.app, "sssp");
     EXPECT_EQ(cached.dataset, "ca");
     EXPECT_GT(cached.nnz, 0);
@@ -67,12 +67,12 @@ TEST(Session, RunRoundTripMatchesManualPipeline)
     EXPECT_EQ(pc.nnz, cached.nnz);
 
     api::Session scratch;
-    const api::RunReport manual = scratch.run(req, pc);
+    const api::RunReport manual = scratch.run(req, pc).value();
     EXPECT_EQ(exportStats(cached.stats).entries(),
               exportStats(manual.stats).entries());
 
     // Re-running through the cache stays deterministic.
-    const api::RunReport again = session.run(req);
+    const api::RunReport again = session.run(req).value();
     EXPECT_EQ(exportStats(cached.stats).entries(),
               exportStats(again.stats).entries());
 }
@@ -91,13 +91,52 @@ TEST(Session, BlockedFlagControlsFootprint)
     EXPECT_LT(pc.blocked_bytes_per_nz, 12.0);
 
     req.blocked = false;
-    const api::RunReport naive = session.run(req);
+    const api::RunReport naive = session.run(req).value();
     req.blocked = true;
-    const api::RunReport blocked = session.run(req);
+    const api::RunReport blocked = session.run(req).value();
     // Smaller footprint => same or fewer demand-reload stalls, and
     // the two must not silently share a config.
     EXPECT_LE(blocked.stats.counters.demand_reload_events,
               naive.stats.counters.demand_reload_events);
+}
+
+TEST(Session, RunReturnsStatusInsteadOfDying)
+{
+    api::Session session;
+    api::RunRequest req;
+    req.app = "no-such-app";
+    req.dataset = "ca";
+    StatusOr<api::RunReport> bad_app = session.run(req);
+    ASSERT_FALSE(bad_app.ok());
+    EXPECT_EQ(bad_app.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(bad_app.status().toString().find("no-such-app"),
+              std::string::npos);
+
+    req.app = "pr";
+    req.dataset = "no-such-dataset";
+    StatusOr<api::RunReport> bad_data = session.run(req);
+    ASSERT_FALSE(bad_data.ok());
+    EXPECT_EQ(bad_data.status().code(), StatusCode::InvalidInput);
+
+    // A failed request must not poison the session for later runs.
+    req.dataset = "ca";
+    req.iters = 2;
+    EXPECT_TRUE(session.run(req).ok());
+}
+
+TEST(Session, PreFiredTokenCancelsRun)
+{
+    api::Session session;
+    api::RunRequest req;
+    req.app = "pr";
+    req.dataset = "ca";
+    req.iters = 4;
+    CancelToken token;
+    token.cancel();
+    req.cancel = &token;
+    StatusOr<api::RunReport> run = session.run(req);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::Cancelled);
 }
 
 TEST(Session, BindWorkspaceBindsBothCompressedForms)

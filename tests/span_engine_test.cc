@@ -53,7 +53,7 @@ runOnce(const std::string &app, const api::PreparedCase &pc,
     req.dataset = "span-eq";
     req.iters = 6;
     req.sp.span_batching = span_batching;
-    const api::RunReport report = session.run(req, pc);
+    const api::RunReport report = session.run(req, pc).value();
     obs::MetricsRegistry reg;
     recordSimMetrics(reg, "sim", report.stats);
     // The timeline is exported in reduced form; pin the raw samples

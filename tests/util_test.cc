@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <new>
+#include <stdexcept>
+
 #include "util/logging.hh"
 #include "util/parse.hh"
+#include "util/status.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -78,15 +82,95 @@ TEST(Parse, AcceptsWholeWellFormedNumbersOnly)
     EXPECT_FALSE(tryParseF64("inf", d)); // flags want finite values
 }
 
-TEST(Parse, FlagWrappersAreFatalOnGarbage)
+TEST(Parse, FlagWrappersReturnStatusOnGarbage)
 {
-    EXPECT_EQ(parseI64Flag("--iters", "12"), 12);
-    EXPECT_EXIT(parseI64Flag("--iters", "abc"),
-                ::testing::ExitedWithCode(1), "--iters");
-    EXPECT_EXIT(parseU64Flag("--seed", "-1"),
-                ::testing::ExitedWithCode(1), "--seed");
-    EXPECT_EXIT(parseF64Flag("--bandwidth", "much"),
-                ::testing::ExitedWithCode(1), "--bandwidth");
+    StatusOr<long long> good = parseI64Flag("--iters", "12");
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(*good, 12);
+
+    StatusOr<long long> bad_i = parseI64Flag("--iters", "abc");
+    ASSERT_FALSE(bad_i.ok());
+    EXPECT_EQ(bad_i.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(bad_i.status().toString().find("--iters"),
+              std::string::npos);
+
+    StatusOr<unsigned long long> bad_u = parseU64Flag("--seed", "-1");
+    ASSERT_FALSE(bad_u.ok());
+    EXPECT_EQ(bad_u.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(bad_u.status().toString().find("--seed"),
+              std::string::npos);
+
+    StatusOr<double> bad_f = parseF64Flag("--bandwidth", "much");
+    ASSERT_FALSE(bad_f.ok());
+    EXPECT_EQ(bad_f.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(bad_f.status().toString().find("--bandwidth"),
+              std::string::npos);
+}
+
+TEST(Status, ContextChainAndCodeNames)
+{
+    Status s = ioError("open failed: %s", "nope.mtx");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+    Status chained = std::move(s).withContext("loading dataset");
+    EXPECT_NE(chained.toString().find("loading dataset"),
+              std::string::npos);
+    EXPECT_NE(chained.toString().find("nope.mtx"), std::string::npos);
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidInput),
+                 "invalid-input");
+    EXPECT_STREQ(statusCodeName(StatusCode::IoError), "io-error");
+    EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+                 "resource-exhausted");
+    EXPECT_STREQ(statusCodeName(StatusCode::Cancelled), "cancelled");
+    EXPECT_STREQ(statusCodeName(StatusCode::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(statusCodeName(StatusCode::Internal), "internal");
+    EXPECT_TRUE(okStatus().ok());
+}
+
+TEST(Status, StatusOrHoldsValueOrStatus)
+{
+    StatusOr<std::string> v("hello");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "hello");
+    EXPECT_EQ(v->size(), 5u);
+    StatusOr<std::string> e(invalidInput("no"));
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), StatusCode::InvalidInput);
+    EXPECT_DEATH((void)e.value(), "value");
+}
+
+TEST(Status, ExceptionFlattening)
+{
+    Status from_sperror = [] {
+        try {
+            throw SpError(invalidInput("bad token"));
+        } catch (...) {
+            return statusFromCurrentException();
+        }
+    }();
+    EXPECT_EQ(from_sperror.code(), StatusCode::InvalidInput);
+
+    Status from_alloc = [] {
+        try {
+            throw std::bad_alloc();
+        } catch (...) {
+            return statusFromCurrentException();
+        }
+    }();
+    EXPECT_EQ(from_alloc.code(), StatusCode::ResourceExhausted);
+
+    Status from_other = [] {
+        try {
+            throw std::runtime_error("surprise");
+        } catch (...) {
+            return statusFromCurrentException();
+        }
+    }();
+    EXPECT_EQ(from_other.code(), StatusCode::Internal);
+    EXPECT_NE(from_other.toString().find("surprise"),
+              std::string::npos);
 }
 
 TEST(Rng, DeterministicForSeed)

@@ -27,6 +27,18 @@ using namespace sparsepipe;
 
 namespace {
 
+/** Unwrap a flag-parse result or exit with the usage code. */
+double
+flagF64(StatusOr<double> parsed)
+{
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "metrics_diff: %s\n",
+                     parsed.status().toString().c_str());
+        std::exit(kExitUsage);
+    }
+    return *parsed;
+}
+
 void
 usage()
 {
@@ -81,7 +93,7 @@ main(int argc, char **argv)
         };
         if (arg == "--default-rtol") {
             options.default_rtol =
-                parseF64Flag("--default-rtol", next());
+                flagF64(parseF64Flag("--default-rtol", next()));
         } else if (arg == "--rtol") {
             // Value is PATTERN=X; with --rtol=PATTERN=X the split at
             // the first '=' leaves exactly PATTERN=X as the value.
@@ -95,7 +107,7 @@ main(int argc, char **argv)
             }
             options.rules.push_back(
                 {rule.substr(0, eq),
-                 parseF64Flag("--rtol", rule.substr(eq + 1))});
+                 flagF64(parseF64Flag("--rtol", rule.substr(eq + 1)))});
         } else if (arg == "--allow-missing") {
             options.allow_missing = true;
         } else if (arg == "--no-allow-extra") {

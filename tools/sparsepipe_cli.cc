@@ -18,9 +18,11 @@
  */
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,8 @@
 #include "obs/trace.hh"
 #include "prep/reorder.hh"
 #include "runner/batch.hh"
+#include "runner/journal.hh"
+#include "runner/scheduler.hh"
 #include "runner/thread_pool.hh"
 #include "sparse/datasets.hh"
 #include "sparse/generate.hh"
@@ -70,7 +74,49 @@ struct Options
     /** Batch file; when set, all other run flags are ignored. */
     std::string batch;
     int jobs = 0; // 0 = ThreadPool::defaultJobs()
+    /** Deadline per run / per batch job without its own (0 = none). */
+    long long timeout_ms = 0;
+    /** Completion journal for --batch (enables --resume). */
+    std::string journal;
+    bool resume = false;
 };
+
+/**
+ * Process-wide cancellation root: Ctrl-C cancels it, every job token
+ * chains to it, so one signal drains the whole sweep cleanly.
+ */
+CancelToken &
+sigintToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+extern "C" void
+onSigint(int)
+{
+    // One relaxed atomic store: async-signal-safe.
+    sigintToken().cancel();
+}
+
+/** Bad flags exit with the usage code (2), not a fatal(). */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "sparsepipe_cli: %s (try --help)\n",
+                 message.c_str());
+    std::exit(kExitUsage);
+}
+
+/** Unwrap a flag-parse result or exit with the usage code. */
+template <typename T>
+T
+flagValue(StatusOr<T> parsed)
+{
+    if (!parsed.ok())
+        usageError(parsed.status().toString());
+    return std::move(parsed).value();
+}
 
 void
 usage()
@@ -110,14 +156,25 @@ usage()
         "  --batch FILE        run one job per line (key=value "
         "specs: app= dataset=\n"
         "                      [iters= reorder= blocked= iso-cpu= "
-        "seed= label=]),\n"
-        "                      served through the worker pool; "
-        "results print in file\n"
-        "                      order regardless of completion "
-        "order\n"
+        "seed= timeout-ms=\n"
+        "                      label=]), served through the worker "
+        "pool; results print\n"
+        "                      in file order; a failed job is "
+        "reported and the sweep\n"
+        "                      continues (exit 1 if any job "
+        "failed)\n"
         "  --jobs N            worker threads for --batch (default: "
         "SPARSEPIPE_JOBS\n"
         "                      env, else hardware concurrency)\n"
+        "  --timeout-ms N      per-run deadline; in --batch mode "
+        "the default for jobs\n"
+        "                      without their own timeout-ms= key\n"
+        "  --journal FILE      append one line per finished batch "
+        "job (flushed as it\n"
+        "                      completes), so a killed sweep can be "
+        "resumed\n"
+        "  --resume            skip batch jobs the journal already "
+        "records as ok\n"
         "  --list              list applications and datasets\n");
 }
 
@@ -141,14 +198,14 @@ makeSynthetic(const std::string &spec, std::uint64_t seed)
     auto p1 = spec.find(':');
     auto p2 = spec.find(':', p1 + 1);
     if (p1 == std::string::npos || p2 == std::string::npos)
-        sp_fatal("--synthetic wants kind:n:nnz_per_row");
+        usageError("--synthetic wants kind:n:nnz_per_row");
     std::string kind = spec.substr(0, p1);
-    Idx n = parseI64Flag("--synthetic (n)",
-                         spec.substr(p1 + 1, p2 - p1 - 1));
-    Idx per_row =
-        parseI64Flag("--synthetic (nnz_per_row)", spec.substr(p2 + 1));
+    Idx n = static_cast<Idx>(flagValue(parseI64Flag(
+        "--synthetic (n)", spec.substr(p1 + 1, p2 - p1 - 1))));
+    Idx per_row = static_cast<Idx>(flagValue(
+        parseI64Flag("--synthetic (nnz_per_row)", spec.substr(p2 + 1))));
     if (n <= 0 || per_row <= 0)
-        sp_fatal("--synthetic wants positive n and nnz_per_row");
+        usageError("--synthetic wants positive n and nnz_per_row");
     Rng rng(seed);
     if (kind == "uniform")
         return generateUniform(n, n * per_row, rng);
@@ -159,8 +216,7 @@ makeSynthetic(const std::string &spec, std::uint64_t seed)
                               static_cast<double>(per_row), rng);
     if (kind == "poisson")
         return generatePoisson2D(n);
-    sp_fatal("unknown synthetic kind '%s'", kind.c_str());
-    __builtin_unreachable();
+    usageError("unknown synthetic kind '" + kind + "'");
 }
 
 Options
@@ -184,7 +240,7 @@ parse(int argc, char **argv)
             if (has_inline)
                 return inline_value;
             if (i + 1 >= argc)
-                sp_fatal("flag %s wants a value", arg.c_str());
+                usageError("flag " + arg + " wants a value");
             return argv[++i];
         };
         if (arg == "--app") opt.app = next();
@@ -192,13 +248,17 @@ parse(int argc, char **argv)
         else if (arg == "--mtx") opt.mtx = next();
         else if (arg == "--synthetic") opt.synthetic = next();
         else if (arg == "--iters")
-            opt.iters = parseI64Flag("--iters", next());
+            opt.iters = static_cast<Idx>(
+                flagValue(parseI64Flag("--iters", next())));
         else if (arg == "--buffer-kb")
-            opt.buffer_kb = parseI64Flag("--buffer-kb", next());
+            opt.buffer_kb = static_cast<Idx>(
+                flagValue(parseI64Flag("--buffer-kb", next())));
         else if (arg == "--sub-tensor")
-            opt.sub_tensor = parseI64Flag("--sub-tensor", next());
+            opt.sub_tensor = static_cast<Idx>(
+                flagValue(parseI64Flag("--sub-tensor", next())));
         else if (arg == "--bandwidth")
-            opt.bandwidth = parseF64Flag("--bandwidth", next());
+            opt.bandwidth =
+                flagValue(parseF64Flag("--bandwidth", next()));
         else if (arg == "--iso-cpu") opt.iso_cpu = true;
         else if (arg == "--no-eager") opt.eager = false;
         else if (arg == "--no-blocked") opt.blocked = false;
@@ -206,32 +266,44 @@ parse(int argc, char **argv)
         else if (arg == "--autotune") opt.autotune = true;
         else if (arg == "--timeline") opt.timeline = true;
         else if (arg == "--timeline-samples") {
-            opt.timeline_samples =
-                parseI64Flag("--timeline-samples", next());
+            opt.timeline_samples = static_cast<Idx>(flagValue(
+                parseI64Flag("--timeline-samples", next())));
             if (opt.timeline_samples < 1)
-                sp_fatal("--timeline-samples wants a positive count");
+                usageError("--timeline-samples wants a positive "
+                           "count");
         }
         else if (arg == "--trace") opt.trace_out = next();
         else if (arg == "--metrics-out") opt.metrics_out = next();
         else if (arg == "--seed")
-            opt.seed = parseU64Flag("--seed", next());
+            opt.seed = flagValue(parseU64Flag("--seed", next()));
         else if (arg == "--batch") opt.batch = next();
         else if (arg == "--jobs") {
-            opt.jobs =
-                static_cast<int>(parseI64Flag("--jobs", next()));
+            opt.jobs = static_cast<int>(
+                flagValue(parseI64Flag("--jobs", next())));
             if (opt.jobs < 1)
-                sp_fatal("--jobs wants a positive count");
-        } else if (arg == "--list") {
+                usageError("--jobs wants a positive count");
+        } else if (arg == "--timeout-ms") {
+            opt.timeout_ms =
+                flagValue(parseI64Flag("--timeout-ms", next()));
+            if (opt.timeout_ms < 0)
+                usageError("--timeout-ms wants a non-negative "
+                           "count");
+        }
+        else if (arg == "--journal") opt.journal = next();
+        else if (arg == "--resume") opt.resume = true;
+        else if (arg == "--list") {
             listInventory();
-            std::exit(0);
+            std::exit(kExitOk);
         } else if (arg == "--help" || arg == "-h") {
             usage();
-            std::exit(0);
+            std::exit(kExitOk);
         } else {
             usage();
-            sp_fatal("unknown flag '%s'", arg.c_str());
+            usageError("unknown flag '" + arg + "'");
         }
     }
+    if (opt.resume && opt.journal.empty())
+        usageError("--resume needs --journal FILE");
     return opt;
 }
 
@@ -248,30 +320,69 @@ reorderKindOf(const std::string &name)
  * --batch mode: read one job spec per line, serve the whole batch
  * through the worker pool, and print a per-job summary table in
  * file order (deterministic regardless of completion order).
+ *
+ * Fault isolation: a failing job is recorded as a failed outcome and
+ * the sweep continues; the failures are listed at the end and the
+ * exit code is 1.  Ctrl-C cancels every in-flight job cooperatively
+ * and drains the pool.  With --journal each completion is flushed to
+ * disk as it happens, and --resume skips jobs a previous (possibly
+ * killed) sweep already finished.
  */
 int
 runBatch(const Options &opt)
 {
     using namespace sparsepipe::bench;
 
-    std::vector<runner::BatchJob> batch =
+    StatusOr<std::vector<runner::BatchJob>> batch_or =
         runner::readBatchFile(opt.batch);
-    if (batch.empty())
-        sp_fatal("batch file '%s' contains no jobs",
-                 opt.batch.c_str());
+    if (!batch_or.ok()) {
+        std::fprintf(stderr, "sparsepipe_cli: %s\n",
+                     batch_or.status().toString().c_str());
+        return kExitRuntime;
+    }
+    std::vector<runner::BatchJob> batch = std::move(batch_or).value();
+    if (batch.empty()) {
+        std::fprintf(stderr,
+                     "sparsepipe_cli: batch file '%s' contains no "
+                     "jobs\n",
+                     opt.batch.c_str());
+        return kExitRuntime;
+    }
 
-    std::vector<CaseSpec> specs;
-    specs.reserve(batch.size());
-    for (const runner::BatchJob &job : batch) {
-        // Validate names up front so a typo on line 40 fails before
-        // any simulation starts.
-        bool known_app = std::any_of(
-            appInfos().begin(), appInfos().end(),
-            [&](const AppInfo &info) { return info.name == job.app; });
-        if (!known_app)
-            sp_fatal("batch job '%s': unknown app '%s'",
-                     job.label.c_str(), job.app.c_str());
-        datasetSpec(job.dataset); // fatal on unknown dataset
+    runner::SweepJournal journal;
+    const bool journaling = !opt.journal.empty();
+    if (journaling) {
+        if (Status status = journal.init(opt.journal, opt.resume);
+            !status.ok()) {
+            std::fprintf(stderr, "sparsepipe_cli: %s\n",
+                         status.toString().c_str());
+            return kExitRuntime;
+        }
+        if (opt.resume && journal.resumedCount() > 0)
+            std::printf("resuming: journal '%s' records %zu "
+                        "completed job(s)\n",
+                        opt.journal.c_str(), journal.resumedCount());
+    }
+
+    int jobs = opt.jobs > 0 ? opt.jobs
+                            : runner::ThreadPool::defaultJobs();
+    runner::ThreadPool pool(jobs);
+    runner::SweepScheduler sched(pool);
+
+    // Per-job tokens chained to the Ctrl-C root; a deque because
+    // CancelToken is pinned (atomics) and must outlive the sweep.
+    std::deque<CancelToken> tokens;
+    std::vector<CaseResult> results(batch.size());
+    std::vector<std::size_t> queued; // batch index per queued job
+    std::size_t skipped = 0;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const runner::BatchJob &job = batch[i];
+        const std::string key = runner::batchJobKey(job);
+        if (journaling && journal.completed(key)) {
+            ++skipped;
+            continue;
+        }
 
         RunConfig config;
         config.sp = job.iso_cpu ? SparsepipeConfig::isoCpu()
@@ -280,19 +391,47 @@ runBatch(const Options &opt)
         config.reorder = reorderKindOf(job.reorder);
         config.blocked = job.blocked;
         config.seed = job.seed;
-        specs.push_back({job.app, job.dataset, config, job.label});
+        const long long timeout_ms =
+            job.timeout_ms > 0 ? job.timeout_ms : opt.timeout_ms;
+
+        tokens.emplace_back(&sigintToken());
+        CancelToken &token = tokens.back();
+        queued.push_back(i);
+        sched.add(job.label, [&results, &journal, &token, job,
+                              config, key, timeout_ms, journaling,
+                              i]() -> Status {
+            // The deadline is armed when the job starts running, not
+            // when it is queued behind other jobs.
+            if (timeout_ms > 0)
+                token.setDeadlineAfterMs(timeout_ms);
+            StatusOr<CaseResult> result =
+                runCaseOr(job.app, job.dataset, config, &token);
+            if (!result.ok()) {
+                if (journaling)
+                    journal.recordFail(key, result.status().code());
+                Status status = result.status();
+                return status;
+            }
+            results[i] = std::move(result).value();
+            if (journaling)
+                journal.recordOk(key);
+            return okStatus();
+        });
     }
 
-    int jobs = opt.jobs > 0 ? opt.jobs
-                            : runner::ThreadPool::defaultJobs();
-    std::vector<CaseResult> results = runSweep(specs, jobs);
+    std::vector<runner::JobOutcome> outcomes = sched.run();
 
     TextTable table;
     table.addRow({"job", "app", "dataset", "nnz", "iters", "cycles",
                   "ms", "vs ideal", "vs cpu", "vs gpu"});
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const CaseResult &r = results[i];
-        table.addRow({specs[i].label, r.app, r.dataset,
+    std::vector<const runner::JobOutcome *> failures;
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+        if (!outcomes[j].ok()) {
+            failures.push_back(&outcomes[j]);
+            continue;
+        }
+        const CaseResult &r = results[queued[j]];
+        table.addRow({outcomes[j].label, r.app, r.dataset,
                       std::to_string(r.nnz),
                       std::to_string(r.sp.iterations),
                       std::to_string(r.sp.cycles),
@@ -302,9 +441,21 @@ runBatch(const Options &opt)
                       TextTable::num(r.speedupVsGpu(), 2)});
     }
     table.print();
-    std::printf("\n%zu jobs served by %d worker thread%s\n",
-                results.size(), jobs, jobs == 1 ? "" : "s");
-    return 0;
+    std::printf("\n%zu jobs served by %d worker thread%s",
+                outcomes.size(), jobs, jobs == 1 ? "" : "s");
+    if (skipped > 0)
+        std::printf(", %zu skipped via journal", skipped);
+    std::printf("\n");
+
+    if (!failures.empty()) {
+        std::fprintf(stderr, "%zu job(s) failed:\n", failures.size());
+        for (const runner::JobOutcome *outcome : failures)
+            std::fprintf(stderr, "  %-16s %s\n",
+                         outcome->label.c_str(),
+                         outcome->status.toString().c_str());
+        return kExitRuntime;
+    }
+    return kExitOk;
 }
 
 } // namespace
@@ -313,6 +464,10 @@ int
 main(int argc, char **argv)
 {
     Options opt = parse(argc, argv);
+
+    // Ctrl-C drains in-flight work cooperatively instead of killing
+    // the process mid-write.
+    std::signal(SIGINT, onSigint);
 
     if (!opt.batch.empty())
         return runBatch(opt);
@@ -324,7 +479,12 @@ main(int argc, char **argv)
     else if (opt.reorder == "locality")
         reorder = ReorderKind::Locality;
     else
-        sp_fatal("unknown reorder '%s'", opt.reorder.c_str());
+        usageError("unknown reorder '" + opt.reorder + "'");
+
+    if (!findAppInfo(opt.app))
+        usageError("unknown application '" + opt.app + "'");
+    if (!opt.dataset.empty() && !findDatasetSpec(opt.dataset))
+        usageError("unknown dataset '" + opt.dataset + "'");
 
     api::RunRequest req;
     req.app = opt.app;
@@ -351,7 +511,12 @@ main(int argc, char **argv)
     if (!opt.mtx.empty() || !opt.synthetic.empty()) {
         CooMatrix raw;
         if (!opt.mtx.empty()) {
-            raw = readMatrixMarket(opt.mtx);
+            // A malformed or unreadable matrix file is the one fatal
+            // left at top level: print the Status and exit 1.
+            StatusOr<CooMatrix> read = readMatrixMarket(opt.mtx);
+            if (!read.ok())
+                sp_fatal("%s", read.status().toString().c_str());
+            raw = std::move(read).value();
             source = opt.mtx;
         } else {
             raw = makeSynthetic(opt.synthetic, opt.seed);
@@ -389,7 +554,17 @@ main(int argc, char **argv)
     obs::TraceSink trace(req.sp.dram.clock_ghz);
     if (!opt.trace_out.empty())
         req.trace = &trace;
-    api::RunReport run_report = session.run(req, *pc);
+    CancelToken run_token(&sigintToken());
+    if (opt.timeout_ms > 0)
+        run_token.setDeadlineAfterMs(opt.timeout_ms);
+    req.cancel = &run_token;
+    StatusOr<api::RunReport> report_or = session.run(req, *pc);
+    if (!report_or.ok()) {
+        std::fprintf(stderr, "sparsepipe_cli: %s\n",
+                     report_or.status().toString().c_str());
+        return kExitRuntime;
+    }
+    api::RunReport run_report = std::move(report_or).value();
     const SimStats &stats = run_report.stats;
     const SparsepipeConfig &cfg = req.sp;
 
@@ -500,5 +675,5 @@ main(int argc, char **argv)
         std::printf("metrics        : wrote %zu counters to %s\n",
                     reg.size(), opt.metrics_out.c_str());
     }
-    return 0;
+    return kExitOk;
 }

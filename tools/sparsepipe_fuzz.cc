@@ -17,6 +17,13 @@
  *   sparsepipe_fuzz --cases 25 --seed 1 --corpus corpus
  *   sparsepipe_fuzz --replay corpus
  *   sparsepipe_fuzz --cases 50 --inject-bug buffer-overflow
+ *   sparsepipe_fuzz --inject-fault --cases 250 --seed 7 --jobs 4
+ *
+ * --inject-fault switches from fuzzing the simulator to fuzzing the
+ * recoverable-error boundary itself: each case builds a valid input
+ * artifact, breaks it (truncation, corruption, failing stream,
+ * allocation failure), and verifies the reader answers with the
+ * expected non-Ok Status — never a crash, hang, or silent success.
  */
 
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include "check/case_gen.hh"
 #include "check/corpus.hh"
 #include "check/diff_check.hh"
+#include "check/fault.hh"
 #include "check/shrink.hh"
 #include "runner/scheduler.hh"
 #include "runner/thread_pool.hh"
@@ -51,7 +59,28 @@ struct Options
     bool allow_spmm = true;
     bool shrink = true;
     InjectedBug bug = InjectedBug::None;
+    /** Fuzz the Status boundary instead of the simulator. */
+    bool inject_fault = false;
 };
+
+/** Bad flags exit with the usage code (2), not a fatal(). */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "sparsepipe_fuzz: %s (try --help)\n",
+                 message.c_str());
+    std::exit(kExitUsage);
+}
+
+/** Unwrap a flag-parse result or exit with the usage code. */
+template <typename T>
+T
+flagValue(StatusOr<T> parsed)
+{
+    if (!parsed.ok())
+        usageError(parsed.status().toString());
+    return std::move(parsed).value();
+}
 
 void
 usage()
@@ -78,7 +107,15 @@ usage()
         "                    deliberately corrupt every simulator run "
         "to prove\n"
         "                    the catch -> shrink -> serialize "
-        "pipeline\n");
+        "pipeline\n"
+        "  --inject-fault    fuzz the recoverable-error boundary: "
+        "break valid\n"
+        "                    inputs (truncate/corrupt bytes, failing "
+        "streams,\n"
+        "                    allocation failures) and verify each "
+        "fault surfaces\n"
+        "                    as the expected non-OK Status, never a "
+        "crash\n");
 }
 
 Options
@@ -89,44 +126,49 @@ parse(int argc, char **argv)
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc)
-                sp_fatal("flag %s wants a value", arg.c_str());
+                usageError("flag " + arg + " wants a value");
             return argv[++i];
         };
         if (arg == "--cases") {
-            opt.cases = parseI64Flag("--cases", next());
+            opt.cases = static_cast<Idx>(
+                flagValue(parseI64Flag("--cases", next())));
             if (opt.cases < 1)
-                sp_fatal("--cases wants a positive count");
+                usageError("--cases wants a positive count");
         } else if (arg == "--seed") {
-            opt.seed = parseU64Flag("--seed", next());
+            opt.seed = flagValue(parseU64Flag("--seed", next()));
         } else if (arg == "--jobs") {
-            opt.jobs =
-                static_cast<int>(parseI64Flag("--jobs", next()));
+            opt.jobs = static_cast<int>(
+                flagValue(parseI64Flag("--jobs", next())));
             if (opt.jobs < 1)
-                sp_fatal("--jobs wants a positive count");
+                usageError("--jobs wants a positive count");
         } else if (arg == "--corpus") {
             opt.corpus = next();
         } else if (arg == "--replay") {
             opt.replay = next();
         } else if (arg == "--max-n") {
-            opt.max_n = parseI64Flag("--max-n", next());
+            opt.max_n = static_cast<Idx>(
+                flagValue(parseI64Flag("--max-n", next())));
             if (opt.max_n < 8)
-                sp_fatal("--max-n wants at least 8");
+                usageError("--max-n wants at least 8");
         } else if (arg == "--max-iters") {
-            opt.max_iters = parseI64Flag("--max-iters", next());
+            opt.max_iters = static_cast<Idx>(
+                flagValue(parseI64Flag("--max-iters", next())));
             if (opt.max_iters < 2)
-                sp_fatal("--max-iters wants at least 2");
+                usageError("--max-iters wants at least 2");
         } else if (arg == "--no-spmm") {
             opt.allow_spmm = false;
         } else if (arg == "--no-shrink") {
             opt.shrink = false;
         } else if (arg == "--inject-bug") {
-            opt.bug = injectedBugFromName(next());
+            opt.bug = flagValue(injectedBugFromName(next()));
+        } else if (arg == "--inject-fault") {
+            opt.inject_fault = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
-            std::exit(0);
+            std::exit(kExitOk);
         } else {
             usage();
-            sp_fatal("unknown flag '%s'", arg.c_str());
+            usageError("unknown flag '" + arg + "'");
         }
     }
     return opt;
@@ -156,7 +198,16 @@ replay(const Options &opt)
 
     int failed = 0;
     for (const std::string &path : paths) {
-        const FuzzCase fuzz = readCaseFile(path);
+        StatusOr<FuzzCase> read = readCaseFile(path);
+        if (!read.ok()) {
+            // A corrupted reproducer must not stop the other
+            // replays; report it as its own failure.
+            std::printf("FAIL   %s (unreadable: %s)\n", path.c_str(),
+                        read.status().toString().c_str());
+            ++failed;
+            continue;
+        }
+        const FuzzCase fuzz = std::move(read).value();
         const CaseReport report = checkCase(fuzz, opt.bug);
         std::printf("%-6s %s (%s)\n", report.ok ? "PASS" : "FAIL",
                     path.c_str(), fuzz.name.c_str());
@@ -225,10 +276,14 @@ fuzz(const Options &opt)
         std::filesystem::create_directories(opt.corpus, ec);
         const std::string path =
             opt.corpus + "/" + minimal.name + ".fuzzcase";
-        writeCaseFile(path, minimal);
-        std::printf("     reproducer: %s (replay with "
-                    "sparsepipe_fuzz --replay %s)\n",
-                    path.c_str(), path.c_str());
+        if (Status status = writeCaseFile(path, minimal);
+            !status.ok())
+            std::printf("     could not serialize reproducer: %s\n",
+                        status.toString().c_str());
+        else
+            std::printf("     reproducer: %s (replay with "
+                        "sparsepipe_fuzz --replay %s)\n",
+                        path.c_str(), path.c_str());
     }
 
     std::printf("checked %lld case(s), seed %llu, %d failure(s)\n",
@@ -237,12 +292,55 @@ fuzz(const Options &opt)
     return failed == 0 ? 0 : 1;
 }
 
+/**
+ * --inject-fault mode: break valid inputs in controlled ways and
+ * verify the Status boundary answers every fault with the expected
+ * non-OK code.  Cases fan out over the worker pool; the alloc-fail
+ * countdown is thread-local, so concurrent cases stay independent.
+ */
+int
+injectFault(const Options &opt)
+{
+    runner::ThreadPool pool(opt.jobs);
+    std::vector<FaultReport> reports = runner::parallelIndexed(
+        pool, static_cast<std::size_t>(opt.cases),
+        [&](std::size_t i) {
+            return runFaultCase(planFault(opt.seed, i));
+        },
+        [&](std::size_t i) {
+            return "fault-" + std::to_string(i);
+        });
+
+    int failed = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const FaultReport &report = reports[i];
+        if (report.pass)
+            continue;
+        ++failed;
+        std::printf("FAIL case %zu %s (seed %llu): expected %s, "
+                    "observed %s\n",
+                    i, faultKindName(report.plan.kind),
+                    static_cast<unsigned long long>(report.plan.seed),
+                    statusCodeName(report.expected),
+                    report.observed.ok()
+                        ? "silent success"
+                        : report.observed.toString().c_str());
+    }
+    std::printf("injected %lld fault(s), seed %llu, %d "
+                "violation(s)\n",
+                static_cast<long long>(opt.cases),
+                static_cast<unsigned long long>(opt.seed), failed);
+    return failed == 0 ? kExitOk : kExitRuntime;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
+    if (opt.inject_fault)
+        return injectFault(opt);
     if (!opt.replay.empty())
         return replay(opt);
     return fuzz(opt);
