@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end smoke of the serve daemon, driven exactly the way an
+# operator would: start it, talk to it with the stock client, scrape
+# it, send SIGINT, and insist on a clean drain with exit code 0.
+#
+# Usage: serve_smoke.sh BUILD_DIR
+#
+# Registered as the `serve-smoke` ctest and run by the CI pipeline.
+set -eu
+
+build_dir="${1:?usage: serve_smoke.sh BUILD_DIR}"
+serve="${build_dir}/tools/sparsepipe_serve"
+client="${build_dir}/tools/sparsepipe_serve_client"
+
+workdir="$(mktemp -d)"
+port_file="${workdir}/port"
+log="${workdir}/serve.log"
+
+fail() {
+    echo "serve_smoke: $1" >&2
+    echo "--- daemon log ---" >&2
+    cat "${log}" >&2 || true
+    exit 1
+}
+
+"${serve}" --listen 127.0.0.1:0 --port-file "${port_file}" \
+    --queue-depth 4 > "${log}" 2>&1 &
+serve_pid=$!
+
+# Wait for the daemon to report its ephemeral port.
+i=0
+while [ ! -s "${port_file}" ]; do
+    i=$((i + 1))
+    [ "${i}" -gt 100 ] && fail "daemon never wrote the port file"
+    kill -0 "${serve_pid}" 2>/dev/null \
+        || fail "daemon exited before binding"
+    sleep 0.1
+done
+port="$(cat "${port_file}")"
+echo "serve_smoke: daemon up on port ${port}"
+
+# One real run request must answer ok.
+"${client}" --connect "127.0.0.1:${port}" \
+    --app pr --dataset ca --iters 4 \
+    || fail "run request failed"
+
+# The same port must answer an HTTP metrics scrape that accounts for
+# the request we just made.
+scrape="$("${client}" --connect "127.0.0.1:${port}" --scrape)" \
+    || fail "metrics scrape failed"
+echo "${scrape}" | grep -q '"serve.requests_total": 1' \
+    || fail "scrape does not account for the request: ${scrape}"
+echo "${scrape}" | grep -q '"schema": "metrics-v1"' \
+    || fail "scrape is not a metrics-v1 document"
+
+# SIGINT must drain and exit 0.
+kill -INT "${serve_pid}"
+rc=0
+wait "${serve_pid}" || rc=$?
+[ "${rc}" -eq 0 ] || fail "daemon exited ${rc} after SIGINT, want 0"
+grep -q "drained" "${log}" \
+    || fail "daemon never logged the drain"
+
+# Gone means gone: the port must refuse connections now.
+if "${client}" --connect "127.0.0.1:${port}" --ping 2>/dev/null; then
+    fail "daemon still answering after drain"
+fi
+
+rm -rf "${workdir}"
+echo "serve_smoke: ok"

@@ -40,33 +40,75 @@ Session::process()
     return session;
 }
 
+std::shared_ptr<const CooMatrix>
+Session::rawShared(const std::string &dataset, std::uint64_t seed)
+{
+    return raw_.getShared(std::make_pair(dataset, seed), [&] {
+        return generateDataset(datasetSpec(dataset), seed);
+    });
+}
+
+std::shared_ptr<const CooMatrix>
+Session::reorderedShared(const std::string &dataset,
+                         ReorderKind kind, std::uint64_t seed)
+{
+    if (kind == ReorderKind::None)
+        return rawShared(dataset, seed);
+    return reordered_.getShared(
+        std::make_tuple(dataset, kind, seed), [&] {
+            // The pin keeps LRU eviction of the raw layer from
+            // freeing the matrix mid-permutation.
+            auto pinned = rawShared(dataset, seed);
+            return reorderMatrix(*pinned, kind);
+        });
+}
+
 const CooMatrix &
 Session::raw(const std::string &dataset, std::uint64_t seed)
 {
-    return raw_.get(std::make_pair(dataset, seed), [&] {
-        return generateDataset(datasetSpec(dataset), seed);
-    });
+    return *rawShared(dataset, seed);
 }
 
 const CooMatrix &
 Session::reordered(const std::string &dataset, ReorderKind kind,
                    std::uint64_t seed)
 {
-    if (kind == ReorderKind::None)
-        return raw(dataset, seed);
-    return reordered_.get(std::make_tuple(dataset, kind, seed), [&] {
-        return reorderMatrix(raw(dataset, seed), kind);
-    });
+    return *reorderedShared(dataset, kind, seed);
 }
 
 const PreparedCase &
 Session::prepared(const std::string &app, const std::string &dataset,
                   ReorderKind kind, std::uint64_t seed)
 {
-    return prepared_.get(
+    return *preparedShared(app, dataset, kind, seed);
+}
+
+std::shared_ptr<const PreparedCase>
+Session::preparedShared(const std::string &app,
+                        const std::string &dataset, ReorderKind kind,
+                        std::uint64_t seed)
+{
+    return prepared_.getShared(
         std::make_tuple(app, dataset, kind, seed), [&] {
-            return prepareCase(app, reordered(dataset, kind, seed));
+            auto pinned = reorderedShared(dataset, kind, seed);
+            return prepareCase(app, *pinned);
         });
+}
+
+void
+Session::setCacheCapacities(std::size_t raw, std::size_t reordered,
+                            std::size_t prepared)
+{
+    raw_.setCapacity(raw);
+    reordered_.setCapacity(reordered);
+    prepared_.setCapacity(prepared);
+}
+
+Session::CacheStatsSnapshot
+Session::cacheStats() const
+{
+    return CacheStatsSnapshot{raw_.stats(), reordered_.stats(),
+                              prepared_.stats()};
 }
 
 Workspace
@@ -95,8 +137,13 @@ Session::run(const RunRequest &req)
         return invalidInput("Session::run: unknown dataset '%s'",
                             req.dataset.c_str());
     try {
-        return run(req, prepared(req.app, req.dataset, req.reorder,
-                                 req.seed));
+        // Hold the pin for the whole run: the workspace references
+        // the prepared program while the simulator executes, and the
+        // entry may be LRU-evicted concurrently under a bounded
+        // cache.
+        auto pinned = preparedShared(req.app, req.dataset,
+                                     req.reorder, req.seed);
+        return run(req, *pinned);
     } catch (...) {
         return statusFromCurrentException();
     }

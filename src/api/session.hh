@@ -19,16 +19,30 @@
  * exactly once instead of twice.  Caching is bitwise-transparent:
  * every simulated counter is identical to the uncached pipeline.
  *
- * Entries live for the Session's lifetime (std::map node stability),
- * so the references handed out stay valid while the Session exists.
+ * By default entries live for the Session's lifetime, so the
+ * references handed out stay valid while the Session exists.
  * Session::process() is the shared process-wide instance the benches
  * and CLI use.
+ *
+ * Long-running daemons (src/serve) instead call setCacheCapacities()
+ * to bound each layer with LRU eviction; the run path pins its
+ * operands through shared_ptr (preparedShared) for the duration of a
+ * simulation, so eviction can never dangle an in-flight run.  The
+ * plain reference accessors remain valid only while the entry is
+ * resident once a bound is set.
+ *
+ * Thread safety: a Session may be shared by concurrent callers.  The
+ * caches serialize construction per key (KeyedCache), every run gets
+ * its own Workspace + SparsepipeSim, and a PreparedCase is read-only
+ * after construction (bindWorkspace copies the operand vectors into
+ * the run's private workspace).
  */
 
 #ifndef SPARSEPIPE_API_SESSION_HH
 #define SPARSEPIPE_API_SESSION_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <tuple>
 
@@ -139,6 +153,35 @@ class Session
                                  std::uint64_t seed = kDefaultSeed);
 
     /**
+     * prepared(), but pinned: the returned shared_ptr keeps the
+     * operand alive across LRU eviction.  The serve layer holds one
+     * per in-flight run.
+     */
+    std::shared_ptr<const PreparedCase>
+    preparedShared(const std::string &app, const std::string &dataset,
+                   ReorderKind kind,
+                   std::uint64_t seed = kDefaultSeed);
+
+    /**
+     * Bound the three cache layers with LRU eviction (0 = unbounded,
+     * the default).  Entry counts, not bytes: a daemon serving k
+     * distinct datasets hot keeps `prepared` at a small multiple of
+     * k.  See the file comment for the reference-validity contract
+     * once a bound is set.
+     */
+    void setCacheCapacities(std::size_t raw, std::size_t reordered,
+                            std::size_t prepared);
+
+    /** Per-layer hit / miss / eviction counters. */
+    struct CacheStatsSnapshot
+    {
+        runner::CacheStats raw;
+        runner::CacheStats reordered;
+        runner::CacheStats prepared;
+    };
+    CacheStatsSnapshot cacheStats() const;
+
+    /**
      * Build a workspace for a prepared case: allocate, bind the
      * cached CSR/CSC pair (no transpose), run the app's init.
      */
@@ -165,6 +208,15 @@ class Session
                             const PreparedCase &pc);
 
   private:
+    /** Pinned layers of the accessor chain: each builder holds its
+     *  upstream artifact through a shared_ptr so a bounded upstream
+     *  cache cannot evict it mid-build. */
+    std::shared_ptr<const CooMatrix>
+    rawShared(const std::string &dataset, std::uint64_t seed);
+    std::shared_ptr<const CooMatrix>
+    reorderedShared(const std::string &dataset, ReorderKind kind,
+                    std::uint64_t seed);
+
     runner::KeyedCache<std::pair<std::string, std::uint64_t>,
                        CooMatrix>
         raw_;

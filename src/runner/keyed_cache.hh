@@ -1,28 +1,52 @@
 /**
  * @file
- * Thread-safe once-per-key memoizing cache.
+ * Thread-safe once-per-key memoizing cache with an optional LRU
+ * capacity bound.
  *
  * The sweep jobs share expensive artifacts: every case on dataset
  * `wi` needs the same generated matrix, every case with the same
  * reorder needs the same permuted copy.  KeyedCache guarantees each
- * artifact is constructed exactly once — concurrent requests for the
- * same key block on a per-entry std::once_flag while requests for
- * different keys construct in parallel under a shared lock.
+ * resident artifact is constructed exactly once — concurrent
+ * requests for the same missing key elect one builder via a
+ * per-entry std::once_flag while requests for different keys
+ * construct in parallel (the map lock is never held during
+ * construction).
  *
- * Entries live in a std::map, whose node stability means the
- * returned references stay valid for the cache's lifetime even as
- * other keys are inserted (the property the old unsynchronized bench
- * caches relied on, now made safe).
+ * By default the cache is unbounded and entries are immortal, so
+ * the references returned by get() stay valid for the cache's
+ * lifetime (the property the bench caches and the Session facade
+ * rely on).  A long-running daemon cannot afford immortal entries:
+ * setCapacity(n) bounds the cache to n *constructed* entries with
+ * least-recently-used eviction.  Under a capacity bound, use
+ * getShared() — the returned shared_ptr pins the value across
+ * eviction, so a simulation holding an operand never dangles while
+ * the cache moves on.  get() references are only guaranteed until
+ * the entry is evicted.
+ *
+ * stats() exposes hit / miss / eviction counters (a hit is a lookup
+ * that found the key present, whether constructed or still being
+ * built by another thread; a miss is the lookup that created the
+ * entry).  The counters feed the serve-layer metrics scrape.
  */
 
 #ifndef SPARSEPIPE_RUNNER_KEYED_CACHE_HH
 #define SPARSEPIPE_RUNNER_KEYED_CACHE_HH
 
+#include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <shared_mutex>
 
 namespace sparsepipe::runner {
+
+/** Counter snapshot of one KeyedCache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
 
 /**
  * Memoizing map from Key to Value.  Value must be default
@@ -35,49 +59,137 @@ class KeyedCache
   public:
     /**
      * @return reference to the cached value for `key`, constructing
-     * it via `make()` exactly once across all threads.  If make()
-     * throws, the exception propagates and the next get() for the
-     * key retries (std::call_once semantics).
+     * it via `make()` exactly once across all threads while the
+     * entry is resident.  If make() throws, the exception propagates
+     * and the next get() for the key retries (std::call_once
+     * semantics).  Valid for the cache's lifetime when unbounded;
+     * only until eviction under a capacity bound (prefer getShared()
+     * there).
      */
     template <typename Make>
     const Value &
     get(const Key &key, Make make)
     {
-        Entry &entry = lookup(key);
-        std::call_once(entry.once, [&] { entry.value = make(); });
-        return entry.value;
+        return *getShared(key, make);
+    }
+
+    /**
+     * Like get(), but the returned shared_ptr keeps the value alive
+     * even if the entry is evicted while the caller still uses it.
+     */
+    template <typename Make>
+    std::shared_ptr<const Value>
+    getShared(const Key &key, Make make)
+    {
+        std::shared_ptr<Entry> entry = lookup(key);
+        std::call_once(entry->once, [&] {
+            entry->value = std::make_shared<Value>(make());
+            onConstructed(key);
+        });
+        return entry->value;
+    }
+
+    /**
+     * Bound the cache to `capacity` constructed entries (0 =
+     * unbounded, the default).  When an insertion pushes the count
+     * past the bound, least-recently-used constructed entries are
+     * evicted; entries still under construction are never evicted.
+     * Lowering the capacity evicts immediately.
+     */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = capacity;
+        evictOverflow();
     }
 
     /** @return number of entries (constructed or in flight). */
     std::size_t
     size() const
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(mutex_);
         return map_.size();
+    }
+
+    /** Counter snapshot (monotonic; survives eviction). */
+    CacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
     }
 
   private:
     struct Entry
     {
         std::once_flag once;
-        Value value;
+        /** Set exactly once by the winning builder. */
+        std::shared_ptr<const Value> value;
+        /** Position in lru_ (most recent first). */
+        typename std::list<Key>::iterator lru_pos;
+        /** False while make() is (re)running; such entries are
+         *  pinned against eviction. */
+        bool constructed = false;
     };
 
-    Entry &
+    /** Find-or-create the entry and mark it most recently used. */
+    std::shared_ptr<Entry>
     lookup(const Key &key)
     {
-        {
-            std::shared_lock<std::shared_mutex> lock(mutex_);
-            auto it = map_.find(key);
-            if (it != map_.end())
-                return it->second;
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++stats_.hits;
+            lru_.splice(lru_.begin(), lru_, it->second->lru_pos);
+            return it->second;
         }
-        std::unique_lock<std::shared_mutex> lock(mutex_);
-        return map_[key]; // try_emplace semantics: reuse if raced
+        ++stats_.misses;
+        auto entry = std::make_shared<Entry>();
+        lru_.push_front(key);
+        entry->lru_pos = lru_.begin();
+        map_.emplace(key, entry);
+        return entry;
     }
 
-    mutable std::shared_mutex mutex_;
-    std::map<Key, Entry> map_;
+    /** Flip the entry evictable and enforce the bound. */
+    void
+    onConstructed(const Key &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // In-flight entries are never evicted (evictOverflow skips
+        // them), so the builder's key is always still resident here.
+        auto it = map_.find(key);
+        it->second->constructed = true;
+        evictOverflow();
+    }
+
+    /** Drop LRU constructed entries until within capacity.  Values
+     *  pinned by outstanding getShared() holders stay alive through
+     *  their shared_ptr; only the cache's reference is dropped. */
+    void
+    evictOverflow()
+    {
+        if (capacity_ == 0)
+            return;
+        auto victim = lru_.end();
+        while (map_.size() > capacity_ && victim != lru_.begin()) {
+            --victim;
+            auto it = map_.find(*victim);
+            if (!it->second->constructed)
+                continue; // in flight: pinned against eviction
+            victim = lru_.erase(victim);
+            map_.erase(it);
+            ++stats_.evictions;
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<Entry>> map_;
+    /** Keys, most recently used first. */
+    std::list<Key> lru_;
+    std::size_t capacity_ = 0;
+    CacheStats stats_;
 };
 
 } // namespace sparsepipe::runner

@@ -1,0 +1,60 @@
+#include "serve/admission.hh"
+
+namespace sparsepipe::serve {
+
+void
+Ticket::release()
+{
+    if (controller_) {
+        controller_->release(bytes_);
+        controller_ = nullptr;
+    }
+}
+
+StatusOr<Ticket>
+AdmissionController::tryAdmit(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.max_in_flight >= 0 &&
+        stats_.in_flight >=
+            static_cast<std::uint64_t>(config_.max_in_flight)) {
+        ++stats_.shed_queue;
+        return resourceExhausted(
+            "server at capacity (%llu runs in flight, bound %d)",
+            static_cast<unsigned long long>(stats_.in_flight),
+            config_.max_in_flight);
+    }
+    if (config_.memory_budget_bytes > 0 && stats_.in_flight > 0 &&
+        stats_.in_flight_bytes + bytes >
+            config_.memory_budget_bytes) {
+        ++stats_.shed_memory;
+        return resourceExhausted(
+            "memory budget exhausted (%llu + %llu bytes over "
+            "%llu)",
+            static_cast<unsigned long long>(stats_.in_flight_bytes),
+            static_cast<unsigned long long>(bytes),
+            static_cast<unsigned long long>(
+                config_.memory_budget_bytes));
+    }
+    ++stats_.admitted;
+    ++stats_.in_flight;
+    stats_.in_flight_bytes += bytes;
+    return Ticket(this, bytes);
+}
+
+void
+AdmissionController::release(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.in_flight;
+    stats_.in_flight_bytes -= bytes;
+}
+
+AdmissionStats
+AdmissionController::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace sparsepipe::serve

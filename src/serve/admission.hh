@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Admission control for the serve layer: bounded concurrency and a
+ * memory budget, surfaced through the ResourceExhausted path.
+ *
+ * A daemon that accepts every request eventually dies of the load it
+ * should have refused.  The controller tracks two gauges — in-flight
+ * runs and their estimated resident bytes — against configured
+ * bounds; tryAdmit() either returns an RAII Ticket (releasing the
+ * slot when the run finishes) or a ResourceExhausted Status telling
+ * the client how long to back off (`retry_after_ms`, the protocol's
+ * Retry-After).  Shedding is deliberately cheap: one mutex, no
+ * queueing, no blocking — a shed request never holds resources while
+ * it waits, the *client* waits.
+ *
+ * Coalesced followers bypass admission entirely (they piggyback on
+ * the leader's slot), so a stampede of identical requests costs one
+ * admission, not N.
+ */
+
+#ifndef SPARSEPIPE_SERVE_ADMISSION_HH
+#define SPARSEPIPE_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.hh"
+
+namespace sparsepipe::serve {
+
+class AdmissionController;
+
+/** An admitted run's slot; releases on destruction (move-only). */
+class [[nodiscard]] Ticket
+{
+  public:
+    Ticket() = default;
+    ~Ticket() { release(); }
+
+    Ticket(Ticket &&other) noexcept
+        : controller_(other.controller_), bytes_(other.bytes_)
+    {
+        other.controller_ = nullptr;
+    }
+    Ticket &
+    operator=(Ticket &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            controller_ = other.controller_;
+            bytes_ = other.bytes_;
+            other.controller_ = nullptr;
+        }
+        return *this;
+    }
+    Ticket(const Ticket &) = delete;
+    Ticket &operator=(const Ticket &) = delete;
+
+    bool admitted() const { return controller_ != nullptr; }
+
+    /** Give the slot back early (idempotent). */
+    void release();
+
+  private:
+    friend class AdmissionController;
+    Ticket(AdmissionController *controller, std::uint64_t bytes)
+        : controller_(controller), bytes_(bytes) {}
+
+    AdmissionController *controller_ = nullptr;
+    std::uint64_t bytes_ = 0;
+};
+
+/** Counter snapshot of one controller. */
+struct AdmissionStats
+{
+    std::uint64_t admitted = 0;
+    /** Refused for queue depth / for the memory budget. */
+    std::uint64_t shed_queue = 0;
+    std::uint64_t shed_memory = 0;
+    /** Current gauges. */
+    std::uint64_t in_flight = 0;
+    std::uint64_t in_flight_bytes = 0;
+};
+
+class AdmissionController
+{
+  public:
+    struct Config
+    {
+        /** Max concurrently admitted runs (0 sheds everything —
+         *  useful for drain tests; use a real bound in production). */
+        int max_in_flight = 64;
+        /** Estimated-resident-bytes budget (0 = unlimited). */
+        std::uint64_t memory_budget_bytes = 0;
+        /** Back-off hint stamped on shed responses. */
+        int retry_after_ms = 50;
+    };
+
+    explicit AdmissionController(Config config) : config_(config) {}
+
+    /**
+     * Try to claim a slot for a run estimated at `bytes` resident.
+     * @return a live Ticket, or ResourceExhausted naming the bound
+     * that refused (the caller stamps retryAfterMs() on the wire
+     * response).  A single oversized request is still admitted when
+     * the controller is otherwise idle — refusing it forever would
+     * turn one big dataset into a permanent outage.
+     */
+    StatusOr<Ticket> tryAdmit(std::uint64_t bytes);
+
+    int retryAfterMs() const { return config_.retry_after_ms; }
+
+    AdmissionStats stats() const;
+
+  private:
+    friend class Ticket;
+    void release(std::uint64_t bytes);
+
+    const Config config_;
+    mutable std::mutex mutex_;
+    AdmissionStats stats_;
+};
+
+} // namespace sparsepipe::serve
+
+#endif // SPARSEPIPE_SERVE_ADMISSION_HH

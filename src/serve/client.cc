@@ -1,0 +1,68 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sparsepipe::serve {
+
+StatusOr<Client>
+Client::connect(const ListenAddress &addr)
+{
+    StatusOr<Socket> sock = connectTcp(addr);
+    if (!sock.ok())
+        return sock.status();
+    return Client(std::move(sock).value());
+}
+
+StatusOr<Response>
+Client::call(const Request &req)
+{
+    if (Status s = writeAll(sock_, encodeRequest(req) + "\n");
+        !s.ok())
+        return std::move(s).withContext("sending request");
+    StatusOr<std::string> line = reader_.readLine();
+    if (!line.ok())
+        return Status(line.status())
+            .withContext("waiting for response");
+    return parseResponse(*line);
+}
+
+StatusOr<std::string>
+scrapeMetrics(const ListenAddress &addr)
+{
+    StatusOr<Socket> sock = connectTcp(addr);
+    if (!sock.ok())
+        return sock.status();
+    if (Status s = writeAll(
+            *sock, "GET /metrics HTTP/1.0\r\n\r\n");
+        !s.ok())
+        return s;
+
+    std::string raw;
+    for (;;) {
+        char chunk[4096];
+        const ssize_t n =
+            ::recv(sock->fd(), chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("recv failed: %s", std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        raw.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (raw.rfind("HTTP/1.0 200", 0) != 0 &&
+        raw.rfind("HTTP/1.1 200", 0) != 0)
+        return ioError("scrape refused: %s",
+                       raw.substr(0, raw.find('\r')).c_str());
+    const std::size_t split = raw.find("\r\n\r\n");
+    if (split == std::string::npos)
+        return ioError("scrape response has no body");
+    return raw.substr(split + 4);
+}
+
+} // namespace sparsepipe::serve

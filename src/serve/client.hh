@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Blocking client for the serve protocol: one connection, one
+ * request/response round trip at a time, plus the HTTP metrics
+ * scrape.  Used by sparsepipe_serve_client, the load generator, the
+ * CI smoke job, and the serve tests.
+ */
+
+#ifndef SPARSEPIPE_SERVE_CLIENT_HH
+#define SPARSEPIPE_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "serve/protocol.hh"
+#include "serve/socket.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::serve {
+
+/** One NDJSON connection to a serve daemon. */
+class Client
+{
+  public:
+    /** Connect to a running daemon. */
+    static StatusOr<Client> connect(const ListenAddress &addr);
+
+    /**
+     * Send one request and wait for its response line.  A non-Ok
+     * return means the *transport* failed; a response carrying a
+     * non-Ok Status (shed, cancelled, bad request) still comes back
+     * as an Ok StatusOr holding that Response.
+     */
+    StatusOr<Response> call(const Request &req);
+
+  private:
+    explicit Client(Socket sock)
+        : sock_(std::move(sock)), reader_(sock_) {}
+
+    Socket sock_;
+    LineReader reader_;
+
+  public:
+    /** Movable so StatusOr<Client> composes. */
+    Client(Client &&other) noexcept
+        : sock_(std::move(other.sock_)), reader_(sock_) {}
+    Client &operator=(Client &&) = delete;
+};
+
+/**
+ * HTTP-scrape the daemon's /metrics endpoint on a fresh connection.
+ * @return the metrics-v1 JSON body.
+ */
+StatusOr<std::string> scrapeMetrics(const ListenAddress &addr);
+
+} // namespace sparsepipe::serve
+
+#endif // SPARSEPIPE_SERVE_CLIENT_HH

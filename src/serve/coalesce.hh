@@ -1,0 +1,134 @@
+/**
+ * @file
+ * In-flight request coalescing: identical work shares one execution.
+ *
+ * When N clients ask for the same (app, dataset, config) at once —
+ * the cache-stampede shape — the prepared-operand cache already
+ * deduplicates *preprocessing*, but each request would still run its
+ * own simulation.  The Coalescer closes that gap: the first request
+ * for a key becomes the *leader* and executes; requests arriving
+ * while the leader is in flight become *followers* and block on the
+ * leader's result instead of simulating.  The flight is removed the
+ * moment the leader finishes, so coalescing never serves stale
+ * results — a request arriving after completion starts a fresh run
+ * (which then hits the operand caches).
+ *
+ * Followers share the leader's outcome wholesale, including
+ * failures: if the leader is shed by admission or dies on a
+ * deadline, every coalesced follower sees that Status.  That is the
+ * honest semantics — the followers chose to ride a run they did not
+ * control.
+ *
+ * Results travel as shared_ptr<const Result> so a follower can
+ * outlive both the leader and the flight entry.
+ */
+
+#ifndef SPARSEPIPE_SERVE_COALESCE_HH
+#define SPARSEPIPE_SERVE_COALESCE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sparsepipe::serve {
+
+/** Counter snapshot of one Coalescer. */
+struct CoalesceStats
+{
+    /** Flights executed (distinct simulations). */
+    std::uint64_t leaders = 0;
+    /** Requests served by somebody else's flight. */
+    std::uint64_t followers = 0;
+};
+
+/** Keyed single-flight table; Result is shared across waiters. */
+template <typename Result>
+class Coalescer
+{
+  public:
+    struct Outcome
+    {
+        std::shared_ptr<const Result> result;
+        /** False when this request rode another's flight. */
+        bool leader = false;
+    };
+
+    /**
+     * Execute `compute()` for `key`, or join the in-flight
+     * execution.  The leader runs compute() on the calling thread;
+     * followers block until it completes.  If compute() throws, the
+     * exception propagates to the leader *and* every follower.
+     */
+    template <typename Compute>
+    Outcome
+    runOrJoin(const std::string &key, Compute compute)
+    {
+        using Shared = std::shared_ptr<const Result>;
+        std::shared_ptr<std::promise<Shared>> promise;
+        std::shared_future<Shared> joined;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto [it, inserted] = flights_.try_emplace(key);
+            if (!inserted) {
+                ++stats_.followers;
+                joined = it->second;
+            } else {
+                ++stats_.leaders;
+                promise = std::make_shared<std::promise<Shared>>();
+                it->second = promise->get_future().share();
+            }
+        }
+        // Follower: wait outside the lock; get() rethrows a leader
+        // exception into the follower.
+        if (joined.valid())
+            return Outcome{joined.get(), false};
+
+        Shared result;
+        try {
+            result = std::make_shared<const Result>(compute());
+        } catch (...) {
+            promise->set_exception(std::current_exception());
+            eraseFlight(key);
+            throw;
+        }
+        promise->set_value(result);
+        eraseFlight(key);
+        return Outcome{std::move(result), true};
+    }
+
+    /** @return flights currently executing. */
+    std::size_t
+    inFlight() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return flights_.size();
+    }
+
+    CoalesceStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    void
+    eraseFlight(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        flights_.erase(key);
+    }
+
+    mutable std::mutex mutex_;
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const Result>>>
+        flights_;
+    CoalesceStats stats_;
+};
+
+} // namespace sparsepipe::serve
+
+#endif // SPARSEPIPE_SERVE_COALESCE_HH

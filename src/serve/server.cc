@@ -1,0 +1,358 @@
+#include "serve/server.hh"
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "apps/apps.hh"
+#include "sparse/datasets.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+void
+setCacheMetrics(obs::MetricsRegistry &reg, const std::string &prefix,
+                const runner::CacheStats &stats)
+{
+    reg.set(prefix + ".hits", static_cast<double>(stats.hits));
+    reg.set(prefix + ".misses", static_cast<double>(stats.misses));
+    reg.set(prefix + ".evictions",
+            static_cast<double>(stats.evictions));
+}
+
+} // anonymous namespace
+
+std::uint64_t
+estimateResidentBytes(const std::string &dataset)
+{
+    const DatasetSpec *spec = findDatasetSpec(dataset);
+    if (!spec)
+        return 0;
+    // Prepared CSR + CSC twin (~12 B/nz each) plus the per-run
+    // workspace copy the bind makes (~24 B/nz) and row pointers.
+    return static_cast<std::uint64_t>(spec->nnz) * 48 +
+           static_cast<std::uint64_t>(spec->rows) * 32;
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), pool_(config_.jobs),
+      admission_(config_.admission), abort_(config_.parent_cancel)
+{
+    session_.setCacheCapacities(config_.raw_cache_capacity,
+                                config_.reordered_cache_capacity,
+                                config_.prepared_cache_capacity);
+}
+
+Server::~Server()
+{
+    if (started_.load()) {
+        requestDrain();
+        join();
+    }
+}
+
+Status
+Server::start()
+{
+    StatusOr<Socket> listener = listenTcp(config_.listen);
+    if (!listener.ok())
+        return listener.status();
+    listener_ = std::move(listener).value();
+    StatusOr<int> port = boundPort(listener_);
+    if (!port.ok())
+        return port.status();
+    port_ = *port;
+    started_.store(true);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return okStatus();
+}
+
+void
+Server::requestDrain()
+{
+    drain_.cancel();
+}
+
+void
+Server::requestAbort()
+{
+    drain_.cancel();
+    abort_.cancel();
+}
+
+void
+Server::join()
+{
+    if (acceptor_.joinable())
+        acceptor_.join();
+    // The acceptor has exited, so no new connection threads can
+    // appear; joining the snapshot joins them all.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        threads.swap(connection_threads_);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    pool_.wait();
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        StatusOr<Socket> conn = acceptConn(listener_, drain_);
+        if (!conn.ok()) {
+            if (conn.status().code() != StatusCode::Cancelled)
+                sp_warn("serve: accept failed: %s",
+                        conn.status().toString().c_str());
+            return;
+        }
+        counters_.connections.fetch_add(1);
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        connection_threads_.emplace_back(
+            [this, sock = std::move(conn).value()]() mutable {
+                serveConnection(std::move(sock));
+            });
+    }
+}
+
+void
+Server::serveConnection(Socket sock)
+{
+    counters_.active_connections.fetch_add(1);
+    LineReader reader(sock);
+    bool first_line = true;
+    for (;;) {
+        StatusOr<std::string> line = reader.readLine(&drain_);
+        if (!line.ok())
+            break; // client gone, or draining between requests
+        if (first_line && line->rfind("GET ", 0) == 0) {
+            serveScrape(sock, reader, *line);
+            break;
+        }
+        first_line = false;
+        if (line->empty())
+            continue;
+
+        Response resp;
+        StatusOr<Request> req = parseRequest(*line);
+        if (!req.ok()) {
+            counters_.requests.fetch_add(1);
+            counters_.responses_error.fetch_add(1);
+            resp.status = req.status();
+        } else {
+            resp = handleRequest(*req);
+        }
+        if (!writeAll(sock, encodeResponse(resp) + "\n").ok())
+            break;
+    }
+    counters_.active_connections.fetch_sub(1);
+}
+
+void
+Server::serveScrape(Socket &sock, LineReader &reader,
+                    const std::string &request_line)
+{
+    counters_.scrapes.fetch_add(1);
+    // Drain the request headers so the peer's send completes.
+    for (;;) {
+        StatusOr<std::string> header = reader.readLine(&drain_);
+        if (!header.ok() || header->empty())
+            break;
+    }
+    std::istringstream parts(request_line);
+    std::string method, path;
+    parts >> method >> path;
+
+    std::string body;
+    std::string status_line;
+    if (path == "/metrics") {
+        body = metricsJson();
+        status_line = "HTTP/1.0 200 OK";
+    } else {
+        body = "not found: " + path + "\n";
+        status_line = "HTTP/1.0 404 Not Found";
+    }
+    std::ostringstream out;
+    out << status_line << "\r\n"
+        << "Content-Type: application/json\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    (void)writeAll(sock, out.str());
+}
+
+Response
+Server::handleRequest(const Request &req)
+{
+    counters_.requests.fetch_add(1);
+    Response resp;
+    resp.id = req.id;
+
+    if (req.op == Request::Op::Ping) {
+        counters_.responses_ok.fetch_add(1);
+        return resp;
+    }
+    if (drain_.cancelled()) {
+        counters_.rejected_draining.fetch_add(1);
+        counters_.responses_error.fetch_add(1);
+        resp.status =
+            cancelledError("server draining, not accepting work");
+        return resp;
+    }
+    // Reject typos before they occupy a coalescing flight.
+    if (!findAppInfo(req.app)) {
+        counters_.responses_error.fetch_add(1);
+        resp.status =
+            invalidInput("unknown application '%s'", req.app.c_str());
+        return resp;
+    }
+    if (!findDatasetSpec(req.dataset)) {
+        counters_.responses_error.fetch_add(1);
+        resp.status = invalidInput("unknown dataset '%s'",
+                                   req.dataset.c_str());
+        return resp;
+    }
+
+    const Clock::time_point start = Clock::now();
+    Coalescer<StatusOr<api::RunReport>>::Outcome outcome =
+        coalescer_.runOrJoin(coalesceKey(req), [&] {
+            return executeLeader(req);
+        });
+    resp.elapsed_us = microsSince(start);
+    resp.coalesced = !outcome.leader;
+
+    const StatusOr<api::RunReport> &result = *outcome.result;
+    if (result.ok()) {
+        counters_.responses_ok.fetch_add(1);
+        resp.cycles = static_cast<long long>(result->stats.cycles);
+        resp.nnz = static_cast<long long>(result->nnz);
+    } else {
+        counters_.responses_error.fetch_add(1);
+        resp.status = result.status();
+        if (resp.status.code() == StatusCode::ResourceExhausted)
+            resp.retry_after_ms = admission_.retryAfterMs();
+    }
+    return resp;
+}
+
+StatusOr<api::RunReport>
+Server::executeLeader(const Request &req)
+{
+    StatusOr<Ticket> ticket =
+        admission_.tryAdmit(estimateResidentBytes(req.dataset));
+    if (!ticket.ok())
+        return ticket.status();
+
+    api::RunRequest rr;
+    rr.app = req.app;
+    rr.dataset = req.dataset;
+    rr.iters = static_cast<Idx>(req.iters);
+    rr.reorder = req.reorder;
+    rr.seed = req.seed;
+    rr.blocked = req.blocked;
+    rr.sp = req.iso_cpu ? SparsepipeConfig::isoCpu()
+                        : SparsepipeConfig::isoGpu();
+    if (req.buffer_kb > 0)
+        rr.sp.buffer_bytes = static_cast<Idx>(req.buffer_kb) * 1024;
+
+    // Per-request token: chained to the abort root (requestAbort /
+    // the daemon's second SIGINT unwinds the simulation), with the
+    // request's own deadline armed on top.
+    CancelToken token(&abort_);
+    const long long deadline_ms = req.deadline_ms > 0
+                                      ? req.deadline_ms
+                                      : config_.default_deadline_ms;
+    if (deadline_ms > 0)
+        token.setDeadlineAfterMs(deadline_ms);
+    rr.cancel = &token;
+
+    counters_.sim_runs.fetch_add(1);
+    // The simulation itself runs on the pool so concurrency is
+    // bounded by `jobs`, not by connection count; the connection
+    // thread (and any coalesced followers) block on the result.
+    std::promise<StatusOr<api::RunReport>> done;
+    std::future<StatusOr<api::RunReport>> result =
+        done.get_future();
+    pool_.submit([this, &rr, &done] {
+        try {
+            done.set_value(session_.run(rr));
+        } catch (...) {
+            done.set_value(statusFromCurrentException());
+        }
+    });
+    return result.get();
+    // `ticket` releases the admission slot here, after the run.
+}
+
+void
+Server::fillMetrics(obs::MetricsRegistry &reg)
+{
+    const AdmissionStats adm = admission_.stats();
+    const CoalesceStats co = coalescer_.stats();
+
+    reg.set("serve.requests_total",
+            static_cast<double>(counters_.requests.load()));
+    reg.set("serve.responses_ok",
+            static_cast<double>(counters_.responses_ok.load()));
+    reg.set("serve.responses_error",
+            static_cast<double>(counters_.responses_error.load()));
+    reg.set("serve.rejected_draining",
+            static_cast<double>(counters_.rejected_draining.load()));
+    reg.set("serve.sim_runs",
+            static_cast<double>(counters_.sim_runs.load()));
+    reg.set("serve.connections_total",
+            static_cast<double>(counters_.connections.load()));
+    reg.set("serve.active_connections",
+            static_cast<double>(
+                counters_.active_connections.load()));
+    reg.set("serve.scrapes_total",
+            static_cast<double>(counters_.scrapes.load()));
+    reg.set("serve.draining", drain_.cancelled() ? 1.0 : 0.0);
+
+    reg.set("serve.admitted_total",
+            static_cast<double>(adm.admitted));
+    reg.set("serve.shed_total",
+            static_cast<double>(adm.shed_queue + adm.shed_memory));
+    reg.set("serve.shed_queue", static_cast<double>(adm.shed_queue));
+    reg.set("serve.shed_memory",
+            static_cast<double>(adm.shed_memory));
+    reg.set("serve.in_flight", static_cast<double>(adm.in_flight));
+    reg.set("serve.in_flight_bytes",
+            static_cast<double>(adm.in_flight_bytes));
+
+    reg.set("serve.coalesced_total",
+            static_cast<double>(co.followers));
+    reg.set("serve.coalesce_leaders",
+            static_cast<double>(co.leaders));
+
+    const api::Session::CacheStatsSnapshot cache =
+        session_.cacheStats();
+    setCacheMetrics(reg, "cache.raw", cache.raw);
+    setCacheMetrics(reg, "cache.reordered", cache.reordered);
+    setCacheMetrics(reg, "cache.prepared", cache.prepared);
+}
+
+std::string
+Server::metricsJson()
+{
+    obs::MetricsRegistry reg;
+    fillMetrics(reg);
+    return reg.toJson();
+}
+
+} // namespace sparsepipe::serve

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The Sparsepipe simulation server: concurrent run requests over a
+ * newline-delimited JSON protocol, one shared api::Session, and a
+ * metrics scrape endpoint.
+ *
+ * Request path (one connection thread per client, simulations on
+ * the runner's ThreadPool):
+ *
+ *   read line -> parse -> [drain? reject] -> coalesce ->
+ *     leader: admission (queue depth + memory budget, shed with
+ *             Retry-After) -> ThreadPool -> api::Session::run
+ *     follower: block on the leader's shared result
+ *   -> encode response line
+ *
+ * The shared Session means every tenant hits the same
+ * prepared-operand caches (LRU-bounded via setCacheCapacities), and
+ * the Coalescer means identical in-flight requests run exactly one
+ * simulation between them.
+ *
+ * Shutdown contract (the CI smoke job pins it):
+ *
+ *   requestDrain()  stop accepting, reject new requests with
+ *                   Cancelled, let admitted runs finish, then
+ *                   join() returns — SIGINT maps here, daemon
+ *                   exits 0.
+ *   requestAbort()  additionally fires the parent CancelToken
+ *                   chained into every in-flight simulation, which
+ *                   unwinds at the next column step — a second
+ *                   SIGINT maps here.
+ *
+ * A connection whose first bytes are "GET " is served as an
+ * HTTP/1.0 scrape of the metrics-v1 registry (serve.* counters,
+ * cache.* Session cache counters) and closed, so
+ * `curl http://127.0.0.1:PORT/metrics` works against a live daemon.
+ */
+
+#ifndef SPARSEPIPE_SERVE_SERVER_HH
+#define SPARSEPIPE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hh"
+#include "obs/metrics.hh"
+#include "runner/thread_pool.hh"
+#include "serve/admission.hh"
+#include "serve/coalesce.hh"
+#include "serve/protocol.hh"
+#include "serve/socket.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::serve {
+
+/** Everything that configures one Server. */
+struct ServerConfig
+{
+    /** Bind address; port 0 asks for an ephemeral port. */
+    ListenAddress listen{"127.0.0.1", 0};
+    /** Simulation worker threads; <= 0 picks defaultJobs(). */
+    int jobs = 0;
+    AdmissionController::Config admission;
+    /** Deadline for requests that do not set one (0 = none). */
+    long long default_deadline_ms = 0;
+    /** LRU bounds for the Session cache layers (0 = unbounded). */
+    std::size_t raw_cache_capacity = 16;
+    std::size_t reordered_cache_capacity = 16;
+    std::size_t prepared_cache_capacity = 32;
+    /**
+     * Optional process-wide abort root (e.g. the CLI's SIGINT
+     * token): cancelling it aborts every in-flight simulation.
+     */
+    const CancelToken *parent_cancel = nullptr;
+};
+
+/** Wire-visible counters beyond admission / coalescing / caches. */
+struct ServeCounters
+{
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses_ok{0};
+    std::atomic<std::uint64_t> responses_error{0};
+    std::atomic<std::uint64_t> rejected_draining{0};
+    std::atomic<std::uint64_t> sim_runs{0};
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> active_connections{0};
+    std::atomic<std::uint64_t> scrapes{0};
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+
+    /** Drains (abort-free) and joins if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the acceptor. */
+    Status start();
+
+    /** @return the bound port (valid after start()). */
+    int port() const { return port_; }
+
+    /** Begin draining: no new connections, no new requests. */
+    void requestDrain();
+
+    /** Drain *and* cancel in-flight simulations. */
+    void requestAbort();
+
+    /** True once requestDrain()/requestAbort() was called. */
+    bool draining() const { return drain_.cancelled(); }
+
+    /**
+     * Block until the acceptor and every connection thread have
+     * exited and all admitted runs have finished.  Call after
+     * requestDrain(); with neither drain nor abort requested this
+     * blocks until a client-side shutdown (never, usually).
+     */
+    void join();
+
+    /** Fill `reg` with the serve.* / cache.* counter snapshot. */
+    void fillMetrics(obs::MetricsRegistry &reg);
+
+    /** The scrape document (metrics-v1 JSON). */
+    std::string metricsJson();
+
+    /** The shared tenant session (tests inspect cache stats). */
+    api::Session &session() { return session_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(Socket sock);
+    void serveScrape(Socket &sock, LineReader &reader,
+                     const std::string &request_line);
+    Response handleRequest(const Request &req);
+    StatusOr<api::RunReport> executeLeader(const Request &req);
+
+    const ServerConfig config_;
+    api::Session session_;
+    runner::ThreadPool pool_;
+    AdmissionController admission_;
+    Coalescer<StatusOr<api::RunReport>> coalescer_;
+    ServeCounters counters_;
+
+    /** Drain: stop accepting / admitting new work. */
+    CancelToken drain_;
+    /** Abort: parent of every per-request token. */
+    CancelToken abort_;
+
+    Socket listener_;
+    int port_ = -1;
+    std::thread acceptor_;
+    std::mutex threads_mutex_;
+    std::vector<std::thread> connection_threads_;
+    std::atomic<bool> started_{false};
+};
+
+/**
+ * Crude resident-bytes estimate for admitting a run on a built-in
+ * dataset: the prepared operand (CSR + CSC twin) plus the workspace
+ * copy a run binds.  Intentionally pessimistic — admission is a
+ * budget, not an accountant.
+ */
+std::uint64_t estimateResidentBytes(const std::string &dataset);
+
+} // namespace sparsepipe::serve
+
+#endif // SPARSEPIPE_SERVE_SERVER_HH

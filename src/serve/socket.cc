@@ -1,0 +1,197 @@
+#include "serve/socket.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sparsepipe::serve {
+
+namespace {
+
+/** Resolve the (numeric / localhost) host into a sockaddr_in. */
+Status
+resolveAddr(const ListenAddress &addr, sockaddr_in &out)
+{
+    std::memset(&out, 0, sizeof out);
+    out.sin_family = AF_INET;
+    out.sin_port =
+        htons(static_cast<std::uint16_t>(addr.port));
+    const std::string host =
+        addr.host == "localhost" ? "127.0.0.1" : addr.host;
+    if (inet_pton(AF_INET, host.c_str(), &out.sin_addr) != 1)
+        return invalidInput("'%s' is not a numeric IPv4 address",
+                            host.c_str());
+    return okStatus();
+}
+
+Status
+errnoError(const char *op)
+{
+    return ioError("%s failed: %s", op, std::strerror(errno));
+}
+
+} // anonymous namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<Socket>
+listenTcp(const ListenAddress &addr, int backlog)
+{
+    sockaddr_in sa;
+    if (Status status = resolveAddr(addr, sa); !status.ok())
+        return status;
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errnoError("socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&sa),
+               sizeof sa) < 0)
+        return Status(StatusCode::IoError,
+                      "bind failed: " +
+                          std::string(std::strerror(errno)))
+            .withContext("listening on " + addr.host + ":" +
+                         std::to_string(addr.port));
+    if (::listen(sock.fd(), backlog) < 0)
+        return errnoError("listen");
+    return sock;
+}
+
+StatusOr<int>
+boundPort(const Socket &listener)
+{
+    sockaddr_in sa;
+    socklen_t len = sizeof sa;
+    if (::getsockname(listener.fd(),
+                      reinterpret_cast<sockaddr *>(&sa), &len) < 0)
+        return errnoError("getsockname");
+    return static_cast<int>(ntohs(sa.sin_port));
+}
+
+StatusOr<Socket>
+acceptConn(const Socket &listener, const CancelToken &stop,
+           int poll_ms)
+{
+    for (;;) {
+        if (stop.cancelled())
+            return cancelledError("accept loop cancelled");
+        pollfd pfd{listener.fd(), POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, poll_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoError("poll");
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return errnoError("accept");
+        }
+        return Socket(fd);
+    }
+}
+
+StatusOr<Socket>
+connectTcp(const ListenAddress &addr)
+{
+    sockaddr_in sa;
+    if (Status status = resolveAddr(addr, sa); !status.ok())
+        return status;
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errnoError("socket");
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr *>(&sa),
+                  sizeof sa) < 0)
+        return Status(StatusCode::IoError,
+                      "connect failed: " +
+                          std::string(std::strerror(errno)))
+            .withContext("connecting to " + addr.host + ":" +
+                         std::to_string(addr.port));
+    // Request/response round trips on a line protocol: Nagle only
+    // adds latency here.
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof one);
+    return sock;
+}
+
+Status
+writeAll(const Socket &sock, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(sock.fd(), data.data() + sent,
+                   data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoError("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return okStatus();
+}
+
+StatusOr<std::string>
+LineReader::readLine(const CancelToken *stop, int poll_ms)
+{
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        if (stop && stop->cancelled())
+            return cancelledError("read loop cancelled");
+        pollfd pfd{sock_.fd(), POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, stop ? poll_ms : -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoError("poll");
+        }
+        if (ready == 0)
+            continue;
+        char chunk[4096];
+        const ssize_t n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoError("recv");
+        }
+        if (n == 0)
+            return ioError("connection closed");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace sparsepipe::serve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets for the serve layer.
+ *
+ * The daemon speaks a newline-delimited protocol on loopback-grade
+ * links, so the abstraction is deliberately small: an owned fd, a
+ * blocking line reader with an internal buffer, and listen / accept
+ * / connect helpers that return Status instead of errno.  accept()
+ * polls with a short timeout so a fired CancelToken (SIGINT) breaks
+ * the accept loop without signals-into-syscalls tricks.
+ *
+ * Hosts are numeric IPv4 literals or "localhost"
+ * (util/parse.hh::parseListenAddress): a simulation daemon has no
+ * business blocking on DNS.
+ */
+
+#ifndef SPARSEPIPE_SERVE_SOCKET_HH
+#define SPARSEPIPE_SERVE_SOCKET_HH
+
+#include <string>
+#include <string_view>
+
+#include "util/parse.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::serve {
+
+/** An owned socket file descriptor (move-only, closes on destroy). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close the descriptor now (idempotent). */
+    void close();
+
+    /**
+     * Shut down both directions without closing the fd, waking any
+     * thread blocked in read() on this socket (used to kick
+     * connection threads during shutdown).
+     */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Bind + listen on `addr` (port 0 = kernel-chosen ephemeral). */
+StatusOr<Socket> listenTcp(const ListenAddress &addr,
+                           int backlog = 64);
+
+/** @return the locally bound port of a listening socket. */
+StatusOr<int> boundPort(const Socket &listener);
+
+/**
+ * Accept one connection.  Polls in `poll_ms` slices so the call
+ * returns Cancelled soon after `stop` fires instead of blocking
+ * forever.
+ */
+StatusOr<Socket> acceptConn(const Socket &listener,
+                            const CancelToken &stop,
+                            int poll_ms = 50);
+
+/** Blocking connect to a (numeric / localhost) address. */
+StatusOr<Socket> connectTcp(const ListenAddress &addr);
+
+/** Write the whole buffer (retrying short writes). */
+Status writeAll(const Socket &sock, std::string_view data);
+
+/**
+ * Buffered newline-delimited reader over one socket.  readLine()
+ * strips the trailing '\n' (and a preceding '\r' so HTTP request
+ * lines parse too) and returns:
+ *  - the line, on success;
+ *  - IoError "connection closed" on clean EOF;
+ *  - Cancelled when `stop` fires between polls.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(const Socket &sock) : sock_(sock) {}
+
+    StatusOr<std::string> readLine(const CancelToken *stop = nullptr,
+                                   int poll_ms = 50);
+
+  private:
+    const Socket &sock_;
+    std::string buffer_;
+};
+
+} // namespace sparsepipe::serve
+
+#endif // SPARSEPIPE_SERVE_SOCKET_HH

@@ -96,4 +96,94 @@ parseF64Flag(const char *flag, const std::string &text)
     return value;
 }
 
+namespace {
+
+/** Strictly-decimal port in [0, 65535] ("08080" is fine, "0x1f90"
+ *  and "-1" are not — base-0 integer parsing would accept hex and
+ *  octal forms nobody writes in a listen address). */
+bool
+tryParsePort(const std::string &text, int &out)
+{
+    if (text.empty() || text.size() > 5)
+        return false;
+    long value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + (c - '0');
+    }
+    if (value > 65535)
+        return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+/** Dotted-quad IPv4 literal: four decimal octets in [0, 255]. */
+bool
+isIpv4Literal(const std::string &host)
+{
+    int octets = 0;
+    std::size_t i = 0;
+    while (i < host.size()) {
+        std::size_t start = i;
+        long value = 0;
+        while (i < host.size() && host[i] >= '0' && host[i] <= '9') {
+            value = value * 10 + (host[i] - '0');
+            if (value > 255)
+                return false;
+            ++i;
+        }
+        if (i == start || i - start > 3)
+            return false; // empty or over-long octet
+        ++octets;
+        if (i == host.size())
+            break;
+        if (host[i] != '.' || octets == 4)
+            return false;
+        ++i; // skip '.'
+        if (i == host.size())
+            return false; // trailing '.'
+    }
+    return octets == 4;
+}
+
+} // anonymous namespace
+
+StatusOr<ListenAddress>
+parseListenAddress(const std::string &text)
+{
+    if (text.empty())
+        return invalidInput("listen address is empty");
+
+    ListenAddress addr;
+    std::string port_text;
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos) {
+        port_text = text; // bare "port"
+    } else {
+        if (text.find(':', colon + 1) != std::string::npos)
+            return invalidInput(
+                "listen address '%s' has more than one ':'",
+                text.c_str());
+        if (colon > 0)
+            addr.host = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+    }
+
+    if (port_text.empty())
+        return invalidInput("listen address '%s' has no port",
+                            text.c_str());
+    if (!tryParsePort(port_text, addr.port))
+        return invalidInput(
+            "listen address '%s' wants a decimal port in "
+            "[0, 65535], got '%s'",
+            text.c_str(), port_text.c_str());
+    if (addr.host != "localhost" && !isIpv4Literal(addr.host))
+        return invalidInput(
+            "listen address '%s' wants a dotted-quad IPv4 host or "
+            "'localhost', got '%s'",
+            text.c_str(), addr.host.c_str());
+    return addr;
+}
+
 } // namespace sparsepipe

@@ -47,6 +47,24 @@ StatusOr<unsigned long long> parseU64Flag(const char *flag,
 StatusOr<double> parseF64Flag(const char *flag,
                               const std::string &text);
 
+/** A validated TCP listen / connect address. */
+struct ListenAddress
+{
+    /** Numeric IPv4 address or "localhost". */
+    std::string host = "127.0.0.1";
+    /** 0 asks the kernel for an ephemeral port. */
+    int port = 0;
+};
+
+/**
+ * Parse "host:port" (":port" and a bare "port" default the host to
+ * 127.0.0.1).  The host must be a dotted-quad IPv4 literal or
+ * "localhost" — the serve daemon deliberately takes no DNS
+ * dependency — and the port a decimal integer in [0, 65535].
+ * @return InvalidInput naming the defect otherwise.
+ */
+StatusOr<ListenAddress> parseListenAddress(const std::string &text);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_UTIL_PARSE_HH

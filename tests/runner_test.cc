@@ -15,6 +15,7 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -253,6 +254,85 @@ TEST(KeyedCache, ReferencesStayStableAcrossInsertions)
         cache.get(key, [key] { return key; });
     EXPECT_EQ(first, &cache.get(0, [] { return -1; }));
     EXPECT_EQ(*first, 42);
+}
+
+TEST(KeyedCache, CapacityEvictsLeastRecentlyUsed)
+{
+    KeyedCache<int, int> cache;
+    cache.setCapacity(2);
+    cache.get(1, [] { return 10; });
+    cache.get(2, [] { return 20; });
+    cache.get(1, [] { return -1; }); // touch 1: now 2 is LRU
+    cache.get(3, [] { return 30; }); // evicts 2
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.get(1, [] { return -1; }), 10); // 1 survived
+    int rebuilt = 0;
+    EXPECT_EQ(cache.get(2,
+                        [&] {
+                            ++rebuilt;
+                            return 21;
+                        }),
+              21); // 2 was evicted: make() runs again
+    EXPECT_EQ(rebuilt, 1);
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 4u);    // keys 1, 2, 3, and 2 again
+    EXPECT_EQ(stats.hits, 2u);      // the two re-touches of 1
+    EXPECT_EQ(stats.evictions, 2u); // 2, then 3 on 2's re-insert
+}
+
+TEST(KeyedCache, LoweringCapacityEvictsImmediately)
+{
+    KeyedCache<int, int> cache;
+    for (int key = 0; key < 8; ++key)
+        cache.get(key, [key] { return key; });
+    EXPECT_EQ(cache.size(), 8u);
+    cache.setCapacity(3);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 5u);
+    // The three most recently used keys survive.
+    for (int key = 5; key < 8; ++key)
+        EXPECT_EQ(cache.get(key, [] { return -1; }), key);
+}
+
+TEST(KeyedCache, GetSharedPinsValueAcrossEviction)
+{
+    KeyedCache<int, std::vector<int>> cache;
+    cache.setCapacity(1);
+    std::shared_ptr<const std::vector<int>> pinned =
+        cache.getShared(0, [] {
+            return std::vector<int>{1, 2, 3};
+        });
+    cache.get(1, [] { return std::vector<int>(4, 9); }); // evicts 0
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // The evicted value stays alive through the shared_ptr.
+    ASSERT_EQ(pinned->size(), 3u);
+    EXPECT_EQ((*pinned)[2], 3);
+}
+
+TEST(KeyedCache, BoundedCacheStillConstructsOncePerResidency)
+{
+    // Satellite check: capacity bounds must not reopen the
+    // construction race — concurrent lookups of one missing key
+    // still elect exactly one builder.
+    KeyedCache<int, int> cache;
+    cache.setCapacity(2);
+    std::atomic<int> constructions{0};
+    ThreadPool pool(8);
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&cache, &constructions] {
+            auto value = cache.getShared(7, [&] {
+                constructions.fetch_add(1);
+                return 70;
+            });
+            EXPECT_EQ(*value, 70);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(constructions.load(), 1);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 63u);
 }
 
 TEST(Batch, ParsesFullJobSpecLine)

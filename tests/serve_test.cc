@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Tests for the serve subsystem: protocol round trips and
+ * malformed-request handling, admission control, request
+ * coalescing, and end-to-end Server behaviour over real sockets
+ * (run, scrape, concurrent coalescing, shedding, drain).
+ *
+ * Everything here runs under the sanitizer CI jobs, so the
+ * multi-threaded tests double as the TSan proof for the serve
+ * layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "serve/admission.hh"
+#include "serve/client.hh"
+#include "serve/coalesce.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sparse/datasets.hh"
+#include "util/status.hh"
+
+namespace sparsepipe {
+namespace {
+
+using serve::AdmissionController;
+using serve::Client;
+using serve::Coalescer;
+using serve::Request;
+using serve::Response;
+using serve::Server;
+using serve::ServerConfig;
+using serve::Ticket;
+
+// ---------------------------------------------------------------
+// Protocol
+
+TEST(ServeProtocol, RequestRoundTripPreservesEveryField)
+{
+    Request req;
+    req.op = Request::Op::Run;
+    req.id = "r-7";
+    req.app = "bfs";
+    req.dataset = "gy";
+    req.iters = 12;
+    req.reorder = ReorderKind::Locality;
+    req.seed = 0xabcdef01ULL;
+    req.deadline_ms = 250;
+    req.buffer_kb = 96;
+    req.iso_cpu = true;
+    req.blocked = false;
+
+    const StatusOr<Request> back =
+        serve::parseRequest(serve::encodeRequest(req));
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back->id, "r-7");
+    EXPECT_EQ(back->app, "bfs");
+    EXPECT_EQ(back->dataset, "gy");
+    EXPECT_EQ(back->iters, 12);
+    EXPECT_EQ(back->reorder, ReorderKind::Locality);
+    EXPECT_EQ(back->seed, 0xabcdef01ULL);
+    EXPECT_EQ(back->deadline_ms, 250);
+    EXPECT_EQ(back->buffer_kb, 96);
+    EXPECT_TRUE(back->iso_cpu);
+    EXPECT_FALSE(back->blocked);
+}
+
+TEST(ServeProtocol, PingRoundTrip)
+{
+    Request ping;
+    ping.op = Request::Op::Ping;
+    ping.id = "hb";
+    const StatusOr<Request> back =
+        serve::parseRequest(serve::encodeRequest(ping));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->op, Request::Op::Ping);
+    EXPECT_EQ(back->id, "hb");
+}
+
+TEST(ServeProtocol, MalformedRequestsNameTheDefect)
+{
+    const struct
+    {
+        const char *line;
+        const char *want; // substring of the InvalidInput message
+    } kTable[] = {
+        {"", "not valid JSON"},
+        {"{", "not valid JSON"},
+        {"[1,2]", "wants a JSON object"},
+        {"{\"op\":\"fly\"}", "unknown op 'fly'"},
+        {"{\"op\":\"run\"}", "names no dataset"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"iters\":-1}",
+         "'iters' wants a count >= 0"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"iters\":1.5}",
+         "'iters' wants an integer"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"seed\":-3}",
+         "'seed' wants an unsigned integer"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"reorder\":\"rcm\"}",
+         "unknown reorder 'rcm'"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"iso\":\"tpu\"}",
+         "unknown iso target 'tpu'"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"blocked\":\"yes\"}",
+         "'blocked' wants a boolean"},
+        {"{\"op\":\"run\",\"dataset\":17}", "'dataset' wants a string"},
+        {"{\"op\":\"run\",\"dataset\":\"ca\",\"buffer_kb\":-8}",
+         "'buffer_kb' wants a size >= 0"},
+    };
+    for (const auto &row : kTable) {
+        const StatusOr<Request> parsed = serve::parseRequest(row.line);
+        ASSERT_FALSE(parsed.ok()) << row.line;
+        EXPECT_EQ(parsed.status().code(), StatusCode::InvalidInput)
+            << row.line;
+        EXPECT_NE(parsed.status().message().find(row.want),
+                  std::string::npos)
+            << "line " << row.line << " produced: "
+            << parsed.status().message();
+    }
+}
+
+TEST(ServeProtocol, ResponseRoundTripOkAndError)
+{
+    Response ok;
+    ok.id = "a";
+    ok.coalesced = true;
+    ok.cycles = 123456;
+    ok.nnz = 789;
+    ok.elapsed_us = 42.5;
+    const StatusOr<Response> ok_back =
+        serve::parseResponse(serve::encodeResponse(ok));
+    ASSERT_TRUE(ok_back.ok());
+    EXPECT_TRUE(ok_back->status.ok());
+    EXPECT_TRUE(ok_back->coalesced);
+    EXPECT_EQ(ok_back->cycles, 123456);
+    EXPECT_EQ(ok_back->nnz, 789);
+    EXPECT_DOUBLE_EQ(ok_back->elapsed_us, 42.5);
+
+    Response err;
+    err.id = "b";
+    err.status = resourceExhausted("server at capacity");
+    err.retry_after_ms = 75;
+    const StatusOr<Response> err_back =
+        serve::parseResponse(serve::encodeResponse(err));
+    ASSERT_TRUE(err_back.ok());
+    EXPECT_EQ(err_back->status.code(),
+              StatusCode::ResourceExhausted);
+    // The message travels bare; the code travels in "code".  A
+    // re-encode must not stack "resource-exhausted:" prefixes.
+    EXPECT_EQ(err_back->status.message(), "server at capacity");
+    EXPECT_EQ(err_back->retry_after_ms, 75);
+    EXPECT_EQ(serve::encodeResponse(*err_back),
+              serve::encodeResponse(err));
+}
+
+TEST(ServeProtocol, CoalesceKeyIgnoresIdentityNotConfig)
+{
+    Request a;
+    a.dataset = "ca";
+    Request b = a;
+    b.id = "different-id";
+    b.deadline_ms = 900; // deadline is per-request, not per-work
+    EXPECT_EQ(serve::coalesceKey(a), serve::coalesceKey(b));
+
+    Request c = a;
+    c.seed = 99;
+    EXPECT_NE(serve::coalesceKey(a), serve::coalesceKey(c));
+    Request d = a;
+    d.iso_cpu = true;
+    EXPECT_NE(serve::coalesceKey(a), serve::coalesceKey(d));
+}
+
+// ---------------------------------------------------------------
+// Admission control
+
+TEST(ServeAdmission, QueueBoundShedsAndReleaseReadmits)
+{
+    AdmissionController::Config config;
+    config.max_in_flight = 1;
+    config.retry_after_ms = 33;
+    AdmissionController adm(config);
+
+    StatusOr<Ticket> first = adm.tryAdmit(100);
+    ASSERT_TRUE(first.ok());
+    StatusOr<Ticket> second = adm.tryAdmit(100);
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(adm.retryAfterMs(), 33);
+
+    first->release();
+    StatusOr<Ticket> third = adm.tryAdmit(100);
+    EXPECT_TRUE(third.ok());
+
+    const serve::AdmissionStats stats = adm.stats();
+    EXPECT_EQ(stats.admitted, 2u);
+    EXPECT_EQ(stats.shed_queue, 1u);
+    EXPECT_EQ(stats.shed_memory, 0u);
+    EXPECT_EQ(stats.in_flight, 1u);
+}
+
+TEST(ServeAdmission, MemoryBudgetShedsButNeverStarvesAnIdleServer)
+{
+    AdmissionController::Config config;
+    config.max_in_flight = 8;
+    config.memory_budget_bytes = 1000;
+    AdmissionController adm(config);
+
+    // A single oversized request on an idle controller still admits:
+    // refusing it forever would be a permanent outage.
+    StatusOr<Ticket> huge = adm.tryAdmit(5000);
+    ASSERT_TRUE(huge.ok());
+    // With work in flight the budget is enforced.
+    StatusOr<Ticket> more = adm.tryAdmit(1);
+    ASSERT_FALSE(more.ok());
+    EXPECT_EQ(more.status().code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(adm.stats().shed_memory, 1u);
+
+    huge->release();
+    EXPECT_EQ(adm.stats().in_flight, 0u);
+    EXPECT_EQ(adm.stats().in_flight_bytes, 0u);
+    EXPECT_TRUE(adm.tryAdmit(1).ok());
+}
+
+TEST(ServeAdmission, TicketMovesCarryTheSlot)
+{
+    AdmissionController::Config config;
+    config.max_in_flight = 1;
+    AdmissionController adm(config);
+    {
+        StatusOr<Ticket> admitted = adm.tryAdmit(10);
+        ASSERT_TRUE(admitted.ok());
+        Ticket moved = std::move(admitted).value();
+        EXPECT_TRUE(moved.admitted());
+        moved.release();
+        moved.release(); // idempotent
+        EXPECT_FALSE(moved.admitted());
+        EXPECT_EQ(adm.stats().in_flight, 0u);
+    }
+    // Destruction of a released ticket must not double-release.
+    EXPECT_EQ(adm.stats().in_flight, 0u);
+    EXPECT_TRUE(adm.tryAdmit(10).ok());
+}
+
+// ---------------------------------------------------------------
+// Coalescing
+
+TEST(ServeCoalesce, ExactlyOneLeaderUnderContention)
+{
+    // Deterministic: the leader's compute spins until every other
+    // thread has registered as a follower of its flight, so the
+    // flight provably stays open while all N threads pass through.
+    constexpr int kThreads = 8;
+    Coalescer<int> coalescer;
+    std::atomic<int> computes{0};
+    std::atomic<int> leaders{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            auto outcome = coalescer.runOrJoin("key", [&] {
+                computes.fetch_add(1);
+                while (coalescer.stats().followers <
+                       static_cast<std::uint64_t>(kThreads - 1))
+                    std::this_thread::yield();
+                return 41;
+            });
+            if (outcome.leader)
+                leaders.fetch_add(1);
+            EXPECT_EQ(*outcome.result, 41);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(leaders.load(), 1);
+    const serve::CoalesceStats stats = coalescer.stats();
+    EXPECT_EQ(stats.leaders, 1u);
+    EXPECT_EQ(stats.followers,
+              static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(coalescer.inFlight(), 0u);
+}
+
+TEST(ServeCoalesce, FlightEndsWithTheLeaderSoNothingGoesStale)
+{
+    Coalescer<int> coalescer;
+    int calls = 0;
+    auto first = coalescer.runOrJoin("k", [&] { return ++calls; });
+    auto second = coalescer.runOrJoin("k", [&] { return ++calls; });
+    // Sequential requests each lead a fresh flight: coalescing is
+    // about concurrency, never about caching results.
+    EXPECT_EQ(*first.result, 1);
+    EXPECT_EQ(*second.result, 2);
+    EXPECT_TRUE(first.leader);
+    EXPECT_TRUE(second.leader);
+    EXPECT_EQ(coalescer.stats().leaders, 2u);
+    EXPECT_EQ(coalescer.stats().followers, 0u);
+}
+
+TEST(ServeCoalesce, LeaderExceptionReachesEveryFollower)
+{
+    Coalescer<int> coalescer;
+    std::atomic<int> exceptions{0};
+    constexpr int kFollowers = 3;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kFollowers + 1; ++i) {
+        threads.emplace_back([&] {
+            try {
+                coalescer.runOrJoin("boom", [&]() -> int {
+                    while (coalescer.stats().followers <
+                           static_cast<std::uint64_t>(kFollowers))
+                        std::this_thread::yield();
+                    throw std::runtime_error("leader died");
+                });
+            } catch (const std::runtime_error &) {
+                exceptions.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(exceptions.load(), kFollowers + 1);
+    EXPECT_EQ(coalescer.inFlight(), 0u);
+    // The table is clean: the key can lead again.
+    auto retry = coalescer.runOrJoin("boom", [] { return 7; });
+    EXPECT_EQ(*retry.result, 7);
+}
+
+// ---------------------------------------------------------------
+// End-to-end Server over real sockets
+
+ListenAddress
+loopback(int port)
+{
+    ListenAddress addr;
+    addr.host = "127.0.0.1";
+    addr.port = port;
+    return addr;
+}
+
+double
+counter(Server &server, const std::string &key)
+{
+    obs::MetricsRegistry reg;
+    server.fillMetrics(reg);
+    return reg.get(key);
+}
+
+TEST(ServeServer, RunPingScrapeAndBadInputOverTcp)
+{
+    ServerConfig config;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok()) << client.status().toString();
+
+    Request ping;
+    ping.op = Request::Op::Ping;
+    ping.id = "hb";
+    StatusOr<Response> pong = client->call(ping);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->status.ok());
+    EXPECT_EQ(pong->id, "hb");
+
+    Request run;
+    run.app = "pr";
+    run.dataset = "ca";
+    run.iters = 4;
+    StatusOr<Response> resp = client->call(run);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    ASSERT_TRUE(resp->status.ok()) << resp->status.toString();
+    EXPECT_GT(resp->cycles, 0);
+    // The generator dedups collisions, so the realized nnz lands
+    // near (not exactly at) the spec's target.
+    EXPECT_GT(resp->nnz,
+              static_cast<long long>(findDatasetSpec("ca")->nnz) / 2);
+    EXPECT_FALSE(resp->coalesced);
+    EXPECT_GT(resp->elapsed_us, 0.0);
+
+    // Unknown names come back as InvalidInput responses on a healthy
+    // connection, with a bare message (no stacked code prefixes).
+    Request bad = run;
+    bad.dataset = "nope";
+    StatusOr<Response> bad_resp = client->call(bad);
+    ASSERT_TRUE(bad_resp.ok());
+    EXPECT_EQ(bad_resp->status.code(), StatusCode::InvalidInput);
+    EXPECT_EQ(bad_resp->status.message(), "unknown dataset 'nope'");
+
+    // The same port answers an HTTP metrics scrape.
+    StatusOr<std::string> body =
+        serve::scrapeMetrics(loopback(server.port()));
+    ASSERT_TRUE(body.ok()) << body.status().toString();
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(*body, doc, &error)) << error;
+    const obs::JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const obs::JsonValue *requests =
+        metrics->find("serve.requests_total");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->number, 3.0);
+    EXPECT_NE(metrics->find("cache.prepared.hits"), nullptr);
+    EXPECT_NE(metrics->find("serve.coalesced_total"), nullptr);
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(counter(server, "serve.active_connections"), 0.0);
+}
+
+TEST(ServeServer, ConcurrentIdenticalRequestsRunOneSimulation)
+{
+    ServerConfig config;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    constexpr int kClients = 6;
+
+    // Coalescing needs genuine overlap, so release all clients
+    // through a barrier onto a request sized to stay in flight for
+    // a while; retry with a fresh key on the rare miss.
+    bool coalesced_all = false;
+    for (int attempt = 0; attempt < 3 && !coalesced_all; ++attempt) {
+        const double sims_before = counter(server, "serve.sim_runs");
+        const double followers_before =
+            counter(server, "serve.coalesced_total");
+
+        std::vector<Client> clients;
+        clients.reserve(kClients);
+        for (int i = 0; i < kClients; ++i) {
+            StatusOr<Client> c =
+                Client::connect(loopback(server.port()));
+            ASSERT_TRUE(c.ok()) << c.status().toString();
+            clients.push_back(std::move(c).value());
+        }
+
+        Request req;
+        req.app = "pr";
+        req.dataset = "co";
+        req.iters = 48;
+        req.seed = 0x6e6e0000ULL + static_cast<std::uint64_t>(attempt);
+
+        std::atomic<int> ready{0};
+        std::atomic<bool> go{false};
+        std::atomic<int> ok{0};
+        std::vector<std::thread> threads;
+        for (int i = 0; i < kClients; ++i) {
+            threads.emplace_back([&, i] {
+                ready.fetch_add(1);
+                while (!go.load())
+                    std::this_thread::yield();
+                StatusOr<Response> resp = clients[i].call(req);
+                if (resp.ok() && resp->status.ok())
+                    ok.fetch_add(1);
+            });
+        }
+        while (ready.load() < kClients)
+            std::this_thread::yield();
+        go.store(true);
+        for (std::thread &t : threads)
+            t.join();
+        ASSERT_EQ(ok.load(), kClients);
+
+        const double sims =
+            counter(server, "serve.sim_runs") - sims_before;
+        const double followers =
+            counter(server, "serve.coalesced_total") -
+            followers_before;
+        coalesced_all =
+            sims == 1.0 && followers == double(kClients - 1);
+    }
+    EXPECT_TRUE(coalesced_all)
+        << "no attempt fully coalesced " << kClients
+        << " identical concurrent requests into one simulation";
+}
+
+TEST(ServeServer, ShedsWithRetryAfterWhenAtCapacity)
+{
+    ServerConfig config;
+    config.admission.max_in_flight = 0; // shed everything
+    config.admission.retry_after_ms = 40;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    Request req;
+    req.app = "pr";
+    req.dataset = "ca";
+    req.iters = 4;
+    StatusOr<Response> resp = client->call(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    EXPECT_EQ(resp->status.code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(resp->retry_after_ms, 40);
+    // The connection survives a shed; a ping still answers.
+    Request ping;
+    ping.op = Request::Op::Ping;
+    StatusOr<Response> pong = client->call(ping);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->status.ok());
+    EXPECT_EQ(counter(server, "serve.shed_total"), 1.0);
+    EXPECT_EQ(counter(server, "serve.sim_runs"), 0.0);
+}
+
+TEST(ServeServer, DrainFinishesInFlightWorkAndJoinReturns)
+{
+    ServerConfig config;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> slow = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(slow.ok());
+    Request req;
+    req.app = "pr";
+    req.dataset = "co";
+    req.iters = 64;
+    std::thread in_flight([&] {
+        StatusOr<Response> resp = slow->call(req);
+        ASSERT_TRUE(resp.ok()) << resp.status().toString();
+        // Drained, not aborted: the admitted run completes.
+        EXPECT_TRUE(resp->status.ok()) << resp->status.toString();
+        EXPECT_GT(resp->cycles, 0);
+    });
+    // Wait until the simulation is actually admitted before
+    // draining, so the test pins "drain finishes in-flight work".
+    while (counter(server, "serve.sim_runs") < 1.0)
+        std::this_thread::yield();
+
+    server.requestDrain();
+    EXPECT_TRUE(server.draining());
+    // A fresh request is refused now — either the connection is not
+    // accepted any more or the request is rejected with Cancelled.
+    StatusOr<Client> late = Client::connect(loopback(server.port()));
+    if (late.ok()) {
+        StatusOr<Response> refused = late->call(req);
+        if (refused.ok()) {
+            EXPECT_EQ(refused->status.code(), StatusCode::Cancelled);
+        }
+    }
+
+    in_flight.join();
+    server.join();
+    EXPECT_EQ(counter(server, "serve.responses_ok"), 1.0);
+    EXPECT_EQ(counter(server, "serve.active_connections"), 0.0);
+}
+
+TEST(ServeServer, AbortCancelsInFlightSimulations)
+{
+    ServerConfig config;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    Request req;
+    req.app = "pr";
+    req.dataset = "co";
+    req.iters = 400; // long enough to be mid-flight when aborted
+    std::thread in_flight([&] {
+        StatusOr<Response> resp = client->call(req);
+        ASSERT_TRUE(resp.ok()) << resp.status().toString();
+        EXPECT_EQ(resp->status.code(), StatusCode::Cancelled)
+            << resp->status.toString();
+    });
+    while (counter(server, "serve.sim_runs") < 1.0)
+        std::this_thread::yield();
+
+    server.requestAbort();
+    in_flight.join();
+    server.join();
+}
+
+} // namespace
+} // namespace sparsepipe

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "api/session.hh"
 #include "obs/metrics.hh"
 #include "prep/blocked.hh"
@@ -151,6 +155,86 @@ TEST(Session, BindWorkspaceBindsBothCompressedForms)
     EXPECT_EQ(csc.nnz(), pc.nnz);
     EXPECT_EQ(csr.rows(), csc.rows());
     EXPECT_EQ(csr.cols(), csc.cols());
+}
+
+TEST(Session, ConcurrentRunsShareOnePreparedDataset)
+{
+    // The serve daemon funnels every tenant through one Session, so
+    // concurrent run() calls on the same key must be safe and must
+    // prepare the operand exactly once.  Runs under the TSan CI job.
+    api::Session session;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<StatusOr<api::RunReport>> reports(
+        kThreads, Status(StatusCode::Internal, "unset"));
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&session, &reports, i] {
+            api::RunRequest req;
+            req.app = "pr";
+            req.dataset = "ca";
+            req.iters = 4;
+            reports[i] = session.run(req);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    ASSERT_TRUE(reports[0].ok()) << reports[0].status().toString();
+    for (int i = 1; i < kThreads; ++i) {
+        ASSERT_TRUE(reports[i].ok())
+            << reports[i].status().toString();
+        // Identical requests through the shared caches are bitwise
+        // deterministic.
+        EXPECT_EQ(reports[i]->stats.cycles,
+                  reports[0]->stats.cycles);
+        EXPECT_EQ(reports[i]->nnz, reports[0]->nnz);
+    }
+    const api::Session::CacheStatsSnapshot stats =
+        session.cacheStats();
+    EXPECT_EQ(stats.prepared.misses, 1u);
+    EXPECT_EQ(stats.prepared.hits,
+              static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(Session, ConcurrentMixedKeysWithEvictingPreparedCache)
+{
+    // Bound the prepared layer below the working set so eviction
+    // happens *during* concurrent runs; preparedShared pinning must
+    // keep every in-flight operand alive.
+    api::Session session;
+    session.setCacheCapacities(2, 2, 2);
+    const struct
+    {
+        const char *app;
+        const char *dataset;
+    } kCases[] = {{"pr", "ca"}, {"bfs", "gy"}, {"sssp", "ca"},
+                  {"pr", "g2"}};
+    constexpr int kRounds = 3;
+
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (const auto &c : kCases) {
+        threads.emplace_back([&session, &failures, c] {
+            for (int round = 0; round < kRounds; ++round) {
+                api::RunRequest req;
+                req.app = c.app;
+                req.dataset = c.dataset;
+                req.iters = 4;
+                StatusOr<api::RunReport> run = session.run(req);
+                if (!run.ok() || run->stats.cycles <= 0)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    // Four distinct keys through a 2-entry bound: eviction must have
+    // fired, and every lookup still resolved.
+    const api::Session::CacheStatsSnapshot stats =
+        session.cacheStats();
+    EXPECT_GT(stats.prepared.evictions, 0u);
+    EXPECT_GE(stats.prepared.misses, 4u);
 }
 
 } // anonymous namespace

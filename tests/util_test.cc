@@ -107,6 +107,65 @@ TEST(Parse, FlagWrappersReturnStatusOnGarbage)
               std::string::npos);
 }
 
+TEST(Parse, ListenAddressAcceptsValidForms)
+{
+    const struct
+    {
+        const char *text;
+        const char *host;
+        int port;
+    } kValid[] = {
+        {"127.0.0.1:7077", "127.0.0.1", 7077},
+        {"localhost:0", "localhost", 0},
+        {"0.0.0.0:65535", "0.0.0.0", 65535},
+        {"10.1.2.3:1", "10.1.2.3", 1},
+        {":8080", "127.0.0.1", 8080}, // host defaults
+        {"8080", "127.0.0.1", 8080},  // bare port
+    };
+    for (const auto &row : kValid) {
+        StatusOr<ListenAddress> addr = parseListenAddress(row.text);
+        ASSERT_TRUE(addr.ok())
+            << row.text << ": " << addr.status().toString();
+        EXPECT_EQ(addr->host, row.host) << row.text;
+        EXPECT_EQ(addr->port, row.port) << row.text;
+    }
+}
+
+TEST(Parse, ListenAddressNamesTheDefectOnMalformedInput)
+{
+    const struct
+    {
+        const char *text;
+        const char *want; // substring of the InvalidInput message
+    } kMalformed[] = {
+        {"", "is empty"},
+        {":", "has no port"},
+        {"host:", "has no port"},
+        {"a:b:c", "more than one ':'"},
+        {"::1", "more than one ':'"}, // IPv6 is out of scope
+        {"foo", "decimal port"},      // bare non-numeric token
+        {"127.0.0.1:0x1f", "decimal port"},
+        {"127.0.0.1:-1", "decimal port"},
+        {"127.0.0.1:65536", "decimal port"},
+        {"127.0.0.1:7 7", "decimal port"},
+        {"example.com:80", "dotted-quad IPv4 host or 'localhost'"},
+        {"1.2.3:80", "dotted-quad IPv4 host or 'localhost'"},
+        {"1.2.3.4.5:80", "dotted-quad IPv4 host or 'localhost'"},
+        {"1.2.3.256:80", "dotted-quad IPv4 host or 'localhost'"},
+        {"LOCALHOST:80", "dotted-quad IPv4 host or 'localhost'"},
+    };
+    for (const auto &row : kMalformed) {
+        StatusOr<ListenAddress> addr = parseListenAddress(row.text);
+        ASSERT_FALSE(addr.ok()) << row.text;
+        EXPECT_EQ(addr.status().code(), StatusCode::InvalidInput)
+            << row.text;
+        EXPECT_NE(addr.status().message().find(row.want),
+                  std::string::npos)
+            << "input '" << row.text
+            << "' produced: " << addr.status().message();
+    }
+}
+
 TEST(Status, ContextChainAndCodeNames)
 {
     Status s = ioError("open failed: %s", "nope.mtx");

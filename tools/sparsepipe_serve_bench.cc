@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Load generator for the serve daemon: starts an in-process Server
+ * on an ephemeral loopback port, drives it with concurrent TCP
+ * clients from the runner's ThreadPool, and records the serving
+ * latency trajectory into BENCH_6.json (metrics-v1).
+ *
+ * Three phases:
+ *
+ *   coalesce  a barrier-released burst of identical requests while
+ *             one leader simulates: exactly 1 simulation must run,
+ *             the other N-1 ride it (coalesced == N-1).
+ *   latency   clients x requests over a warm key mix; client-side
+ *             p50 / p99 / mean microseconds.
+ *   shed      a server bounded to 1 admitted run, flooded with
+ *             distinct keys: the overflow must come back as
+ *             resource-exhausted with a retry hint, never a crash
+ *             or hang, and the server must still serve afterwards.
+ *
+ * Exit code 1 when any phase's invariant fails, so CI can gate on
+ * the binary.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "runner/thread_pool.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+using namespace sparsepipe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "sparsepipe_serve_bench: %s\n",
+                 message.c_str());
+    std::exit(kExitUsage);
+}
+
+/** A failed invariant: report and exit non-zero. */
+[[noreturn]] void
+benchFail(const std::string &message)
+{
+    std::fprintf(stderr, "sparsepipe_serve_bench: FAIL: %s\n",
+                 message.c_str());
+    std::exit(kExitRuntime);
+}
+
+serve::Response
+mustCall(const ListenAddress &addr, const serve::Request &req)
+{
+    StatusOr<serve::Client> client = serve::Client::connect(addr);
+    if (!client.ok())
+        benchFail("connect: " + client.status().toString());
+    StatusOr<serve::Response> resp = client->call(req);
+    if (!resp.ok())
+        benchFail("call: " + resp.status().toString());
+    return *resp;
+}
+
+double
+scrapeCounter(const ListenAddress &addr, const std::string &key)
+{
+    StatusOr<std::string> body = serve::scrapeMetrics(addr);
+    if (!body.ok())
+        benchFail("scrape: " + body.status().toString());
+    return obs::MetricsRegistry::fromJson(*body).get(key);
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi =
+        std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/**
+ * The coalesce phase: release `burst` identical requests at once
+ * while the leader simulates.  Coalescing is a property of overlap,
+ * so a burst that failed to overlap (cold machine, tiny sim) is
+ * retried on a fresh key rather than reported as a failure.
+ */
+void
+runCoalescePhase(const ListenAddress &addr, int burst,
+                 obs::MetricsRegistry &out)
+{
+    for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+        serve::Request req;
+        req.app = "pr";
+        req.dataset = "co";
+        req.iters = 48;
+        req.seed = 0x6e6e + attempt; // fresh key per attempt
+        const double sims_before =
+            scrapeCounter(addr, "serve.sim_runs");
+        const double coalesced_before =
+            scrapeCounter(addr, "serve.coalesced_total");
+
+        std::atomic<int> ready{0};
+        std::atomic<bool> go{false};
+        std::atomic<int> ok{0};
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(burst));
+        for (int i = 0; i < burst; ++i) {
+            threads.emplace_back([&] {
+                StatusOr<serve::Client> client =
+                    serve::Client::connect(addr);
+                if (!client.ok())
+                    benchFail("connect: " +
+                              client.status().toString());
+                ready.fetch_add(1);
+                while (!go.load())
+                    std::this_thread::yield();
+                StatusOr<serve::Response> resp =
+                    client->call(req);
+                if (resp.ok() && resp->status.ok())
+                    ok.fetch_add(1);
+            });
+        }
+        while (ready.load() < burst)
+            std::this_thread::yield();
+        go.store(true);
+        for (std::thread &t : threads)
+            t.join();
+
+        const double sims =
+            scrapeCounter(addr, "serve.sim_runs") - sims_before;
+        const double coalesced =
+            scrapeCounter(addr, "serve.coalesced_total") -
+            coalesced_before;
+        if (ok.load() != burst)
+            benchFail("coalesce burst: only " +
+                      std::to_string(ok.load()) + "/" +
+                      std::to_string(burst) + " requests ok");
+        if (sims == 1.0 && coalesced == burst - 1) {
+            out.set("serve.bench.coalesce.burst",
+                    static_cast<double>(burst));
+            out.set("serve.bench.coalesce.sim_runs", sims);
+            out.set("serve.bench.coalesce.coalesced", coalesced);
+            out.set("serve.bench.coalesce.hit_rate",
+                    coalesced / static_cast<double>(burst));
+            sp_inform("coalesce: %d requests -> 1 simulation, "
+                      "%d coalesced",
+                      burst, static_cast<int>(coalesced));
+            return;
+        }
+        sp_warn("coalesce burst attempt %d did not fully overlap "
+                "(%d sims, %d coalesced), retrying",
+                static_cast<int>(attempt), static_cast<int>(sims),
+                static_cast<int>(coalesced));
+    }
+    benchFail("coalesce: burst never coalesced to one simulation");
+}
+
+void
+runLatencyPhase(const ListenAddress &addr, int clients,
+                int requests, obs::MetricsRegistry &out)
+{
+    // A warm mix: small datasets, cycling apps, so the steady-state
+    // number reflects serving + simulation, not first-touch
+    // preparation.
+    const std::vector<std::pair<std::string, std::string>> mix = {
+        {"pr", "ca"}, {"bfs", "gy"}, {"pr", "g2"}, {"sssp", "ca"}};
+    for (const auto &[app, dataset] : mix) {
+        serve::Request warm;
+        warm.app = app;
+        warm.dataset = dataset;
+        warm.iters = 4;
+        serve::Response resp = mustCall(addr, warm);
+        if (!resp.status.ok())
+            benchFail("latency warmup: " + resp.status.toString());
+    }
+
+    std::vector<std::vector<double>> lat(
+        static_cast<std::size_t>(clients));
+    runner::ThreadPool traffic(clients);
+    for (int c = 0; c < clients; ++c) {
+        traffic.submit([&, c] {
+            StatusOr<serve::Client> client =
+                serve::Client::connect(addr);
+            if (!client.ok())
+                benchFail("connect: " +
+                          client.status().toString());
+            for (int r = 0; r < requests; ++r) {
+                const auto &[app, dataset] =
+                    mix[static_cast<std::size_t>(c + r) %
+                        mix.size()];
+                serve::Request req;
+                req.app = app;
+                req.dataset = dataset;
+                req.iters = 4;
+                const Clock::time_point t0 = Clock::now();
+                StatusOr<serve::Response> resp =
+                    client->call(req);
+                if (!resp.ok())
+                    benchFail("call: " +
+                              resp.status().toString());
+                if (!resp->status.ok())
+                    benchFail("latency run failed: " +
+                              resp->status.toString());
+                lat[static_cast<std::size_t>(c)].push_back(
+                    microsSince(t0));
+            }
+        });
+    }
+    traffic.wait();
+
+    std::vector<double> all;
+    for (const std::vector<double> &per_client : lat)
+        all.insert(all.end(), per_client.begin(),
+                   per_client.end());
+    double sum = 0.0;
+    for (double v : all)
+        sum += v;
+    const double p50 = percentile(all, 0.50);
+    const double p99 = percentile(all, 0.99);
+    out.set("serve.bench.requests",
+            static_cast<double>(all.size()));
+    out.set("serve.bench.clients", clients);
+    out.set("serve.bench.p50_us", p50);
+    out.set("serve.bench.p99_us", p99);
+    out.set("serve.bench.mean_us",
+            all.empty() ? 0.0
+                        : sum / static_cast<double>(all.size()));
+    sp_inform("latency: %zu requests, p50 %.0f us, p99 %.0f us",
+              all.size(), p50, p99);
+}
+
+void
+runShedPhase(int flood, obs::MetricsRegistry &out)
+{
+    serve::ServerConfig config;
+    config.admission.max_in_flight = 1;
+    config.admission.retry_after_ms = 25;
+    serve::Server server(config);
+    if (Status status = server.start(); !status.ok())
+        benchFail("shed server: " + status.toString());
+    const ListenAddress addr{"127.0.0.1", server.port()};
+
+    std::atomic<int> ok{0};
+    std::atomic<int> shed{0};
+    std::atomic<int> other{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < flood; ++i) {
+        threads.emplace_back([&, i] {
+            serve::Request req;
+            req.app = "pr";
+            req.dataset = "ca";
+            req.iters = 24;
+            req.seed = 0xf100d + static_cast<std::uint64_t>(i);
+            StatusOr<serve::Client> client =
+                serve::Client::connect(addr);
+            if (!client.ok())
+                benchFail("connect: " +
+                          client.status().toString());
+            StatusOr<serve::Response> resp = client->call(req);
+            if (!resp.ok())
+                benchFail("shed call: " +
+                          resp.status().toString());
+            if (resp->status.ok()) {
+                ok.fetch_add(1);
+            } else if (resp->status.code() ==
+                       StatusCode::ResourceExhausted) {
+                if (resp->retry_after_ms <= 0)
+                    benchFail(
+                        "shed response missing retry_after_ms");
+                shed.fetch_add(1);
+            } else {
+                other.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    if (other.load() != 0)
+        benchFail("shed flood produced unexpected errors");
+    if (ok.load() < 1)
+        benchFail("shed flood starved every request");
+    if (shed.load() < 1)
+        benchFail("shed flood was never shed (bound not "
+                  "enforced)");
+    // The daemon must still be healthy after shedding.
+    serve::Request after;
+    after.app = "pr";
+    after.dataset = "ca";
+    after.iters = 4;
+    serve::Response resp = mustCall(addr, after);
+    if (!resp.status.ok())
+        benchFail("post-shed request failed: " +
+                  resp.status.toString());
+
+    out.set("serve.bench.shed.flood", static_cast<double>(flood));
+    out.set("serve.bench.shed.ok", ok.load());
+    out.set("serve.bench.shed.shed", shed.load());
+    sp_inform("shed: %d/%d requests shed with Retry-After, "
+              "server healthy",
+              shed.load(), flood);
+
+    server.requestDrain();
+    server.join();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_6.json";
+    int clients = 8;
+    int requests = 12;
+    int burst = 16;
+    int jobs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError("flag " + arg + " wants a value");
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json_path = next();
+        else if (arg == "--clients")
+            clients = std::atoi(next().c_str());
+        else if (arg == "--requests")
+            requests = std::atoi(next().c_str());
+        else if (arg == "--burst")
+            burst = std::atoi(next().c_str());
+        else if (arg == "--jobs")
+            jobs = std::atoi(next().c_str());
+        else
+            usageError("usage: sparsepipe_serve_bench "
+                       "[--json PATH] [--clients N] "
+                       "[--requests N] [--burst N] [--jobs N]");
+    }
+    if (clients < 1 || requests < 1 || burst < 2)
+        usageError("wants clients >= 1, requests >= 1, burst >= 2");
+
+    serve::ServerConfig config;
+    config.jobs = jobs;
+    serve::Server server(config);
+    if (Status status = server.start(); !status.ok()) {
+        std::fprintf(stderr, "sparsepipe_serve_bench: %s\n",
+                     status.toString().c_str());
+        return kExitRuntime;
+    }
+    const ListenAddress addr{"127.0.0.1", server.port()};
+
+    obs::MetricsRegistry out;
+    runCoalescePhase(addr, burst, out);
+    runLatencyPhase(addr, clients, requests, out);
+
+    // Steady-state serve counters from the main server's scrape.
+    out.set("serve.bench.cache.prepared_hits",
+            scrapeCounter(addr, "cache.prepared.hits"));
+    out.set("serve.bench.cache.prepared_misses",
+            scrapeCounter(addr, "cache.prepared.misses"));
+    server.requestDrain();
+    server.join();
+
+    runShedPhase(std::max(clients, 6), out);
+
+    out.writeFile(json_path);
+    sp_inform("wrote %s", json_path.c_str());
+    return kExitOk;
+}

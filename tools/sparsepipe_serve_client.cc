@@ -1,0 +1,165 @@
+/**
+ * @file
+ * One-shot client for the serve daemon: issue a run request (or a
+ * ping, or a metrics scrape) and print the response.  The CI smoke
+ * job drives a daemon entirely through this binary.
+ *
+ * Examples:
+ *   sparsepipe_serve_client --connect 127.0.0.1:7077 \
+ *       --app pr --dataset wi
+ *   sparsepipe_serve_client --connect 127.0.0.1:7077 --ping
+ *   sparsepipe_serve_client --connect 127.0.0.1:7077 --scrape
+ *
+ * Exit codes: 0 when the response is ok, 1 when the server answered
+ * with an error Status or the transport failed, 2 on bad flags.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/client.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+using namespace sparsepipe;
+
+namespace {
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr,
+                 "sparsepipe_serve_client: %s (try --help)\n",
+                 message.c_str());
+    std::exit(kExitUsage);
+}
+
+template <typename T>
+T
+flagValue(StatusOr<T> parsed)
+{
+    if (!parsed.ok())
+        usageError(parsed.status().toString());
+    return std::move(parsed).value();
+}
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: sparsepipe_serve_client --connect HOST:PORT "
+        "[options]\n"
+        "\n"
+        "  --app NAME        application (default pr)\n"
+        "  --dataset NAME    dataset stand-in (required for runs)\n"
+        "  --iters N         loop iterations (0 = app default)\n"
+        "  --reorder KIND    none | vanilla | locality\n"
+        "  --seed S          generator seed (hex ok)\n"
+        "  --deadline-ms N   per-request deadline\n"
+        "  --count N         repeat the request N times\n"
+        "  --ping            health check instead of a run\n"
+        "  --scrape          GET /metrics and print the JSON\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    ListenAddress addr;
+    bool have_addr = false;
+    bool ping = false;
+    bool scrape = false;
+    long long count = 1;
+    serve::Request req;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError("flag " + arg + " wants a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return kExitOk;
+        } else if (arg == "--connect") {
+            StatusOr<ListenAddress> parsed =
+                parseListenAddress(next());
+            if (!parsed.ok())
+                usageError(parsed.status().toString());
+            addr = *parsed;
+            have_addr = true;
+        } else if (arg == "--app") {
+            req.app = next();
+        } else if (arg == "--dataset") {
+            req.dataset = next();
+        } else if (arg == "--iters") {
+            req.iters = flagValue(parseI64Flag("--iters", next()));
+        } else if (arg == "--reorder") {
+            const std::string kind = next();
+            if (kind == "none")
+                req.reorder = ReorderKind::None;
+            else if (kind == "vanilla")
+                req.reorder = ReorderKind::Vanilla;
+            else if (kind == "locality")
+                req.reorder = ReorderKind::Locality;
+            else
+                usageError("unknown reorder '" + kind + "'");
+        } else if (arg == "--seed") {
+            req.seed = flagValue(parseU64Flag("--seed", next()));
+        } else if (arg == "--deadline-ms") {
+            req.deadline_ms =
+                flagValue(parseI64Flag("--deadline-ms", next()));
+        } else if (arg == "--count") {
+            count = flagValue(parseI64Flag("--count", next()));
+            if (count < 1)
+                usageError("--count wants a positive integer");
+        } else if (arg == "--ping") {
+            ping = true;
+        } else if (arg == "--scrape") {
+            scrape = true;
+        } else {
+            usageError("unknown flag '" + arg + "'");
+        }
+    }
+    if (!have_addr)
+        usageError("--connect HOST:PORT is required");
+
+    if (scrape) {
+        StatusOr<std::string> body = serve::scrapeMetrics(addr);
+        if (!body.ok()) {
+            std::fprintf(stderr, "sparsepipe_serve_client: %s\n",
+                         body.status().toString().c_str());
+            return kExitRuntime;
+        }
+        std::fputs(body->c_str(), stdout);
+        return kExitOk;
+    }
+
+    if (ping)
+        req.op = serve::Request::Op::Ping;
+    else if (req.dataset.empty())
+        usageError("--dataset is required for a run request");
+
+    StatusOr<serve::Client> client = serve::Client::connect(addr);
+    if (!client.ok()) {
+        std::fprintf(stderr, "sparsepipe_serve_client: %s\n",
+                     client.status().toString().c_str());
+        return kExitRuntime;
+    }
+
+    bool all_ok = true;
+    for (long long i = 0; i < count; ++i) {
+        StatusOr<serve::Response> resp = client->call(req);
+        if (!resp.ok()) {
+            std::fprintf(stderr, "sparsepipe_serve_client: %s\n",
+                         resp.status().toString().c_str());
+            return kExitRuntime;
+        }
+        std::printf("%s\n", serve::encodeResponse(*resp).c_str());
+        all_ok = all_ok && resp->status.ok();
+    }
+    return all_ok ? kExitOk : kExitRuntime;
+}
