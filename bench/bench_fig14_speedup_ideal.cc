@@ -26,6 +26,10 @@ main(int argc, char **argv)
                 "cg/bgs 0.75-1.20x");
 
     RunConfig cfg;
+    if (args.lanes >= 0)
+        cfg.sp.lanes = args.lanes;
+    if (args.band_threads >= 1)
+        cfg.sp.band_threads = args.band_threads;
     std::vector<CaseResult> results =
         runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 
@@ -62,9 +66,21 @@ main(int argc, char **argv)
     }
     table.print();
 
+    double host_ms = 0.0;
+    for (const CaseResult &r : results)
+        host_ms += r.host_ms;
     std::printf("\nbest case             : %s at %.2fx "
                 "(paper: up to 3.59x)\n",
                 best_case.c_str(), best);
+    // Machine-dependent, so printed on stderr: stdout must stay
+    // byte-identical across runs, --jobs, and lane widths.  The
+    // nightly walltime gate compares this number across lane widths
+    // (dataset prep excluded).
+    std::fprintf(stderr,
+                 "simulator host time   : %.0f ms "
+                 "(lanes %lld, band threads %d)\n",
+                 host_ms, static_cast<long long>(cfg.sp.lanes),
+                cfg.sp.band_threads);
     std::printf("geomean, all cases    : %.2fx (paper headline: "
                 "1.77x)\n", geomean(all));
     std::printf("OEI-app geomean range : %.2fx .. %.2fx (paper: "

@@ -2,12 +2,25 @@
  * @file
  * Google-benchmark micro-benchmarks for the hot substrate kernels:
  * format construction / conversion, the functional vxm under each
- * semiring, the fused-pair OEI engine, reorders, and the residency
- * sweep.  These track the wall-clock health of the simulator itself
- * (not modelled accelerator performance).
+ * semiring — scalar element loop AND packed lanes at every width —
+ * the fused-pair OEI engine, reorders, and the residency sweep.
+ * These track the wall-clock health of the simulator itself (not
+ * modelled accelerator performance).
+ *
+ * Run with --json PATH to skip google-benchmark and emit the
+ * BENCH_7.json trajectory document instead: per-semiring packed
+ * vs element kernel speedups plus end-to-end simulation wall-clock
+ * at each lane / band-thread setting, with a built-in check that
+ * every setting reproduced the element path's cycle count exactly.
+ * Nightly CI uploads the file as an artifact.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "apps/apps.hh"
 #include "core/buckets.hh"
@@ -15,7 +28,9 @@
 #include "prep/blocked.hh"
 #include "prep/reorder.hh"
 #include "ref/executor.hh"
+#include "semiring/packed.hh"
 #include "sparse/generate.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 
 namespace sparsepipe {
@@ -80,6 +95,53 @@ BENCHMARK(BM_VxmSemiring)
     ->Arg(static_cast<int>(SemiringKind::MulAdd))
     ->Arg(static_cast<int>(SemiringKind::AndOr))
     ->Arg(static_cast<int>(SemiringKind::MinAdd));
+
+void
+BM_VxmSpanLanes(benchmark::State &state)
+{
+    const Idx n = 4096;
+    const auto kind = static_cast<SemiringKind>(state.range(0));
+    const Idx lanes = state.range(1);
+    const Semiring sr(kind);
+    const CscMatrix csc = CscMatrix::fromCoo(benchGraph(n, n * 8));
+    DenseVector x(static_cast<std::size_t>(n));
+    DenseVector y(static_cast<std::size_t>(n));
+    Rng rng(1);
+    for (auto &v : x)
+        v = rng.nextDouble();
+    for (auto _ : state) {
+        packed::vxmSpan(sr, lanes, csc.colPtr().data(),
+                        csc.rowIdx().data(), csc.vals().data(),
+                        x.data(), y.data(), 0, n);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * csc.nnz());
+}
+BENCHMARK(BM_VxmSpanLanes)
+    ->ArgsProduct({{static_cast<int>(SemiringKind::MulAdd),
+                    static_cast<int>(SemiringKind::AndOr),
+                    static_cast<int>(SemiringKind::MinAdd)},
+                   {1, 4, 8}});
+
+void
+BM_SparsepipePassLanes(benchmark::State &state)
+{
+    const Idx n = 8192;
+    CooMatrix raw = benchGraph(n, n * 8);
+    AppInstance app = makePageRank(n);
+    SparsepipeConfig cfg = SparsepipeConfig::isoGpu();
+    cfg.lanes = state.range(0);
+    cfg.band_threads = static_cast<int>(state.range(1));
+    SparsepipeSim sim(cfg);
+    for (auto _ : state) {
+        SimStats stats = sim.simulateApp(app, raw, 4);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * n * 8 * 4);
+}
+BENCHMARK(BM_SparsepipePassLanes)
+    ->ArgsProduct({{1, 4, 8}, {1, 2}})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_SparsepipePass(benchmark::State &state)
@@ -151,7 +213,190 @@ BM_BlockedLayout(benchmark::State &state)
 }
 BENCHMARK(BM_BlockedLayout)->Arg(8192)->Arg(65536);
 
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               Clock::now() - t0)
+        .count();
+}
+
+/** Best-of-reps wall-clock of `body` in milliseconds. */
+template <typename Fn>
+double
+bestMs(int reps, Fn &&body)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        body();
+        const double ms = msSince(t0);
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** Element-loop vs packed vxm wall-clock for one semiring. */
+struct KernelTimes
+{
+    double element_ms = 0.0;
+    double packed_ms = 0.0;
+};
+
+KernelTimes
+timeVxmKernel(SemiringKind kind, int reps)
+{
+    const Idx n = 8192;
+    const Semiring sr(kind);
+    const CscMatrix csc = CscMatrix::fromCoo(benchGraph(n, n * 8));
+    DenseVector x(static_cast<std::size_t>(n));
+    DenseVector y(static_cast<std::size_t>(n));
+    Rng rng(1);
+    for (auto &v : x)
+        v = rng.nextDouble();
+
+    KernelTimes out;
+    out.element_ms = bestMs(reps, [&] {
+        packed::vxmSpan(sr, 1, csc.colPtr().data(),
+                        csc.rowIdx().data(), csc.vals().data(),
+                        x.data(), y.data(), 0, n);
+        benchmark::DoNotOptimize(y.data());
+    });
+    DenseVector y_ref = y;
+    out.packed_ms = bestMs(reps, [&] {
+        packed::vxmSpan(sr, packed::preferredLanes(),
+                        csc.colPtr().data(), csc.rowIdx().data(),
+                        csc.vals().data(), x.data(), y.data(), 0, n);
+        benchmark::DoNotOptimize(y.data());
+    });
+    if (std::memcmp(y_ref.data(), y.data(),
+                    y.size() * sizeof(Value)) != 0)
+        sp_fatal("packed vxm diverged from the element loop "
+                 "(semiring %s)", sr.name());
+    return out;
+}
+
+/** End-to-end PageRank simulation wall-clock at one policy. */
+double
+timeSimPass(Idx lanes, int band_threads, int reps, Tick *cycles)
+{
+    const Idx n = 8192;
+    CooMatrix raw = benchGraph(n, n * 8);
+    AppInstance app = makePageRank(n);
+    SparsepipeConfig cfg = SparsepipeConfig::isoGpu();
+    cfg.lanes = lanes;
+    cfg.band_threads = band_threads;
+    SparsepipeSim sim(cfg);
+    const double ms = bestMs(reps, [&] {
+        SimStats stats = sim.simulateApp(app, raw, 4);
+        *cycles = stats.cycles;
+        benchmark::DoNotOptimize(stats.cycles);
+    });
+    return ms;
+}
+
+int
+emitTrajectory(const std::string &json_path, int reps)
+{
+    struct Row
+    {
+        const char *name;
+        SemiringKind kind;
+    };
+    const Row rows[] = {
+        {"mul_add", SemiringKind::MulAdd},
+        {"and_or", SemiringKind::AndOr},
+        {"min_add", SemiringKind::MinAdd},
+        {"aril_add", SemiringKind::ArilAdd},
+        {"max_mul", SemiringKind::MaxMul},
+    };
+    KernelTimes kt[5];
+    for (int i = 0; i < 5; ++i) {
+        kt[i] = timeVxmKernel(rows[i].kind, reps);
+        std::printf("vxm %-8s : element %.3f ms, packed %.3f ms "
+                    "(%.2fx)\n",
+                    rows[i].name, kt[i].element_ms, kt[i].packed_ms,
+                    kt[i].element_ms / kt[i].packed_ms);
+    }
+
+    Tick cycles_elem = 0, cycles_lanes = 0, cycles_bands = 0;
+    const double sim_elem_ms = timeSimPass(1, 1, reps, &cycles_elem);
+    const double sim_lanes_ms = timeSimPass(0, 1, reps, &cycles_lanes);
+    const double sim_bands_ms = timeSimPass(0, 2, reps, &cycles_bands);
+    if (cycles_elem != cycles_lanes || cycles_elem != cycles_bands)
+        sp_fatal("lane/band simulation drifted from the element "
+                 "path: %llu vs %llu vs %llu cycles",
+                 static_cast<unsigned long long>(cycles_elem),
+                 static_cast<unsigned long long>(cycles_lanes),
+                 static_cast<unsigned long long>(cycles_bands));
+    std::printf("sim pr x4          : element %.2f ms, lanes %.2f ms "
+                "(%.2fx), lanes+bands %.2f ms\n",
+                sim_elem_ms, sim_lanes_ms, sim_elem_ms / sim_lanes_ms,
+                sim_bands_ms);
+
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f)
+        sp_fatal("cannot write %s", json_path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_micro_kernels\",\n");
+    std::fprintf(f, "  \"schema\": \"bench-trajectory-v1\",\n");
+    std::fprintf(f, "  \"simd_backend\": \"%s\",\n",
+                 packed::backendName());
+    std::fprintf(f, "  \"preferred_lanes\": %d,\n",
+                 static_cast<int>(packed::preferredLanes()));
+    std::fprintf(f, "  \"measured\": {\n");
+    for (int i = 0; i < 5; ++i) {
+        std::fprintf(f,
+                     "    \"vxm.%s.element_ms\": %.3f,\n"
+                     "    \"vxm.%s.packed_ms\": %.3f,\n"
+                     "    \"vxm.%s.packed_speedup\": %.3f,\n",
+                     rows[i].name, kt[i].element_ms, rows[i].name,
+                     kt[i].packed_ms, rows[i].name,
+                     kt[i].element_ms / kt[i].packed_ms);
+    }
+    std::fprintf(f,
+                 "    \"sim.pr_pass4.element_ms\": %.3f,\n"
+                 "    \"sim.pr_pass4.lanes_ms\": %.3f,\n"
+                 "    \"sim.pr_pass4.lanes_bands_ms\": %.3f,\n"
+                 "    \"sim.pr_pass4.lanes_speedup\": %.3f\n",
+                 sim_elem_ms, sim_lanes_ms, sim_bands_ms,
+                 sim_elem_ms / sim_lanes_ms);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}
+
 } // namespace
 } // namespace sparsepipe
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    int reps = 5;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+    if (!json_path.empty())
+        return sparsepipe::emitTrajectory(json_path, reps);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

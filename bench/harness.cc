@@ -1,5 +1,6 @@
 #include "harness.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -54,7 +55,12 @@ runCaseOr(const std::string &app_name, const std::string &dataset,
         req.blocked = config.blocked;
         req.seed = config.seed;
         req.cancel = cancel;
+        const auto host_start = std::chrono::steady_clock::now();
         StatusOr<api::RunReport> report = session.run(req, pc);
+        result.host_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - host_start)
+                .count();
         if (!report.ok()) {
             Status status = report.status();
             return std::move(status).withContext(app_name + " on " +
@@ -174,9 +180,27 @@ parseBenchArgs(int argc, char **argv)
             args.metrics_out = value("--metrics-out");
             if (args.metrics_out.empty())
                 benchUsageError("--metrics-out wants a file path");
+        } else if (arg == "--lanes") {
+            StatusOr<long long> lanes =
+                parseI64Flag("--lanes", value("--lanes"));
+            if (!lanes.ok())
+                benchUsageError(lanes.status().toString());
+            args.lanes = static_cast<Idx>(*lanes);
+            if (args.lanes < 0)
+                benchUsageError("--lanes wants a non-negative width");
+        } else if (arg == "--band-threads") {
+            StatusOr<long long> bt = parseI64Flag(
+                "--band-threads", value("--band-threads"));
+            if (!bt.ok())
+                benchUsageError(bt.status().toString());
+            args.band_threads = static_cast<int>(*bt);
+            if (args.band_threads < 1)
+                benchUsageError(
+                    "--band-threads wants a positive count");
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs N] [--metrics-out FILE]\n"
+                "usage: %s [--jobs N] [--metrics-out FILE] "
+                "[--lanes N] [--band-threads N]\n"
                 "  --jobs N           worker threads for the sweep "
                 "(default: SPARSEPIPE_JOBS env,\n"
                 "                     else hardware concurrency); "
@@ -184,7 +208,13 @@ parseBenchArgs(int argc, char **argv)
                 "  --metrics-out FILE dump every counter as a "
                 "metrics-v1 JSON file\n"
                 "                     (compare runs with "
-                "tools/metrics_diff)\n",
+                "tools/metrics_diff)\n"
+                "  --lanes N          packed-SIMD lane width (0 = "
+                "widest backend, 1 = scalar\n"
+                "                     element path; output is "
+                "bit-identical for any width)\n"
+                "  --band-threads N   band threads per simulation "
+                "(bit-identical; default 1)\n",
                 argv[0]);
             std::exit(0);
         } else {

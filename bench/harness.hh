@@ -57,6 +57,12 @@ struct CaseResult
     Idx nnz = 0;
 
     SimStats sp;
+    /**
+     * Host wall-clock spent inside the simulator for this case (not
+     * dataset prep).  Machine-dependent: printed in walltime
+     * summaries, never recorded in metrics-v1 dumps.
+     */
+    double host_ms = 0.0;
     BaselineStats ideal;
     /** Strict operator-at-a-time baseline (energy accounting). */
     BaselineStats ideal_strict;
@@ -140,13 +146,23 @@ struct BenchArgs
     int jobs = 0;
     /** When non-empty, dump a metrics-v1 file here before exit. */
     std::string metrics_out;
+    /**
+     * Packed-lane width override (-1 keeps the bench's RunConfig
+     * default, 0 = widest backend, 1 = scalar element path).  All
+     * widths produce bit-identical metrics; the flag exists to
+     * time one path against the other.
+     */
+    Idx lanes = -1;
+    /** Band-thread override (-1 keeps the RunConfig default). */
+    int band_threads = -1;
 };
 
 /**
  * Parse bench-binary arguments: `--jobs N` / `-j N` (default: the
- * SPARSEPIPE_JOBS env override, else hardware concurrency) and
- * `--metrics-out FILE`; both accept the `--flag=value` spelling.
- * Unknown flags are fatal; --help prints usage and exits.
+ * SPARSEPIPE_JOBS env override, else hardware concurrency),
+ * `--metrics-out FILE`, `--lanes N`, and `--band-threads N`; all
+ * accept the `--flag=value` spelling.  Unknown flags are fatal;
+ * --help prints usage and exits.
  */
 BenchArgs parseBenchArgs(int argc, char **argv);
 

@@ -161,6 +161,10 @@ Session::run(const RunRequest &req, const PreparedCase &pc)
         SparsepipeConfig cfg = req.sp;
         cfg.bytes_per_nz =
             req.blocked ? pc.blocked_bytes_per_nz : 12.0;
+        if (req.lanes >= 0)
+            cfg.lanes = req.lanes;
+        if (req.band_threads >= 0)
+            cfg.band_threads = req.band_threads;
 
         Workspace ws = bindWorkspace(pc);
         SparsepipeSim sim(cfg);

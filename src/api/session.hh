@@ -79,6 +79,14 @@ struct RunRequest
     ReorderKind reorder = ReorderKind::Vanilla;
     /** Derive bytes_per_nz from the blocked build (else 12.0). */
     bool blocked = true;
+    /**
+     * Packed-lane width override: -1 inherits sp.lanes, 0 picks the
+     * widest backend, 1 forces the element path, 2..8 explicit.
+     * Bit-identical for every value (see SparsepipeConfig::lanes).
+     */
+    Idx lanes = -1;
+    /** Band-thread override: -1 inherits sp.band_threads. */
+    int band_threads = -1;
     std::uint64_t seed = kDefaultSeed;
     /** Optional trace sink attached for the run. */
     obs::TraceSink *trace = nullptr;

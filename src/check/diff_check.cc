@@ -4,10 +4,13 @@
 #include <cmath>
 #include <sstream>
 
+#include <cstring>
+
 #include "check/invariants.hh"
 #include "check/oei_driver.hh"
 #include "graph/analysis.hh"
 #include "ref/executor.hh"
+#include "semiring/packed.hh"
 #include "util/logging.hh"
 
 namespace sparsepipe {
@@ -123,6 +126,74 @@ compareWorkspaces(std::vector<std::string> &failures,
     }
 }
 
+/**
+ * Bitwise value identity with NaN as one value class: when both
+ * scalar operands of a semiring add are NaN, IEEE 754 does not pin
+ * which payload survives, so NaN bits are not reproducible even
+ * between two scalar builds.  Everything else (signed zeros,
+ * infinities, subnormals, the last mantissa bit) must match exactly.
+ */
+bool
+sameBitsNanClass(Value a, Value b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::isnan(a) && std::isnan(b);
+    return std::memcmp(&a, &b, sizeof(Value)) == 0;
+}
+
+std::string
+compareSpanBits(const std::string &tensor, const std::string &path,
+                const Value *ref, const Value *got, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!sameBitsNanClass(ref[i], got[i])) {
+            std::ostringstream ss;
+            ss.precision(17);
+            ss << path << " is not bit-identical on tensor '"
+               << tensor << "' at element " << i << ": element path "
+               << ref[i] << " vs " << got[i];
+            return ss.str();
+        }
+    }
+    return "";
+}
+
+void
+compareWorkspaceBits(std::vector<std::string> &failures,
+                     const std::string &path, const Program &p,
+                     const Workspace &ws_ref, const Workspace &ws_got)
+{
+    for (TensorId id = 0;
+         id < static_cast<TensorId>(p.tensors().size()); ++id) {
+        const TensorInfo &info = p.tensor(id);
+        std::string msg;
+        switch (info.kind) {
+          case TensorKind::Vector:
+            msg = compareSpanBits(info.name, path,
+                                  ws_ref.vec(id).data(),
+                                  ws_got.vec(id).data(),
+                                  ws_ref.vec(id).size());
+            break;
+          case TensorKind::DenseMatrix:
+            msg = compareSpanBits(info.name, path,
+                                  ws_ref.den(id).data().data(),
+                                  ws_got.den(id).data().data(),
+                                  ws_ref.den(id).data().size());
+            break;
+          case TensorKind::Scalar: {
+            const Value a = ws_ref.scalar(id);
+            const Value b = ws_got.scalar(id);
+            msg = compareSpanBits(info.name, path, &a, &b, 1);
+            break;
+          }
+          case TensorKind::SparseMatrix:
+            break; // constant operand
+        }
+        if (!msg.empty())
+            failures.push_back(std::move(msg));
+    }
+}
+
 void
 compareRuns(std::vector<std::string> &failures, const std::string &path,
             const RunResult &ref, Idx iterations, bool converged)
@@ -205,6 +276,52 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
                       ws_oei, rtol, atol);
     compareWorkspaces(report.failures, "sim", fuzz.program, ws_ref,
                       ws_sim, rtol, atol);
+
+    // ---- packed-lane / band-thread cross-check ----------------------
+    //
+    // Every fuzz case also runs the simulator once on the scalar
+    // element path and once with the widest packed lanes plus two
+    // band threads, and the two must agree on every result bit (NaN
+    // as one value class) and every headline SimStats field — the
+    // strongest form of the equivalence the lane kernels promise.
+    {
+        SparsepipeConfig cfg_elem = fuzz.config;
+        cfg_elem.lanes = 1;
+        cfg_elem.band_threads = 1;
+        SparsepipeConfig cfg_lanes = fuzz.config;
+        cfg_lanes.lanes = packed::kMaxLanes;
+        cfg_lanes.band_threads = 2;
+
+        Workspace ws_elem = makeWorkspace(fuzz);
+        const SimStats st_elem =
+            SimulatorExecutor(cfg_elem)
+                .execute(ws_elem, fuzz.iters)
+                .stats;
+        Workspace ws_lanes = makeWorkspace(fuzz);
+        const SimStats st_lanes =
+            SimulatorExecutor(cfg_lanes)
+                .execute(ws_lanes, fuzz.iters)
+                .stats;
+
+        compareWorkspaceBits(report.failures, "sim-lanes",
+                             fuzz.program, ws_elem, ws_lanes);
+        const auto pin = [&](const char *what, auto a, auto b) {
+            if (a == b)
+                return;
+            std::ostringstream ss;
+            ss << "sim-lanes " << what << " drifted: element path "
+               << a << " vs lanes " << b;
+            report.failures.push_back(ss.str());
+        };
+        pin("cycles", st_elem.cycles, st_lanes.cycles);
+        pin("iterations", st_elem.iterations, st_lanes.iterations);
+        pin("converged", st_elem.converged, st_lanes.converged);
+        pin("passes", st_elem.passes, st_lanes.passes);
+        pin("dram_read_bytes", st_elem.dram_read_bytes,
+            st_lanes.dram_read_bytes);
+        pin("dram_write_bytes", st_elem.dram_write_bytes,
+            st_lanes.dram_write_bytes);
+    }
 
     // ---- simulator invariants ---------------------------------------
     const Analysis analysis = analyzeProgram(fuzz.program);

@@ -74,6 +74,26 @@ struct SparsepipeConfig
      */
     bool span_batching = true;
 
+    /**
+     * Packed-SIMD lane width for the functional semiring kernels.
+     * 0 picks the widest backend available (8 on AVX2, 4 portable);
+     * 1 forces the scalar element path; 2..8 are explicit widths.
+     * Like span_batching this is pure implementation strategy:
+     * results and SimStats are bit-identical for every width.
+     */
+    Idx lanes = 0;
+
+    /**
+     * Worker threads stepping independent column bands of one
+     * functional pass concurrently (per-band slabs, merged in fixed
+     * band order).  1 runs serial; values > 1 spawn a per-run band
+     * pool.  Deliberately not auto-scaled: batch sweeps already
+     * saturate the machine across simulations, so band threads are
+     * for latency-sensitive single runs.  Bit-identical for every
+     * count.
+     */
+    int band_threads = 1;
+
     /** @return iso-GPU configuration (the paper's default). */
     static SparsepipeConfig isoGpu()
     {

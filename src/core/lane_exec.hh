@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Packed-lane / band-parallel execution of standalone ops.
+ *
+ * The fused-pair engine (oei_functional.hh) covers the producer ->
+ * chain -> consumer window; everything else in the loop body runs
+ * operator at a time.  execOpLanes() executes those standalone ops
+ * with the same packed semiring kernels and band fan-out, falling
+ * back to the reference executor (return false) for op shapes the
+ * packed kernels do not cover (scalar outputs, mm, fold, dot —
+ * reductions keep one sequential chain by contract).  Results are
+ * bit-identical to RefExecutor::execOp for every policy.
+ */
+
+#ifndef SPARSEPIPE_CORE_LANE_EXEC_HH
+#define SPARSEPIPE_CORE_LANE_EXEC_HH
+
+#include "core/exec_policy.hh"
+#include "lang/workspace.hh"
+
+namespace sparsepipe {
+
+/**
+ * Execute `op` under `policy` if a packed kernel covers it.
+ *
+ * @return true when the op was executed (output committed to the
+ *         workspace); false when the caller must run the reference
+ *         executor instead.  Always false for a disengaged policy.
+ */
+bool execOpLanes(Workspace &ws, const OpNode &op,
+                 const ExecPolicy &policy);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_CORE_LANE_EXEC_HH

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "ref/executor.hh"
+#include "runner/scheduler.hh"
+#include "semiring/packed.hh"
 #include "util/logging.hh"
 
 namespace sparsepipe {
@@ -99,7 +102,7 @@ buildFusedChain(const Program &program, const VxmPairing &pairing)
 DenseVector
 runFusedPair(Workspace &ws, const Program &program,
              const VxmPairing &pairing, const FusedChain &chain,
-             Idx t)
+             Idx t, const ExecPolicy &policy)
 {
     const auto &ops = program.ops();
     const OpNode &prod = ops[pairing.producer_op];
@@ -169,6 +172,8 @@ runFusedPair(Workspace &ws, const Program &program,
         sym[op.output] = static_cast<int>(k) + 1;
     }
     const SliceSrc z_src = bindInput(chain.consumer_input, sym);
+
+    if (!policy.engaged()) {
 
     // One slab per chain slot, reused across slices (max width t).
     std::vector<DenseVector> slabs(chain.ops.size() + 1);
@@ -250,6 +255,176 @@ runFusedPair(Workspace &ws, const Program &program,
                     out2[out_idx], sr_is.multiply(zi, vals[k]));
             }
         }
+    }
+
+    } else {
+
+    // --- Packed / band-parallel path -------------------------------
+    //
+    // Two phases replace the interleaved slice loop:
+    //
+    //  Phase A runs OS + the e-wise chain slice by slice, exactly as
+    //  above but with packed kernels, and materializes the consumer
+    //  input in full (`z_full`).  Bands of whole slices go to worker
+    //  threads; every write (y, committed outputs, z_full) lands in
+    //  the band's own column range, so thread scheduling cannot
+    //  change any result bit.
+    //
+    //  Phase B rewrites the row scatter as a column pull over the
+    //  operand's CSC twin.  The scalar scatter visits rows in
+    //  ascending order, so the adds arriving at output column j are
+    //  ordered by row — exactly the entry order of CSC column j.
+    //  Pulling a column therefore replays the identical add sequence
+    //  (including the annihilates skip, now on z_full[row]), and
+    //  vxmSpan is that pull.  Output columns are independent, so
+    //  bands of columns fan out the same way.
+    const Idx lanes = std::max<Idx>(policy.lanes, 1);
+    const Idx nslices = (n + t - 1) / t;
+    const auto bandCount = [&](Idx work) {
+        if (!policy.parallel() || work <= 1)
+            return Idx{1};
+        return std::min<Idx>(policy.threads, work);
+    };
+    const auto dispatch = [&](Idx nbands, auto &&band_fn) {
+        if (nbands > 1 && policy.parallel()) {
+            runner::parallelIndexed(
+                *policy.pool, static_cast<std::size_t>(nbands),
+                [&](std::size_t b) {
+                    band_fn(static_cast<Idx>(b), nbands);
+                    return 0;
+                });
+        } else {
+            for (Idx b = 0; b < nbands; ++b)
+                band_fn(b, nbands);
+        }
+    };
+
+    DenseVector z_full(static_cast<std::size_t>(n));
+
+    dispatch(bandCount(nslices), [&](Idx band, Idx nbands) {
+        const Idx s_lo = band * nslices / nbands;
+        const Idx s_hi = (band + 1) * nslices / nbands;
+        if (s_lo >= s_hi)
+            return;
+        // Per-band scratch slabs; never shared across threads.
+        std::vector<DenseVector> slabs(chain.ops.size() + 1);
+        for (DenseVector &slab : slabs)
+            slab.resize(static_cast<std::size_t>(std::min<Idx>(t, n)));
+        for (Idx s = s_lo; s < s_hi; ++s) {
+            const Idx c0 = s * t;
+            const Idx c1 = std::min(n, c0 + t);
+            const auto width = static_cast<std::size_t>(c1 - c0);
+
+            // OS stage straight into this band's slice of y.  With a
+            // cached length-ordered schedule the slice's columns run
+            // grouped by similar length (order positions [c0, c1)
+            // still cover exactly this slice's columns).
+            if (policy.os_order) {
+                packed::vxmSpanOrdered(
+                    sr_os, lanes, csc.colPtr().data(),
+                    csc.rowIdx().data(), csc.vals().data(), x.data(),
+                    y.data(), policy.os_order, c0, c1);
+            } else {
+                packed::vxmSpan(sr_os, lanes, csc.colPtr().data(),
+                                csc.rowIdx().data(),
+                                csc.vals().data(), x.data(), y.data(),
+                                c0, c1);
+            }
+            std::memcpy(slabs[0].data(),
+                        y.data() + static_cast<std::size_t>(c0),
+                        width * sizeof(Value));
+
+            const auto operand = [&](const SliceSrc &src) {
+                packed::Operand o;
+                switch (src.kind) {
+                  case SliceSrc::Slot:
+                    o.vec =
+                        slabs[static_cast<std::size_t>(src.slot)]
+                            .data();
+                    break;
+                  case SliceSrc::WsVec:
+                    o.vec = src.base + static_cast<std::size_t>(c0);
+                    break;
+                  case SliceSrc::Scalar:
+                    o.scalar = src.scalar;
+                    break;
+                }
+                return o;
+            };
+            for (std::size_t k = 0; k < chain.ops.size(); ++k) {
+                const OpNode &op = chain.ops[k];
+                DenseVector &out = slabs[k + 1];
+                switch (op.kind) {
+                  case OpKind::EwiseBinary:
+                    packed::ewiseBinarySpan(op.bop, lanes,
+                                            operand(bindings[k][0]),
+                                            operand(bindings[k][1]),
+                                            out.data(), width);
+                    break;
+                  case OpKind::EwiseUnary:
+                    packed::ewiseUnarySpan(op.uop, lanes,
+                                           operand(bindings[k][0]),
+                                           out.data(), width);
+                    break;
+                  case OpKind::Assign:
+                    packed::ewiseUnarySpan(UnaryOp::Identity, lanes,
+                                           operand(bindings[k][0]),
+                                           out.data(), width);
+                    break;
+                  default:
+                    sp_panic("runFusedPair: bad chain op");
+                }
+                if (chain.commit[k]) {
+                    std::memcpy(
+                        committed.at(op.output).data() +
+                            static_cast<std::size_t>(c0),
+                        out.data(), width * sizeof(Value));
+                }
+            }
+
+            Value *z_dst =
+                z_full.data() + static_cast<std::size_t>(c0);
+            switch (z_src.kind) {
+              case SliceSrc::Slot:
+                std::memcpy(
+                    z_dst,
+                    slabs[static_cast<std::size_t>(z_src.slot)]
+                        .data(),
+                    width * sizeof(Value));
+                break;
+              case SliceSrc::WsVec:
+                std::memcpy(z_dst,
+                            z_src.base + static_cast<std::size_t>(c0),
+                            width * sizeof(Value));
+                break;
+              case SliceSrc::Scalar:
+                std::fill(z_dst, z_dst + width, z_src.scalar);
+                break;
+            }
+        }
+    });
+
+    // Phase B: IS as a CSC column pull with disjoint output bands.
+    const CscMatrix &csc2 = ws.csc(cons.inputs[1]);
+    const Idx m = csc2.cols();
+    dispatch(bandCount(m), [&](Idx band, Idx nbands) {
+        const Idx j0 = band * m / nbands;
+        const Idx j1 = (band + 1) * m / nbands;
+        if (j0 >= j1)
+            return;
+        if (policy.is_order) {
+            packed::vxmSpanOrdered(sr_is, lanes, csc2.colPtr().data(),
+                                   csc2.rowIdx().data(),
+                                   csc2.vals().data(), z_full.data(),
+                                   out2.data(), policy.is_order, j0,
+                                   j1);
+        } else {
+            packed::vxmSpan(sr_is, lanes, csc2.colPtr().data(),
+                            csc2.rowIdx().data(), csc2.vals().data(),
+                            z_full.data(), out2.data(), j0, j1);
+        }
+    });
+
     }
 
     // Commit the producer's iteration-frame results.

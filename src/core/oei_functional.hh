@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/exec_policy.hh"
 #include "graph/analysis.hh"
 #include "lang/workspace.hh"
 
@@ -61,10 +62,17 @@ FusedChain buildFusedChain(const Program &program,
  * are stored in the workspace; the consumer's output vector (the
  * next iteration's vxm result) is returned to the caller, which
  * commits it when execution reaches the consumer op.
+ *
+ * The default policy is the element path.  With packed lanes and/or
+ * band threads engaged the pass runs in two phases — OS + e-wise
+ * chain over disjoint column bands, then the IS stage rewritten as
+ * a column pull over the consumer operand's CSC twin — and is
+ * bit-identical to the element path (see DESIGN.md, packed lanes).
  */
 DenseVector runFusedPair(Workspace &ws, const Program &program,
                          const VxmPairing &pairing,
-                         const FusedChain &chain, Idx t);
+                         const FusedChain &chain, Idx t,
+                         const ExecPolicy &policy = {});
 
 } // namespace sparsepipe
 

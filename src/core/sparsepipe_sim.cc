@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <vector>
 
 #include "core/buckets.hh"
+#include "core/lane_exec.hh"
 #include "core/oei_functional.hh"
 #include "core/pass_engine.hh"
+#include "runner/thread_pool.hh"
+#include "semiring/packed.hh"
 #include "mem/dram.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -154,6 +158,17 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     engine.setCancelToken(cancel_);
     RefExecutor ref;
 
+    // Functional-execution parallelism (pure implementation
+    // strategy; every policy is bit-identical to the element path).
+    ExecPolicy pol;
+    pol.lanes = packed::resolveLanes(config_.lanes);
+    std::optional<runner::ThreadPool> band_pool;
+    if (config_.band_threads > 1) {
+        band_pool.emplace(config_.band_threads);
+        pol.threads = config_.band_threads;
+        pol.pool = &*band_pool;
+    }
+
     // Activity spans and phase windows feeding cycle attribution.
     // Windows tile [0, cycles]: every pass / iteration starts where
     // the previous one ended, and the drain window covers the tail.
@@ -246,7 +261,10 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
             t = std::max(t_mem, t_cmp);
             alog.record(obs::Activity::Compute, t0, t_cmp);
             pushWindow(obs::PhaseKind::EwiseIteration, t0, t);
-            ref.runBody(ws);
+            for (const OpNode &op : p.ops()) {
+                if (!execOpLanes(ws, op, pol))
+                    RefExecutor::execOp(ws, op);
+            }
             ref.applyCarries(ws);
             stats.iterations = it + 1;
             if (p.hasConvergence() &&
@@ -269,6 +287,12 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     const Idx bytes_per_nz = static_cast<Idx>(
         std::ceil(config_.bytes_per_nz));
 
+    // The packed kernels can also run a length-ordered column
+    // schedule (ExecPolicy::os_order / is_order, built with
+    // packed::lengthOrder once per run since the matrix is static
+    // across passes).  It is off by default: the step reduction it
+    // buys on skewed matrices is outweighed by the gather-locality
+    // it costs on cache-sensitive hosts — see DESIGN.md section 10.
     for (Idx cs = 0; cs < buckets.steps(); ++cs) {
         for (const BucketSpan &sp : buckets.colSpans(cs)) {
             ++stats.counters.bucket_occupancy[
@@ -338,7 +362,7 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
                 for (std::size_t s : plan.scalar_preamble)
                     RefExecutor::execOp(ws, ops[s]);
                 pending = runFusedPair(ws, p, plan.pairing,
-                                       plan.chain, t_cols);
+                                       plan.chain, t_cols, pol);
                 continue;
             }
             if (run_pass_functional &&
@@ -357,7 +381,8 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
                 pending.reset();
                 continue;
             }
-            RefExecutor::execOp(ws, ops[i]);
+            if (!execOpLanes(ws, ops[i], pol))
+                RefExecutor::execOp(ws, ops[i]);
         }
         ref.applyCarries(ws);
 

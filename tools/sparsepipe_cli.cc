@@ -60,6 +60,8 @@ struct Options
     Idx iters = 0;
     Idx buffer_kb = 0;
     Idx sub_tensor = 0;
+    Idx lanes = -1;        // -1 keeps the config default (auto)
+    int band_threads = -1; // -1 keeps the config default (1)
     double bandwidth = 0.0;
     bool iso_cpu = false;
     bool eager = true;
@@ -133,6 +135,13 @@ usage()
         "  --iters N           loop iterations (default: app "
         "default)\n"
         "  --buffer-kb N       on-chip buffer size\n"
+        "  --lanes N           packed-SIMD lane width (0 = widest "
+        "backend,\n"
+        "                      1 = scalar element path; "
+        "bit-identical)\n"
+        "  --band-threads N    threads stepping column bands of one "
+        "run\n"
+        "                      (bit-identical; default 1)\n"
         "  --sub-tensor N      fixed sub-tensor width (default "
         "auto)\n"
         "  --bandwidth GBS     DRAM bandwidth override\n"
@@ -256,6 +265,18 @@ parse(int argc, char **argv)
         else if (arg == "--sub-tensor")
             opt.sub_tensor = static_cast<Idx>(
                 flagValue(parseI64Flag("--sub-tensor", next())));
+        else if (arg == "--lanes") {
+            opt.lanes = static_cast<Idx>(
+                flagValue(parseI64Flag("--lanes", next())));
+            if (opt.lanes < 0)
+                usageError("--lanes wants a non-negative width");
+        }
+        else if (arg == "--band-threads") {
+            opt.band_threads = static_cast<int>(flagValue(
+                parseI64Flag("--band-threads", next())));
+            if (opt.band_threads < 1)
+                usageError("--band-threads wants a positive count");
+        }
         else if (arg == "--bandwidth")
             opt.bandwidth =
                 flagValue(parseF64Flag("--bandwidth", next()));
@@ -502,6 +523,8 @@ main(int argc, char **argv)
     req.sp.sub_tensor_cols = opt.sub_tensor;
     if (opt.timeline_samples > 0)
         req.sp.bw_timeline_samples = opt.timeline_samples;
+    req.lanes = opt.lanes;
+    req.band_threads = opt.band_threads;
 
     // ---- input matrix -> prepared case -----------------------------
     api::Session &session = api::Session::process();
