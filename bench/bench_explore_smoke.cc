@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end smoke benchmark of the mapping explorer: sweep a small
+ * config space into a dataset, prove resume idempotence, fit the
+ * cost model, and exercise model-pruned autotuning — each stage
+ * asserted, with the measured trajectory written to BENCH_8.json
+ * (bench-trajectory-v1).  Nightly CI uploads the file and the
+ * dataset as artifacts.
+ *
+ * Asserted invariants:
+ *   - the sweep completes every expanded job with zero failures
+ *   - an immediate resume re-runs zero jobs and appends zero rows
+ *   - the fitted model's held-out median relative cycle error stays
+ *     under the 25%% floor (measured ~0.5%% in practice)
+ *   - model pruning probes <= half the candidates and still lands
+ *     within 5%% of the exhaustive best configuration
+ *
+ * Usage: bench_explore_smoke [--json BENCH_8.json]
+ *                            [--out explore_smoke.jsonl]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "explore/cost_model.hh"
+#include "explore/dataset.hh"
+#include "explore/driver.hh"
+#include "explore/spec.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe {
+namespace {
+
+using namespace sparsepipe::explore;
+
+/** Small but fit-worthy space: 2 apps x 24 configs = 48 jobs. */
+constexpr const char *kSmokeSpec =
+    "space explore-smoke\n"
+    "apps pr bfs\n"
+    "datasets gy\n"
+    "iters 2\n"
+    "axis buffer_kb list 256 768 1536\n"
+    "axis bandwidth_gb_s log-range 63 504 2\n"
+    "axis reorder list none vanilla\n";
+
+double
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+int
+run(const std::string &json_path, const std::string &dataset_path)
+{
+    StatusOr<ExploreSpec> spec = parseExploreSpec(kSmokeSpec);
+    if (!spec.ok())
+        sp_fatal("smoke spec failed to parse: %s",
+                 spec.status().toString().c_str());
+
+    // Phase 1: fresh sweep must run everything and fail nothing.
+    SweepOptions opt;
+    opt.dataset_path = dataset_path;
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<SweepSummary> first = runSweep(spec.value(), opt);
+    const double sweep_ms = elapsedMs(t0);
+    if (!first.ok())
+        sp_fatal("sweep failed: %s",
+                 first.status().toString().c_str());
+    const SweepSummary &s1 = first.value();
+    if (s1.failed != 0 || s1.ran != s1.total_jobs ||
+        s1.rows_appended != s1.total_jobs)
+        sp_fatal("sweep incomplete: total=%zu ran=%zu failed=%zu "
+                 "rows=%zu",
+                 s1.total_jobs, s1.ran, s1.failed, s1.rows_appended);
+    std::printf("sweep    : %zu jobs in %.1f ms\n", s1.ran, sweep_ms);
+
+    // Phase 2: resuming a finished sweep re-runs nothing.
+    opt.resume = true;
+    t0 = std::chrono::steady_clock::now();
+    StatusOr<SweepSummary> second = runSweep(spec.value(), opt);
+    const double resume_ms = elapsedMs(t0);
+    if (!second.ok())
+        sp_fatal("resume failed: %s",
+                 second.status().toString().c_str());
+    const SweepSummary &s2 = second.value();
+    if (s2.ran != 0 || s2.rows_appended != 0 ||
+        s2.skipped != s1.total_jobs)
+        sp_fatal("resume recomputed work: ran=%zu rows=%zu "
+                 "skipped=%zu",
+                 s2.ran, s2.rows_appended, s2.skipped);
+    std::printf("resume   : 0 recomputed (%zu skipped) in %.1f ms\n",
+                s2.skipped, resume_ms);
+
+    // Phase 3: the fitted model must clear the accuracy floor.
+    StatusOr<std::vector<DatasetRow>> rows =
+        readDataset(dataset_path);
+    if (!rows.ok())
+        sp_fatal("dataset unreadable: %s",
+                 rows.status().toString().c_str());
+    t0 = std::chrono::steady_clock::now();
+    StatusOr<CostModel> model = fitCostModel(rows.value());
+    const double fit_ms = elapsedMs(t0);
+    if (!model.ok())
+        sp_fatal("fit failed: %s",
+                 model.status().toString().c_str());
+    const CostModel &m = model.value();
+    constexpr double kErrFloor = 0.25;
+    if (m.median_rel_err_holdout > kErrFloor)
+        sp_fatal("held-out median relative error %.4f exceeds %.2f",
+                 m.median_rel_err_holdout, kErrFloor);
+    std::printf("fit      : holdout median rel err %.4f "
+                "(train %.4f) in %.1f ms\n",
+                m.median_rel_err_holdout, m.median_rel_err_train,
+                fit_ms);
+
+    // Phase 4: model-pruned probing.  Every candidate's measured
+    // cycles is already in the dataset, so the probe reduction and
+    // chosen-config quality are assessed exactly.
+    const std::vector<ExploreJob> jobs = expandSpec(spec.value());
+    std::vector<DatasetRow> by_job;
+    for (const ExploreJob &job : jobs) {
+        const std::string key = jobKey(job);
+        for (const DatasetRow &row : rows.value())
+            if (row.key == key) {
+                by_job.push_back(row);
+                break;
+            }
+    }
+    if (by_job.size() != jobs.size())
+        sp_fatal("dataset lost rows: %zu of %zu", by_job.size(),
+                 jobs.size());
+    const std::vector<std::size_t> probe =
+        pruneProbeSet(m, by_job, 0.4);
+    if (probe.size() * 2 > jobs.size())
+        sp_fatal("pruning kept %zu of %zu candidates (want <= half)",
+                 probe.size(), jobs.size());
+    double best_all = 0.0, best_pruned = 0.0;
+    for (const DatasetRow &row : by_job)
+        if (best_all == 0.0 || row.result.cycles < best_all)
+            best_all = row.result.cycles;
+    for (std::size_t index : probe) {
+        const double c = by_job[index].result.cycles;
+        if (best_pruned == 0.0 || c < best_pruned)
+            best_pruned = c;
+    }
+    const double quality = best_pruned / best_all;
+    if (quality > 1.05)
+        sp_fatal("pruned choice %.0f cycles is %.1f%% worse than the "
+                 "exhaustive best %.0f",
+                 best_pruned, (quality - 1.0) * 100.0, best_all);
+    std::printf("prune    : probed %zu of %zu, choice within %.2f%% "
+                "of exhaustive best\n",
+                probe.size(), jobs.size(), (quality - 1.0) * 100.0);
+
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f)
+        sp_fatal("cannot write %s", json_path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_explore_smoke\",\n");
+    std::fprintf(f, "  \"schema\": \"bench-trajectory-v1\",\n");
+    std::fprintf(f, "  \"measured\": {\n");
+    std::fprintf(f, "    \"sweep.jobs\": %zu,\n", s1.ran);
+    std::fprintf(f, "    \"sweep.ms\": %.1f,\n", sweep_ms);
+    std::fprintf(f, "    \"resume.recomputed\": %zu,\n", s2.ran);
+    std::fprintf(f, "    \"resume.ms\": %.1f,\n", resume_ms);
+    std::fprintf(f, "    \"fit.ms\": %.1f,\n", fit_ms);
+    std::fprintf(f, "    \"fit.median_rel_err_train\": %.6f,\n",
+                 m.median_rel_err_train);
+    std::fprintf(f, "    \"fit.median_rel_err_holdout\": %.6f,\n",
+                 m.median_rel_err_holdout);
+    std::fprintf(f, "    \"prune.candidates\": %zu,\n", jobs.size());
+    std::fprintf(f, "    \"prune.probed\": %zu,\n", probe.size());
+    std::fprintf(f, "    \"prune.quality_ratio\": %.6f\n", quality);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace sparsepipe
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_8.json";
+    std::string dataset_path = "explore_smoke.jsonl";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg == "--out" && i + 1 < argc)
+            dataset_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_explore_smoke [--json PATH] "
+                         "[--out PATH]\n");
+            return 2;
+        }
+    }
+    return sparsepipe::run(json_path, dataset_path);
+}

@@ -1,5 +1,6 @@
 #include "api/session.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "prep/blocked.hh"
@@ -176,8 +177,13 @@ Session::run(const RunRequest &req, const PreparedCase &pc)
         report.app = req.app;
         report.dataset = req.dataset;
         report.nnz = pc.nnz;
+        const auto t0 = std::chrono::steady_clock::now();
         report.stats = sim.run(
             ws, req.iters > 0 ? req.iters : pc.app.default_iters);
+        report.host_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         return report;
     } catch (...) {
         // SpError (cancellation, deadline) keeps its status;

@@ -121,6 +121,13 @@ struct RunReport
     std::string dataset;
     Idx nnz = 0;
     SimStats stats;
+    /**
+     * Host wall-clock spent inside the simulator (binding and
+     * preprocessing excluded).  Machine-dependent — never part of a
+     * byte-compared artifact; the explore dataset records it so the
+     * cost of producing each row is queryable.
+     */
+    double host_ms = 0.0;
 };
 
 /**

@@ -1,0 +1,357 @@
+#include "explore/dataset.hh"
+
+#include <cstdlib>
+#include <utility>
+
+#include "energy/energy_model.hh"
+#include "obs/json.hh"
+
+namespace sparsepipe::explore {
+
+namespace {
+
+using obs::jsonEscape;
+using obs::jsonNumber;
+
+/** `"key":"escaped"` fragment. */
+std::string
+field(const std::string &key, const std::string &value)
+{
+    return "\"" + key + "\":\"" + jsonEscape(value) + "\"";
+}
+
+/** `"key":number` fragment. */
+std::string
+field(const std::string &key, double value)
+{
+    return "\"" + key + "\":" + jsonNumber(value);
+}
+
+} // namespace
+
+DatasetRow
+makeRow(const ExploreJob &job, const MatrixFeatures &mf,
+        const api::RunReport &report)
+{
+    DatasetRow row;
+    row.key = jobKey(job);
+    row.hash = jobHash(job);
+    row.subset = job.subset;
+    row.app = job.app;
+    row.dataset = job.dataset;
+    row.iters = job.iters;
+    row.seed = std::to_string(job.seed);
+    // Every registry axis appears in the row: the swept value when
+    // the job assigns one, the RunRequest default otherwise.
+    for (const AxisDef &def : axisRegistry()) {
+        std::string value = assignedValue(job, def.name);
+        if (value.empty())
+            value = def.default_value;
+        if (def.type == AxisType::Enum)
+            row.config_enum[def.name] = value;
+        else
+            row.config_num[def.name] =
+                std::strtod(value.c_str(), nullptr);
+    }
+    row.features = mf;
+
+    const SimStats &s = report.stats;
+    row.result.cycles = static_cast<double>(s.cycles);
+    row.result.iterations = static_cast<double>(s.iterations);
+    row.result.converged = s.converged ? 1.0 : 0.0;
+    row.result.compute_cycles =
+        static_cast<double>(s.attribution.compute);
+    row.result.read_stall_cycles =
+        static_cast<double>(s.attribution.dram_read_stall);
+    row.result.write_drain_cycles =
+        static_cast<double>(s.attribution.dram_write_drain);
+    row.result.swap_wait_cycles =
+        static_cast<double>(s.attribution.buffer_swap_wait);
+    row.result.dram_read_bytes =
+        static_cast<double>(s.dram_read_bytes);
+    row.result.dram_write_bytes =
+        static_cast<double>(s.dram_write_bytes);
+    row.result.bw_utilization = s.bw_utilization;
+    const EnergyBreakdown energy = sparsepipeEnergy(s);
+    row.result.energy_compute_pj = energy.compute_pj;
+    row.result.energy_memory_pj = energy.memory_pj;
+    row.result.energy_cache_pj = energy.cache_pj;
+    row.result.host_ms = report.host_ms;
+    return row;
+}
+
+std::string
+rowToJsonLine(const DatasetRow &row)
+{
+    std::string line = "{";
+    line += field("schema", std::string(kDatasetSchema));
+    line += "," + field("hash", row.hash);
+    line += "," + field("key", row.key);
+    line += "," + field("subset", row.subset);
+    line += "," + field("app", row.app);
+    line += "," + field("dataset", row.dataset);
+    line += "," + field("iters", static_cast<double>(row.iters));
+    line += "," + field("seed", row.seed);
+
+    line += ",\"config\":{";
+    bool first = true;
+    // Registry order, enums and numbers interleaved as declared.
+    for (const AxisDef &def : axisRegistry()) {
+        if (!first)
+            line += ",";
+        first = false;
+        if (def.type == AxisType::Enum)
+            line += field(def.name, row.configEnum(def.name));
+        else
+            line += field(def.name, row.configNum(def.name, 0.0));
+    }
+    line += "}";
+
+    const MatrixFeatures &f = row.features;
+    line += ",\"features\":{";
+    line += field("rows", static_cast<double>(f.rows));
+    line += "," + field("cols", static_cast<double>(f.cols));
+    line += "," + field("nnz", static_cast<double>(f.nnz));
+    line += "," + field("row_mean", f.row_mean);
+    line += "," + field("row_cv", f.row_cv);
+    line += "," + field("bandwidth_est", f.bandwidth_est);
+    line += "," + field("density", f.density);
+    line += "}";
+
+    const RowResult &r = row.result;
+    line += ",\"result\":{";
+    line += field("cycles", r.cycles);
+    line += "," + field("iterations", r.iterations);
+    line += "," + field("converged", r.converged);
+    line += "," + field("compute_cycles", r.compute_cycles);
+    line += "," + field("read_stall_cycles", r.read_stall_cycles);
+    line += "," + field("write_drain_cycles", r.write_drain_cycles);
+    line += "," + field("swap_wait_cycles", r.swap_wait_cycles);
+    line += "," + field("dram_read_bytes", r.dram_read_bytes);
+    line += "," + field("dram_write_bytes", r.dram_write_bytes);
+    line += "," + field("bw_utilization", r.bw_utilization);
+    line += "," + field("energy_compute_pj", r.energy_compute_pj);
+    line += "," + field("energy_memory_pj", r.energy_memory_pj);
+    line += "," + field("energy_cache_pj", r.energy_cache_pj);
+    line += "," + field("host_ms", r.host_ms);
+    line += "}}";
+    return line;
+}
+
+StatusOr<DatasetRow>
+rowFromJsonLine(const std::string &line)
+{
+    obs::JsonValue root;
+    std::string error;
+    if (!obs::parseJson(line, root, &error))
+        return invalidInput("dataset row is not JSON: %s",
+                            error.c_str());
+    if (!root.isObject())
+        return invalidInput("dataset row is not a JSON object");
+    const std::string schema = root.stringOr("schema");
+    if (schema != kDatasetSchema)
+        return invalidInput(
+            "dataset row schema '%s' is not '%s'", schema.c_str(),
+            kDatasetSchema);
+
+    DatasetRow row;
+    row.key = root.stringOr("key");
+    row.hash = root.stringOr("hash");
+    row.subset = root.stringOr("subset");
+    row.app = root.stringOr("app");
+    row.dataset = root.stringOr("dataset");
+    row.iters = static_cast<Idx>(root.numberOr("iters", 0));
+    row.seed = root.stringOr("seed");
+    if (row.key.empty() || row.app.empty() || row.dataset.empty())
+        return invalidInput(
+            "dataset row lacks key/app/dataset identity");
+
+    const obs::JsonValue *config = root.find("config");
+    if (!config || !config->isObject())
+        return invalidInput("dataset row lacks a config object");
+    for (const AxisDef &def : axisRegistry()) {
+        if (def.type == AxisType::Enum) {
+            std::string v = config->stringOr(def.name);
+            row.config_enum[def.name] =
+                v.empty() ? def.default_value : v;
+        } else {
+            row.config_num[def.name] = config->numberOr(
+                def.name,
+                std::strtod(def.default_value.c_str(), nullptr));
+        }
+    }
+
+    const obs::JsonValue *features = root.find("features");
+    if (!features || !features->isObject())
+        return invalidInput("dataset row lacks a features object");
+    MatrixFeatures &f = row.features;
+    f.rows = static_cast<Idx>(features->numberOr("rows", 0));
+    f.cols = static_cast<Idx>(features->numberOr("cols", 0));
+    f.nnz = static_cast<Idx>(features->numberOr("nnz", 0));
+    f.row_mean = features->numberOr("row_mean", 0);
+    f.row_cv = features->numberOr("row_cv", 0);
+    f.bandwidth_est = features->numberOr("bandwidth_est", 0);
+    f.density = features->numberOr("density", 0);
+
+    const obs::JsonValue *result = root.find("result");
+    if (!result || !result->isObject())
+        return invalidInput("dataset row lacks a result object");
+    RowResult &r = row.result;
+    r.cycles = result->numberOr("cycles", 0);
+    if (r.cycles <= 0.0)
+        return invalidInput("dataset row has non-positive cycles");
+    r.iterations = result->numberOr("iterations", 0);
+    r.converged = result->numberOr("converged", 0);
+    r.compute_cycles = result->numberOr("compute_cycles", 0);
+    r.read_stall_cycles = result->numberOr("read_stall_cycles", 0);
+    r.write_drain_cycles = result->numberOr("write_drain_cycles", 0);
+    r.swap_wait_cycles = result->numberOr("swap_wait_cycles", 0);
+    r.dram_read_bytes = result->numberOr("dram_read_bytes", 0);
+    r.dram_write_bytes = result->numberOr("dram_write_bytes", 0);
+    r.bw_utilization = result->numberOr("bw_utilization", 0);
+    r.energy_compute_pj = result->numberOr("energy_compute_pj", 0);
+    r.energy_memory_pj = result->numberOr("energy_memory_pj", 0);
+    r.energy_cache_pj = result->numberOr("energy_cache_pj", 0);
+    r.host_ms = result->numberOr("host_ms", 0);
+    return row;
+}
+
+Status
+DatasetWriter::open(const std::string &path, bool append)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.open(path, append ? std::ios::out | std::ios::app
+                           : std::ios::out | std::ios::trunc);
+    if (!out_)
+        return ioError("cannot open dataset '%s' for writing",
+                       path.c_str());
+    return okStatus();
+}
+
+Status
+DatasetWriter::appendRow(const DatasetRow &row)
+{
+    const std::string line = rowToJsonLine(row);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.is_open())
+        return ioError("dataset writer is not open");
+    out_ << line << '\n';
+    out_.flush();
+    if (!out_)
+        return ioError("write error appending dataset row %s",
+                       row.hash.c_str());
+    ++rows_;
+    return okStatus();
+}
+
+std::size_t
+DatasetWriter::rowsAppended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_;
+}
+
+StatusOr<std::vector<DatasetRow>>
+readDataset(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return ioError("cannot open dataset '%s'", path.c_str());
+    std::vector<DatasetRow> rows;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        StatusOr<DatasetRow> row = rowFromJsonLine(line);
+        if (!row.ok())
+            return Status(row.status()).withContext(
+                "dataset '" + path + "' line " +
+                std::to_string(lineno));
+        rows.push_back(std::move(row).value());
+    }
+    if (in.bad())
+        return ioError("read error on dataset '%s'", path.c_str());
+    return rows;
+}
+
+StatusOr<std::set<std::string>>
+readDatasetKeys(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        // Nothing written yet: an empty reconciliation set, not an
+        // error — the fresh-start and resume paths share this call.
+        return std::set<std::string>{};
+    std::set<std::string> keys;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        // A torn final line (SIGKILL mid-append) parses as malformed
+        // JSON; treat it as absent so the job reruns.
+        StatusOr<DatasetRow> row = rowFromJsonLine(line);
+        if (row.ok())
+            keys.insert(row.value().key);
+    }
+    if (in.bad())
+        return ioError("read error on dataset '%s'", path.c_str());
+    return keys;
+}
+
+Status
+exportCsv(const std::vector<DatasetRow> &rows,
+          const std::string &path)
+{
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out)
+        return ioError("cannot open CSV '%s' for writing",
+                       path.c_str());
+    out << "hash,subset,app,dataset,iters,seed";
+    for (const AxisDef &def : axisRegistry())
+        out << ',' << def.name;
+    out << ",rows,cols,nnz,row_mean,row_cv,bandwidth_est,density"
+        << ",cycles,iterations,converged,compute_cycles"
+        << ",read_stall_cycles,write_drain_cycles,swap_wait_cycles"
+        << ",dram_read_bytes,dram_write_bytes,bw_utilization"
+        << ",energy_compute_pj,energy_memory_pj,energy_cache_pj"
+        << ",host_ms\n";
+    for (const DatasetRow &row : rows) {
+        out << row.hash << ',' << row.subset << ',' << row.app << ','
+            << row.dataset << ',' << row.iters << ',' << row.seed;
+        for (const AxisDef &def : axisRegistry()) {
+            if (def.type == AxisType::Enum)
+                out << ',' << row.configEnum(def.name);
+            else
+                out << ','
+                    << jsonNumber(row.configNum(def.name, 0.0));
+        }
+        const MatrixFeatures &f = row.features;
+        out << ',' << f.rows << ',' << f.cols << ',' << f.nnz << ','
+            << jsonNumber(f.row_mean) << ',' << jsonNumber(f.row_cv)
+            << ',' << jsonNumber(f.bandwidth_est) << ','
+            << jsonNumber(f.density);
+        const RowResult &r = row.result;
+        out << ',' << jsonNumber(r.cycles) << ','
+            << jsonNumber(r.iterations) << ','
+            << jsonNumber(r.converged) << ','
+            << jsonNumber(r.compute_cycles) << ','
+            << jsonNumber(r.read_stall_cycles) << ','
+            << jsonNumber(r.write_drain_cycles) << ','
+            << jsonNumber(r.swap_wait_cycles) << ','
+            << jsonNumber(r.dram_read_bytes) << ','
+            << jsonNumber(r.dram_write_bytes) << ','
+            << jsonNumber(r.bw_utilization) << ','
+            << jsonNumber(r.energy_compute_pj) << ','
+            << jsonNumber(r.energy_memory_pj) << ','
+            << jsonNumber(r.energy_cache_pj) << ','
+            << jsonNumber(r.host_ms) << '\n';
+    }
+    out.flush();
+    if (!out)
+        return ioError("write error on CSV '%s'", path.c_str());
+    return okStatus();
+}
+
+} // namespace sparsepipe::explore

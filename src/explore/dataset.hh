@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The explore performance dataset: an append-only JSONL file of
+ * (config, matrix features, cycles, stalls, energy) rows, in the
+ * spirit of Pyxis's published accelerator datasets.
+ *
+ * One JSON object per line, schema `explore-v1`:
+ *
+ *   {"schema":"explore-v1","hash":"...","key":"app=pr ...",
+ *    "subset":"","app":"pr","dataset":"gy","iters":2,"seed":"...",
+ *    "config":{"iso":"gpu","buffer_kb":1536,...},
+ *    "features":{"rows":...,"nnz":...,"row_cv":...,...},
+ *    "result":{"cycles":...,"read_stall_cycles":...,
+ *              "energy_memory_pj":...,"host_ms":...}}
+ *
+ * `config` records *every* registry axis (defaults filled in for
+ * unswept ones) so a row is interpretable without the spec that
+ * produced it; `key`/`hash` are the canonical job identity the sweep
+ * journal uses, which is what makes resumed sweeps exactly-once at
+ * the row level.  Rows are flushed as they complete, so a killed
+ * sweep leaves a valid-prefix file behind.
+ *
+ * Everything here returns Status: a dataset file is user input (it
+ * may be hand-edited, truncated by a crash, or produced by a newer
+ * schema) and must never take the process down.
+ */
+
+#ifndef SPARSEPIPE_EXPLORE_DATASET_HH
+#define SPARSEPIPE_EXPLORE_DATASET_HH
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/session.hh"
+#include "explore/spec.hh"
+#include "prep/features.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::explore {
+
+/** Schema tag every row carries. */
+inline constexpr const char *kDatasetSchema = "explore-v1";
+
+/** Simulated outcome fields of one row. */
+struct RowResult
+{
+    double cycles = 0.0;
+    double iterations = 0.0;
+    double converged = 0.0;
+    /** Exact cycle partition (sums to cycles). */
+    double compute_cycles = 0.0;
+    double read_stall_cycles = 0.0;
+    double write_drain_cycles = 0.0;
+    double swap_wait_cycles = 0.0;
+    double dram_read_bytes = 0.0;
+    double dram_write_bytes = 0.0;
+    double bw_utilization = 0.0;
+    /** Event-count energy split (energy_model.hh). */
+    double energy_compute_pj = 0.0;
+    double energy_memory_pj = 0.0;
+    double energy_cache_pj = 0.0;
+    /** Host cost of producing the row (machine-dependent). */
+    double host_ms = 0.0;
+};
+
+/** One dataset row. */
+struct DatasetRow
+{
+    std::string key;
+    std::string hash;
+    std::string subset;
+    std::string app;
+    std::string dataset;
+    Idx iters = 0;
+    /** Decimal string: a u64 seed does not fit a JSON double. */
+    std::string seed;
+    /** Numeric axes (Int / Float / Bool as 0/1). */
+    std::map<std::string, double> config_num;
+    /** Enum axes (iso, reorder). */
+    std::map<std::string, std::string> config_enum;
+    MatrixFeatures features;
+    RowResult result;
+
+    /** @return the numeric axis value, default-filled or swept. */
+    double configNum(const std::string &axis, double fallback) const
+    {
+        auto it = config_num.find(axis);
+        return it != config_num.end() ? it->second : fallback;
+    }
+    /** @return the enum axis value ("" when absent). */
+    std::string configEnum(const std::string &axis) const
+    {
+        auto it = config_enum.find(axis);
+        return it != config_enum.end() ? it->second : std::string();
+    }
+};
+
+/**
+ * Assemble a row from a finished job: job identity + default-filled
+ * config + operand features + simulated stats and energy.
+ */
+DatasetRow makeRow(const ExploreJob &job, const MatrixFeatures &mf,
+                   const api::RunReport &report);
+
+/** Serialize one row as a single JSON line (no trailing newline). */
+std::string rowToJsonLine(const DatasetRow &row);
+
+/**
+ * Parse one JSON line.  InvalidInput on malformed JSON, a missing
+ * required field, or a schema tag other than explore-v1.
+ */
+StatusOr<DatasetRow> rowFromJsonLine(const std::string &line);
+
+/**
+ * Append-only row sink.  Thread-safe; each row is serialized,
+ * written, and flushed under one mutex so concurrent sweep workers
+ * interleave whole lines only.
+ */
+class DatasetWriter
+{
+  public:
+    DatasetWriter() = default;
+    DatasetWriter(const DatasetWriter &) = delete;
+    DatasetWriter &operator=(const DatasetWriter &) = delete;
+
+    /**
+     * Open the dataset at `path`: truncate, or append when `append`
+     * (the resume path).  IoError when unwritable.
+     */
+    Status open(const std::string &path, bool append);
+
+    /** Serialize, append, flush.  IoError on a failed write. */
+    Status appendRow(const DatasetRow &row);
+
+    /** Rows appended by this writer (not pre-existing ones). */
+    std::size_t rowsAppended() const;
+
+  private:
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+    mutable std::mutex mutex_;
+};
+
+/** Read a whole dataset file; blank lines are skipped. */
+StatusOr<std::vector<DatasetRow>>
+readDataset(const std::string &path);
+
+/**
+ * Read only the canonical keys of a dataset file (the resume
+ * reconciliation set).  A missing file yields an empty set — there
+ * is simply nothing to reconcile.
+ */
+StatusOr<std::set<std::string>>
+readDatasetKeys(const std::string &path);
+
+/**
+ * Flatten rows to CSV (fixed header: identity, every registry axis,
+ * features, results) for spreadsheet / pandas consumption.
+ */
+Status exportCsv(const std::vector<DatasetRow> &rows,
+                 const std::string &path);
+
+} // namespace sparsepipe::explore
+
+#endif // SPARSEPIPE_EXPLORE_DATASET_HH

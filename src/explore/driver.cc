@@ -1,0 +1,150 @@
+#include "explore/driver.hh"
+
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "api/session.hh"
+#include "prep/features.hh"
+#include "runner/journal.hh"
+#include "runner/keyed_cache.hh"
+#include "runner/scheduler.hh"
+#include "runner/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace sparsepipe::explore {
+
+namespace {
+
+/** Features depend on the operand, not the hardware config, so one
+ *  extraction serves every job sharing (app, dataset, reorder, seed). */
+using FeatureKey =
+    std::tuple<std::string, std::string, ReorderKind, std::uint64_t>;
+
+} // namespace
+
+StatusOr<SweepSummary>
+runSweep(const ExploreSpec &spec, const SweepOptions &options)
+{
+    if (options.dataset_path.empty())
+        return invalidInput("runSweep: no dataset path given");
+    const std::string journal_path =
+        options.journal_path.empty()
+            ? options.dataset_path + ".journal"
+            : options.journal_path;
+
+    const std::vector<ExploreJob> jobs = expandSpec(spec);
+    SweepSummary summary;
+    summary.total_jobs = jobs.size();
+
+    // The dataset rows are the resumption ground truth (see the file
+    // comment in driver.hh); the journal is reconciled against them.
+    std::set<std::string> existing_keys;
+    if (options.resume) {
+        StatusOr<std::set<std::string>> keys =
+            readDatasetKeys(options.dataset_path);
+        if (!keys.ok())
+            return Status(keys.status()).withContext("resume reconciliation");
+        existing_keys = std::move(keys).value();
+    }
+
+    runner::SweepJournal journal;
+    if (Status status = journal.init(journal_path, options.resume);
+        !status.ok())
+        return status;
+
+    DatasetWriter writer;
+    if (Status status =
+            writer.open(options.dataset_path, options.resume);
+        !status.ok())
+        return status;
+
+    // Partition the jobs: a job whose row survived is done no matter
+    // what the journal says; a journal-ok job whose row was lost must
+    // re-run.
+    std::vector<const ExploreJob *> to_run;
+    for (const ExploreJob &job : jobs) {
+        const std::string key = jobKey(job);
+        if (existing_keys.count(key)) {
+            ++summary.skipped;
+            if (!journal.completed(key)) {
+                journal.recordOk(key);
+                ++summary.journal_repaired;
+            }
+            continue;
+        }
+        to_run.push_back(&job);
+    }
+
+    api::Session &session = api::Session::process();
+    runner::KeyedCache<FeatureKey, MatrixFeatures> feature_cache;
+
+    runner::ThreadPool pool(options.jobs);
+    runner::SweepScheduler scheduler(pool);
+    for (const ExploreJob *job : to_run) {
+        scheduler.add(jobHash(*job), [&, job]() -> Status {
+            CancelToken token(options.cancel);
+            if (options.timeout_ms > 0)
+                token.setDeadlineAfterMs(options.timeout_ms);
+
+            const std::string key = jobKey(*job);
+            api::RunRequest req = requestFor(*job);
+            req.cancel = &token;
+
+            // Pin the prepared operand across the run and reuse it
+            // for feature extraction, so features and simulation see
+            // the same artifact even under bounded caches.
+            StatusOr<api::RunReport> report = [&] {
+                try {
+                    auto pinned = session.preparedShared(
+                        req.app, req.dataset, req.reorder, req.seed);
+                    return session.run(req, *pinned);
+                } catch (...) {
+                    return StatusOr<api::RunReport>(
+                        statusFromCurrentException());
+                }
+            }();
+            if (!report.ok()) {
+                journal.recordFail(key, report.status().code());
+                return report.status();
+            }
+
+            auto features = feature_cache.getShared(
+                FeatureKey(req.app, req.dataset, req.reorder,
+                           req.seed),
+                [&] {
+                    auto pinned = session.preparedShared(
+                        req.app, req.dataset, req.reorder, req.seed);
+                    return computeMatrixFeatures(pinned->csr);
+                });
+
+            const DatasetRow row =
+                makeRow(*job, *features, report.value());
+            // Row first, journal second: a kill between the two
+            // leaves a row the next resume repairs the journal from,
+            // never a journal claim without its row.
+            if (Status status = writer.appendRow(row); !status.ok()) {
+                journal.recordFail(key, status.code());
+                return status;
+            }
+            journal.recordOk(key);
+            return okStatus();
+        });
+    }
+    summary.ran = to_run.size();
+
+    const std::vector<runner::JobOutcome> outcomes = scheduler.run();
+    for (const runner::JobOutcome &outcome : outcomes)
+        if (!outcome.ok())
+            ++summary.failed;
+    summary.rows_appended = writer.rowsAppended();
+
+    if (options.cancel && options.cancel->cancelled())
+        return Status(StatusCode::Cancelled,
+                      "sweep cancelled (" +
+                          std::to_string(summary.rows_appended) +
+                          " rows appended before the stop)");
+    return summary;
+}
+
+} // namespace sparsepipe::explore

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The explore sweep driver: expand a spec into jobs, run them on the
+ * resumable batch runner, and harvest one dataset row per success.
+ *
+ * Resumption is exactly-once at the *row* level.  Two files record
+ * progress — the journal (one `ok`/`fail` line per finished job) and
+ * the dataset (one JSON row per successful job) — and a SIGKILL can
+ * land between the two appends, tearing them apart.  On resume the
+ * driver reconciles against the dataset, which is the artifact that
+ * matters:
+ *
+ *   - row present, journal ok      -> skip (the normal case)
+ *   - row present, journal silent  -> skip and repair the journal
+ *                                     (kill hit between row append
+ *                                     and journal record)
+ *   - row absent,  journal ok      -> re-run (kill ate the row; the
+ *                                     journal alone is not proof)
+ *   - neither                      -> run
+ *
+ * So an interrupted sweep re-run with resume=true completes the
+ * remainder, and a *second* resume of a completed sweep runs zero
+ * jobs and appends zero rows — the invariant the nightly CI job
+ * asserts.
+ *
+ * Failures are fault-isolated per job (Status in the journal + the
+ * summary), and every run carries a CancelToken chained to the
+ * caller's root token so Ctrl-C / per-job deadlines unwind cleanly
+ * mid-sweep.
+ */
+
+#ifndef SPARSEPIPE_EXPLORE_DRIVER_HH
+#define SPARSEPIPE_EXPLORE_DRIVER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "explore/dataset.hh"
+#include "explore/spec.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::explore {
+
+/** Knobs of one sweep invocation. */
+struct SweepOptions
+{
+    /** Dataset JSONL path (appended to under resume). */
+    std::string dataset_path;
+    /** Journal path; empty derives `dataset_path + ".journal"`. */
+    std::string journal_path;
+    /** Reconcile against existing journal + dataset rows. */
+    bool resume = false;
+    /** Worker threads; <= 0 picks the hardware default. */
+    int jobs = 0;
+    /** Per-job deadline in ms (0 = none). */
+    long long timeout_ms = 0;
+    /** Optional root token (Ctrl-C); may be null. */
+    const CancelToken *cancel = nullptr;
+};
+
+/** What a sweep did, for reporting and CI assertions. */
+struct SweepSummary
+{
+    /** Expanded job count (after dedup). */
+    std::size_t total_jobs = 0;
+    /** Jobs skipped because their row already existed. */
+    std::size_t skipped = 0;
+    /** Jobs actually simulated this run. */
+    std::size_t ran = 0;
+    /** Subset of `ran` that failed (Status recorded). */
+    std::size_t failed = 0;
+    /** Rows appended to the dataset this run. */
+    std::size_t rows_appended = 0;
+    /** Journal ok-records repaired from surviving rows. */
+    std::size_t journal_repaired = 0;
+};
+
+/**
+ * Run every job of `spec` through api::Session::process(), appending
+ * one explore-v1 row per success.  Individual job failures are
+ * isolated (counted in the summary, recorded in the journal); the
+ * returned Status is non-ok only for environment-level problems
+ * (unwritable dataset / journal, unreadable resume state) or when
+ * the root token cancelled the sweep.
+ */
+StatusOr<SweepSummary> runSweep(const ExploreSpec &spec,
+                                const SweepOptions &options);
+
+} // namespace sparsepipe::explore
+
+#endif // SPARSEPIPE_EXPLORE_DRIVER_HH

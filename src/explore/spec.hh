@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Declarative config-space specs for the mapping explorer.
+ *
+ * A spec is a small line-oriented text format describing a region of
+ * the SparsepipeConfig design space (TeAAL-style: the space is data,
+ * not code).  Example:
+ *
+ *   # sweep the paper's buffer / bandwidth plane
+ *   space buffer-bw-plane
+ *   apps pr bfs
+ *   datasets gy g2
+ *   iters 2
+ *   axis buffer_kb list 256 512 1024 1536
+ *   axis bandwidth_gb_s log-range 63 504 2
+ *   axis reorder list none vanilla locality
+ *   subset narrow buffer_kb=256
+ *
+ * Directives:
+ *
+ *   space NAME            spec name (must be the first directive)
+ *   apps NAME...          Table III app keys
+ *   datasets KEY...       Table I dataset keys
+ *   iters N               loop iterations per run (0 = app default)
+ *   seed N                generator seed (decimal or 0x hex)
+ *   axis NAME list V...   explicit values
+ *   axis NAME range LO HI STEP       arithmetic ladder (int axes)
+ *   axis NAME log-range LO HI FACTOR multiplicative ladder
+ *   subset NAME A=V...    named partial assignment (see below)
+ *
+ * Expansion is the cross product apps x datasets x axes.  When
+ * subsets are declared, the expansion is instead the union over the
+ * subsets: each subset pins the axes it names (to any valid value,
+ * listed or not) and crosses the remaining ones; jobs that expand
+ * identically under two subsets are deduplicated.  Expansion order
+ * is deterministic: subsets, apps, datasets in declaration order,
+ * then an odometer over the unpinned axes with the last-declared
+ * axis fastest.
+ *
+ * The axes are a fixed registry over SparsepipeConfig /
+ * api::RunRequest knobs (axisRegistry()); values are validated and
+ * canonicalized at parse time with the strict util/parse helpers, so
+ * a job's canonical key — and therefore the sweep journal and the
+ * dataset rows keyed by it — never depends on how the spec spelled a
+ * number.
+ */
+
+#ifndef SPARSEPIPE_EXPLORE_SPEC_HH
+#define SPARSEPIPE_EXPLORE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/session.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::explore {
+
+/** Value domain of one axis. */
+enum class AxisType { Int, Float, Bool, Enum };
+
+/** One knob the spec language can sweep. */
+struct AxisDef
+{
+    std::string name;
+    AxisType type = AxisType::Int;
+    /** Allowed names (Enum axes only). */
+    std::vector<std::string> enum_values;
+    /** Inclusive bounds (Int / Float axes). */
+    double min = 0.0;
+    double max = 0.0;
+    /**
+     * Canonical value an unswept axis takes (the RunRequest /
+     * SparsepipeConfig default).  Dataset rows record every axis so
+     * they stay interpretable without the spec that produced them.
+     */
+    std::string default_value;
+    /** Fold a canonical value into a run request. */
+    void (*apply)(const std::string &value, api::RunRequest &req) =
+        nullptr;
+};
+
+/**
+ * The fixed axis registry, in application order (iso first so a
+ * later bandwidth_gb_s pin overrides the technology default).
+ */
+const std::vector<AxisDef> &axisRegistry();
+
+/** @return the registry entry for `name`, or nullptr. */
+const AxisDef *findAxis(const std::string &name);
+
+/** One declared axis: registry entry + its value ladder. */
+struct AxisValues
+{
+    const AxisDef *def = nullptr;
+    /** Canonicalized values in declaration order. */
+    std::vector<std::string> values;
+};
+
+/** One named partial assignment. */
+struct SubsetSpec
+{
+    std::string name;
+    /** (axis, canonical value) pins in declaration order. */
+    std::vector<std::pair<const AxisDef *, std::string>> pins;
+};
+
+/** A parsed, validated config-space spec. */
+struct ExploreSpec
+{
+    std::string name;
+    std::vector<std::string> apps;
+    std::vector<std::string> datasets;
+    Idx iters = 2;
+    std::uint64_t seed = api::kDefaultSeed;
+    std::vector<AxisValues> axes;
+    std::vector<SubsetSpec> subsets;
+};
+
+/**
+ * Parse a spec document.  InvalidInput with the offending line
+ * number on any malformed directive, unknown axis / app / dataset,
+ * duplicate axis, or out-of-domain value.
+ */
+StatusOr<ExploreSpec> parseExploreSpec(const std::string &text);
+
+/** Read and parse a spec file (IoError when unreadable). */
+StatusOr<ExploreSpec> readExploreSpec(const std::string &path);
+
+/** One expanded point of the design space. */
+struct ExploreJob
+{
+    std::string app;
+    std::string dataset;
+    /** Name of the subset this job expanded from ("" without). */
+    std::string subset;
+    Idx iters = 2;
+    std::uint64_t seed = api::kDefaultSeed;
+    /** (axis name, canonical value) in registry order. */
+    std::vector<std::pair<std::string, std::string>> assign;
+};
+
+/**
+ * Expand a spec into its job list (deduplicated by canonical key,
+ * deterministic order — see the file comment).
+ */
+std::vector<ExploreJob> expandSpec(const ExploreSpec &spec);
+
+/**
+ * Canonical identity of a job: app, dataset, iters, seed, and every
+ * axis assignment in registry order.  The sweep journal's completion
+ * key and the dataset row key.
+ */
+std::string jobKey(const ExploreJob &job);
+
+/** FNV-1a hash of jobKey(), as 16 hex digits. */
+std::string jobHash(const ExploreJob &job);
+
+/** Materialize the run request a job describes. */
+api::RunRequest requestFor(const ExploreJob &job);
+
+/** @return the value assigned to `axis`, or "" when unswept. */
+std::string assignedValue(const ExploreJob &job,
+                          const std::string &axis);
+
+} // namespace sparsepipe::explore
+
+#endif // SPARSEPIPE_EXPLORE_SPEC_HH

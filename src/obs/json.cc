@@ -16,6 +16,21 @@ JsonValue::find(const std::string &key) const
     return nullptr;
 }
 
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *member = find(key);
+    return member && member->isNumber() ? member->number : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *member = find(key);
+    return member && member->isString() ? member->string : fallback;
+}
+
 namespace {
 
 /** Recursive-descent parser over a raw character range. */

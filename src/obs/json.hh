@@ -40,6 +40,13 @@ struct JsonValue
 
     /** @return first member with `key`, or nullptr. */
     const JsonValue *find(const std::string &key) const;
+
+    /** @return member `key` as a number, else `fallback`. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** @return member `key` as a string, else `fallback`. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback = {}) const;
 };
 
 /**

@@ -1,0 +1,44 @@
+#include "prep/features.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sparsepipe {
+
+MatrixFeatures
+computeMatrixFeatures(const CsrMatrix &m)
+{
+    MatrixFeatures f;
+    f.rows = m.rows();
+    f.cols = m.cols();
+    f.nnz = m.nnz();
+    if (f.rows <= 0 || f.nnz <= 0)
+        return f;
+
+    const double rows = static_cast<double>(f.rows);
+    const double nnz = static_cast<double>(f.nnz);
+    f.row_mean = nnz / rows;
+    f.density = nnz / (rows * static_cast<double>(f.cols));
+
+    // Row-length variance in one pass (lengths come straight from
+    // the row-pointer array).
+    double sq_sum = 0.0;
+    for (Idx r = 0; r < f.rows; ++r) {
+        const double len = static_cast<double>(m.rowNnz(r));
+        sq_sum += len * len;
+    }
+    const double variance =
+        sq_sum / rows - f.row_mean * f.row_mean;
+    f.row_cv = variance > 0.0 ? std::sqrt(variance) / f.row_mean
+                              : 0.0;
+
+    // Mean diagonal distance of the stored coordinates.
+    double dist_sum = 0.0;
+    for (Idx r = 0; r < f.rows; ++r)
+        for (Idx c : m.rowCols(r))
+            dist_sum += std::abs(static_cast<double>(c - r));
+    f.bandwidth_est = dist_sum / nnz / rows;
+    return f;
+}
+
+} // namespace sparsepipe

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Structural feature extraction for sparse operands.
+ *
+ * The mapping explorer (src/explore) records every simulated
+ * configuration together with a compact description of the operand it
+ * ran on, so a fitted cost model can generalize across matrices
+ * instead of memorizing dataset names.  The features deliberately
+ * mirror what drives the simulator's behaviour: total work (nnz),
+ * row-length statistics (load balance across PEs / bucket
+ * occupancy), and a diagonal-bandwidth estimate (cross-iteration
+ * residency of the blocked layout).
+ *
+ * Extraction is one O(nnz) pass over a prepared CSR operand and is
+ * deterministic, so a feature vector can be recomputed from the
+ * operand at any time and byte-compares equal.
+ */
+
+#ifndef SPARSEPIPE_PREP_FEATURES_HH
+#define SPARSEPIPE_PREP_FEATURES_HH
+
+#include "sparse/csr.hh"
+
+namespace sparsepipe {
+
+/** Structural description of one prepared operand. */
+struct MatrixFeatures
+{
+    Idx rows = 0;
+    Idx cols = 0;
+    Idx nnz = 0;
+
+    /** Mean non-zeros per row. */
+    double row_mean = 0.0;
+    /**
+     * Coefficient of variation of the row lengths (stddev / mean);
+     * 0 for perfectly regular matrices, large for power-law ones.
+     */
+    double row_cv = 0.0;
+    /**
+     * Mean |col - row| distance of the stored non-zeros, normalized
+     * by the row count: ~0 for narrowly banded matrices, ~1/3 for
+     * uniformly random ones.
+     */
+    double bandwidth_est = 0.0;
+    /** nnz / (rows * cols). */
+    double density = 0.0;
+};
+
+/**
+ * Extract features from a prepared CSR operand.  Empty matrices
+ * yield all-zero features rather than NaNs.
+ */
+MatrixFeatures computeMatrixFeatures(const CsrMatrix &m);
+
+} // namespace sparsepipe
+
+#endif // SPARSEPIPE_PREP_FEATURES_HH

@@ -50,6 +50,7 @@ SweepJournal::init(const std::string &path, bool resume)
                 return ioError("read error on journal '%s'",
                                path.c_str());
         }
+        resumed_ = done_.size();
     }
     out_.open(path, resume ? std::ios::app : std::ios::trunc);
     if (!out_)
@@ -72,11 +73,19 @@ SweepJournal::append(const std::string &line)
     out_.flush();
 }
 
+std::size_t
+SweepJournal::okAppendedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ok_appended_;
+}
+
 void
 SweepJournal::recordOk(const std::string &key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     done_.insert(key);
+    ++ok_appended_;
     append("ok " + key);
 }
 

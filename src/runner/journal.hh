@@ -53,7 +53,15 @@ class SweepJournal
     bool completed(const std::string &key) const;
 
     /** Number of `ok` records loaded from a previous run. */
-    std::size_t resumedCount() const { return done_.size(); }
+    std::size_t resumedCount() const { return resumed_; }
+
+    /**
+     * Number of `ok` records appended by *this* run.  Sweeps report
+     * it next to resumedCount() so an interrupted-and-resumed run
+     * can prove how much work was actually redone (the explore CI
+     * job asserts a second resume appends zero).
+     */
+    std::size_t okAppendedCount() const;
 
     /** Record a successful completion; flushed before returning. */
     void recordOk(const std::string &key);
@@ -66,6 +74,8 @@ class SweepJournal
 
     std::ofstream out_;
     std::unordered_set<std::string> done_;
+    std::size_t resumed_ = 0;
+    std::size_t ok_appended_ = 0;
     mutable std::mutex mutex_;
 };
 
