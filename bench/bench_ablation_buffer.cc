@@ -19,8 +19,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Ablation: buffer capacity sweep (sssp)",
                 "cycles normalized to the largest buffer; reload MB "
                 "in parentheses");
@@ -40,6 +41,7 @@ main()
     std::vector<double> base(sets.size(), 0.0);
     for (std::size_t d = 0; d < sets.size(); ++d) {
         RunConfig cfg;
+        applyArgOverrides(args, cfg);
         cfg.sp.buffer_bytes = sizes_kb.back() * 1024;
         base[d] = static_cast<double>(
             runCase("sssp", sets[d], cfg).sp.cycles);
@@ -49,6 +51,7 @@ main()
         std::vector<std::string> row = {std::to_string(kb)};
         for (std::size_t d = 0; d < sets.size(); ++d) {
             RunConfig cfg;
+            applyArgOverrides(args, cfg);
             cfg.sp.buffer_bytes = kb * 1024;
             CaseResult r = runCase("sssp", sets[d], cfg);
             row.push_back(

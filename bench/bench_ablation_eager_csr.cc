@@ -17,8 +17,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Ablation: eager CSR loader (Fig. 9 mechanism)",
                 "cells: cycles(off)/cycles(on) and the share of "
                 "matrix traffic the loader moves opportunistically");
@@ -41,6 +42,8 @@ main()
         std::vector<std::string> row = {app};
         for (const std::string &dataset : sets) {
             RunConfig on, off;
+            applyArgOverrides(args, on);
+            applyArgOverrides(args, off);
             on.reorder = ReorderKind::None;
             off.reorder = ReorderKind::None;
             off.sp.eager_csr = false;

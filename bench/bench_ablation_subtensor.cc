@@ -19,8 +19,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Ablation: sub-tensor width sweep + autotuner "
                 "(PageRank)",
                 "cycles per matrix; 'auto' = static heuristic, "
@@ -39,6 +40,7 @@ main()
         std::vector<std::string> row = {std::to_string(t)};
         for (const std::string &dataset : sets) {
             RunConfig cfg;
+            applyArgOverrides(args, cfg);
             cfg.sp.sub_tensor_cols = t;
             CaseResult r = runCase("pr", dataset, cfg);
             row.push_back(std::to_string(r.sp.cycles));
@@ -49,6 +51,7 @@ main()
         std::vector<std::string> row = {"auto"};
         for (const std::string &dataset : sets) {
             RunConfig cfg;
+            applyArgOverrides(args, cfg);
             CaseResult r = runCase("pr", dataset, cfg);
             row.push_back(std::to_string(r.sp.cycles));
         }
@@ -58,6 +61,7 @@ main()
         std::vector<std::string> row = {"tuned"};
         for (const std::string &dataset : sets) {
             RunConfig cfg;
+            applyArgOverrides(args, cfg);
             const CooMatrix &raw =
                 preparedDataset(dataset, cfg.reorder);
             AppInstance app = makeApp("pr", raw.rows());
@@ -85,6 +89,7 @@ main()
         std::vector<std::string> row = {std::to_string(lag)};
         for (const std::string &dataset : sets) {
             RunConfig cfg;
+            applyArgOverrides(args, cfg);
             cfg.sp.lag = lag;
             CaseResult r = runCase("pr", dataset, cfg);
             row.push_back(std::to_string(r.sp.cycles));

@@ -26,10 +26,7 @@ main(int argc, char **argv)
                 "cg/bgs 0.75-1.20x");
 
     RunConfig cfg;
-    if (args.lanes >= 0)
-        cfg.sp.lanes = args.lanes;
-    if (args.band_threads >= 1)
-        cfg.sp.band_threads = args.band_threads;
+    applyArgOverrides(args, cfg);
     std::vector<CaseResult> results =
         runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 

@@ -18,8 +18,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 15: bandwidth-utilization timelines "
                 "(25 samples at 4% intervals)",
                 "shapes: (a) sustained high, (b) reclaimed idle BW, "
@@ -31,6 +32,7 @@ main()
     };
 
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     for (const auto &[app, dataset] : cases) {
         CaseResult r = runCase(app, dataset, cfg);
         std::printf("\n%s-%s  (mean %.1f%%, speedup vs ideal "

@@ -28,6 +28,8 @@ main(int argc, char **argv)
     RunConfig gpu_cfg;
     RunConfig cpu_cfg;
     cpu_cfg.sp = SparsepipeConfig::isoCpu();
+    applyArgOverrides(args, gpu_cfg);
+    applyArgOverrides(args, cpu_cfg);
 
     // Both grids through one pool so the slow iso-CPU cases overlap
     // the iso-GPU ones.

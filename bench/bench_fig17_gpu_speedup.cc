@@ -26,6 +26,7 @@ main(int argc, char **argv)
     const std::vector<std::string> apps = {"bfs", "kcore", "pr",
                                            "sssp"};
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     std::vector<CaseResult> results =
         runSweep(sweepGrid(apps, allDatasets(), cfg), args.jobs);
 

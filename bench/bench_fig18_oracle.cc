@@ -26,6 +26,7 @@ main(int argc, char **argv)
                 "paper: 66.78% on average");
 
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     std::vector<CaseResult> results =
         runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 

@@ -18,8 +18,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 19: benefit of sparse tensor preprocessing",
                 "paper: no-opt 1.37x over ideal; +blocked <=1.12x; "
                 "+reorder 1.01-1.03x; both 1.05-1.34x");
@@ -49,6 +50,7 @@ main()
         std::vector<double> geo(variants.size());
         for (std::size_t v = 0; v < variants.size(); ++v) {
             RunConfig cfg;
+            applyArgOverrides(args, cfg);
             cfg.blocked = variants[v].blocked;
             cfg.reorder = variants[v].reorder;
             std::vector<double> secs, ideal_ratio;

@@ -20,8 +20,9 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 20a: blocked dual-storage footprint",
                 "paper: blocked format shrinks dual storage to "
                 "39.2% of unblocked");
@@ -63,6 +64,7 @@ main()
                 "paper: 5.38x vs GPU, 9.84x vs CPU");
 
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     std::vector<double> vs_cpu, vs_gpu;
     for (const std::string &app : allApps()) {
         for (const std::string &dataset : allDatasets()) {

@@ -24,6 +24,7 @@ main(int argc, char **argv)
                 "apps (excl. gmres, gcn)");
 
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     std::vector<CaseResult> results =
         runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 

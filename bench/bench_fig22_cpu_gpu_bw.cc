@@ -18,14 +18,16 @@ using namespace sparsepipe;
 using namespace sparsepipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     printHeader("Figure 22: CPU / GPU bandwidth utilization per "
                 "matrix",
                 "geomean across algorithms; cache capture lowers "
                 "small-matrix utilization");
 
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     TextTable table;
     table.addRow({"matrix", "CPU util %", "GPU util %",
                   "Sparsepipe util %"});

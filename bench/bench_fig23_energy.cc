@@ -31,6 +31,7 @@ main(int argc, char **argv)
     // intermediates round-trip DRAM), which is what the paper's
     // Cacti/Accelergy accounting charges.
     RunConfig cfg;
+    applyArgOverrides(args, cfg);
     std::vector<CaseResult> results =
         runSweep(sweepGrid(allApps(), allDatasets(), cfg), args.jobs);
 

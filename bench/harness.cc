@@ -49,6 +49,7 @@ runCaseOr(const std::string &app_name, const std::string &dataset,
         api::RunRequest req;
         req.app = app_name;
         req.dataset = dataset;
+        req.backend = config.backend;
         req.sp = config.sp;
         req.iters = config.iters;
         req.reorder = config.reorder;
@@ -197,10 +198,16 @@ parseBenchArgs(int argc, char **argv)
             if (args.band_threads < 1)
                 benchUsageError(
                     "--band-threads wants a positive count");
+        } else if (arg == "--backend") {
+            StatusOr<backend::BackendKind> kind =
+                backend::backendFromName(value("--backend"));
+            if (!kind.ok())
+                benchUsageError(kind.status().toString());
+            args.backend = *kind;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--metrics-out FILE] "
-                "[--lanes N] [--band-threads N]\n"
+                "[--lanes N] [--band-threads N] [--backend NAME]\n"
                 "  --jobs N           worker threads for the sweep "
                 "(default: SPARSEPIPE_JOBS env,\n"
                 "                     else hardware concurrency); "
@@ -214,14 +221,27 @@ parseBenchArgs(int argc, char **argv)
                 "                     element path; output is "
                 "bit-identical for any width)\n"
                 "  --band-threads N   band threads per simulation "
-                "(bit-identical; default 1)\n",
-                argv[0]);
+                "(bit-identical; default 1)\n"
+                "  --backend NAME     cycle-level engine (registered: "
+                "%s)\n",
+                argv[0], backend::registeredBackendList().c_str());
             std::exit(0);
         } else {
             benchUsageError("unknown bench flag '" + arg + "'");
         }
     }
     return args;
+}
+
+void
+applyArgOverrides(const BenchArgs &args, RunConfig &cfg)
+{
+    if (args.lanes >= 0)
+        cfg.sp.lanes = args.lanes;
+    if (args.band_threads >= 1)
+        cfg.sp.band_threads = args.band_threads;
+    if (args.backend)
+        cfg.backend = *args.backend;
 }
 
 void

@@ -20,10 +20,12 @@
 #ifndef SPARSEPIPE_BENCH_HARNESS_HH
 #define SPARSEPIPE_BENCH_HARNESS_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/session.hh"
+#include "backend/backend.hh"
 #include "apps/apps.hh"
 #include "baseline/models.hh"
 #include "core/sparsepipe_sim.hh"
@@ -42,6 +44,8 @@ inline constexpr std::uint64_t kDefaultSeed = 0x5eed5eedULL;
 struct RunConfig
 {
     SparsepipeConfig sp = SparsepipeConfig::isoGpu();
+    /** Cycle-level engine running the case (backend registry). */
+    backend::BackendKind backend = backend::BackendKind::Sparsepipe;
     /** 0 uses the app's default iteration count. */
     Idx iters = 0;
     ReorderKind reorder = ReorderKind::Vanilla;
@@ -155,16 +159,29 @@ struct BenchArgs
     Idx lanes = -1;
     /** Band-thread override (-1 keeps the RunConfig default). */
     int band_threads = -1;
+    /**
+     * Backend override (unset keeps the bench's RunConfig default).
+     * Validated against the registry at parse time; an unknown name
+     * exits with the usage code listing the registered backends.
+     */
+    std::optional<backend::BackendKind> backend;
 };
 
 /**
  * Parse bench-binary arguments: `--jobs N` / `-j N` (default: the
  * SPARSEPIPE_JOBS env override, else hardware concurrency),
- * `--metrics-out FILE`, `--lanes N`, and `--band-threads N`; all
- * accept the `--flag=value` spelling.  Unknown flags are fatal;
- * --help prints usage and exits.
+ * `--metrics-out FILE`, `--lanes N`, `--band-threads N`, and
+ * `--backend NAME`; all accept the `--flag=value` spelling.  Unknown
+ * flags are fatal; --help prints usage and exits.
  */
 BenchArgs parseBenchArgs(int argc, char **argv);
+
+/**
+ * Fold the command-line overrides (--lanes, --band-threads,
+ * --backend) into a bench's RunConfig; fields the user did not set
+ * keep the bench's defaults.
+ */
+void applyArgOverrides(const BenchArgs &args, RunConfig &cfg);
 
 /**
  * Record one case's full statistics (simulator counters via

@@ -168,17 +168,19 @@ Session::run(const RunRequest &req, const PreparedCase &pc)
             cfg.band_threads = req.band_threads;
 
         Workspace ws = bindWorkspace(pc);
-        SparsepipeSim sim(cfg);
+        const std::unique_ptr<backend::CycleEngine> engine =
+            backend::makeEngine(req.backend, cfg);
         if (req.trace)
-            sim.attachTrace(req.trace);
-        sim.setCancelToken(req.cancel);
+            engine->attachTrace(req.trace);
+        engine->setCancelToken(req.cancel);
 
         RunReport report;
         report.app = req.app;
         report.dataset = req.dataset;
+        report.backend = backend::backendName(req.backend);
         report.nnz = pc.nnz;
         const auto t0 = std::chrono::steady_clock::now();
-        report.stats = sim.run(
+        report.stats = engine->run(
             ws, req.iters > 0 ? req.iters : pc.app.default_iters);
         report.host_ms =
             std::chrono::duration<double, std::milli>(

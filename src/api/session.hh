@@ -47,6 +47,7 @@
 #include <tuple>
 
 #include "apps/apps.hh"
+#include "backend/backend.hh"
 #include "core/sparsepipe_sim.hh"
 #include "prep/reorder.hh"
 #include "runner/keyed_cache.hh"
@@ -74,6 +75,14 @@ struct RunRequest
     /** Hardware configuration; bytes_per_nz is overwritten from the
      *  blocked layout when `blocked` is set. */
     SparsepipeConfig sp = SparsepipeConfig::isoGpu();
+    /**
+     * Cycle-level engine that runs the request (backend registry,
+     * src/backend).  Entry points that accept a backend *name*
+     * validate it through backend::backendFromName before building
+     * a request, so an unknown spelling surfaces as InvalidInput at
+     * the boundary instead of here.
+     */
+    backend::BackendKind backend = backend::BackendKind::Sparsepipe;
     /** Loop iterations; 0 uses the app's default. */
     Idx iters = 0;
     ReorderKind reorder = ReorderKind::Vanilla;
@@ -119,6 +128,8 @@ struct RunReport
 {
     std::string app;
     std::string dataset;
+    /** Registry name of the backend that produced `stats`. */
+    std::string backend;
     Idx nnz = 0;
     SimStats stats;
     /**

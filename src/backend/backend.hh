@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Named registry of cycle-level accelerator backends.
+ *
+ * PR 4 unified the three execution paths (ref / oei / sim) behind
+ * one Executor vtable; this layer does the same one level down, for
+ * the *cycle-level* engines themselves.  A backend is a timing model
+ * that also executes the program functionally (value-equivalent to
+ * RefExecutor) and reports SimStats with an exact per-phase cycle
+ * attribution.  Backends are constructed through a small named
+ * factory so every entry point — the Session API, the CLI, the
+ * benches, the serve protocol, the explore axis registry, the
+ * differential fuzzer — selects an engine by the same canonical
+ * name and rejects unknown names with the same InvalidInput listing
+ * the registry.
+ *
+ * Registered backends:
+ *
+ *   sparsepipe  the paper's inter-operator OEI dataflow
+ *               (SparsepipeSim, src/core) — the default
+ *   gamma       a Gamma-style row-wise dataflow with a
+ *               set-associative fiber cache (src/backend/gamma)
+ *
+ * What a backend must provide (see DESIGN.md section 12):
+ *
+ *  - a CycleEngine whose run() leaves the workspace in a state
+ *    value-identical to RefExecutor (the differential fuzzer diffs
+ *    every registered backend against ref on every case);
+ *  - SimStats whose attribution phases tile [0, cycles] and whose
+ *    bucket totals reconcile exactly with the cycle count (use the
+ *    src/obs ActivityLog / PhaseWindow machinery and the DramModel
+ *    access hook, which make the partition exact by construction);
+ *  - trace + cancellation plumbing (attachTrace / setCancelToken).
+ */
+
+#ifndef SPARSEPIPE_BACKEND_BACKEND_HH
+#define SPARSEPIPE_BACKEND_BACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.hh"
+#include "core/sparsepipe_sim.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::backend {
+
+/** One registered cycle-level engine family. */
+enum class BackendKind
+{
+    Sparsepipe, ///< the paper's OEI dataflow (SparsepipeSim)
+    Gamma,      ///< Gamma-style row-wise dataflow + fiber cache
+};
+
+/** @return the canonical registry name ("sparsepipe", "gamma"). */
+const char *backendName(BackendKind kind);
+
+/**
+ * Resolve a canonical name to its backend.  InvalidInput listing
+ * the registered names on an unknown spelling — never fatal, so
+ * every request-validation path (CLI, serve, explore, Session) can
+ * surface the typo to its caller.
+ */
+StatusOr<BackendKind> backendFromName(const std::string &name);
+
+/** Every registered backend, in registry (default-first) order. */
+const std::vector<BackendKind> &registeredBackends();
+
+/** Registry names joined with ", " — for usage and error text. */
+std::string registeredBackendList();
+
+/**
+ * One cycle-level engine instance: the common surface of
+ * SparsepipeSim and every alternate model behind the registry.
+ * run() executes the workspace functionally (value-equivalent to
+ * RefExecutor) while timing it; trace and cancellation follow the
+ * SparsepipeSim contract (see core/sparsepipe_sim.hh).
+ */
+class CycleEngine
+{
+  public:
+    virtual ~CycleEngine() = default;
+
+    virtual SimStats run(Workspace &ws, Idx max_iters) = 0;
+    virtual void attachTrace(obs::TraceSink *sink) = 0;
+    virtual void setCancelToken(const CancelToken *token) = 0;
+};
+
+/** Construct a backend's engine over a hardware configuration. */
+std::unique_ptr<CycleEngine> makeEngine(BackendKind kind,
+                                        const SparsepipeConfig &config);
+
+/**
+ * Executor adapter over any registered backend, the factory-driven
+ * generalization of SimulatorExecutor: the differential fuzzer runs
+ * one of these per registry entry next to ref and oei.  The outcome
+ * carries backend-tagged stats; `mode` is populated only by the
+ * sparsepipe backend (the one engine that makes an OEI scheduling
+ * decision).
+ */
+class BackendExecutor final : public Executor
+{
+  public:
+    BackendExecutor(BackendKind kind, SparsepipeConfig config)
+        : kind_(kind), config_(std::move(config)) {}
+
+    const char *name() const override { return backendName(kind_); }
+    ExecOutcome execute(Workspace &ws, Idx max_iters) const override;
+
+    BackendKind kind() const { return kind_; }
+    const SparsepipeConfig &config() const { return config_; }
+
+  private:
+    BackendKind kind_;
+    SparsepipeConfig config_;
+};
+
+} // namespace sparsepipe::backend
+
+#endif // SPARSEPIPE_BACKEND_BACKEND_HH

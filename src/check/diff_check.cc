@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "backend/backend.hh"
 #include "check/invariants.hh"
 #include "check/oei_driver.hh"
 #include "graph/analysis.hh"
@@ -150,8 +151,8 @@ compareSpanBits(const std::string &tensor, const std::string &path,
             std::ostringstream ss;
             ss.precision(17);
             ss << path << " is not bit-identical on tensor '"
-               << tensor << "' at element " << i << ": element path "
-               << ref[i] << " vs " << got[i];
+               << tensor << "' at element " << i << ": expected "
+               << ref[i] << ", got " << got[i];
             return ss.str();
         }
     }
@@ -220,12 +221,15 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
 {
     CaseReport report;
 
-    // The three execution paths behind the one Executor interface:
-    // golden reference, functional OEI driver (deliberately at a
-    // different sub-tensor width), cycle-level simulator.
+    // The execution paths behind the one Executor interface: golden
+    // reference, functional OEI driver (deliberately at a different
+    // sub-tensor width), and every registered cycle backend.  The
+    // sparsepipe backend runs here; the rest of the registry runs in
+    // the N-way section below.
     const ReferenceExecutor ref_exec;
     const OeiExecutor oei_exec(fuzz.oei_sub_tensor);
-    const SimulatorExecutor sim_exec(fuzz.config);
+    const backend::BackendExecutor sim_exec(
+        backend::BackendKind::Sparsepipe, fuzz.config);
 
     Workspace ws_ref = makeWorkspace(fuzz);
     const RunResult ref_run =
@@ -236,7 +240,7 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
 
     Workspace ws_sim = makeWorkspace(fuzz);
     SimStats stats =
-        sim_exec.execute(ws_sim, fuzz.iters).stats;
+        *sim_exec.execute(ws_sim, fuzz.iters).stats;
 
     // ---- deliberate defect injection (harness self-test) ------------
     if (bug == InjectedBug::ResultEpsilon) {
@@ -265,10 +269,10 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
                 oei.run.converged);
     compareRuns(report.failures, "sim", ref_run, stats.iterations,
                 stats.converged);
-    if (oei.mode != stats.mode) {
+    if (oei.mode && *oei.mode != stats.mode) {
         std::ostringstream ss;
         ss << "schedule mode disagrees: oei driver chose "
-           << scheduleModeName(oei.mode) << ", simulator chose "
+           << scheduleModeName(*oei.mode) << ", simulator chose "
            << scheduleModeName(stats.mode);
         report.failures.push_back(ss.str());
     }
@@ -294,14 +298,14 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
 
         Workspace ws_elem = makeWorkspace(fuzz);
         const SimStats st_elem =
-            SimulatorExecutor(cfg_elem)
-                .execute(ws_elem, fuzz.iters)
-                .stats;
+            *SimulatorExecutor(cfg_elem)
+                 .execute(ws_elem, fuzz.iters)
+                 .stats;
         Workspace ws_lanes = makeWorkspace(fuzz);
         const SimStats st_lanes =
-            SimulatorExecutor(cfg_lanes)
-                .execute(ws_lanes, fuzz.iters)
-                .stats;
+            *SimulatorExecutor(cfg_lanes)
+                 .execute(ws_lanes, fuzz.iters)
+                 .stats;
 
         compareWorkspaceBits(report.failures, "sim-lanes",
                              fuzz.program, ws_elem, ws_lanes);
@@ -321,6 +325,43 @@ checkCase(const FuzzCase &fuzz, InjectedBug bug)
             st_lanes.dram_read_bytes);
         pin("dram_write_bytes", st_elem.dram_write_bytes,
             st_lanes.dram_write_bytes);
+    }
+
+    // ---- alternate cycle backends -----------------------------------
+    //
+    // Every registry entry beyond sparsepipe diffs against ref too.
+    // Their functional path is the reference interpreter verbatim,
+    // so the bar is bitwise identity (NaN as one value class), and
+    // their cycle attribution must reconcile exactly: phase buckets
+    // sum to the phase span, bucket totals sum to the cycle count.
+    for (backend::BackendKind kind : backend::registeredBackends()) {
+        if (kind == backend::BackendKind::Sparsepipe)
+            continue;
+        const backend::BackendExecutor exec(kind, fuzz.config);
+        Workspace ws_alt = makeWorkspace(fuzz);
+        const ExecOutcome alt = exec.execute(ws_alt, fuzz.iters);
+        const std::string path = exec.name();
+        compareRuns(report.failures, path, ref_run,
+                    alt.run.iterations, alt.run.converged);
+        compareWorkspaceBits(report.failures, path, fuzz.program,
+                             ws_ref, ws_alt);
+        const SimStats &st = *alt.stats;
+        if (st.attribution.totalCycles() != st.cycles) {
+            std::ostringstream ss;
+            ss << path << " attribution does not reconcile: buckets "
+               << "sum to " << st.attribution.totalCycles()
+               << " but the run took " << st.cycles << " cycles";
+            report.failures.push_back(ss.str());
+        }
+        for (const obs::PhaseCycles &ph : st.attribution.phases) {
+            if (ph.total() == ph.span())
+                continue;
+            std::ostringstream ss;
+            ss << path << " phase " << ph.index
+               << " attribution does not reconcile: buckets sum to "
+               << ph.total() << " over a span of " << ph.span();
+            report.failures.push_back(ss.str());
+        }
     }
 
     // ---- simulator invariants ---------------------------------------

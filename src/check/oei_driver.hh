@@ -62,7 +62,6 @@ class OeiExecutor final : public Executor
         ExecOutcome out;
         out.run = r.run;
         out.mode = r.mode;
-        out.has_mode = true;
         return out;
     }
 

@@ -15,12 +15,11 @@ SimulatorExecutor::execute(Workspace &ws, Idx max_iters) const
 {
     SparsepipeSim sim(config_);
     ExecOutcome out;
+    out.backend = "sparsepipe";
     out.stats = sim.run(ws, max_iters);
-    out.run.iterations = out.stats.iterations;
-    out.run.converged = out.stats.converged;
-    out.mode = out.stats.mode;
-    out.has_mode = true;
-    out.has_stats = true;
+    out.run.iterations = out.stats->iterations;
+    out.run.converged = out.stats->converged;
+    out.mode = out.stats->mode;
     return out;
 }
 

@@ -16,6 +16,8 @@
 #define SPARSEPIPE_CORE_EXECUTOR_HH
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "core/sparsepipe_sim.hh"
 #include "lang/workspace.hh"
@@ -29,15 +31,19 @@ struct ExecOutcome
     /** Iterations executed + convergence flag. */
     RunResult run;
 
-    /** Schedule the engine chose; meaningful when has_mode. */
-    ScheduleMode mode = ScheduleMode::Stream;
-    /** True for engines that make a scheduling decision. */
-    bool has_mode = false;
+    /**
+     * Registry name of the cycle backend that produced `stats`
+     * ("sparsepipe", "gamma", ...); empty for purely functional
+     * engines (ref, oei).
+     */
+    std::string backend;
 
-    /** Cycle-level statistics; meaningful when has_stats. */
-    SimStats stats;
-    /** True for the simulator. */
-    bool has_stats = false;
+    /** Schedule the engine chose; engaged only for engines that
+     *  make a scheduling decision (oei, the sparsepipe backend). */
+    std::optional<ScheduleMode> mode;
+
+    /** Cycle-level statistics; engaged only for cycle backends. */
+    std::optional<SimStats> stats;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "apps/apps.hh"
+#include "backend/backend.hh"
 #include "obs/json.hh"
 #include "sparse/datasets.hh"
 #include "util/parse.hh"
@@ -104,6 +105,22 @@ axisRegistry()
          "1",
          [](const std::string &v, api::RunRequest &req) {
              req.band_threads = static_cast<int>(asInt(v));
+         }},
+        {"backend", AxisType::Enum,
+         [] {
+             std::vector<std::string> names;
+             for (backend::BackendKind k :
+                  backend::registeredBackends())
+                 names.emplace_back(backend::backendName(k));
+             return names;
+         }(),
+         0, 0,
+         "sparsepipe",
+         [](const std::string &v, api::RunRequest &req) {
+             // Spec parsing already pinned v to the enum list, and
+             // the list mirrors the backend registry, so the
+             // resolution cannot fail.
+             req.backend = backend::backendFromName(v).value();
          }},
     };
     return registry;

@@ -91,6 +91,8 @@ parseBatchLine(const std::string &line, std::string &error)
                 return std::nullopt;
             }
             job.seed = seed;
+        } else if (key == "backend") {
+            job.backend = value;
         } else if (key == "label") {
             job.label = value;
         } else {
@@ -143,6 +145,7 @@ batchJobKey(const BatchJob &job)
         << " iters=" << job.iters << " reorder=" << job.reorder
         << " blocked=" << (job.blocked ? 1 : 0)
         << " iso-cpu=" << (job.iso_cpu ? 1 : 0)
+        << " backend=" << job.backend
         << " seed=" << job.seed << " label=" << job.label;
     return key.str();
 }

@@ -11,7 +11,8 @@
  *
  * Keys: app (required), dataset (required), iters, reorder
  * (none|vanilla|locality), blocked (0|1|true|false), iso-cpu
- * (0|1|true|false), seed, timeout-ms, label.  The label defaults to
+ * (0|1|true|false), backend (a registered backend name), seed,
+ * timeout-ms, label.  The label defaults to
  * "app-dataset" and names the job in log prefixes and the result
  * table; timeout-ms (0 = none) arms a per-job deadline that fails
  * the job with DeadlineExceeded without stopping the sweep.
@@ -39,6 +40,12 @@ struct BatchJob
     std::string reorder = "vanilla";
     bool blocked = true;
     bool iso_cpu = false;
+    /**
+     * Cycle-level engine name.  Validated against the backend
+     * registry by the consumer (sp_runner stays below sp_backend in
+     * the layering), like app and dataset.
+     */
+    std::string backend = "sparsepipe";
     std::uint64_t seed = 0x5eed5eedULL;
     /** Per-job deadline in milliseconds; 0 disables it. */
     long long timeout_ms = 0;

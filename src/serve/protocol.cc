@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "backend/backend.hh"
 #include "obs/json.hh"
 #include "util/parse.hh"
 
@@ -163,6 +164,14 @@ parseRequest(const std::string &line)
         return s;
     if (Status s = readBool(doc, "blocked", req.blocked); !s.ok())
         return s;
+    if (Status s = readString(doc, "backend", req.backend); !s.ok())
+        return s;
+    // Validate against the backend registry so a typo comes back as
+    // InvalidInput listing the registered names.
+    if (StatusOr<backend::BackendKind> kind =
+            backend::backendFromName(req.backend);
+        !kind.ok())
+        return kind.status();
     return req;
 }
 
@@ -191,6 +200,9 @@ encodeRequest(const Request &req)
         out << ",\"iso\":\"cpu\"";
     if (!req.blocked)
         out << ",\"blocked\":false";
+    if (req.backend != "sparsepipe")
+        out << ",\"backend\":\"" << obs::jsonEscape(req.backend)
+            << "\"";
     char seed[32];
     std::snprintf(seed, sizeof seed, "0x%llx",
                   static_cast<unsigned long long>(req.seed));
@@ -276,7 +288,7 @@ coalesceKey(const Request &req)
         << reorderKindName(req.reorder) << '|' << req.iters << '|'
         << req.seed << '|' << req.buffer_kb << '|'
         << (req.iso_cpu ? "cpu" : "gpu") << '|'
-        << (req.blocked ? "b1" : "b0");
+        << (req.blocked ? "b1" : "b0") << '|' << req.backend;
     return key.str();
 }
 

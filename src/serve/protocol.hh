@@ -58,6 +58,8 @@ struct Request
     bool iso_cpu = false;
     /** Derive bytes/nz from the blocked layout (CLI default). */
     bool blocked = true;
+    /** Cycle backend name, validated against the registry. */
+    std::string backend = "sparsepipe";
 };
 
 /** One encoded / decoded response line. */

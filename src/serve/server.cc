@@ -265,6 +265,9 @@ Server::executeLeader(const Request &req)
     rr.reorder = req.reorder;
     rr.seed = req.seed;
     rr.blocked = req.blocked;
+    // parseRequest validated the name against the registry, so the
+    // resolution cannot fail here.
+    rr.backend = backend::backendFromName(req.backend).value();
     rr.sp = req.iso_cpu ? SparsepipeConfig::isoCpu()
                         : SparsepipeConfig::isoGpu();
     if (req.buffer_kb > 0)

@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests of the differential-fuzzing subsystem (src/check): generator
- * determinism and validity, the three-way differential check, bug
- * injection, shrinking, and corpus round-trips.
+ * determinism and validity, the N-way differential check (reference,
+ * OEI driver, and every registered cycle backend), bug injection,
+ * shrinking, and corpus round-trips.
  */
 
 #include <cstdint>

@@ -135,6 +135,8 @@ corpusTable()
          {StatusCode::InvalidInput, "declares no datasets"}},
         {"bad_iters.spec",
          {StatusCode::InvalidInput, "non-negative"}},
+        {"unknown_backend.spec",
+         {StatusCode::InvalidInput, "wants sparsepipe|gamma"}},
     };
     return table;
 }

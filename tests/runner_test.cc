@@ -480,6 +480,14 @@ TEST(Batch, JobKeyIsCanonicalAndIgnoresTimeout)
         "app=pr dataset=wi iters=9 seed=0x10 label=x", error);
     ASSERT_TRUE(c.has_value());
     EXPECT_NE(batchJobKey(*a), batchJobKey(*c));
+
+    // The backend is semantic: a different engine is different work.
+    auto d = parseBatchLine(
+        "app=pr dataset=wi iters=8 seed=0x10 label=x backend=gamma",
+        error);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->backend, "gamma");
+    EXPECT_NE(batchJobKey(*a), batchJobKey(*d));
 }
 
 TEST(Batch, ReadBatchFileReportsStatus)

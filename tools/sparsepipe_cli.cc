@@ -55,6 +55,8 @@ struct Options
 {
     std::string app = "pr";
     std::string dataset;
+    /** Cycle backend (registry name, validated in main). */
+    std::string backend = "sparsepipe";
     std::string mtx;
     std::string synthetic; // kind:n:nnz_per_row
     Idx iters = 0;
@@ -132,6 +134,8 @@ usage()
         "  --mtx FILE          MatrixMarket input\n"
         "  --synthetic SPEC    kind:n:nnz_per_row, kind in "
         "{uniform,rmat,banded,poisson}\n"
+        "  --backend NAME      cycle-level engine (default "
+        "sparsepipe; see --list)\n"
         "  --iters N           loop iterations (default: app "
         "default)\n"
         "  --buffer-kb N       on-chip buffer size\n"
@@ -165,9 +169,9 @@ usage()
         "  --batch FILE        run one job per line (key=value "
         "specs: app= dataset=\n"
         "                      [iters= reorder= blocked= iso-cpu= "
-        "seed= timeout-ms=\n"
-        "                      label=]), served through the worker "
-        "pool; results print\n"
+        "backend= seed=\n"
+        "                      timeout-ms= label=]), served through "
+        "the worker pool; results print\n"
         "                      in file order; a failed job is "
         "reported and the sweep\n"
         "                      continues (exit 1 if any job "
@@ -197,6 +201,9 @@ listInventory()
     for (const DatasetSpec &spec : datasetSpecs())
         std::printf(" %s(%s)", spec.name.c_str(),
                     matrixKindName(spec.kind));
+    std::printf("\nbackends:");
+    for (backend::BackendKind kind : backend::registeredBackends())
+        std::printf(" %s", backend::backendName(kind));
     std::printf("\n");
 }
 
@@ -253,6 +260,7 @@ parse(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--app") opt.app = next();
+        else if (arg == "--backend") opt.backend = next();
         else if (arg == "--dataset") opt.dataset = next();
         else if (arg == "--mtx") opt.mtx = next();
         else if (arg == "--synthetic") opt.synthetic = next();
@@ -362,6 +370,19 @@ runBatch(const Options &opt)
         return kExitRuntime;
     }
     std::vector<runner::BatchJob> batch = std::move(batch_or).value();
+    // The line parser leaves backend names to us (sp_runner sits
+    // below the backend registry); reject the whole batch up front
+    // like any other malformed file, not one job at a time mid-run.
+    for (const runner::BatchJob &job : batch) {
+        if (StatusOr<backend::BackendKind> kind =
+                backend::backendFromName(job.backend);
+            !kind.ok()) {
+            std::fprintf(stderr, "sparsepipe_cli: batch job '%s': %s\n",
+                         job.label.c_str(),
+                         kind.status().toString().c_str());
+            return kExitRuntime;
+        }
+    }
     if (batch.empty()) {
         std::fprintf(stderr,
                      "sparsepipe_cli: batch file '%s' contains no "
@@ -408,6 +429,8 @@ runBatch(const Options &opt)
         RunConfig config;
         config.sp = job.iso_cpu ? SparsepipeConfig::isoCpu()
                                 : SparsepipeConfig::isoGpu();
+        config.backend =
+            backend::backendFromName(job.backend).value();
         config.iters = job.iters;
         config.reorder = reorderKindOf(job.reorder);
         config.blocked = job.blocked;
@@ -506,9 +529,14 @@ main(int argc, char **argv)
         usageError("unknown application '" + opt.app + "'");
     if (!opt.dataset.empty() && !findDatasetSpec(opt.dataset))
         usageError("unknown dataset '" + opt.dataset + "'");
+    StatusOr<backend::BackendKind> backend_or =
+        backend::backendFromName(opt.backend);
+    if (!backend_or.ok())
+        usageError(backend_or.status().toString());
 
     api::RunRequest req;
     req.app = opt.app;
+    req.backend = *backend_or;
     req.iters = opt.iters;
     req.reorder = reorder;
     req.blocked = opt.blocked;
@@ -613,6 +641,8 @@ main(int argc, char **argv)
                 static_cast<long long>(pc->csr.rows()),
                 static_cast<long long>(pc->csr.cols()),
                 static_cast<long long>(pc->nnz));
+    std::printf("backend        : %s\n",
+                run_report.backend.c_str());
     std::printf("schedule       : %s%s\n",
                 scheduleModeName(stats.mode),
                 stats.mode != ScheduleMode::Stream
