@@ -15,33 +15,41 @@ client="${build_dir}/tools/sparsepipe_serve_client"
 workdir="$(mktemp -d)"
 port_file="${workdir}/port"
 log="${workdir}/serve.log"
+errlog="${workdir}/serve.err"
 
 fail() {
     echo "serve_smoke: $1" >&2
-    echo "--- daemon log ---" >&2
+    echo "--- daemon stdout ---" >&2
     cat "${log}" >&2 || true
+    echo "--- daemon stderr ---" >&2
+    cat "${errlog}" >&2 || true
     exit 1
 }
 
 "${serve}" --listen 127.0.0.1:0 --port-file "${port_file}" \
-    --queue-depth 4 > "${log}" 2>&1 &
+    --queue-depth 4 --idle-timeout-ms 30000 --line-timeout-ms 5000 \
+    --max-request-bytes 65536 \
+    > "${log}" 2> "${errlog}" &
 serve_pid=$!
 
-# Wait for the daemon to report its ephemeral port.
-i=0
+# Wait for the daemon to report its ephemeral port, against a
+# wall-clock deadline: a daemon that dies on startup fails the job
+# immediately (with its stderr), not after the full wait.
+deadline=$(( $(date +%s) + 15 ))
 while [ ! -s "${port_file}" ]; do
-    i=$((i + 1))
-    [ "${i}" -gt 100 ] && fail "daemon never wrote the port file"
     kill -0 "${serve_pid}" 2>/dev/null \
         || fail "daemon exited before binding"
+    [ "$(date +%s)" -lt "${deadline}" ] \
+        || fail "daemon never wrote the port file within 15 s"
     sleep 0.1
 done
 port="$(cat "${port_file}")"
 echo "serve_smoke: daemon up on port ${port}"
 
-# One real run request must answer ok.
+# One real run request must answer ok; --retries covers the window
+# where the port is bound but the acceptor is not yet polling.
 "${client}" --connect "127.0.0.1:${port}" \
-    --app pr --dataset ca --iters 4 \
+    --app pr --dataset ca --iters 4 --retries 3 \
     || fail "run request failed"
 
 # The same port must answer an HTTP metrics scrape that accounts for
@@ -53,12 +61,21 @@ echo "${scrape}" | grep -q '"serve.requests_total": 1' \
 echo "${scrape}" | grep -q '"schema": "metrics-v1"' \
     || fail "scrape is not a metrics-v1 document"
 
+# A request whose deadline has already expired must be refused with
+# the pinned budget error and must never start a simulation.
+expired="$("${client}" --connect "127.0.0.1:${port}" \
+    --app pr --dataset ca --iters 4 --deadline-ms -1 || true)"
+echo "${expired}" | grep -q '"code":"deadline-exceeded"' \
+    || fail "pre-expired deadline not refused: ${expired}"
+echo "${expired}" | grep -q '"retry_after_ms":0' \
+    || fail "budget error lacks the explicit zero retry hint"
+
 # SIGINT must drain and exit 0.
 kill -INT "${serve_pid}"
 rc=0
 wait "${serve_pid}" || rc=$?
 [ "${rc}" -eq 0 ] || fail "daemon exited ${rc} after SIGINT, want 0"
-grep -q "drained" "${log}" \
+grep -q "drained" "${log}" "${errlog}" \
     || fail "daemon never logged the drain"
 
 # Gone means gone: the port must refuse connections now.

@@ -137,6 +137,12 @@ Session::run(const RunRequest &req)
     if (!findDatasetSpec(req.dataset))
         return invalidInput("Session::run: unknown dataset '%s'",
                             req.dataset.c_str());
+    if (req.cancel) {
+        // A dead request must not pay preprocessing either: reject
+        // before the prepared-operand build, not just before the sim.
+        if (Status status = req.cancel->pollNow(); !status.ok())
+            return status;
+    }
     try {
         // Hold the pin for the whole run: the workspace references
         // the prepared program while the simulator executes, and the
@@ -155,7 +161,10 @@ Session::run(const RunRequest &req, const PreparedCase &pc)
 {
     if (req.cancel) {
         // Don't bother binding a workspace for an already-dead job.
-        if (Status status = req.cancel->check(); !status.ok())
+        // pollNow(), not check(): the boundary must see an
+        // already-expired deadline immediately, not a latch stride
+        // of engine polls later.
+        if (Status status = req.cancel->pollNow(); !status.ok())
             return status;
     }
     try {

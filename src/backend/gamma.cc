@@ -165,8 +165,12 @@ GammaSim::run(Workspace &ws, Idx max_iters)
     if (an.leading_ops.empty()) {
         Tick t = 0;
         for (Idx it = 0; it < max_iters; ++it) {
-            if (cancel_)
-                throwIfError(cancel_->check());
+            // Iteration boundary: cold, so the unlatched pollNow()
+            // sees an expired deadline immediately.
+            if (cancel_) {
+                ++stats.counters.cancel_polls;
+                throwIfError(cancel_->pollNow());
+            }
             const Tick t0 = t;
             const Idx bytes =
                 static_cast<Idx>(vec_read_bytes + vec_write_bytes);
@@ -224,11 +228,21 @@ GammaSim::run(Workspace &ws, Idx max_iters)
         std::max<Idx>(1, config_.pe_per_core / group_pes);
     const double v = static_cast<double>(passes.size());
 
+    // Cycle-budget cancellation poll for the row loop: row dispatch
+    // can run for millions of simulated cycles between iteration
+    // boundaries, so probe the token whenever simulated time has
+    // advanced past the budget (same contract as PassEngine).
+    const Tick poll_stride =
+        std::max<Tick>(1, config_.cancel_poll_cycles);
+    Tick next_poll = 0;
+
     Tick t = 0;
     Idx it = 0;
     while (it < max_iters) {
-        if (cancel_)
-            throwIfError(cancel_->check());
+        if (cancel_) {
+            ++stats.counters.cancel_polls;
+            throwIfError(cancel_->pollNow());
+        }
         for (const RowPass &rp : passes) {
             const Tick t0 = t;
             const Idx rbytes = static_cast<Idx>(vec_read_bytes / v);
@@ -252,6 +266,11 @@ GammaSim::run(Workspace &ws, Idx max_iters)
                     if (free[k] < free[g])
                         g = k;
                 const Tick start = free[g];
+                if (cancel_ && start >= next_poll) {
+                    ++stats.counters.cancel_polls;
+                    throwIfError(cancel_->pollNow());
+                    next_poll = start + poll_stride;
+                }
                 const Idx fiber_begin =
                     rp.base_bytes + m.rowPtr()[r] * bytes_per_nz;
                 const FiberCache::Access acc = cache.access(

@@ -1,0 +1,381 @@
+#include "check/chaos.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "serve/client.hh"
+
+namespace sparsepipe::check {
+
+namespace {
+
+using serve::Socket;
+using Action = serve::SocketFaultInjector::Action;
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Raw send loop, deliberately NOT serve::writeAll: the driver's own
+ * I/O must bypass the installed fault injector so the only faulted
+ * endpoint is the server under test.
+ */
+Status
+sendRaw(const Socket &sock, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(sock.fd(), data.data() + sent,
+                   data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("chaos send failed: %s",
+                           std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return okStatus();
+}
+
+/**
+ * Raw bounded line read.  Returns the line, IoError on EOF / reset,
+ * or DeadlineExceeded when `wait_ms` elapses first — the driver's
+ * hang detector.
+ */
+StatusOr<std::string>
+recvLine(const Socket &sock, int wait_ms)
+{
+    std::string buffer;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(wait_ms);
+    for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos)
+            return buffer.substr(0, nl);
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now());
+        if (left.count() <= 0)
+            return deadlineExceeded(
+                "no response within %d ms (server hang?)", wait_ms);
+        pollfd pfd{sock.fd(), POLLIN, 0};
+        const int ready = ::poll(
+            &pfd, 1, static_cast<int>(left.count()) + 1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("chaos poll failed: %s",
+                           std::strerror(errno));
+        }
+        if (ready == 0)
+            continue;
+        char chunk[4096];
+        const ssize_t n = ::recv(sock.fd(), chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("connection reset: %s",
+                           std::strerror(errno));
+        }
+        if (n == 0)
+            return ioError("connection closed");
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** Expect EOF (clean close, no response line) on `sock`. */
+bool
+expectClose(const Socket &sock, int wait_ms, std::string &detail)
+{
+    StatusOr<std::string> line = recvLine(sock, wait_ms);
+    if (line.ok()) {
+        detail = "expected a closed connection, got response: " +
+                 *line;
+        return false;
+    }
+    if (line.status().code() == StatusCode::DeadlineExceeded) {
+        detail = line.status().toString();
+        return false;
+    }
+    detail = "connection closed as expected";
+    return true;
+}
+
+/** Expect a response line carrying `code`, then a close. */
+bool
+expectCodeThenClose(const Socket &sock, StatusCode code, int wait_ms,
+                    std::string &detail)
+{
+    StatusOr<std::string> line = recvLine(sock, wait_ms);
+    if (!line.ok()) {
+        detail = "expected a '" +
+                 std::string(statusCodeName(code)) +
+                 "' response, got: " + line.status().toString();
+        return false;
+    }
+    StatusOr<serve::Response> resp = serve::parseResponse(*line);
+    if (!resp.ok()) {
+        detail = "unparsable response: " + *line;
+        return false;
+    }
+    if (resp->status.code() != code) {
+        detail = "expected code '" +
+                 std::string(statusCodeName(code)) + "', got: " +
+                 *line;
+        return false;
+    }
+    std::string close_detail;
+    if (!expectClose(sock, wait_ms, close_detail)) {
+        detail = "response ok but then " + close_detail;
+        return false;
+    }
+    detail = "pinned '" + std::string(statusCodeName(code)) +
+             "' response, then close";
+    return true;
+}
+
+/**
+ * Wait until the server has reaped every connection thread from
+ * earlier cases (the scrape's own connection counts for 1).  The
+ * single-shot Reset cases need this: a stale thread waking on a
+ * just-closed socket performs one more recv, and with the injector
+ * already armed THAT recv would consume the one budgeted fault
+ * instead of the case's own request.
+ */
+bool
+waitQuiesced(const ListenAddress &addr, int wait_ms)
+{
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(wait_ms);
+    while (Clock::now() < deadline) {
+        StatusOr<std::string> body = serve::scrapeMetrics(addr);
+        if (body.ok()) {
+            const std::size_t key =
+                body->find("\"serve.active_connections\"");
+            if (key != std::string::npos) {
+                const char *cursor = body->c_str() + key;
+                while (*cursor && *cursor != ':')
+                    ++cursor;
+                if (*cursor == ':' &&
+                    std::strtod(cursor + 1, nullptr) <= 1.0)
+                    return true;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+/**
+ * Fresh-connection ping, raw I/O: the liveness oracle after a
+ * connection-killing fault.
+ */
+bool
+probeAlive(const ListenAddress &addr, int wait_ms,
+           std::string &detail)
+{
+    StatusOr<Socket> conn = serve::connectTcp(addr);
+    if (!conn.ok()) {
+        detail = "post-fault probe connect failed: " +
+                 conn.status().toString();
+        return false;
+    }
+    if (Status s = sendRaw(*conn, "{\"op\":\"ping\"}\n"); !s.ok()) {
+        detail = "post-fault probe send failed: " + s.toString();
+        return false;
+    }
+    StatusOr<std::string> line = recvLine(*conn, wait_ms);
+    if (!line.ok()) {
+        detail = "post-fault probe got no pong: " +
+                 line.status().toString();
+        return false;
+    }
+    StatusOr<serve::Response> resp = serve::parseResponse(*line);
+    if (!resp.ok() || !resp->status.ok()) {
+        detail = "post-fault probe pong not ok: " + *line;
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+ChaosCaseReport
+runChaosCase(const ListenAddress &addr,
+             ScriptedFaultInjector &injector, TransportFaultKind kind,
+             const ChaosCaseConfig &cfg)
+{
+    ChaosCaseReport rep;
+    rep.kind = kind;
+    rep.expected = expectedTransportOutcome(kind);
+
+    if (kind == TransportFaultKind::RecvReset ||
+        kind == TransportFaultKind::SendReset) {
+        // One armed fault, so exactly one recv/send may consume it:
+        // wait out any connection thread a previous case left
+        // unwinding before arming.
+        if (!waitQuiesced(addr, cfg.client_wait_ms)) {
+            rep.detail = "server did not quiesce before reset case";
+            return rep;
+        }
+    }
+
+    StatusOr<Socket> conn = serve::connectTcp(addr);
+    if (!conn.ok()) {
+        rep.detail = "connect failed: " + conn.status().toString();
+        return rep;
+    }
+    Socket sock = std::move(conn).value();
+    const std::string request =
+        serve::encodeRequest(cfg.request) + "\n";
+    const int wait = cfg.client_wait_ms;
+
+    switch (kind) {
+      case TransportFaultKind::ShortRead:
+      case TransportFaultKind::ShortWrite:
+      case TransportFaultKind::EintrStorm: {
+        // Degraded transport: the exchange must still succeed.
+        if (kind == TransportFaultKind::ShortRead)
+            injector.armRecv(Action::ShortRead, 1 << 20);
+        else if (kind == TransportFaultKind::ShortWrite)
+            injector.armSend(Action::ShortWrite, 1 << 20);
+        else {
+            injector.armRecv(Action::Eintr, 8);
+            injector.armSend(Action::Eintr, 8);
+        }
+        Status sent = sendRaw(sock, request);
+        StatusOr<std::string> line =
+            sent.ok() ? recvLine(sock, wait)
+                      : StatusOr<std::string>(sent);
+        injector.disarm();
+        if (!line.ok()) {
+            rep.detail = "degraded exchange failed: " +
+                         line.status().toString();
+            return rep;
+        }
+        StatusOr<serve::Response> resp = serve::parseResponse(*line);
+        if (!resp.ok() || !resp->status.ok()) {
+            rep.detail = "expected an ok run response, got: " +
+                         *line;
+            return rep;
+        }
+        // Connection must stay usable once the fault clears.
+        if (Status s = sendRaw(sock, "{\"op\":\"ping\"}\n");
+            !s.ok()) {
+            rep.detail = "post-fault ping send failed: " +
+                         s.toString();
+            return rep;
+        }
+        StatusOr<std::string> pong = recvLine(sock, wait);
+        if (!pong.ok()) {
+            rep.detail = "connection unusable after fault: " +
+                         pong.status().toString();
+            return rep;
+        }
+        rep.pass = true;
+        rep.detail = "run + follow-up ping ok under degradation";
+        return rep;
+      }
+
+      case TransportFaultKind::RecvReset: {
+        injector.armRecv(Action::Reset, 1);
+        (void)sendRaw(sock, request);
+        rep.pass = expectClose(sock, wait, rep.detail);
+        injector.disarm();
+        break;
+      }
+      case TransportFaultKind::SendReset: {
+        injector.armSend(Action::Reset, 1);
+        (void)sendRaw(sock, request);
+        rep.pass = expectClose(sock, wait, rep.detail);
+        injector.disarm();
+        break;
+      }
+
+      case TransportFaultKind::StalledPeer: {
+        // Send nothing; the server's idle timeout must answer
+        // DeadlineExceeded and close.
+        rep.pass = expectCodeThenClose(
+            sock, StatusCode::DeadlineExceeded, wait, rep.detail);
+        break;
+      }
+
+      case TransportFaultKind::SlowLoris: {
+        // Trickle the request a byte at a time, never finishing the
+        // line; the read timeout must trip mid-trickle.  Sends after
+        // the server closes fail — that is the expected ending.
+        for (std::size_t i = 0;
+             i + 1 < request.size(); ++i) { // never send the '\n'
+            if (!sendRaw(sock, request.substr(i, 1)).ok())
+                break;
+            pollfd pfd{sock.fd(), POLLIN, 0};
+            if (::poll(&pfd, 1, 0) > 0)
+                break; // response (or close) already pending
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg.loris_delay_ms));
+        }
+        rep.pass = expectCodeThenClose(
+            sock, StatusCode::DeadlineExceeded, wait, rep.detail);
+        break;
+      }
+
+      case TransportFaultKind::TruncatedNdjson: {
+        // Half a request line, then a clean FIN.
+        (void)sendRaw(sock, request.substr(0, request.size() / 2));
+        ::shutdown(sock.fd(), SHUT_WR);
+        rep.pass = expectClose(sock, wait, rep.detail);
+        break;
+      }
+
+      case TransportFaultKind::OversizedLine: {
+        const std::string bomb(cfg.oversized_bytes, 'x');
+        if (Status s = sendRaw(sock, bomb); !s.ok()) {
+            // The server may already have cut us off mid-send once
+            // the cap tripped; that still satisfies the contract if
+            // the error response was sent first.
+            rep.pass = expectCodeThenClose(
+                sock, StatusCode::InvalidInput, wait, rep.detail);
+            break;
+        }
+        rep.pass = expectCodeThenClose(
+            sock, StatusCode::InvalidInput, wait, rep.detail);
+        break;
+      }
+
+      case TransportFaultKind::MidLineReset: {
+        (void)sendRaw(sock, request.substr(0, request.size() / 2));
+        // RST instead of FIN: linger(0) discards the send queue and
+        // aborts the connection on close.
+        const linger lg{1, 0};
+        ::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &lg,
+                     sizeof lg);
+        sock.close();
+        rep.pass = true;
+        rep.detail = "reset sent";
+        break;
+      }
+
+      case TransportFaultKind::Count_:
+        rep.detail = "bad kind";
+        return rep;
+    }
+
+    // Every connection-killing fault must leave the server
+    // serviceable: a fresh connection answers a ping.
+    if (rep.pass) {
+        std::string probe_detail;
+        if (!probeAlive(addr, wait, probe_detail)) {
+            rep.pass = false;
+            rep.detail += "; " + probe_detail;
+        }
+    }
+    return rep;
+}
+
+} // namespace sparsepipe::check

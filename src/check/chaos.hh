@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Transport chaos driver: runs one TransportFaultKind against a live
+ * serve daemon and checks the outcome against its pinned
+ * expectation (check/fault.hh::expectedTransportOutcome).
+ *
+ * Two injection styles, matching the two sides of the boundary:
+ *
+ *  - Server-side kinds (short read/write, EINTR storms, resets) are
+ *    emulated through the SocketFaultInjector hook in serve/socket:
+ *    the ScriptedFaultInjector here is armed for a bounded number of
+ *    operations, the case is driven, and the injector is disarmed
+ *    before the next health probe.
+ *  - Client-side kinds (stalled peer, slow-loris, truncated NDJSON,
+ *    oversized line, mid-line reset) are REAL misbehaving peers: the
+ *    driver speaks raw send/recv on a fresh connection, so the
+ *    injector never interferes with the driver's own I/O.
+ *
+ * Every case is bounded by a client-side wait deadline, so a server
+ * that hangs turns into a failed report, not a hung driver.
+ */
+
+#ifndef SPARSEPIPE_CHECK_CHAOS_HH
+#define SPARSEPIPE_CHECK_CHAOS_HH
+
+#include <atomic>
+#include <string>
+
+#include "check/fault.hh"
+#include "serve/protocol.hh"
+#include "serve/socket.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+namespace sparsepipe::check {
+
+/**
+ * A SocketFaultInjector driven by an armed (action, budget) pair per
+ * direction.  Thread-safe: connection threads consume the budget
+ * with atomic decrements; once it reaches zero the direction is
+ * transparent again.
+ */
+class ScriptedFaultInjector : public serve::SocketFaultInjector
+{
+  public:
+    /** Make the next `count` recv operations observe `action`. */
+    void
+    armRecv(Action action, int count)
+    {
+        recv_action_.store(action, std::memory_order_relaxed);
+        recv_left_.store(count, std::memory_order_release);
+    }
+
+    /** Make the next `count` send operations observe `action`. */
+    void
+    armSend(Action action, int count)
+    {
+        send_action_.store(action, std::memory_order_relaxed);
+        send_left_.store(count, std::memory_order_release);
+    }
+
+    /** Back to a transparent transport. */
+    void
+    disarm()
+    {
+        recv_left_.store(0, std::memory_order_release);
+        send_left_.store(0, std::memory_order_release);
+    }
+
+    Action
+    onRecv(int fd) override
+    {
+        (void)fd;
+        return take(recv_left_, recv_action_);
+    }
+
+    Action
+    onSend(int fd) override
+    {
+        (void)fd;
+        return take(send_left_, send_action_);
+    }
+
+  private:
+    static Action
+    take(std::atomic<int> &left, const std::atomic<Action> &action)
+    {
+        int have = left.load(std::memory_order_acquire);
+        while (have > 0) {
+            if (left.compare_exchange_weak(
+                    have, have - 1, std::memory_order_acq_rel))
+                return action.load(std::memory_order_relaxed);
+        }
+        return Action::None;
+    }
+
+    std::atomic<Action> recv_action_{Action::None};
+    std::atomic<Action> send_action_{Action::None};
+    std::atomic<int> recv_left_{0};
+    std::atomic<int> send_left_{0};
+};
+
+/** Knobs of one chaos case. */
+struct ChaosCaseConfig
+{
+    /** The run request driven through the faulted transport. */
+    serve::Request request;
+    /**
+     * Client-side wait cap per response, ms.  A server that
+     * produces nothing within this budget is reported as a hang —
+     * the one outcome the chaos schedule must never contain.  Must
+     * comfortably exceed the server's idle/read timeouts.
+     */
+    int client_wait_ms = 10000;
+    /** Bytes sent for the oversized-line case (> the server cap). */
+    std::size_t oversized_bytes = 1 << 16;
+    /** Per-byte trickle delay of the slow-loris case, ms. */
+    int loris_delay_ms = 20;
+};
+
+/** Outcome of one chaos case, against its pinned expectation. */
+struct ChaosCaseReport
+{
+    TransportFaultKind kind = TransportFaultKind::ShortRead;
+    TransportExpectation expected;
+    bool pass = false;
+    /** What actually happened, for the failure log / JSON report. */
+    std::string detail;
+};
+
+/**
+ * Drive `kind` against the daemon at `addr`.  For server-side kinds
+ * the injector is armed for the case and disarmed before returning;
+ * for client-side kinds it is left untouched.  Never throws, never
+ * hangs longer than the configured client wait.
+ */
+ChaosCaseReport runChaosCase(const ListenAddress &addr,
+                             ScriptedFaultInjector &injector,
+                             TransportFaultKind kind,
+                             const ChaosCaseConfig &cfg);
+
+} // namespace sparsepipe::check
+
+#endif // SPARSEPIPE_CHECK_CHAOS_HH

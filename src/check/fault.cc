@@ -340,4 +340,66 @@ runFaultCase(const FaultPlan &plan)
     return report;
 }
 
+const char *
+transportFaultKindName(TransportFaultKind kind)
+{
+    switch (kind) {
+    case TransportFaultKind::ShortRead: return "short-read";
+    case TransportFaultKind::ShortWrite: return "short-write";
+    case TransportFaultKind::EintrStorm: return "eintr-storm";
+    case TransportFaultKind::RecvReset: return "recv-reset";
+    case TransportFaultKind::SendReset: return "send-reset";
+    case TransportFaultKind::StalledPeer: return "stalled-peer";
+    case TransportFaultKind::SlowLoris: return "slow-loris";
+    case TransportFaultKind::TruncatedNdjson:
+        return "truncated-ndjson";
+    case TransportFaultKind::OversizedLine: return "oversized-line";
+    case TransportFaultKind::MidLineReset: return "mid-line-reset";
+    case TransportFaultKind::Count_: break;
+    }
+    return "unknown-transport-fault";
+}
+
+TransportExpectation
+expectedTransportOutcome(TransportFaultKind kind)
+{
+    TransportExpectation exp;
+    switch (kind) {
+    case TransportFaultKind::ShortRead:
+    case TransportFaultKind::ShortWrite:
+    case TransportFaultKind::EintrStorm:
+        // A degraded transport is still a transport: the request
+        // must complete normally and the connection stays usable.
+        exp.response_expected = true;
+        exp.code = StatusCode::Ok;
+        exp.connection_closes = false;
+        return exp;
+    case TransportFaultKind::RecvReset:
+    case TransportFaultKind::SendReset:
+    case TransportFaultKind::TruncatedNdjson:
+    case TransportFaultKind::MidLineReset:
+        // The transport died mid-exchange: nothing to answer, the
+        // server just reclaims the connection.
+        exp.response_expected = false;
+        exp.connection_closes = true;
+        return exp;
+    case TransportFaultKind::StalledPeer:
+    case TransportFaultKind::SlowLoris:
+        exp.response_expected = true;
+        exp.code = StatusCode::DeadlineExceeded;
+        exp.connection_closes = true;
+        return exp;
+    case TransportFaultKind::OversizedLine:
+        exp.response_expected = true;
+        exp.code = StatusCode::InvalidInput;
+        exp.connection_closes = true;
+        return exp;
+    case TransportFaultKind::Count_:
+        break;
+    }
+    sp_panic("expectedTransportOutcome: bad kind %d",
+             static_cast<int>(kind));
+    __builtin_unreachable();
+}
+
 } // namespace sparsepipe

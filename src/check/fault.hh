@@ -84,6 +84,63 @@ struct FaultReport
  */
 FaultReport runFaultCase(const FaultPlan &plan);
 
+/**
+ * One way of breaking the serve transport.  The same discipline as
+ * FaultKind, one boundary further out: each kind has a pinned
+ * expected outcome (expectedTransportOutcome), and the chaos driver
+ * (check/chaos.hh, tools/sparsepipe_serve_chaos) asserts the server
+ * produces exactly that outcome — never a crash, a hang, or an
+ * unstructured error.
+ *
+ * Server-side kinds are emulated through the SocketFaultInjector
+ * hook in serve/socket; client-side kinds are real misbehaving
+ * clients driven over a live connection.
+ */
+enum class TransportFaultKind : int
+{
+    // Injected server-side (SocketFaultInjector).
+    ShortRead = 0,   ///< recv returns 1 byte at a time
+    ShortWrite,      ///< send accepts 1 byte at a time
+    EintrStorm,      ///< a burst of EINTRs on recv and send
+    RecvReset,       ///< recv fails with ECONNRESET mid-request
+    SendReset,       ///< send fails with EPIPE mid-response
+    // Driven client-side (a real misbehaving peer).
+    StalledPeer,     ///< connects, sends nothing, holds the socket
+    SlowLoris,       ///< trickles the request one byte at a time
+    TruncatedNdjson, ///< half a request line, then clean FIN
+    OversizedLine,   ///< one line larger than max_request_bytes
+    MidLineReset,    ///< half a request line, then RST (SO_LINGER 0)
+    Count_,          ///< number of kinds (cycle index with this)
+};
+
+/** @return stable name ("short-read", ...). */
+const char *transportFaultKindName(TransportFaultKind kind);
+
+/** The pinned server-visible outcome of one transport fault. */
+struct TransportExpectation
+{
+    /** The client must receive a response line (vs a clean close). */
+    bool response_expected = false;
+    /** Required response code when response_expected. */
+    StatusCode code = StatusCode::Ok;
+    /** The server must close the connection after the exchange. */
+    bool connection_closes = true;
+};
+
+/**
+ * @return the contract for `kind`:
+ *  - ShortRead / ShortWrite / EintrStorm are degraded but correct
+ *    transports: the request must still succeed (Ok, connection
+ *    stays usable);
+ *  - RecvReset / SendReset / TruncatedNdjson / MidLineReset kill the
+ *    transport mid-exchange: no response, clean server-side close;
+ *  - StalledPeer / SlowLoris must trip the idle / read timeout:
+ *    DeadlineExceeded response (best effort), then close;
+ *  - OversizedLine must come back InvalidInput, then close.
+ */
+TransportExpectation
+expectedTransportOutcome(TransportFaultKind kind);
+
 } // namespace sparsepipe
 
 #endif // SPARSEPIPE_CHECK_FAULT_HH

@@ -94,6 +94,19 @@ struct SparsepipeConfig
      */
     int band_threads = 1;
 
+    /**
+     * Cancellation poll budget in simulated cycles: an attached
+     * CancelToken is guaranteed a poll at least once every this many
+     * cycles of simulated time (on top of the per-stage-launch and
+     * per-iteration checks), so an expired deadline aborts the run
+     * within a bounded — and configurable — cycle budget.  Every
+     * poll is counted in SimStats::counters.cancel_polls; values
+     * below 1 are clamped to 1.  Purely an abort-latency knob: a
+     * run that is never cancelled produces identical stats for
+     * every value.
+     */
+    Idx cancel_poll_cycles = 4096;
+
     /** @return iso-GPU configuration (the paper's default). */
     static SparsepipeConfig isoGpu()
     {

@@ -42,6 +42,17 @@ struct PassEngine::Run
     Idx bands = 0;
     Idx total = 0; ///< stage instances incl. the IS drain tail
 
+    /**
+     * Cycle-budget cancellation poll: the next simulated tick at
+     * which execute() probes the token with pollNow() regardless of
+     * stage-launch cadence.  Stage launches can be arbitrarily far
+     * apart in simulated time (a huge column step is one launch), so
+     * the launch-site check alone does not bound abort latency in
+     * cycles; this one does, at cfg.cancel_poll_cycles granularity.
+     */
+    Tick next_poll = 0;
+    Tick poll_stride = 1;
+
     double per_step_read_bytes = 0.0;
     double per_step_ewise = 0.0;
     double per_band_write_bytes = 0.0;
@@ -75,6 +86,7 @@ struct PassEngine::Run
           is_arrival(sc.is_arrival), pre_reloaded(sc.pre_reloaded),
           data_ready(sc.data_ready)
     {
+        poll_stride = std::max<Tick>(1, cfg.cancel_poll_cycles);
         steps = b.steps();
         bands = b.bands();
         total = fused ? cfg.lag + std::max(steps, bands) : steps;
@@ -167,8 +179,10 @@ struct PassEngine::Run
         // Cooperative cancellation point: one relaxed load per stage
         // launch.  Unwinds through the event queue via SpError; all
         // pass state is per-run, so abandoning it is safe.
-        if (cancel)
+        if (cancel) {
+            ++stats.cancel_polls;
             throwIfError(cancel->check());
+        }
         execute(s, j);
     }
 
@@ -321,6 +335,15 @@ struct PassEngine::Run
     execute(Stage s, Idx j)
     {
         const Tick now = eq.now();
+        // Budget poll: bounds how far simulated time may advance
+        // between deadline probes.  pollNow() (not check()) so an
+        // expired deadline is seen on this very poll, not up to a
+        // stride of launch-site checks later.
+        if (cancel && now >= next_poll) {
+            ++stats.cancel_polls;
+            throwIfError(cancel->pollNow());
+            next_poll = now + poll_stride;
+        }
         switch (s) {
           case Load: {
             const Idx nnz_j = b.colStepNnz(j);

@@ -74,6 +74,8 @@ struct PassStats
     Idx demand_reload_events = 0;
     /** Band reloads the reload-ahead path hid. */
     Idx reload_ahead_events = 0;
+    /** Cancellation-token polls (stage launches + budget polls). */
+    Idx cancel_polls = 0;
 };
 
 /**

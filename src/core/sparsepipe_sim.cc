@@ -127,6 +127,7 @@ mergePass(SimStats &stats, const PassStats &ps)
     stats.counters.prefetch_denied_elems += ps.prefetch_denied_elems;
     stats.counters.demand_reload_events += ps.demand_reload_events;
     stats.counters.reload_ahead_events += ps.reload_ahead_events;
+    stats.counters.cancel_polls += ps.cancel_polls;
     ++stats.passes;
 }
 
@@ -249,8 +250,13 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
     if (an.leading_ops.empty()) {
         Tick t = 0;
         for (Idx it = 0; it < max_iters; ++it) {
-            if (cancel_)
-                throwIfError(cancel_->check());
+            // Once per iteration — cold enough for the unlatched
+            // pollNow(), so a deadline is seen on the next iteration
+            // boundary rather than a stride of checks later.
+            if (cancel_) {
+                ++stats.counters.cancel_polls;
+                throwIfError(cancel_->pollNow());
+            }
             const Tick t0 = t;
             Idx bytes = static_cast<Idx>(per_iter.vector_read_bytes +
                                          per_iter.vector_write_bytes);
@@ -306,8 +312,12 @@ SparsepipeSim::run(Workspace &ws, Idx max_iters)
 
     Idx it = 0;
     while (it < max_iters) {
-        if (cancel_)
-            throwIfError(cancel_->check());
+        // Iteration boundary: unlatched poll, same as the element
+        // path above (the hot per-event checks live in PassEngine).
+        if (cancel_) {
+            ++stats.counters.cancel_polls;
+            throwIfError(cancel_->pollNow());
+        }
         bool pass_this_iter = false;
         bool pairs_next = false;
         if (plan.mode == ScheduleMode::CrossIteration &&

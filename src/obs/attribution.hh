@@ -169,6 +169,15 @@ struct ObsCounters
     Idx reload_ahead_events = 0;
     /** Non-empty (step, band) bucket occupancy histogram. */
     std::array<Idx, kOccupancyBins> bucket_occupancy = {};
+    /**
+     * Cancellation-token polls the engine performed: stage launches,
+     * per-iteration checks, and the cycle-budget polls driven by
+     * SparsepipeConfig::cancel_poll_cycles.  0 when no token is
+     * attached, so equivalence tests comparing tokenless runs are
+     * unaffected.  Excluded from the metrics-v1 dump (it measures
+     * the harness, not the modelled hardware).
+     */
+    Idx cancel_polls = 0;
 };
 
 } // namespace sparsepipe::obs

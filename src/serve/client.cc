@@ -3,8 +3,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace sparsepipe::serve {
 
@@ -14,7 +17,7 @@ Client::connect(const ListenAddress &addr)
     StatusOr<Socket> sock = connectTcp(addr);
     if (!sock.ok())
         return sock.status();
-    return Client(std::move(sock).value());
+    return Client(std::move(sock).value(), addr);
 }
 
 StatusOr<Response>
@@ -28,6 +31,59 @@ Client::call(const Request &req)
         return Status(line.status())
             .withContext("waiting for response");
     return parseResponse(*line);
+}
+
+StatusOr<Response>
+Client::callWithRetry(const Request &req, const RetryPolicy &policy)
+{
+    const int attempts = std::max(1, policy.max_attempts);
+    StatusOr<Response> last = call(req);
+    for (int attempt = 1; attempt < attempts; ++attempt) {
+        long long hint_ms = 0;
+        if (last.ok()) {
+            switch (last->status.code()) {
+              case StatusCode::ResourceExhausted:
+                hint_ms = last->retry_after_ms;
+                break;
+              case StatusCode::DeadlineExceeded:
+              case StatusCode::Cancelled:
+                // Explicit retry_after_ms of 0: safe to go again
+                // with a fresh budget (the idempotent coalesce key
+                // guarantees re-running is harmless).
+                break;
+              default:
+                return last; // Ok, or a terminal error
+            }
+        } else if (last.status().code() != StatusCode::IoError) {
+            return last; // non-transport failure: do not retry
+        }
+
+        // Capped exponential backoff, never under the server's
+        // Retry-After hint.
+        long long backoff_ms = policy.base_backoff_ms > 0
+            ? static_cast<long long>(policy.base_backoff_ms)
+                  << std::min(attempt - 1, 20)
+            : 0;
+        backoff_ms = std::min<long long>(
+            backoff_ms, std::max(0, policy.max_backoff_ms));
+        backoff_ms = std::max(backoff_ms, hint_ms);
+        if (backoff_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+
+        if (!last.ok()) {
+            // Transport death: the socket is useless, reconnect.
+            StatusOr<Client> fresh = connect(addr_);
+            if (!fresh.ok()) {
+                last = fresh.status();
+                continue;
+            }
+            sock_ = std::move(fresh->sock_);
+            reader_.reset(); // drop bytes of the dead connection
+        }
+        last = call(req);
+    }
+    return last;
 }
 
 StatusOr<std::string>

@@ -18,6 +18,30 @@
 
 namespace sparsepipe::serve {
 
+/**
+ * Retry discipline for callWithRetry: capped exponential backoff,
+ * deferring to the server's retry_after_ms hint when it is larger.
+ * Retrying is always SAFE against this protocol — a run request is
+ * idempotent by construction (its coalesce key names the work, and
+ * re-running the same key either joins an in-flight run or replays
+ * a deterministic simulation) — so the policy only decides when a
+ * retry is USEFUL:
+ *  - transport IoError: reconnect and retry (the daemon may have
+ *    restarted, or chaos killed the connection);
+ *  - ResourceExhausted: back off at least retry_after_ms;
+ *  - DeadlineExceeded / Cancelled responses: retry with a fresh
+ *    budget after the backoff (their retry_after_ms is 0);
+ *  - anything else (InvalidInput, Internal): terminal, no retry.
+ */
+struct RetryPolicy
+{
+    /** Total attempts, first try included (1 = no retries). */
+    int max_attempts = 4;
+    /** Backoff before retry k is base << (k-1), capped below. */
+    int base_backoff_ms = 10;
+    int max_backoff_ms = 2000;
+};
+
 /** One NDJSON connection to a serve daemon. */
 class Client
 {
@@ -33,17 +57,30 @@ class Client
      */
     StatusOr<Response> call(const Request &req);
 
+    /**
+     * call() under a RetryPolicy: transport failures reconnect to
+     * the address this client was built from, retryable response
+     * codes back off and go again, terminal responses return as-is.
+     * The StatusOr is non-Ok only when the transport still fails on
+     * the final attempt.
+     */
+    StatusOr<Response> callWithRetry(const Request &req,
+                                     const RetryPolicy &policy);
+
   private:
-    explicit Client(Socket sock)
-        : sock_(std::move(sock)), reader_(sock_) {}
+    Client(Socket sock, ListenAddress addr)
+        : sock_(std::move(sock)), reader_(sock_),
+          addr_(std::move(addr)) {}
 
     Socket sock_;
     LineReader reader_;
+    ListenAddress addr_;
 
   public:
     /** Movable so StatusOr<Client> composes. */
     Client(Client &&other) noexcept
-        : sock_(std::move(other.sock_)), reader_(sock_) {}
+        : sock_(std::move(other.sock_)), reader_(sock_),
+          addr_(std::move(other.addr_)) {}
     Client &operator=(Client &&) = delete;
 };
 

@@ -226,8 +226,18 @@ encodeResponse(const Response &resp)
         out << ",\"code\":\"" << statusCodeName(resp.status.code())
             << "\",\"error\":\""
             << obs::jsonEscape(resp.status.message()) << "\"";
-        if (resp.retry_after_ms > 0)
+        // Shed responses carry their backoff hint; deadline and
+        // cancellation failures carry an explicit 0 so a client can
+        // distinguish "retry now with a fresh budget" from
+        // admission-shed backoff (and from terminal errors, which
+        // omit the field entirely).
+        const StatusCode code = resp.status.code();
+        if (resp.retry_after_ms > 0) {
             out << ",\"retry_after_ms\":" << resp.retry_after_ms;
+        } else if (code == StatusCode::DeadlineExceeded ||
+                   code == StatusCode::Cancelled) {
+            out << ",\"retry_after_ms\":0";
+        }
     }
     out << "}";
     return out.str();

@@ -23,8 +23,11 @@
  *   {"id":"r1","ok":false,"code":"resource-exhausted",
  *    "error":"...","retry_after_ms":50}
  *
- * `retry_after_ms` is only present on shed responses — the client's
- * cue to back off and retry, the Retry-After of this protocol.
+ * `retry_after_ms` is the Retry-After of this protocol: > 0 on shed
+ * responses (back off, then retry), an explicit 0 on
+ * deadline-exceeded / cancelled responses (safe to retry immediately
+ * with a fresh budget — runs are idempotent by coalesce key), and
+ * absent on terminal errors (retrying will not help).
  */
 
 #ifndef SPARSEPIPE_SERVE_PROTOCOL_HH
@@ -70,7 +73,10 @@ struct Response
     Status status;
     /** This response reused another request's in-flight run. */
     bool coalesced = false;
-    /** Present (> 0) only on shed responses. */
+    /**
+     * Backoff hint: > 0 on shed responses, 0 (encoded explicitly)
+     * on DeadlineExceeded / Cancelled, omitted otherwise.
+     */
     long long retry_after_ms = 0;
     long long cycles = 0;
     long long nnz = 0;

@@ -1,7 +1,6 @@
 #include "serve/server.hh"
 
 #include <chrono>
-#include <future>
 #include <sstream>
 #include <utility>
 
@@ -135,11 +134,38 @@ Server::serveConnection(Socket sock)
 {
     counters_.active_connections.fetch_add(1);
     LineReader reader(sock);
+    LineReader::Limits limits;
+    limits.idle_timeout_ms = config_.idle_timeout_ms;
+    limits.line_timeout_ms = config_.line_timeout_ms;
+    limits.max_line_bytes = config_.max_request_bytes;
+    reader.setLimits(limits);
     bool first_line = true;
+    long long served = 0;
     for (;;) {
         StatusOr<std::string> line = reader.readLine(&drain_);
-        if (!line.ok())
-            break; // client gone, or draining between requests
+        if (!line.ok()) {
+            const Status &status = line.status();
+            if (status.code() == StatusCode::DeadlineExceeded) {
+                // Idle or slow-loris timeout: tell the peer why
+                // (best effort — it may not be reading), then drop.
+                const bool idle =
+                    status.message().rfind("idle", 0) == 0;
+                (idle ? counters_.timeout_idle
+                      : counters_.timeout_read)
+                    .fetch_add(1);
+                Response resp;
+                resp.status = status;
+                (void)writeAll(sock, encodeResponse(resp) + "\n");
+            } else if (status.code() == StatusCode::InvalidInput) {
+                // Oversized line: framing is lost, so answer once
+                // and close rather than resynchronize.
+                counters_.oversized_line.fetch_add(1);
+                Response resp;
+                resp.status = status;
+                (void)writeAll(sock, encodeResponse(resp) + "\n");
+            }
+            break; // client gone, draining, timed out, or oversized
+        }
         if (first_line && line->rfind("GET ", 0) == 0) {
             serveScrape(sock, reader, *line);
             break;
@@ -159,6 +185,12 @@ Server::serveConnection(Socket sock)
         }
         if (!writeAll(sock, encodeResponse(resp) + "\n").ok())
             break;
+        ++served;
+        if (config_.max_requests_per_conn > 0 &&
+            served >= config_.max_requests_per_conn) {
+            counters_.keepalive_closed.fetch_add(1);
+            break;
+        }
     }
     counters_.active_connections.fetch_sub(1);
 }
@@ -228,36 +260,104 @@ Server::handleRequest(const Request &req)
         return resp;
     }
 
-    const Clock::time_point start = Clock::now();
-    Coalescer<StatusOr<api::RunReport>>::Outcome outcome =
-        coalescer_.runOrJoin(coalesceKey(req), [&] {
-            return executeLeader(req);
-        });
-    resp.elapsed_us = microsSince(start);
-    resp.coalesced = !outcome.leader;
+    // Resolve the request's time budget up front.  A non-positive
+    // explicit deadline is already expired: answer DeadlineExceeded
+    // without touching the coalescer, admission, or the pool — the
+    // "never starts a sim" guarantee the tests pin.
+    const long long deadline_ms = req.deadline_ms != 0
+                                      ? req.deadline_ms
+                                      : config_.default_deadline_ms;
+    if (req.deadline_ms < 0) {
+        counters_.timeout_pre_expired.fetch_add(1);
+        counters_.responses_error.fetch_add(1);
+        resp.status = deadlineExceeded(
+            "deadline already expired (deadline_ms = %lld)",
+            req.deadline_ms);
+        return resp;
+    }
 
-    const StatusOr<api::RunReport> &result = *outcome.result;
-    if (result.ok()) {
+    const Clock::time_point start = Clock::now();
+    Coalescer<StatusOr<api::RunReport>>::Deadline deadline;
+    if (deadline_ms > 0)
+        deadline = start + std::chrono::milliseconds(deadline_ms);
+
+    // Join (or create) the flight for this request's coalesce key.
+    // The computation runs on the worker pool, NOT on this
+    // connection thread: every waiter — leader included — only
+    // waits, so a waiter whose deadline expires detaches without
+    // killing the run the other waiters are riding.  The flight's
+    // token (chained to the abort root) is cancelled only when the
+    // last waiter leaves, and the simulator notices within its
+    // cancellation poll budget.
+    const std::string key = coalesceKey(req);
+    Coalescer<StatusOr<api::RunReport>>::Join join =
+        coalescer_.begin(key, &abort_);
+    resp.coalesced = !join.leader;
+    if (join.leader) {
+        // Admission on the connection thread, so shedding still
+        // reflects concurrent *requests*, not pool slots.  The
+        // ticket rides in the task closure and is released when the
+        // run finishes.
+        StatusOr<Ticket> ticket =
+            admission_.tryAdmit(estimateResidentBytes(req.dataset));
+        if (!ticket.ok()) {
+            coalescer_.complete(
+                key, join.flight,
+                StatusOr<api::RunReport>(ticket.status()));
+        } else {
+            auto held = std::make_shared<Ticket>(
+                std::move(ticket).value());
+            auto flight = join.flight;
+            const Request req_copy = req;
+            pool_.submit([this, key, flight, req_copy, held] {
+                coalescer_.complete(
+                    key, flight,
+                    executeFlight(req_copy, flight->token()));
+            });
+        }
+    }
+
+    std::shared_ptr<const StatusOr<api::RunReport>> result =
+        coalescer_.wait(join.flight, deadline);
+    resp.elapsed_us = microsSince(start);
+    if (!result) {
+        // Detached: this waiter's deadline expired mid-flight.
+        counters_.timeout_waiter.fetch_add(1);
+        counters_.responses_error.fetch_add(1);
+        resp.status = deadlineExceeded(
+            "deadline of %lld ms expired while the run was in "
+            "flight", deadline_ms);
+        return resp;
+    }
+
+    if (result->ok()) {
         counters_.responses_ok.fetch_add(1);
-        resp.cycles = static_cast<long long>(result->stats.cycles);
-        resp.nnz = static_cast<long long>(result->nnz);
+        resp.cycles =
+            static_cast<long long>((*result)->stats.cycles);
+        resp.nnz = static_cast<long long>((*result)->nnz);
     } else {
         counters_.responses_error.fetch_add(1);
-        resp.status = result.status();
-        if (resp.status.code() == StatusCode::ResourceExhausted)
+        resp.status = result->status();
+        switch (resp.status.code()) {
+          case StatusCode::ResourceExhausted:
             resp.retry_after_ms = admission_.retryAfterMs();
+            break;
+          case StatusCode::Cancelled:
+            counters_.sim_cancelled.fetch_add(1);
+            break;
+          case StatusCode::DeadlineExceeded:
+            counters_.sim_deadline.fetch_add(1);
+            break;
+          default:
+            break;
+        }
     }
     return resp;
 }
 
 StatusOr<api::RunReport>
-Server::executeLeader(const Request &req)
+Server::executeFlight(const Request &req, const CancelToken &token)
 {
-    StatusOr<Ticket> ticket =
-        admission_.tryAdmit(estimateResidentBytes(req.dataset));
-    if (!ticket.ok())
-        return ticket.status();
-
     api::RunRequest rr;
     rr.app = req.app;
     rr.dataset = req.dataset;
@@ -273,33 +373,19 @@ Server::executeLeader(const Request &req)
     if (req.buffer_kb > 0)
         rr.sp.buffer_bytes = static_cast<Idx>(req.buffer_kb) * 1024;
 
-    // Per-request token: chained to the abort root (requestAbort /
-    // the daemon's second SIGINT unwinds the simulation), with the
-    // request's own deadline armed on top.
-    CancelToken token(&abort_);
-    const long long deadline_ms = req.deadline_ms > 0
-                                      ? req.deadline_ms
-                                      : config_.default_deadline_ms;
-    if (deadline_ms > 0)
-        token.setDeadlineAfterMs(deadline_ms);
+    // The flight's token: cancelled by requestAbort() (its parent)
+    // or by the last waiter detaching.  Deliberately NOT armed with
+    // any single request's deadline — waiters each enforce their own
+    // in Coalescer::wait(), so a follower with a longer budget is
+    // not killed by the leader's shorter one.
     rr.cancel = &token;
 
     counters_.sim_runs.fetch_add(1);
-    // The simulation itself runs on the pool so concurrency is
-    // bounded by `jobs`, not by connection count; the connection
-    // thread (and any coalesced followers) block on the result.
-    std::promise<StatusOr<api::RunReport>> done;
-    std::future<StatusOr<api::RunReport>> result =
-        done.get_future();
-    pool_.submit([this, &rr, &done] {
-        try {
-            done.set_value(session_.run(rr));
-        } catch (...) {
-            done.set_value(statusFromCurrentException());
-        }
-    });
-    return result.get();
-    // `ticket` releases the admission slot here, after the run.
+    try {
+        return session_.run(rr);
+    } catch (...) {
+        return statusFromCurrentException();
+    }
 }
 
 void
@@ -342,6 +428,44 @@ Server::fillMetrics(obs::MetricsRegistry &reg)
             static_cast<double>(co.followers));
     reg.set("serve.coalesce_leaders",
             static_cast<double>(co.leaders));
+
+    reg.set("serve.timeout.pre_expired",
+            static_cast<double>(
+                counters_.timeout_pre_expired.load()));
+    reg.set("serve.timeout.idle",
+            static_cast<double>(counters_.timeout_idle.load()));
+    reg.set("serve.timeout.read",
+            static_cast<double>(counters_.timeout_read.load()));
+    reg.set("serve.timeout.waiter_deadline",
+            static_cast<double>(counters_.timeout_waiter.load()));
+
+    reg.set("serve.cancel.detached",
+            static_cast<double>(co.detached));
+    reg.set("serve.cancel.flights_cancelled",
+            static_cast<double>(co.flights_cancelled));
+    reg.set("serve.cancel.sim_cancelled",
+            static_cast<double>(counters_.sim_cancelled.load()));
+    reg.set("serve.cancel.sim_deadline",
+            static_cast<double>(counters_.sim_deadline.load()));
+
+    reg.set("serve.conn.oversized_line",
+            static_cast<double>(counters_.oversized_line.load()));
+    reg.set("serve.conn.keepalive_closed",
+            static_cast<double>(counters_.keepalive_closed.load()));
+
+    const SocketFaultCounters chaos = socketFaultCounters();
+    reg.set("serve.chaos.short_reads",
+            static_cast<double>(chaos.short_reads));
+    reg.set("serve.chaos.short_writes",
+            static_cast<double>(chaos.short_writes));
+    reg.set("serve.chaos.eintr",
+            static_cast<double>(chaos.eintr));
+    reg.set("serve.chaos.recv_resets",
+            static_cast<double>(chaos.recv_resets));
+    reg.set("serve.chaos.send_resets",
+            static_cast<double>(chaos.send_resets));
+    reg.set("serve.chaos.injected_total",
+            static_cast<double>(chaos.total()));
 
     const api::Session::CacheStatsSnapshot cache =
         session_.cacheStats();

@@ -7,11 +7,22 @@
  * Request path (one connection thread per client, simulations on
  * the runner's ThreadPool):
  *
- *   read line -> parse -> [drain? reject] -> coalesce ->
+ *   read line (idle/read timeouts + size cap) -> parse ->
+ *   [drain? reject] [deadline already expired? reject] -> coalesce ->
  *     leader: admission (queue depth + memory budget, shed with
  *             Retry-After) -> ThreadPool -> api::Session::run
- *     follower: block on the leader's shared result
+ *     follower: join the flight
+ *   -> every waiter blocks with its OWN deadline; a waiter that
+ *      times out detaches with DeadlineExceeded, and only when the
+ *      last waiter detaches is the flight's CancelToken fired, so
+ *      the simulation stops burning a pool slot within its
+ *      cancellation poll budget
  *   -> encode response line
+ *
+ * The flight's CancelToken chains to the abort root and is polled by
+ * the simulator every SparsepipeConfig::cancel_poll_cycles simulated
+ * cycles, so both an abort and an abandoned flight unwind within a
+ * bounded cycle budget (DESIGN.md section 9 has the state machine).
  *
  * The shared Session means every tenant hits the same
  * prepared-operand caches (LRU-bounded via setCacheCapacities), and
@@ -67,6 +78,19 @@ struct ServerConfig
     AdmissionController::Config admission;
     /** Deadline for requests that do not set one (0 = none). */
     long long default_deadline_ms = 0;
+    /**
+     * Connection hardening (all 0 = off, the pre-hardening
+     * behavior).  idle_timeout_ms bounds the wait for the next
+     * request on a keep-alive connection; line_timeout_ms bounds
+     * first-byte-to-newline (slow-loris defense); max_request_bytes
+     * caps one request line; max_requests_per_conn closes a
+     * connection after that many served requests (keep-alive limit,
+     * so one client cannot pin a connection thread forever).
+     */
+    int idle_timeout_ms = 0;
+    int line_timeout_ms = 0;
+    std::size_t max_request_bytes = 1 << 20;
+    long long max_requests_per_conn = 0;
     /** LRU bounds for the Session cache layers (0 = unbounded). */
     std::size_t raw_cache_capacity = 16;
     std::size_t reordered_cache_capacity = 16;
@@ -89,6 +113,23 @@ struct ServeCounters
     std::atomic<std::uint64_t> connections{0};
     std::atomic<std::uint64_t> active_connections{0};
     std::atomic<std::uint64_t> scrapes{0};
+
+    /** Requests whose deadline had expired before admission. */
+    std::atomic<std::uint64_t> timeout_pre_expired{0};
+    /** Connections closed by the idle timeout. */
+    std::atomic<std::uint64_t> timeout_idle{0};
+    /** Connections closed by the slow-loris read timeout. */
+    std::atomic<std::uint64_t> timeout_read{0};
+    /** Waiters whose deadline expired mid-flight (detached). */
+    std::atomic<std::uint64_t> timeout_waiter{0};
+    /** Simulations that unwound with Cancelled. */
+    std::atomic<std::uint64_t> sim_cancelled{0};
+    /** Simulations that unwound with DeadlineExceeded. */
+    std::atomic<std::uint64_t> sim_deadline{0};
+    /** Connections closed for an oversized request line. */
+    std::atomic<std::uint64_t> oversized_line{0};
+    /** Connections closed by the keep-alive request limit. */
+    std::atomic<std::uint64_t> keepalive_closed{0};
 };
 
 class Server
@@ -140,7 +181,8 @@ class Server
     void serveScrape(Socket &sock, LineReader &reader,
                      const std::string &request_line);
     Response handleRequest(const Request &req);
-    StatusOr<api::RunReport> executeLeader(const Request &req);
+    StatusOr<api::RunReport> executeFlight(const Request &req,
+                                           const CancelToken &token);
 
     const ServerConfig config_;
     api::Session session_;

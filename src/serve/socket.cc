@@ -7,12 +7,30 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace sparsepipe::serve {
 
 namespace {
+
+/** Process-wide injector hook (testing only; see socket.hh). */
+std::atomic<SocketFaultInjector *> g_fault_injector{nullptr};
+
+/** Injected-fault tally, mirrored on /metrics as serve.chaos.*. */
+struct FaultTally
+{
+    std::atomic<std::uint64_t> short_reads{0};
+    std::atomic<std::uint64_t> short_writes{0};
+    std::atomic<std::uint64_t> eintr{0};
+    std::atomic<std::uint64_t> recv_resets{0};
+    std::atomic<std::uint64_t> send_resets{0};
+};
+
+FaultTally g_fault_tally;
 
 /** Resolve the (numeric / localhost) host into a sockaddr_in. */
 Status
@@ -37,6 +55,28 @@ errnoError(const char *op)
 }
 
 } // anonymous namespace
+
+void
+setSocketFaultInjector(SocketFaultInjector *injector)
+{
+    g_fault_injector.store(injector, std::memory_order_release);
+}
+
+SocketFaultCounters
+socketFaultCounters()
+{
+    SocketFaultCounters out;
+    out.short_reads =
+        g_fault_tally.short_reads.load(std::memory_order_relaxed);
+    out.short_writes =
+        g_fault_tally.short_writes.load(std::memory_order_relaxed);
+    out.eintr = g_fault_tally.eintr.load(std::memory_order_relaxed);
+    out.recv_resets =
+        g_fault_tally.recv_resets.load(std::memory_order_relaxed);
+    out.send_resets =
+        g_fault_tally.send_resets.load(std::memory_order_relaxed);
+    return out;
+}
 
 void
 Socket::close()
@@ -145,9 +185,33 @@ writeAll(const Socket &sock, std::string_view data)
 {
     std::size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n =
-            ::send(sock.fd(), data.data() + sent,
-                   data.size() - sent, MSG_NOSIGNAL);
+        std::size_t len = data.size() - sent;
+        if (SocketFaultInjector *inj = g_fault_injector.load(
+                std::memory_order_acquire)) {
+            switch (inj->onSend(sock.fd())) {
+              case SocketFaultInjector::Action::None:
+              case SocketFaultInjector::Action::ShortRead:
+                break;
+              case SocketFaultInjector::Action::ShortWrite:
+                g_fault_tally.short_writes.fetch_add(
+                    1, std::memory_order_relaxed);
+                len = 1;
+                break;
+              case SocketFaultInjector::Action::Eintr:
+                // The retry path an interrupted send exercises,
+                // without depending on real signal timing.
+                g_fault_tally.eintr.fetch_add(
+                    1, std::memory_order_relaxed);
+                continue;
+              case SocketFaultInjector::Action::Reset:
+                g_fault_tally.send_resets.fetch_add(
+                    1, std::memory_order_relaxed);
+                return ioError("send failed: %s",
+                               std::strerror(EPIPE));
+            }
+        }
+        const ssize_t n = ::send(sock.fd(), data.data() + sent, len,
+                                 MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -161,19 +225,71 @@ writeAll(const Socket &sock, std::string_view data)
 StatusOr<std::string>
 LineReader::readLine(const CancelToken *stop, int poll_ms)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point entered = Clock::now();
+    // The line currently being assembled started when its first byte
+    // landed; data already buffered counts as started now.
+    Clock::time_point line_start = entered;
+    bool line_started = !buffer_.empty();
+
     for (;;) {
         const std::size_t nl = buffer_.find('\n');
         if (nl != std::string::npos) {
+            if (limits_.max_line_bytes > 0 &&
+                nl > limits_.max_line_bytes) {
+                return invalidInput(
+                    "request line of %zu bytes exceeds the %zu-byte "
+                    "cap", nl, limits_.max_line_bytes);
+            }
             std::string line = buffer_.substr(0, nl);
             buffer_.erase(0, nl + 1);
             if (!line.empty() && line.back() == '\r')
                 line.pop_back();
             return line;
         }
+        if (limits_.max_line_bytes > 0 &&
+            buffer_.size() > limits_.max_line_bytes) {
+            return invalidInput(
+                "request line exceeds the %zu-byte cap without a "
+                "newline", limits_.max_line_bytes);
+        }
         if (stop && stop->cancelled())
             return cancelledError("read loop cancelled");
+
+        // Idle / slow-loris defense: cap the wait for the line's
+        // first byte, and separately the first-byte-to-newline span.
+        int wait_ms = stop ? poll_ms : -1;
+        if (!line_started && limits_.idle_timeout_ms > 0) {
+            const auto left =
+                std::chrono::milliseconds(limits_.idle_timeout_ms) -
+                (Clock::now() - entered);
+            if (left <= std::chrono::milliseconds(0))
+                return deadlineExceeded(
+                    "idle timeout: no request within %d ms",
+                    limits_.idle_timeout_ms);
+            const int left_ms = static_cast<int>(
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(left).count()) + 1;
+            wait_ms = wait_ms < 0 ? left_ms
+                                  : std::min(wait_ms, left_ms);
+        }
+        if (line_started && limits_.line_timeout_ms > 0) {
+            const auto left =
+                std::chrono::milliseconds(limits_.line_timeout_ms) -
+                (Clock::now() - line_start);
+            if (left <= std::chrono::milliseconds(0))
+                return deadlineExceeded(
+                    "read timeout: request line not completed "
+                    "within %d ms", limits_.line_timeout_ms);
+            const int left_ms = static_cast<int>(
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(left).count()) + 1;
+            wait_ms = wait_ms < 0 ? left_ms
+                                  : std::min(wait_ms, left_ms);
+        }
+
         pollfd pfd{sock_.fd(), POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, stop ? poll_ms : -1);
+        const int ready = ::poll(&pfd, 1, wait_ms);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
@@ -182,7 +298,30 @@ LineReader::readLine(const CancelToken *stop, int poll_ms)
         if (ready == 0)
             continue;
         char chunk[4096];
-        const ssize_t n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+        std::size_t want = sizeof chunk;
+        if (SocketFaultInjector *inj = g_fault_injector.load(
+                std::memory_order_acquire)) {
+            switch (inj->onRecv(sock_.fd())) {
+              case SocketFaultInjector::Action::None:
+              case SocketFaultInjector::Action::ShortWrite:
+                break;
+              case SocketFaultInjector::Action::ShortRead:
+                g_fault_tally.short_reads.fetch_add(
+                    1, std::memory_order_relaxed);
+                want = 1;
+                break;
+              case SocketFaultInjector::Action::Eintr:
+                g_fault_tally.eintr.fetch_add(
+                    1, std::memory_order_relaxed);
+                continue;
+              case SocketFaultInjector::Action::Reset:
+                g_fault_tally.recv_resets.fetch_add(
+                    1, std::memory_order_relaxed);
+                return ioError("recv failed: %s",
+                               std::strerror(ECONNRESET));
+            }
+        }
+        const ssize_t n = ::recv(sock_.fd(), chunk, want, 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -190,6 +329,10 @@ LineReader::readLine(const CancelToken *stop, int poll_ms)
         }
         if (n == 0)
             return ioError("connection closed");
+        if (!line_started) {
+            line_started = true;
+            line_start = Clock::now();
+        }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
 }

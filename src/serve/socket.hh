@@ -17,6 +17,7 @@
 #ifndef SPARSEPIPE_SERVE_SOCKET_HH
 #define SPARSEPIPE_SERVE_SOCKET_HH
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -24,6 +25,66 @@
 #include "util/status.hh"
 
 namespace sparsepipe::serve {
+
+/**
+ * Test hook for transport chaos injection: when installed (see
+ * setSocketFaultInjector), every recv in LineReader and every send in
+ * writeAll first asks the injector what to do.  Implementations must
+ * be thread-safe — connection threads call concurrently.
+ *
+ * Faults are *emulated* at the wrapper layer rather than played
+ * against the kernel, so a scripted schedule is deterministic: a
+ * ShortRead really reads one byte, an Eintr iterates the retry path
+ * without a syscall, a Reset surfaces exactly the errno a torn
+ * connection would.
+ */
+class SocketFaultInjector
+{
+  public:
+    enum class Action
+    {
+        None,       ///< perform the operation normally
+        ShortRead,  ///< recv at most 1 byte this call
+        ShortWrite, ///< send at most 1 byte this call
+        Eintr,      ///< behave as if the syscall returned EINTR
+        Reset,      ///< behave as if the peer reset (ECONNRESET/EPIPE)
+    };
+
+    virtual ~SocketFaultInjector() = default;
+
+    /** Consulted before each recv in LineReader::readLine. */
+    virtual Action onRecv(int fd) = 0;
+    /** Consulted before each send in writeAll. */
+    virtual Action onSend(int fd) = 0;
+};
+
+/**
+ * Install (or with nullptr remove) the process-wide fault injector.
+ * Testing-only: production daemons never call this.  The caller
+ * must keep the injector alive until it is uninstalled and all
+ * socket operations have drained.
+ */
+void setSocketFaultInjector(SocketFaultInjector *injector);
+
+/** Monotonic process-wide tally of injected faults, for /metrics. */
+struct SocketFaultCounters
+{
+    std::uint64_t short_reads = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t eintr = 0;
+    std::uint64_t recv_resets = 0;
+    std::uint64_t send_resets = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return short_reads + short_writes + eintr + recv_resets +
+               send_resets;
+    }
+};
+
+/** @return a snapshot of the injected-fault tally. */
+SocketFaultCounters socketFaultCounters();
 
 /** An owned socket file descriptor (move-only, closes on destroy). */
 class Socket
@@ -95,12 +156,42 @@ Status writeAll(const Socket &sock, std::string_view data);
  * lines parse too) and returns:
  *  - the line, on success;
  *  - IoError "connection closed" on clean EOF;
- *  - Cancelled when `stop` fires between polls.
+ *  - Cancelled when `stop` fires between polls;
+ *  - DeadlineExceeded when a Limits timeout trips;
+ *  - InvalidInput when a line exceeds Limits::max_line_bytes.
  */
 class LineReader
 {
   public:
+    /**
+     * Per-connection defenses, all off (0) by default so existing
+     * single-shot tools keep blocking semantics:
+     *  - idle_timeout_ms: max wait for the FIRST byte of the next
+     *    line (bounds how long an idle keep-alive connection pins a
+     *    thread);
+     *  - line_timeout_ms: max from first byte to newline (defeats a
+     *    slow-loris peer trickling one byte per poll);
+     *  - max_line_bytes: cap on a single line (defeats an
+     *    oversized-request memory bomb; the connection should be
+     *    closed after the error since framing is lost).
+     */
+    struct Limits
+    {
+        int idle_timeout_ms = 0;
+        int line_timeout_ms = 0;
+        std::size_t max_line_bytes = 0;
+    };
+
     explicit LineReader(const Socket &sock) : sock_(sock) {}
+
+    void setLimits(const Limits &limits) { limits_ = limits; }
+
+    /**
+     * Drop any buffered bytes.  Required after the underlying
+     * Socket is replaced (client reconnect): leftovers from the
+     * dead connection must not leak into the next response.
+     */
+    void reset() { buffer_.clear(); }
 
     StatusOr<std::string> readLine(const CancelToken *stop = nullptr,
                                    int poll_ms = 50);
@@ -108,6 +199,7 @@ class LineReader
   private:
     const Socket &sock_;
     std::string buffer_;
+    Limits limits_;
 };
 
 } // namespace sparsepipe::serve

@@ -295,6 +295,25 @@ class CancelToken
     }
 
     /**
+     * check() without the stride latch: probes the deadline clock on
+     * every call.  For the engines' *budget* polls — the bounded-cost
+     * periodic poll that fires once per cancel_poll_cycles of
+     * simulated time — where the whole point is that an expired
+     * deadline is observed on the very next poll, not up to
+     * kDeadlineStride polls later.
+     */
+    Status
+    pollNow() const
+    {
+        if (cancelled())
+            return Status(StatusCode::Cancelled, "cancelled");
+        if (deadlineExpired())
+            return Status(StatusCode::DeadlineExceeded,
+                          "deadline exceeded");
+        return okStatus();
+    }
+
+    /**
      * Ok while the job may continue; Cancelled / DeadlineExceeded
      * once it must unwind.  Cheap enough for per-column-step use.
      */

@@ -326,5 +326,45 @@ TEST(Fault, EveryKindSurfacesTheExpectedStatus)
     }
 }
 
+TEST(Fault, TransportFaultTableIsTotalAndSelfConsistent)
+{
+    // Every transport fault kind has a stable name and a pinned
+    // expectation, and the expectation is internally coherent: a
+    // caller can only observe a Status code when a response is
+    // expected at all.
+    for (int k = 0;
+         k < static_cast<int>(TransportFaultKind::Count_); ++k) {
+        const auto kind = static_cast<TransportFaultKind>(k);
+        const char *name = transportFaultKindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+        const TransportExpectation want =
+            expectedTransportOutcome(kind);
+        if (!want.response_expected) {
+            // No response: the only observable is the close.
+            EXPECT_TRUE(want.connection_closes)
+                << name << ": no response and no close would be "
+                "indistinguishable from a hang";
+        }
+    }
+    // Spot-pin the contract rows the chaos tool leans on hardest.
+    EXPECT_EQ(std::string(transportFaultKindName(
+                  TransportFaultKind::SlowLoris)),
+              "slow-loris");
+    const TransportExpectation loris =
+        expectedTransportOutcome(TransportFaultKind::SlowLoris);
+    EXPECT_TRUE(loris.response_expected);
+    EXPECT_EQ(loris.code, StatusCode::DeadlineExceeded);
+    EXPECT_TRUE(loris.connection_closes);
+    const TransportExpectation oversized =
+        expectedTransportOutcome(TransportFaultKind::OversizedLine);
+    EXPECT_EQ(oversized.code, StatusCode::InvalidInput);
+    const TransportExpectation degraded =
+        expectedTransportOutcome(TransportFaultKind::ShortRead);
+    EXPECT_TRUE(degraded.response_expected);
+    EXPECT_EQ(degraded.code, StatusCode::Ok);
+    EXPECT_FALSE(degraded.connection_closes);
+}
+
 } // namespace
 } // namespace sparsepipe

@@ -331,6 +331,90 @@ TEST(ServeCoalesce, LeaderExceptionReachesEveryFollower)
     EXPECT_EQ(*retry.result, 7);
 }
 
+TEST(ServeProtocol, BudgetErrorsCarryAnExplicitZeroRetryAfter)
+{
+    // DeadlineExceeded / Cancelled are retryable with a fresh budget
+    // — the wire says so explicitly, so clients need not hard-code
+    // which codes are budget errors.
+    Response late;
+    late.id = "d";
+    late.status = deadlineExceeded("deadline of 5 ms expired");
+    EXPECT_NE(serve::encodeResponse(late).find(
+                  "\"retry_after_ms\":0"),
+              std::string::npos);
+
+    Response gone;
+    gone.status = cancelledError("cancelled");
+    EXPECT_NE(serve::encodeResponse(gone).find(
+                  "\"retry_after_ms\":0"),
+              std::string::npos);
+
+    // Terminal errors carry no retry hint at all.
+    Response bad;
+    bad.status = invalidInput("unknown dataset 'nope'");
+    EXPECT_EQ(serve::encodeResponse(bad).find("retry_after_ms"),
+              std::string::npos);
+
+    // A shed keeps its positive hint.
+    Response shed;
+    shed.status = resourceExhausted("at capacity");
+    shed.retry_after_ms = 40;
+    EXPECT_NE(serve::encodeResponse(shed).find(
+                  "\"retry_after_ms\":40"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Coalescing: deadline-aware flights
+
+TEST(ServeCoalesce, LastWaiterDetachCancelsFlightAndFreesTheKey)
+{
+    Coalescer<int> coalescer;
+    auto join = coalescer.begin("k");
+    ASSERT_TRUE(join.leader);
+    EXPECT_FALSE(join.flight->token().cancelled());
+
+    // The only waiter detaches (deadline already past): the flight's
+    // token fires and the key is free for a fresh leader instead of
+    // joining the doomed flight.
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1);
+    EXPECT_EQ(coalescer.wait(join.flight, past), nullptr);
+    EXPECT_TRUE(join.flight->token().cancelled());
+    EXPECT_EQ(coalescer.inFlight(), 0u);
+    EXPECT_EQ(coalescer.stats().detached, 1u);
+    EXPECT_EQ(coalescer.stats().flights_cancelled, 1u);
+
+    auto fresh = coalescer.begin("k");
+    EXPECT_TRUE(fresh.leader);
+    EXPECT_FALSE(fresh.flight->token().cancelled());
+    coalescer.complete("k", fresh.flight, 5);
+    EXPECT_EQ(*coalescer.wait(fresh.flight), 5);
+}
+
+TEST(ServeCoalesce, DetachedFollowerLeavesTheLeadersFlightAlive)
+{
+    Coalescer<int> coalescer;
+    auto leader = coalescer.begin("k");
+    ASSERT_TRUE(leader.leader);
+    auto follower = coalescer.begin("k");
+    ASSERT_FALSE(follower.leader);
+    EXPECT_EQ(follower.flight, leader.flight);
+
+    // The follower's deadline expires; the leader is still waiting,
+    // so the flight must NOT be cancelled.
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1);
+    EXPECT_EQ(coalescer.wait(follower.flight, past), nullptr);
+    EXPECT_FALSE(leader.flight->token().cancelled());
+    EXPECT_EQ(coalescer.stats().detached, 1u);
+    EXPECT_EQ(coalescer.stats().flights_cancelled, 0u);
+
+    coalescer.complete("k", leader.flight, 9);
+    EXPECT_EQ(*coalescer.wait(leader.flight), 9);
+    EXPECT_EQ(coalescer.inFlight(), 0u);
+}
+
 // ---------------------------------------------------------------
 // End-to-end Server over real sockets
 
@@ -571,6 +655,289 @@ TEST(ServeServer, AbortCancelsInFlightSimulations)
 
     server.requestAbort();
     in_flight.join();
+    server.join();
+}
+
+// ---------------------------------------------------------------
+// Deadline propagation through the server
+
+TEST(ServeServer, PreExpiredDeadlineNeverStartsASimulation)
+{
+    ServerConfig config;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    Request req;
+    req.app = "pr";
+    req.dataset = "ca";
+    req.iters = 4;
+    req.deadline_ms = -5; // expired before it ever reached us
+    StatusOr<Response> resp = client->call(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    EXPECT_EQ(resp->status.code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(resp->retry_after_ms, 0);
+
+    EXPECT_EQ(counter(server, "serve.sim_runs"), 0.0);
+    EXPECT_EQ(counter(server, "serve.timeout.pre_expired"), 1.0);
+    // The connection survives the rejection.
+    Request ping;
+    ping.op = Request::Op::Ping;
+    StatusOr<Response> pong = client->call(ping);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->status.ok());
+}
+
+TEST(ServeServer, WaiterDeadlineDetachesWithoutKillingTheFlight)
+{
+    Server server(ServerConfig{});
+    ASSERT_TRUE(server.start().ok());
+
+    Request slow;
+    slow.app = "pr";
+    slow.dataset = "co";
+    slow.iters = 400;
+
+    StatusOr<Client> leader = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(leader.ok());
+    std::thread leader_thread([&] {
+        StatusOr<Response> resp = leader->call(slow);
+        ASSERT_TRUE(resp.ok()) << resp.status().toString();
+        // The follower's expiry must not have cancelled this run.
+        EXPECT_TRUE(resp->status.ok()) << resp->status.toString();
+    });
+    while (counter(server, "serve.sim_runs") < 1.0)
+        std::this_thread::yield();
+
+    // Identical work, tiny budget: joins the leader's flight and
+    // detaches when the budget expires.
+    StatusOr<Client> follower =
+        Client::connect(loopback(server.port()));
+    ASSERT_TRUE(follower.ok());
+    Request hurry = slow;
+    hurry.deadline_ms = 1;
+    StatusOr<Response> resp = follower->call(hurry);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    EXPECT_EQ(resp->status.code(), StatusCode::DeadlineExceeded);
+
+    leader_thread.join();
+    EXPECT_GE(counter(server, "serve.cancel.detached"), 1.0);
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ServeServer, AllWaitersExpiredCancelsTheFlightAndServerRecovers)
+{
+    Server server(ServerConfig{});
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    Request req;
+    req.app = "pr";
+    req.dataset = "co";
+    req.iters = 400;
+    req.deadline_ms = 10; // expires while the run is in flight
+    StatusOr<Response> resp = client->call(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    EXPECT_EQ(resp->status.code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(resp->retry_after_ms, 0);
+
+    // The sole waiter detached, so the flight was put down.
+    EXPECT_GE(counter(server, "serve.cancel.flights_cancelled"), 1.0);
+    // The abandoned simulation unwinds within its poll budget and
+    // the server keeps serving: a fresh (different-key) run works.
+    Request small;
+    small.app = "pr";
+    small.dataset = "ca";
+    small.iters = 2;
+    StatusOr<Response> ok_resp = client->call(small);
+    ASSERT_TRUE(ok_resp.ok()) << ok_resp.status().toString();
+    EXPECT_TRUE(ok_resp->status.ok()) << ok_resp->status.toString();
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ServeServer, LeaderConnectionDeathLeavesFollowersServed)
+{
+    // The satellite case: the leader's TCP connection dies mid-sim.
+    // The flight must keep running for the follower, who gets a
+    // terminal response instead of a hang.
+    Server server(ServerConfig{});
+    ASSERT_TRUE(server.start().ok());
+
+    Request req;
+    req.app = "pr";
+    req.dataset = "co";
+    req.iters = 400;
+
+    // Leader sends the request raw and then dies.
+    StatusOr<serve::Socket> raw =
+        serve::connectTcp(loopback(server.port()));
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(
+        serve::writeAll(*raw, serve::encodeRequest(req) + "\n").ok());
+    while (counter(server, "serve.sim_runs") < 1.0)
+        std::this_thread::yield();
+
+    StatusOr<Client> follower =
+        Client::connect(loopback(server.port()));
+    ASSERT_TRUE(follower.ok());
+    raw->close(); // the leader is gone; its flight must not be
+
+    StatusOr<Response> resp = follower->call(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    EXPECT_TRUE(resp->status.ok()) << resp->status.toString();
+    EXPECT_GT(resp->cycles, 0);
+
+    server.requestDrain();
+    server.join();
+}
+
+// ---------------------------------------------------------------
+// Connection hardening
+
+TEST(ServeServer, IdleTimeoutAnswersDeadlineExceededAndCloses)
+{
+    ServerConfig config;
+    config.idle_timeout_ms = 80;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<serve::Socket> sock =
+        serve::connectTcp(loopback(server.port()));
+    ASSERT_TRUE(sock.ok());
+    serve::LineReader reader(*sock);
+
+    // Send nothing: the server must answer with a DeadlineExceeded
+    // response and close, within the idle budget (plus slack).
+    StatusOr<std::string> line = reader.readLine();
+    ASSERT_TRUE(line.ok()) << line.status().toString();
+    StatusOr<Response> resp = serve::parseResponse(*line);
+    ASSERT_TRUE(resp.ok()) << *line;
+    EXPECT_EQ(resp->status.code(), StatusCode::DeadlineExceeded);
+
+    StatusOr<std::string> eof = reader.readLine();
+    ASSERT_FALSE(eof.ok());
+    EXPECT_EQ(eof.status().code(), StatusCode::IoError);
+    EXPECT_EQ(counter(server, "serve.timeout.idle"), 1.0);
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ServeServer, OversizedRequestLineIsRejectedAndConnectionCloses)
+{
+    ServerConfig config;
+    config.max_request_bytes = 64;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<serve::Socket> sock =
+        serve::connectTcp(loopback(server.port()));
+    ASSERT_TRUE(sock.ok());
+    // No newline needed: the cap must trip on buffered bytes alone,
+    // or a peer could stream an unbounded "line".
+    const std::string bomb(256, 'x');
+    ASSERT_TRUE(serve::writeAll(*sock, bomb).ok());
+
+    serve::LineReader reader(*sock);
+    StatusOr<std::string> line = reader.readLine();
+    ASSERT_TRUE(line.ok()) << line.status().toString();
+    StatusOr<Response> resp = serve::parseResponse(*line);
+    ASSERT_TRUE(resp.ok()) << *line;
+    EXPECT_EQ(resp->status.code(), StatusCode::InvalidInput);
+
+    StatusOr<std::string> eof = reader.readLine();
+    EXPECT_FALSE(eof.ok());
+    EXPECT_EQ(counter(server, "serve.conn.oversized_line"), 1.0);
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ServeServer, KeepAliveRequestLimitClosesTheConnection)
+{
+    ServerConfig config;
+    config.max_requests_per_conn = 2;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    Request ping;
+    ping.op = Request::Op::Ping;
+    for (int i = 0; i < 2; ++i) {
+        StatusOr<Response> pong = client->call(ping);
+        ASSERT_TRUE(pong.ok()) << pong.status().toString();
+        EXPECT_TRUE(pong->status.ok());
+    }
+    // The third request hits a closed connection.
+    StatusOr<Response> refused = client->call(ping);
+    EXPECT_FALSE(refused.ok());
+    EXPECT_EQ(counter(server, "serve.conn.keepalive_closed"), 1.0);
+
+    server.requestDrain();
+    server.join();
+}
+
+// ---------------------------------------------------------------
+// Client retry policy
+
+TEST(ServeClient, RetryReconnectsAcrossKeepAliveCloses)
+{
+    ServerConfig config;
+    config.max_requests_per_conn = 1; // every request kills the conn
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    serve::RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.base_backoff_ms = 1;
+
+    Request ping;
+    ping.op = Request::Op::Ping;
+    for (int i = 0; i < 3; ++i) {
+        StatusOr<Response> pong =
+            client->callWithRetry(ping, policy);
+        ASSERT_TRUE(pong.ok())
+            << "round " << i << ": " << pong.status().toString();
+        EXPECT_TRUE(pong->status.ok());
+    }
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ServeClient, RetryGivesUpAfterMaxAttemptsOnPersistentShed)
+{
+    ServerConfig config;
+    config.admission.max_in_flight = 0; // shed everything
+    config.admission.retry_after_ms = 1;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<Client> client = Client::connect(loopback(server.port()));
+    ASSERT_TRUE(client.ok());
+    serve::RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.base_backoff_ms = 1;
+
+    Request req;
+    req.app = "pr";
+    req.dataset = "ca";
+    req.iters = 2;
+    StatusOr<Response> resp = client->callWithRetry(req, policy);
+    ASSERT_TRUE(resp.ok()) << resp.status().toString();
+    EXPECT_EQ(resp->status.code(), StatusCode::ResourceExhausted);
+    // Every attempt really went to the server.
+    EXPECT_EQ(counter(server, "serve.shed_total"), 3.0);
+
+    server.requestDrain();
     server.join();
 }
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -142,6 +143,100 @@ TEST(Session, PreFiredTokenCancelsRun)
     ASSERT_FALSE(run.ok());
     EXPECT_EQ(run.status().code(), StatusCode::Cancelled);
 }
+
+TEST(Session, ExpiredDeadlineRejectsBeforeAnythingRuns)
+{
+    api::Session session;
+    api::RunRequest req;
+    req.app = "pr";
+    req.dataset = "ca";
+    req.iters = 4;
+    CancelToken token;
+    token.setDeadlineAfterMs(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    req.cancel = &token;
+    StatusOr<api::RunReport> run = session.run(req);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::DeadlineExceeded);
+    // Rejected at the boundary: not even preprocessing ran.
+    const api::Session::CacheStatsSnapshot stats =
+        session.cacheStats();
+    EXPECT_EQ(stats.prepared.misses + stats.prepared.hits, 0u);
+}
+
+// The bounded-latency contract of deadline propagation, per backend:
+// with a token attached, the engine polls it at least once every
+// cancel_poll_cycles of simulated time, so a deadline expiring
+// mid-sim unwinds within a fixed cycle budget.
+class SessionCancelPropagation
+    : public ::testing::TestWithParam<backend::BackendKind>
+{
+};
+
+TEST_P(SessionCancelPropagation, PollCadenceBoundsAbortLatency)
+{
+    api::Session session;
+    api::RunRequest req;
+    req.app = "pr";
+    req.dataset = "ca";
+    req.iters = 8;
+    req.backend = GetParam();
+    req.sp.cancel_poll_cycles = 512;
+
+    // Baseline without a token: zero polls, and the stats below pin
+    // that attaching a never-firing token is free.
+    const api::RunReport plain = session.run(req).value();
+    EXPECT_EQ(plain.stats.counters.cancel_polls, 0);
+
+    CancelToken token; // never fired, no deadline
+    req.cancel = &token;
+    const api::RunReport polled = session.run(req).value();
+    EXPECT_EQ(polled.stats.cycles, plain.stats.cycles);
+    EXPECT_EQ(polled.stats.counters.demand_reload_events,
+              plain.stats.counters.demand_reload_events);
+
+    // The budget polls alone guarantee one poll per
+    // cancel_poll_cycles window; launch/iteration-site polls only
+    // add to that.  Halve the bound to stay robust against the final
+    // partial window and event-time jumps.
+    const Idx windows =
+        polled.stats.cycles / req.sp.cancel_poll_cycles;
+    EXPECT_GE(polled.stats.counters.cancel_polls,
+              std::max<Idx>(1, windows / 2))
+        << "cycles=" << polled.stats.cycles;
+}
+
+TEST_P(SessionCancelPropagation, MidSimDeadlineReturnsDeadlineExceeded)
+{
+    api::Session session;
+    api::RunRequest req;
+    req.app = "pr";
+    req.dataset = "co";
+    req.iters = 400; // long enough to be mid-flight when it expires
+    req.backend = GetParam();
+    req.sp.cancel_poll_cycles = 512;
+
+    CancelToken token;
+    req.cancel = &token;
+    token.setDeadlineAfterMs(20);
+    StatusOr<api::RunReport> run = session.run(req);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::DeadlineExceeded);
+
+    // The session is not poisoned: the same request without the
+    // token completes.
+    req.cancel = nullptr;
+    req.iters = 2;
+    EXPECT_TRUE(session.run(req).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SessionCancelPropagation,
+    ::testing::Values(backend::BackendKind::Sparsepipe,
+                      backend::BackendKind::Gamma),
+    [](const ::testing::TestParamInfo<backend::BackendKind> &info) {
+        return std::string(backend::backendName(info.param));
+    });
 
 TEST(Session, BindWorkspaceBindsBothCompressedForms)
 {

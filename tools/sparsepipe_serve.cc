@@ -80,6 +80,15 @@ printHelp()
         "                       (default 0 = unlimited)\n"
         "  --retry-after-ms N   back-off hint on shed responses\n"
         "  --deadline-ms N      default per-request deadline\n"
+        "  --idle-timeout-ms N  close connections idle this long\n"
+        "                       (default 0 = never)\n"
+        "  --line-timeout-ms N  close connections whose request\n"
+        "                       line stalls this long (slow-loris\n"
+        "                       defense; default 0 = never)\n"
+        "  --max-request-bytes N cap on one request line\n"
+        "                       (default 1048576)\n"
+        "  --max-requests-per-conn N close keep-alive connections\n"
+        "                       after N requests (default 0 = never)\n"
         "  --cache-prepared N   LRU bound on prepared operands\n"
         "\n"
         "Protocol: one JSON object per line, e.g.\n"
@@ -133,6 +142,21 @@ main(int argc, char **argv)
         } else if (arg == "--deadline-ms") {
             config.default_deadline_ms =
                 flagValue(parseI64Flag("--deadline-ms", next()));
+        } else if (arg == "--idle-timeout-ms") {
+            config.idle_timeout_ms = static_cast<int>(
+                flagValue(parseI64Flag("--idle-timeout-ms",
+                                       next())));
+        } else if (arg == "--line-timeout-ms") {
+            config.line_timeout_ms = static_cast<int>(
+                flagValue(parseI64Flag("--line-timeout-ms",
+                                       next())));
+        } else if (arg == "--max-request-bytes") {
+            config.max_request_bytes = static_cast<std::size_t>(
+                flagValue(parseU64Flag("--max-request-bytes",
+                                       next())));
+        } else if (arg == "--max-requests-per-conn") {
+            config.max_requests_per_conn = flagValue(
+                parseI64Flag("--max-requests-per-conn", next()));
         } else if (arg == "--cache-prepared") {
             config.prepared_cache_capacity = static_cast<std::size_t>(
                 flagValue(parseU64Flag("--cache-prepared", next())));

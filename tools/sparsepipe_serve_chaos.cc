@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Transport chaos harness for the serve layer: boot an in-process
+ * server with aggressive connection limits, drive a scripted,
+ * seed-shuffled schedule of every TransportFaultKind against it, and
+ * assert each outcome matches the pinned expectation from
+ * check/fault.hh — never a crash, a hang, or a leaked thread.
+ *
+ * The schedule runs twice, once per shutdown path:
+ *   phase "drain": requestDrain() after the schedule, join() must
+ *                  return (no in-flight work may wedge it);
+ *   phase "abort": requestAbort(), which additionally fires the
+ *                  CancelToken chain into any in-flight simulation.
+ *
+ * A watchdog thread converts any hang (server or driver) into a loud
+ * nonzero exit instead of a stuck CI job.
+ *
+ * Examples:
+ *   sparsepipe_serve_chaos
+ *   sparsepipe_serve_chaos --seed 7 --report chaos.json
+ *
+ * Exit codes: 0 all cases pass, 1 any mismatch, 2 bad flags,
+ * 3 watchdog fired.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/chaos.hh"
+#include "check/fault.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+using namespace sparsepipe;
+using check::ChaosCaseReport;
+
+namespace {
+
+constexpr int kWatchdogExit = 3;
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "sparsepipe_serve_chaos: %s (try --help)\n",
+                 message.c_str());
+    std::exit(kExitUsage);
+}
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: sparsepipe_serve_chaos [options]\n"
+        "\n"
+        "  --seed S          schedule shuffle seed (default 1)\n"
+        "  --report PATH     write a JSON case report to PATH\n"
+        "  --watchdog-sec N  hard wall-clock budget (default 120)\n"
+        "\n"
+        "Runs every transport fault kind against an in-process\n"
+        "server, once under a drain shutdown and once under an\n"
+        "abort shutdown.  Any outcome that is not the pinned\n"
+        "Status for its fault kind fails the run.\n");
+}
+
+/**
+ * Hard wall-clock bound on the whole harness.  The per-case waits in
+ * runChaosCase already bound each exchange; this is the backstop for
+ * the failure mode chaos exists to find — a join() that never
+ * returns because a connection thread or pool job leaked.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(int budget_sec)
+        : thread_([this, budget_sec] {
+              std::unique_lock<std::mutex> lock(mutex_);
+              if (!cv_.wait_for(lock,
+                                std::chrono::seconds(budget_sec),
+                                [this] { return done_; })) {
+                  std::fprintf(stderr,
+                               "sparsepipe_serve_chaos: WATCHDOG: "
+                               "no completion within %d s — a "
+                               "thread is wedged\n",
+                               budget_sec);
+                  std::fflush(nullptr);
+                  std::_Exit(kWatchdogExit);
+              }
+          })
+    {
+    }
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+};
+
+struct CaseResult
+{
+    std::string phase;
+    ChaosCaseReport report;
+};
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+bool
+writeReport(const std::string &path,
+            const std::vector<CaseResult> &results,
+            std::uint64_t seed)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"seed\": " << seed << ",\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        out << "    {\"phase\": \"" << r.phase << "\", \"kind\": \""
+            << transportFaultKindName(r.report.kind)
+            << "\", \"pass\": "
+            << (r.report.pass ? "true" : "false")
+            << ", \"detail\": \"" << jsonEscape(r.report.detail)
+            << "\"}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+/**
+ * One full schedule against a fresh server, shut down via `abort` or
+ * drain at the end.  @return false when any case missed its pinned
+ * outcome.
+ */
+bool
+runPhase(const std::string &phase, std::uint64_t seed, bool abort,
+         check::ScriptedFaultInjector &injector,
+         std::vector<CaseResult> &results)
+{
+    serve::ServerConfig config;
+    config.listen = {"127.0.0.1", 0};
+    config.jobs = 2;
+    // Aggressive limits so the timeout kinds trip in milliseconds,
+    // not CI-minutes; the chaos cases' own waits are far larger.
+    config.idle_timeout_ms = 300;
+    config.line_timeout_ms = 300;
+    config.max_request_bytes = 1024;
+    config.max_requests_per_conn = 64;
+    config.default_deadline_ms = 30000;
+
+    serve::Server server(config);
+    if (Status status = server.start(); !status.ok()) {
+        std::fprintf(stderr, "sparsepipe_serve_chaos: %s\n",
+                     status.toString().c_str());
+        return false;
+    }
+    const ListenAddress addr{"127.0.0.1", server.port()};
+
+    check::ChaosCaseConfig cfg;
+    cfg.request.app = "pr";
+    cfg.request.dataset = "gy";
+    cfg.request.iters = 1;
+    cfg.oversized_bytes = 4096; // > max_request_bytes
+    cfg.loris_delay_ms = 20;
+
+    std::vector<TransportFaultKind> schedule;
+    for (int k = 0;
+         k < static_cast<int>(TransportFaultKind::Count_); ++k)
+        schedule.push_back(static_cast<TransportFaultKind>(k));
+    std::mt19937_64 rng(seed);
+    std::shuffle(schedule.begin(), schedule.end(), rng);
+
+    bool all_pass = true;
+    for (TransportFaultKind kind : schedule) {
+        ChaosCaseReport rep =
+            check::runChaosCase(addr, injector, kind, cfg);
+        std::printf("[%s] %-16s %s  %s\n", phase.c_str(),
+                    transportFaultKindName(kind),
+                    rep.pass ? "PASS" : "FAIL",
+                    rep.detail.c_str());
+        std::fflush(stdout);
+        all_pass = all_pass && rep.pass;
+        results.push_back({phase, std::move(rep)});
+    }
+
+    if (abort)
+        server.requestAbort();
+    else
+        server.requestDrain();
+    server.join(); // the watchdog turns a wedge here into exit 3
+    return all_pass;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    std::string report_path;
+    int watchdog_sec = 120;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError("flag " + arg + " wants a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return kExitOk;
+        } else if (arg == "--seed") {
+            StatusOr<unsigned long long> parsed =
+                parseU64Flag("--seed", next());
+            if (!parsed.ok())
+                usageError(parsed.status().toString());
+            seed = *parsed;
+        } else if (arg == "--report") {
+            report_path = next();
+        } else if (arg == "--watchdog-sec") {
+            StatusOr<long long> parsed =
+                parseI64Flag("--watchdog-sec", next());
+            if (!parsed.ok() || *parsed < 1)
+                usageError("--watchdog-sec wants a positive value");
+            watchdog_sec = static_cast<int>(*parsed);
+        } else {
+            usageError("unknown flag '" + arg + "'");
+        }
+    }
+
+    Watchdog watchdog(watchdog_sec);
+    check::ScriptedFaultInjector injector;
+    serve::setSocketFaultInjector(&injector);
+
+    std::vector<CaseResult> results;
+    const bool drain_ok =
+        runPhase("drain", seed, /*abort=*/false, injector, results);
+    const bool abort_ok =
+        runPhase("abort", seed + 1, /*abort=*/true, injector,
+                 results);
+
+    serve::setSocketFaultInjector(nullptr);
+
+    const serve::SocketFaultCounters tally =
+        serve::socketFaultCounters();
+    std::printf("injected faults: %llu short-read, %llu "
+                "short-write, %llu eintr, %llu recv-reset, %llu "
+                "send-reset\n",
+                static_cast<unsigned long long>(tally.short_reads),
+                static_cast<unsigned long long>(tally.short_writes),
+                static_cast<unsigned long long>(tally.eintr),
+                static_cast<unsigned long long>(tally.recv_resets),
+                static_cast<unsigned long long>(tally.send_resets));
+
+    if (!report_path.empty() &&
+        !writeReport(report_path, results, seed)) {
+        std::fprintf(stderr,
+                     "sparsepipe_serve_chaos: cannot write %s\n",
+                     report_path.c_str());
+        return kExitRuntime;
+    }
+
+    const bool ok = drain_ok && abort_ok;
+    std::printf("chaos schedule: %zu cases, %s\n", results.size(),
+                ok ? "all pinned outcomes held" : "MISMATCHES");
+    return ok ? kExitOk : kExitRuntime;
+}

@@ -58,6 +58,9 @@ printHelp()
         "  --seed S          generator seed (hex ok)\n"
         "  --deadline-ms N   per-request deadline\n"
         "  --count N         repeat the request N times\n"
+        "  --retries N       attempts per request with capped\n"
+        "                    backoff, honoring the server's\n"
+        "                    retry_after_ms (default 1 = no retry)\n"
         "  --ping            health check instead of a run\n"
         "  --scrape          GET /metrics and print the JSON\n");
 }
@@ -72,6 +75,7 @@ main(int argc, char **argv)
     bool ping = false;
     bool scrape = false;
     long long count = 1;
+    int retries = 1;
     serve::Request req;
 
     for (int i = 1; i < argc; ++i) {
@@ -116,6 +120,11 @@ main(int argc, char **argv)
             count = flagValue(parseI64Flag("--count", next()));
             if (count < 1)
                 usageError("--count wants a positive integer");
+        } else if (arg == "--retries") {
+            retries = static_cast<int>(
+                flagValue(parseI64Flag("--retries", next())));
+            if (retries < 1)
+                usageError("--retries wants a positive integer");
         } else if (arg == "--ping") {
             ping = true;
         } else if (arg == "--scrape") {
@@ -150,9 +159,14 @@ main(int argc, char **argv)
         return kExitRuntime;
     }
 
+    serve::RetryPolicy policy;
+    policy.max_attempts = retries;
+
     bool all_ok = true;
     for (long long i = 0; i < count; ++i) {
-        StatusOr<serve::Response> resp = client->call(req);
+        StatusOr<serve::Response> resp =
+            retries > 1 ? client->callWithRetry(req, policy)
+                        : client->call(req);
         if (!resp.ok()) {
             std::fprintf(stderr, "sparsepipe_serve_client: %s\n",
                          resp.status().toString().c_str());
